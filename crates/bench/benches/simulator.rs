@@ -1,0 +1,98 @@
+//! Criterion end-to-end simulator benchmarks: wall-clock cost of one
+//! small simulation per mechanism stack. These track the harness's own
+//! performance (simulated-instructions per host-second), so regressions
+//! in the cycle loop are caught.
+
+use clip_sim::{run_mix, NocChoice, RunOptions, Scheme};
+use clip_trace::Mix;
+use clip_types::{PrefetcherKind, SimConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn opts() -> RunOptions {
+    RunOptions {
+        warmup_instrs: 200,
+        sim_instrs: 1_500,
+        seed: 21,
+        noc: NocChoice::Mesh,
+        max_cycles: 0,
+        timeline_interval: 0,
+    }
+}
+
+fn cfg(pf: PrefetcherKind) -> SimConfig {
+    SimConfig::builder()
+        .cores(4)
+        .dram_channels(1)
+        .l1_prefetcher(pf)
+        .build()
+        .expect("valid config")
+}
+
+fn mix() -> Mix {
+    Mix::homogeneous(
+        &clip_trace::catalog::by_name("605.mcf_s-1554B").expect("known workload"),
+        4,
+    )
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_4core_mcf");
+    g.sample_size(10);
+    g.bench_function("nopf", |b| {
+        let m = mix();
+        b.iter(|| {
+            black_box(run_mix(
+                &cfg(PrefetcherKind::None),
+                &Scheme::plain(),
+                &m,
+                &opts(),
+            ))
+        })
+    });
+    g.bench_function("berti", |b| {
+        let m = mix();
+        b.iter(|| {
+            black_box(run_mix(
+                &cfg(PrefetcherKind::Berti),
+                &Scheme::plain(),
+                &m,
+                &opts(),
+            ))
+        })
+    });
+    g.bench_function("berti_clip", |b| {
+        let m = mix();
+        b.iter(|| {
+            black_box(run_mix(
+                &cfg(PrefetcherKind::Berti),
+                &Scheme::with_clip(),
+                &m,
+                &opts(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_noc_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_noc_model");
+    g.sample_size(10);
+    for (name, noc) in [("mesh", NocChoice::Mesh), ("analytic", NocChoice::Analytic)] {
+        g.bench_function(name, |b| {
+            let m = mix();
+            let o = RunOptions { noc, ..opts() };
+            b.iter(|| {
+                black_box(run_mix(
+                    &cfg(PrefetcherKind::Berti),
+                    &Scheme::plain(),
+                    &m,
+                    &o,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_noc_models);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Runs every figure/table binary's logic in sequence — the one-shot
+//! regeneration entry point used to produce EXPERIMENTS.md.
+//!
+//! Usage: `cargo run -p clip-bench --release --bin all_figures`, with the
+//! `CLIP_*` environment variables controlling scale.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table3",
+        "table2",
+        "fig01",
+        "fig02",
+        "fig03",
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "fig21",
+        "energy",
+        "sens_cores",
+        "sens_llc",
+        "ablation",
+        "dynclip",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("target dir");
+    for bin in bins {
+        println!("\n===================== {bin} =====================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 1: normalized weighted speedup of the four state-of-the-art
+//! prefetchers vs DRAM channel count, 45 homogeneous SPEC CPU2017 mixes.
+//!
+//! Paper shape: every prefetcher loses at 4-8 channels and wins at 64
+//! (Berti reaching ~1.35); channel counts here are scaled to preserve the
+//! channels-per-core ratio at the configured core count.
+
+use clip_bench::{fmt, header, mean_ws, normalized_ws_for, scaled_channels, Scale};
+use clip_sim::Scheme;
+use clip_types::PrefetcherKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mixes = scale.sample_homogeneous();
+    let kinds = [
+        PrefetcherKind::Berti,
+        PrefetcherKind::Ipcp,
+        PrefetcherKind::Bingo,
+        PrefetcherKind::SppPpf,
+    ];
+    println!(
+        "# Figure 1: prefetcher WS vs DRAM channels (homogeneous, {} cores, {} mixes)",
+        scale.cores,
+        mixes.len()
+    );
+    header(&[
+        "channels(paper)",
+        "channels(run)",
+        "Berti",
+        "IPCP",
+        "Bingo",
+        "SPP-PPF",
+    ]);
+    for paper_ch in [4usize, 8, 16, 32, 64] {
+        let ch = scaled_channels(paper_ch, scale.cores);
+        let mut row = vec![paper_ch.to_string(), ch.to_string()];
+        for kind in kinds {
+            let ws: Vec<f64> = mixes
+                .iter()
+                .map(|m| normalized_ws_for(&scale, ch, kind, &Scheme::plain(), m).0)
+                .collect();
+            row.push(fmt(mean_ws(&ws)));
+        }
+        println!("{}", row.join("\t"));
+    }
+}

@@ -1,0 +1,48 @@
+//! §5.2 LLC-capacity sensitivity: Berti and Berti+CLIP with 0.5/1/2/4 MB
+//! LLC per core at the 8-channel-equivalent.
+//!
+//! Paper shape: smaller LLCs worsen Berti's slowdown (29% at 512 KB/core);
+//! CLIP keeps prefetching profitable at every capacity.
+
+use clip_bench::{fmt, header, mean_ws, scaled_channels, Scale};
+use clip_sim::{run_mix, Scheme};
+use clip_stats::normalized_weighted_speedup;
+use clip_types::{PrefetcherKind, SimConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ch = scaled_channels(8, scale.cores);
+    let mixes = scale.sample_homogeneous();
+    let opts = scale.options();
+    println!("# LLC-capacity sensitivity ({ch} channels)");
+    header(&["LLC-KB/core", "Berti", "Berti+CLIP"]);
+    for kb in [512usize, 1024, 2048, 4096] {
+        let build = |pf: PrefetcherKind| -> SimConfig {
+            SimConfig::builder()
+                .cores(scale.cores)
+                .dram_channels(ch)
+                .llc_slice_bytes(kb * 1024)
+                .l1_prefetcher(pf)
+                .build()
+                .expect("valid config")
+        };
+        let cfg_no = build(PrefetcherKind::None);
+        let cfg_pf = build(PrefetcherKind::Berti);
+        let mut plain = Vec::new();
+        let mut clip = Vec::new();
+        for m in &mixes {
+            let base = run_mix(&cfg_no, &Scheme::plain(), m, &opts);
+            let b = run_mix(&cfg_pf, &Scheme::plain(), m, &opts);
+            let c = run_mix(&cfg_pf, &Scheme::with_clip(), m, &opts);
+            plain.push(normalized_weighted_speedup(
+                &b.per_core_ipc,
+                &base.per_core_ipc,
+            ));
+            clip.push(normalized_weighted_speedup(
+                &c.per_core_ipc,
+                &base.per_core_ipc,
+            ));
+        }
+        println!("{kb}\t{}\t{}", fmt(mean_ws(&plain)), fmt(mean_ws(&clip)));
+    }
+}

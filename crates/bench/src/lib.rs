@@ -1,0 +1,317 @@
+//! Experiment harness: shared helpers for the figure/table binaries that
+//! regenerate the paper's evaluation artifacts.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure; run them with
+//! `cargo run -p clip-bench --release --bin <figXX>`. Scale knobs come
+//! from environment variables so the same binaries serve quick smoke runs
+//! and long reproductions:
+//!
+//! * `CLIP_CORES` — cores per system (default 16; the paper uses 64).
+//! * `CLIP_INSTRS` — measured instructions per core (default 6000).
+//! * `CLIP_WARMUP` — warmup instructions per core (default 2000).
+//! * `CLIP_MIXES` — how many mixes to sample for per-figure averages
+//!   (default 10 homogeneous / 8 heterogeneous).
+//! * `CLIP_NOC` — `mesh` or `analytic` (default analytic for sweeps).
+
+use clip_sim::{run_mix, NocChoice, RunOptions, Scheme, SimResult};
+use clip_stats::normalized_weighted_speedup;
+use clip_trace::Mix;
+use clip_types::{PrefetcherKind, SimConfig};
+
+/// Experiment scale configuration, read from the environment.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Cores per simulated system.
+    pub cores: usize,
+    /// Measured instructions per core.
+    pub instrs: u64,
+    /// Warmup instructions per core.
+    pub warmup: u64,
+    /// Homogeneous mixes sampled.
+    pub homo_mixes: usize,
+    /// Heterogeneous mixes sampled.
+    pub hetero_mixes: usize,
+    /// NoC model choice.
+    pub noc: NocChoice,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::from_env()
+    }
+}
+
+impl Scale {
+    /// Reads the scale from `CLIP_*` environment variables.
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: u64| -> u64 {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        let noc = match std::env::var("CLIP_NOC").as_deref() {
+            Ok("mesh") => NocChoice::Mesh,
+            _ => NocChoice::Analytic,
+        };
+        Scale {
+            cores: get("CLIP_CORES", 16) as usize,
+            instrs: get("CLIP_INSTRS", 6_000),
+            warmup: get("CLIP_WARMUP", 2_000),
+            homo_mixes: get("CLIP_MIXES", 10) as usize,
+            hetero_mixes: get("CLIP_MIXES", 8) as usize,
+            noc,
+        }
+    }
+
+    /// Run options for this scale.
+    pub fn options(&self) -> RunOptions {
+        RunOptions {
+            warmup_instrs: self.warmup,
+            sim_instrs: self.instrs,
+            seed: 42,
+            noc: self.noc,
+            max_cycles: 0,
+            timeline_interval: 0,
+        }
+    }
+
+    /// A platform config with this scale's core count.
+    pub fn config(&self, channels: usize, l1: PrefetcherKind, l2: PrefetcherKind) -> SimConfig {
+        SimConfig::builder()
+            .cores(self.cores)
+            .dram_channels(channels)
+            .l1_prefetcher(l1)
+            .l2_prefetcher(l2)
+            .build()
+            .expect("valid experiment config")
+    }
+
+    /// The homogeneous mixes this scale samples (evenly spread over the 45).
+    pub fn sample_homogeneous(&self) -> Vec<Mix> {
+        let all = clip_trace::homogeneous_mixes(self.cores);
+        sample(all, self.homo_mixes)
+    }
+
+    /// The heterogeneous mixes this scale samples.
+    pub fn sample_heterogeneous(&self) -> Vec<Mix> {
+        clip_trace::heterogeneous_mixes(self.hetero_mixes, self.cores, 1234)
+    }
+}
+
+fn sample(mut v: Vec<Mix>, n: usize) -> Vec<Mix> {
+    if n >= v.len() {
+        return v;
+    }
+    let step = v.len() as f64 / n as f64;
+    let mut out = Vec::with_capacity(n);
+    let mut idx = 0.0;
+    while out.len() < n {
+        out.push(v[(idx as usize).min(v.len() - 1)].clone());
+        idx += step;
+    }
+    // Preserve original order, drop the rest.
+    v.clear();
+    out
+}
+
+/// Maps a paper channel count (for 64 cores) to this scale's equivalent,
+/// preserving the channels-per-core ratio (minimum one channel).
+pub fn scaled_channels(paper_channels: usize, cores: usize) -> usize {
+    ((paper_channels * cores) / 64).max(1).next_power_of_two()
+}
+
+/// Everything the per-mix figures (10-16) need from one homogeneous mix.
+#[derive(Debug, Clone)]
+pub struct PerMixRow {
+    /// Mix (trace) name.
+    pub mix: String,
+    /// Normalized weighted speedup of Berti.
+    pub ws_berti: f64,
+    /// Normalized weighted speedup of Berti+CLIP.
+    pub ws_clip: f64,
+    /// Average L1 miss latency, Berti (cycles).
+    pub lat_berti: f64,
+    /// Average L1 miss latency, Berti+CLIP (cycles).
+    pub lat_clip: f64,
+    /// No-prefetch L1/L2/LLC demand misses (coverage baselines).
+    pub base_misses: [u64; 3],
+    /// Berti L1/L2/LLC demand misses.
+    pub berti_misses: [u64; 3],
+    /// Berti+CLIP L1/L2/LLC demand misses.
+    pub clip_misses: [u64; 3],
+    /// CLIP critical-IP prediction accuracy (IP-set granularity).
+    pub clip_pred_accuracy: f64,
+    /// CLIP critical-IP prediction coverage.
+    pub clip_pred_coverage: f64,
+    /// Critical-and-accurate IPs per core (static + dynamic).
+    pub critical_ips: f64,
+    /// Dynamic-critical IPs per core.
+    pub dynamic_ips: f64,
+    /// Prefetch requests issued by Berti alone.
+    pub pf_berti: u64,
+    /// Prefetch requests issued under CLIP.
+    pub pf_clip: u64,
+    /// Berti prefetch accuracy without CLIP.
+    pub acc_berti: f64,
+    /// Berti prefetch accuracy with CLIP.
+    pub acc_clip: f64,
+    /// Energy counts for the energy figure (no-PF, Berti, Berti+CLIP).
+    pub energy: [clip_stats::energy::EnergyCounts; 3],
+}
+
+/// Runs the 45-homogeneous-mix sweep that feeds Figures 10-16 (sampled by
+/// the scale), at the given channel count.
+pub fn per_mix_sweep(scale: &Scale, channels: usize) -> Vec<PerMixRow> {
+    let opts = scale.options();
+    let cfg_pf = scale.config(channels, PrefetcherKind::Berti, PrefetcherKind::None);
+    scale
+        .sample_homogeneous()
+        .iter()
+        .map(|mix| {
+            let base = baseline_for(scale, channels, mix);
+            let berti = run_mix(&cfg_pf, &Scheme::plain(), mix, &opts);
+            let clip = run_mix(&cfg_pf, &Scheme::with_clip(), mix, &opts);
+            let cr = clip.clip.expect("clip scheme has a report");
+            PerMixRow {
+                mix: mix.name.clone(),
+                ws_berti: normalized_weighted_speedup(&berti.per_core_ipc, &base.per_core_ipc),
+                ws_clip: normalized_weighted_speedup(&clip.per_core_ipc, &base.per_core_ipc),
+                lat_berti: berti.latency.l1_miss.avg(),
+                lat_clip: clip.latency.l1_miss.avg(),
+                base_misses: [
+                    base.misses.l1_misses,
+                    base.misses.l2_misses,
+                    base.misses.llc_misses,
+                ],
+                berti_misses: [
+                    berti.misses.l1_misses,
+                    berti.misses.l2_misses,
+                    berti.misses.llc_misses,
+                ],
+                clip_misses: [
+                    clip.misses.l1_misses,
+                    clip.misses.l2_misses,
+                    clip.misses.llc_misses,
+                ],
+                clip_pred_accuracy: cr.ip_eval.accuracy(),
+                clip_pred_coverage: cr.ip_eval.coverage(),
+                critical_ips: cr.critical_ips,
+                dynamic_ips: cr.dynamic_ips,
+                pf_berti: berti.prefetch.issued,
+                pf_clip: clip.prefetch.issued,
+                acc_berti: berti.prefetch.accuracy(),
+                acc_clip: clip.prefetch.accuracy(),
+                energy: [base.energy, berti.energy, clip.energy],
+            }
+        })
+        .collect()
+}
+
+/// Picks the prefetcher placement: L1-trained kinds go to the L1 slot,
+/// L2-trained kinds to the L2 slot.
+pub fn place(kind: PrefetcherKind) -> (PrefetcherKind, PrefetcherKind) {
+    if kind.trains_at_l1() {
+        (kind, PrefetcherKind::None)
+    } else {
+        (PrefetcherKind::None, kind)
+    }
+}
+
+/// Runs `scheme` and the no-prefetch baseline on a mix; returns the
+/// normalized weighted speedup plus both results.
+///
+/// Baseline runs are memoized per (scale, channels, mix): the simulator is
+/// deterministic, so schemes sharing a baseline reuse one run.
+pub fn normalized_ws_for(
+    scale: &Scale,
+    channels: usize,
+    kind: PrefetcherKind,
+    scheme: &Scheme,
+    mix: &Mix,
+) -> (f64, SimResult, SimResult) {
+    let (l1, l2) = place(kind);
+    let cfg_pf = scale.config(channels, l1, l2);
+    let opts = scale.options();
+    let base = baseline_for(scale, channels, mix);
+    let res = run_mix(&cfg_pf, scheme, mix, &opts);
+    let ws = normalized_weighted_speedup(&res.per_core_ipc, &base.per_core_ipc);
+    (ws, res, base)
+}
+
+thread_local! {
+    static BASELINE_CACHE: std::cell::RefCell<std::collections::HashMap<String, SimResult>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Returns the memoized no-prefetch baseline for (scale, channels, mix).
+pub fn baseline_for(scale: &Scale, channels: usize, mix: &Mix) -> SimResult {
+    let key = format!(
+        "{}|{}|{}|{}|{}",
+        channels, mix.name, scale.cores, scale.instrs, scale.warmup
+    );
+    if let Some(hit) = BASELINE_CACHE.with(|c| c.borrow().get(&key).cloned()) {
+        return hit;
+    }
+    let cfg_no = scale.config(channels, PrefetcherKind::None, PrefetcherKind::None);
+    let base = run_mix(&cfg_no, &Scheme::plain(), mix, &scale.options());
+    BASELINE_CACHE.with(|c| c.borrow_mut().insert(key, base.clone()));
+    base
+}
+
+/// Geometric-mean aggregation of normalized weighted speedups over mixes.
+pub fn mean_ws(values: &[f64]) -> f64 {
+    clip_stats::geomean(values)
+}
+
+/// Prints a table header row.
+pub fn header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Formats a float column.
+pub fn fmt(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_is_sane() {
+        let s = Scale::from_env();
+        assert!(s.cores >= 2);
+        assert!(s.instrs > 0);
+    }
+
+    #[test]
+    fn sampling_spreads() {
+        let s = Scale {
+            cores: 4,
+            instrs: 100,
+            warmup: 0,
+            homo_mixes: 5,
+            hetero_mixes: 2,
+            noc: NocChoice::Analytic,
+        };
+        let m = s.sample_homogeneous();
+        assert_eq!(m.len(), 5);
+        let names: Vec<&str> = m.iter().map(|x| x.name.as_str()).collect();
+        let mut uniq = names.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 5, "sampled mixes must differ: {names:?}");
+    }
+
+    #[test]
+    fn placement_routes_by_training_level() {
+        assert_eq!(
+            place(PrefetcherKind::Berti),
+            (PrefetcherKind::Berti, PrefetcherKind::None)
+        );
+        assert_eq!(
+            place(PrefetcherKind::SppPpf),
+            (PrefetcherKind::None, PrefetcherKind::SppPpf)
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Miss-status holding registers.
+//!
+//! An [`MshrFile`] tracks outstanding misses at one cache level. Requests
+//! to a line already in flight merge into the existing entry (including the
+//! demand-merges-into-prefetch case that defines a *late* prefetch, which
+//! the paper's lateness statistic counts). A full MSHR file back-pressures
+//! the requestor — the mechanism by which constrained DRAM bandwidth
+//! inflates on-chip latencies in Figure 3.
+
+use clip_types::{Cycle, LineAddr, ReqId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An outstanding miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MshrEntry {
+    /// Line being fetched.
+    pub line: LineAddr,
+    /// The request that allocated the entry.
+    pub primary: ReqId,
+    /// True if the allocation was a prefetch.
+    pub is_prefetch: bool,
+    /// True once a demand merged into a prefetch allocation (late
+    /// prefetch).
+    pub demand_merged: bool,
+    /// Requests merged into this entry (excluding the primary).
+    pub waiters: Vec<ReqId>,
+    /// Allocation time.
+    pub alloc_cycle: Cycle,
+}
+
+/// Outcome of an allocation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// A new entry was created; the miss must be sent down the hierarchy.
+    New,
+    /// Merged into an in-flight entry. `into_prefetch` is true when the
+    /// in-flight entry was allocated by a prefetch (and this merge is a
+    /// demand): a *late but useful* prefetch.
+    Merged {
+        /// True when a demand merged into a prefetch-allocated entry.
+        into_prefetch: bool,
+    },
+}
+
+/// Error returned when the MSHR file is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrFullError;
+
+impl fmt::Display for MshrFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("mshr file is full")
+    }
+}
+
+impl std::error::Error for MshrFullError {}
+
+/// A fixed-capacity file of [`MshrEntry`]s indexed by line address.
+///
+/// # Examples
+///
+/// ```
+/// use clip_cache::{AllocOutcome, MshrFile};
+/// use clip_types::{LineAddr, ReqId};
+///
+/// let mut mshrs = MshrFile::new(8);
+/// let line = LineAddr::new(0x40);
+/// assert_eq!(mshrs.alloc(line, ReqId(1), false, 0), Ok(AllocOutcome::New));
+/// // A second request to the same line merges instead of refetching.
+/// assert!(matches!(
+///     mshrs.alloc(line, ReqId(2), false, 5),
+///     Ok(AllocOutcome::Merged { .. })
+/// ));
+/// let entry = mshrs.complete(line).expect("in flight");
+/// assert_eq!(entry.waiters, vec![ReqId(2)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<LineAddr, MshrEntry>,
+    /// Count of demand-into-prefetch merges (late prefetches).
+    late_prefetch_merges: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        MshrFile {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            late_prefetch_merges: 0,
+        }
+    }
+
+    /// Entries outstanding.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no new (non-merging) allocation can succeed.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total demand-into-prefetch merges observed (late prefetches).
+    pub fn late_prefetch_merges(&self) -> u64 {
+        self.late_prefetch_merges
+    }
+
+    /// True if `line` is currently in flight.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Attempts to allocate or merge a miss on `line`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MshrFullError`] when the line is not in flight and the
+    /// file is full; the caller must retry later (back-pressure).
+    pub fn alloc(
+        &mut self,
+        line: LineAddr,
+        req: ReqId,
+        is_prefetch: bool,
+        now: Cycle,
+    ) -> Result<AllocOutcome, MshrFullError> {
+        if let Some(e) = self.entries.get_mut(&line) {
+            let into_prefetch = e.is_prefetch && !e.demand_merged && !is_prefetch;
+            if into_prefetch {
+                e.demand_merged = true;
+                self.late_prefetch_merges += 1;
+            }
+            e.waiters.push(req);
+            return Ok(AllocOutcome::Merged { into_prefetch });
+        }
+        if self.is_full() {
+            return Err(MshrFullError);
+        }
+        self.entries.insert(
+            line,
+            MshrEntry {
+                line,
+                primary: req,
+                is_prefetch,
+                demand_merged: false,
+                waiters: Vec::new(),
+                alloc_cycle: now,
+            },
+        );
+        Ok(AllocOutcome::New)
+    }
+
+    /// Completes the miss on `line`, removing and returning its entry.
+    /// Returns `None` if the line was not in flight.
+    pub fn complete(&mut self, line: LineAddr) -> Option<MshrEntry> {
+        self.entries.remove(&line)
+    }
+
+    /// Iterates over outstanding entries (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &MshrEntry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_complete_roundtrip() {
+        let mut m = MshrFile::new(2);
+        let l = LineAddr::new(5);
+        assert_eq!(m.alloc(l, ReqId(1), false, 0), Ok(AllocOutcome::New));
+        assert!(m.contains(l));
+        let e = m.complete(l).expect("entry");
+        assert_eq!(e.primary, ReqId(1));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn merge_into_inflight() {
+        let mut m = MshrFile::new(2);
+        let l = LineAddr::new(5);
+        m.alloc(l, ReqId(1), false, 0).unwrap();
+        let out = m.alloc(l, ReqId(2), false, 1).unwrap();
+        assert_eq!(
+            out,
+            AllocOutcome::Merged {
+                into_prefetch: false
+            }
+        );
+        let e = m.complete(l).unwrap();
+        assert_eq!(e.waiters, vec![ReqId(2)]);
+    }
+
+    #[test]
+    fn demand_merging_into_prefetch_counts_late() {
+        let mut m = MshrFile::new(2);
+        let l = LineAddr::new(9);
+        m.alloc(l, ReqId(1), true, 0).unwrap();
+        let out = m.alloc(l, ReqId(2), false, 5).unwrap();
+        assert_eq!(
+            out,
+            AllocOutcome::Merged {
+                into_prefetch: true
+            }
+        );
+        assert_eq!(m.late_prefetch_merges(), 1);
+        // A second demand merge does not double count.
+        let out2 = m.alloc(l, ReqId(3), false, 6).unwrap();
+        assert_eq!(
+            out2,
+            AllocOutcome::Merged {
+                into_prefetch: false
+            }
+        );
+        assert_eq!(m.late_prefetch_merges(), 1);
+    }
+
+    #[test]
+    fn prefetch_merging_into_prefetch_is_not_late() {
+        let mut m = MshrFile::new(2);
+        let l = LineAddr::new(9);
+        m.alloc(l, ReqId(1), true, 0).unwrap();
+        let out = m.alloc(l, ReqId(2), true, 1).unwrap();
+        assert_eq!(
+            out,
+            AllocOutcome::Merged {
+                into_prefetch: false
+            }
+        );
+        assert_eq!(m.late_prefetch_merges(), 0);
+    }
+
+    #[test]
+    fn full_file_rejects_new_but_accepts_merges() {
+        let mut m = MshrFile::new(1);
+        m.alloc(LineAddr::new(1), ReqId(1), false, 0).unwrap();
+        assert!(m.is_full());
+        assert_eq!(
+            m.alloc(LineAddr::new(2), ReqId(2), false, 1),
+            Err(MshrFullError)
+        );
+        assert!(m.alloc(LineAddr::new(1), ReqId(3), false, 1).is_ok());
+    }
+
+    #[test]
+    fn complete_unknown_line_is_none() {
+        let mut m = MshrFile::new(1);
+        assert!(m.complete(LineAddr::new(42)).is_none());
+    }
+}

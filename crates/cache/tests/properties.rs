@@ -1,0 +1,116 @@
+//! Property-based tests: cache and MSHR invariants under arbitrary
+//! operation sequences.
+
+use clip_cache::{Cache, MshrFile};
+use clip_types::{CacheLevelConfig, LineAddr, ReplacementKind, ReqId};
+use proptest::prelude::*;
+
+fn cfg(repl: ReplacementKind) -> CacheLevelConfig {
+    CacheLevelConfig {
+        capacity_bytes: 64 * 64, // 64 lines
+        ways: 4,
+        latency: 1,
+        mshrs: 8,
+        replacement: repl,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u64, bool),
+    Fill(u64, bool, bool),
+    Invalidate(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..512, any::<bool>()).prop_map(|(l, w)| Op::Lookup(l, w)),
+        (0u64..512, any::<bool>(), any::<bool>()).prop_map(|(l, d, p)| Op::Fill(l, d, p)),
+        (0u64..512).prop_map(Op::Invalidate),
+    ]
+}
+
+proptest! {
+    /// Occupancy never exceeds capacity; hits never exceed accesses; a
+    /// line just filled is present; an invalidated line is absent.
+    #[test]
+    fn cache_invariants(
+        repl_idx in 0usize..4,
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let repl = [
+            ReplacementKind::Lru,
+            ReplacementKind::Srrip,
+            ReplacementKind::Mockingjay,
+            ReplacementKind::Nru,
+        ][repl_idx];
+        let mut c = Cache::new(&cfg(repl));
+        for (t, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Lookup(l, w) => {
+                    let _ = c.lookup(LineAddr::new(l), w, t as u64);
+                }
+                Op::Fill(l, d, p) => {
+                    c.fill(LineAddr::new(l), d, p, t as u64);
+                    prop_assert!(c.contains(LineAddr::new(l)));
+                }
+                Op::Invalidate(l) => {
+                    c.invalidate(LineAddr::new(l));
+                    prop_assert!(!c.contains(LineAddr::new(l)));
+                }
+            }
+            prop_assert!(c.occupancy() <= 64);
+            let s = c.stats();
+            prop_assert!(s.demand_hits <= s.demand_accesses);
+            prop_assert!(s.prefetch_hits <= s.prefetch_accesses);
+        }
+    }
+
+    /// Eviction accounting: useless prefetches never exceed prefetch
+    /// fills.
+    #[test]
+    fn prefetch_accounting_bounded(lines in proptest::collection::vec(0u64..4096, 1..500)) {
+        let mut c = Cache::new(&cfg(ReplacementKind::Lru));
+        for (t, l) in lines.iter().enumerate() {
+            c.fill(LineAddr::new(*l), false, t % 2 == 0, t as u64);
+        }
+        let s = c.stats();
+        prop_assert!(s.useless_prefetches + s.useful_prefetches <= s.prefetch_fills);
+    }
+
+    /// MSHR: length bounded by capacity; a completed line is gone; every
+    /// merged request appears exactly once among the waiters.
+    #[test]
+    fn mshr_invariants(ops in proptest::collection::vec((0u64..16, any::<bool>()), 1..200)) {
+        let mut m = MshrFile::new(8);
+        let mut next = 0u64;
+        for (line, complete) in ops {
+            if complete {
+                let _ = m.complete(LineAddr::new(line));
+                prop_assert!(!m.contains(LineAddr::new(line)));
+            } else {
+                next += 1;
+                let _ = m.alloc(LineAddr::new(line), ReqId(next), next.is_multiple_of(3), next);
+            }
+            prop_assert!(m.len() <= 8);
+            prop_assert_eq!(m.is_full(), m.len() == 8);
+        }
+    }
+
+    /// Merging preserves the primary and collects waiters in order.
+    #[test]
+    fn mshr_merge_collects_waiters(n in 1usize..20) {
+        let mut m = MshrFile::new(4);
+        let line = LineAddr::new(7);
+        m.alloc(line, ReqId(0), false, 0).expect("first alloc");
+        for i in 1..=n as u64 {
+            m.alloc(line, ReqId(i), false, i).expect("merge always fits");
+        }
+        let e = m.complete(line).expect("entry");
+        prop_assert_eq!(e.primary, ReqId(0));
+        prop_assert_eq!(e.waiters.len(), n);
+        for (i, w) in e.waiters.iter().enumerate() {
+            prop_assert_eq!(*w, ReqId(i as u64 + 1));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Application phase detection via accesses-per-cycle (APC) at the L1D
+//! (§4.2): the APC of the last 16 windows is averaged; a new window whose
+//! APC deviates from that average by more than 15% declares a phase
+//! change. The method follows Kalani & Panda (CAL '21).
+
+/// The APC-based phase detector.
+///
+/// # Examples
+///
+/// ```
+/// use clip_core::ApcDetector;
+///
+/// let mut apc = ApcDetector::new(16, 0.15);
+/// for _ in 0..16 {
+///     assert!(!apc.sample(1_000, 10_000)); // steady phase
+/// }
+/// assert!(apc.sample(3_000, 10_000)); // 3x jump: phase change
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApcDetector {
+    ring: Vec<f64>,
+    head: usize,
+    filled: usize,
+    threshold: f64,
+}
+
+impl ApcDetector {
+    /// Creates a detector averaging `windows` samples with the given
+    /// relative deviation `threshold` (0.15 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `windows` is zero.
+    pub fn new(windows: usize, threshold: f64) -> Self {
+        assert!(windows > 0, "need at least one window");
+        ApcDetector {
+            ring: vec![0.0; windows],
+            head: 0,
+            filled: 0,
+            threshold,
+        }
+    }
+
+    /// Feeds one window sample; returns `true` on a phase change.
+    pub fn sample(&mut self, accesses: u64, cycles: u64) -> bool {
+        if cycles == 0 {
+            return false;
+        }
+        let apc = accesses as f64 / cycles as f64;
+        let change = if self.filled == self.ring.len() {
+            let avg: f64 = self.ring.iter().sum::<f64>() / self.ring.len() as f64;
+            avg > 0.0 && (apc - avg).abs() / avg > self.threshold
+        } else {
+            false
+        };
+        self.ring[self.head] = apc;
+        self.head = (self.head + 1) % self.ring.len();
+        self.filled = (self.filled + 1).min(self.ring.len());
+        if change {
+            // Restart the averaging from the new phase.
+            self.filled = 1;
+            let last = apc;
+            self.ring.fill(0.0);
+            self.ring[0] = last;
+            self.head = 1 % self.ring.len();
+        }
+        change
+    }
+
+    /// Number of samples currently contributing to the average.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_apc_never_fires() {
+        let mut d = ApcDetector::new(16, 0.15);
+        for _ in 0..100 {
+            assert!(!d.sample(1000, 10_000));
+        }
+    }
+
+    #[test]
+    fn large_jump_fires_after_warmup() {
+        let mut d = ApcDetector::new(16, 0.15);
+        for _ in 0..16 {
+            assert!(!d.sample(1000, 10_000));
+        }
+        assert!(d.sample(2000, 10_000), "100% jump must fire");
+    }
+
+    #[test]
+    fn small_fluctuations_stay_quiet() {
+        let mut d = ApcDetector::new(16, 0.15);
+        for i in 0..100u64 {
+            let accesses = 1000 + (i % 3) * 30; // ±9% wiggle
+            assert!(!d.sample(accesses, 10_000), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn no_fire_during_warmup() {
+        let mut d = ApcDetector::new(16, 0.15);
+        for _ in 0..8 {
+            d.sample(1000, 10_000);
+        }
+        assert!(!d.sample(9000, 10_000), "averaging window not yet full");
+    }
+
+    #[test]
+    fn detector_rearms_after_change() {
+        let mut d = ApcDetector::new(4, 0.15);
+        for _ in 0..4 {
+            d.sample(1000, 10_000);
+        }
+        assert!(d.sample(3000, 10_000));
+        // New phase at 3000: needs 4 samples before it can fire again.
+        assert!(!d.sample(1000, 10_000));
+    }
+
+    #[test]
+    fn zero_cycles_is_ignored() {
+        let mut d = ApcDetector::new(4, 0.15);
+        assert!(!d.sample(100, 0));
+        assert_eq!(d.filled(), 0);
+    }
+}

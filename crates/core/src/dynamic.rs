@@ -1,0 +1,314 @@
+//! Dynamic CLIP — the future-work extension sketched in §5.3 of the
+//! paper: "a dynamic version of CLIP can be explored that can turn off
+//! CLIP in the case of systems with high per-core DRAM bandwidth."
+//!
+//! [`DynamicClip`] wraps [`Clip`] with a bandwidth governor. The system
+//! feeds it periodic overall DRAM-utilization samples; when utilization
+//! stays below a low watermark for long enough (bandwidth is plentiful —
+//! e.g. only a few cores are active), the gate opens and every prefetch
+//! passes through untouched, recovering the full prefetcher upside. When
+//! utilization crosses the high watermark, CLIP filtering resumes.
+//! Hysteresis between the watermarks prevents mode flapping, the failure
+//! mode the paper attributes to DSPatch's myopic per-controller sampling
+//! — the governor deliberately uses *overall* utilization.
+
+use crate::{Clip, ClipConfig, Decision};
+use clip_cpu::LoadOutcome;
+use clip_types::{Ip, LineAddr};
+
+/// Governor configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicClipConfig {
+    /// Base CLIP configuration (used when filtering is active).
+    pub clip: ClipConfig,
+    /// Overall DRAM utilization below which CLIP turns off.
+    pub low_watermark: f64,
+    /// Overall DRAM utilization above which CLIP turns back on.
+    pub high_watermark: f64,
+    /// Consecutive samples on one side of a watermark before switching.
+    pub hysteresis_samples: u32,
+}
+
+impl Default for DynamicClipConfig {
+    fn default() -> Self {
+        DynamicClipConfig {
+            clip: ClipConfig::default(),
+            low_watermark: 0.35,
+            high_watermark: 0.60,
+            hysteresis_samples: 4,
+        }
+    }
+}
+
+/// The governor's current mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClipMode {
+    /// CLIP filters prefetches (bandwidth-constrained operation).
+    Filtering,
+    /// CLIP passes everything through (bandwidth is plentiful).
+    Bypassed,
+}
+
+/// CLIP wrapped with the §5.3 bandwidth governor.
+///
+/// # Examples
+///
+/// ```
+/// use clip_core::{ClipMode, DynamicClip, DynamicClipConfig};
+///
+/// let mut clip = DynamicClip::new(DynamicClipConfig::default());
+/// assert_eq!(clip.mode(), ClipMode::Filtering);
+/// // Sustained low DRAM utilization opens the gate.
+/// for _ in 0..4 {
+///     clip.on_bandwidth_sample(0.1);
+/// }
+/// assert_eq!(clip.mode(), ClipMode::Bypassed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicClip {
+    clip: Clip,
+    cfg: DynamicClipConfig,
+    mode: ClipMode,
+    streak: u32,
+    mode_switches: u64,
+    /// When true the governor is disabled and CLIP always filters — this
+    /// makes `DynamicClip` a drop-in superset of plain CLIP.
+    pinned: bool,
+}
+
+impl DynamicClip {
+    /// Creates a dynamic CLIP starting in filtering mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the watermarks are not ordered
+    /// (`low_watermark < high_watermark`).
+    pub fn new(cfg: DynamicClipConfig) -> Self {
+        assert!(
+            cfg.low_watermark < cfg.high_watermark,
+            "hysteresis watermarks must be ordered"
+        );
+        DynamicClip {
+            clip: Clip::new(cfg.clip.clone()),
+            cfg,
+            mode: ClipMode::Filtering,
+            streak: 0,
+            mode_switches: 0,
+            pinned: false,
+        }
+    }
+
+    /// Creates plain (always-filtering) CLIP behind the same interface —
+    /// the governor never engages.
+    pub fn pinned(clip: ClipConfig) -> Self {
+        let mut d = DynamicClip::new(DynamicClipConfig {
+            clip,
+            ..DynamicClipConfig::default()
+        });
+        d.pinned = true;
+        d
+    }
+
+    /// The wrapped CLIP (training still happens in both modes so a mode
+    /// switch starts from warm state).
+    pub fn inner(&self) -> &Clip {
+        &self.clip
+    }
+
+    /// Mutable access to the wrapped CLIP.
+    pub fn inner_mut(&mut self) -> &mut Clip {
+        &mut self.clip
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> ClipMode {
+        self.mode
+    }
+
+    /// Times the governor has switched modes.
+    pub fn mode_switches(&self) -> u64 {
+        self.mode_switches
+    }
+
+    /// Feeds one overall-DRAM-utilization sample (0..=1).
+    pub fn on_bandwidth_sample(&mut self, utilization: f64) {
+        if self.pinned {
+            return;
+        }
+        let u = utilization.clamp(0.0, 1.0);
+        match self.mode {
+            ClipMode::Filtering if u < self.cfg.low_watermark => {
+                self.streak += 1;
+                if self.streak >= self.cfg.hysteresis_samples {
+                    self.mode = ClipMode::Bypassed;
+                    self.streak = 0;
+                    self.mode_switches += 1;
+                }
+            }
+            ClipMode::Bypassed if u > self.cfg.high_watermark => {
+                self.streak += 1;
+                if self.streak >= self.cfg.hysteresis_samples {
+                    self.mode = ClipMode::Filtering;
+                    self.streak = 0;
+                    self.mode_switches += 1;
+                }
+            }
+            _ => self.streak = 0,
+        }
+    }
+
+    /// The gate: defers to CLIP when filtering, passes everything (as
+    /// exploration traffic, still tracked for accuracy) when bypassed.
+    pub fn filter_prefetch(&mut self, line: LineAddr, trigger_ip: Ip) -> Decision {
+        match self.mode {
+            ClipMode::Filtering => self.clip.filter_prefetch(line, trigger_ip),
+            ClipMode::Bypassed => Decision::AllowExplore,
+        }
+    }
+
+    /// Training pass-through (always active so the filter/predictor stay
+    /// warm across mode switches).
+    pub fn on_load_complete(&mut self, outcome: &LoadOutcome) {
+        self.clip.on_load_complete(outcome);
+    }
+
+    /// Branch pass-through.
+    pub fn on_branch(&mut self, taken: bool) {
+        self.clip.on_branch(taken);
+    }
+
+    /// Demand-access pass-through.
+    pub fn on_demand_access(&mut self, line: LineAddr) {
+        self.clip.on_demand_access(line);
+    }
+
+    /// L1-miss window pass-through.
+    pub fn on_l1_miss(&mut self) -> bool {
+        self.clip.on_l1_miss()
+    }
+
+    /// APC sample pass-through.
+    pub fn on_apc_sample(&mut self, accesses: u64, cycles: u64) {
+        self.clip.on_apc_sample(accesses, cycles);
+    }
+
+    /// Cancelled-prefetch pass-through.
+    pub fn cancel_prefetch(&mut self, line: LineAddr, trigger_ip: Ip) {
+        self.clip.cancel_prefetch(line, trigger_ip);
+    }
+
+    /// Criticality-prediction pass-through (Figures 13/14 evaluation).
+    pub fn predict_critical(&self, ip: Ip, line: LineAddr) -> bool {
+        self.clip.predict_critical(ip, line)
+    }
+
+    /// Critical-IP count pass-through.
+    pub fn critical_ip_count(&self) -> usize {
+        self.clip.critical_ip_count()
+    }
+
+    /// Statistics pass-through.
+    pub fn stats(&self) -> &crate::ClipStats {
+        self.clip.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_types::{Addr, MemLevel};
+
+    fn outcome(critical: bool) -> LoadOutcome {
+        LoadOutcome {
+            ip: Ip::new(0x400),
+            addr: Addr::new(0x1000),
+            level: if critical {
+                MemLevel::Dram
+            } else {
+                MemLevel::L1
+            },
+            stalled_head: critical,
+            stall_cycles: 50,
+            rob_occupancy: 256,
+            outstanding_loads: 1,
+            done_cycle: 0,
+            latency: 200,
+        }
+    }
+
+    #[test]
+    fn starts_filtering_and_drops_untrained() {
+        let mut d = DynamicClip::new(DynamicClipConfig::default());
+        assert_eq!(d.mode(), ClipMode::Filtering);
+        assert!(!d.filter_prefetch(LineAddr::new(1), Ip::new(0x500)).allows());
+    }
+
+    #[test]
+    fn bypasses_after_sustained_low_utilization() {
+        let mut d = DynamicClip::new(DynamicClipConfig::default());
+        for _ in 0..4 {
+            d.on_bandwidth_sample(0.1);
+        }
+        assert_eq!(d.mode(), ClipMode::Bypassed);
+        assert!(d.filter_prefetch(LineAddr::new(1), Ip::new(0x500)).allows());
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let mut d = DynamicClip::new(DynamicClipConfig::default());
+        // Oscillate around the low watermark: never enough streak.
+        for i in 0..40 {
+            d.on_bandwidth_sample(if i % 2 == 0 { 0.1 } else { 0.5 });
+        }
+        assert_eq!(d.mode(), ClipMode::Filtering);
+        assert_eq!(d.mode_switches(), 0);
+    }
+
+    #[test]
+    fn returns_to_filtering_under_pressure() {
+        let mut d = DynamicClip::new(DynamicClipConfig::default());
+        for _ in 0..4 {
+            d.on_bandwidth_sample(0.1);
+        }
+        assert_eq!(d.mode(), ClipMode::Bypassed);
+        for _ in 0..4 {
+            d.on_bandwidth_sample(0.9);
+        }
+        assert_eq!(d.mode(), ClipMode::Filtering);
+        assert_eq!(d.mode_switches(), 2);
+    }
+
+    #[test]
+    fn training_continues_while_bypassed() {
+        let mut d = DynamicClip::new(DynamicClipConfig::default());
+        for _ in 0..4 {
+            d.on_bandwidth_sample(0.0);
+        }
+        // Enough critical loads that the criticality-history contribution
+        // to the signature saturates and the trained signature stabilises.
+        for _ in 0..48 {
+            d.on_load_complete(&outcome(true));
+        }
+        // Back under pressure: filter state is already warm.
+        for _ in 0..4 {
+            d.on_bandwidth_sample(0.9);
+        }
+        // After sustained critical training during bypass, the prediction
+        // machinery is warm the moment filtering resumes.
+        assert!(
+            d.inner()
+                .predict_critical(Ip::new(0x400), Addr::new(0x1000).line()),
+            "filter/predictor trained during bypass"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_watermarks() {
+        let _ = DynamicClip::new(DynamicClipConfig {
+            low_watermark: 0.8,
+            high_watermark: 0.2,
+            ..DynamicClipConfig::default()
+        });
+    }
+}

@@ -1,0 +1,244 @@
+//! The criticality predictor table (Figure 7b): 128 sets x 4 ways, each
+//! entry a 6-bit criticality tag, a 3-bit saturating counter initialised
+//! to its midpoint, and an NRU bit. Indexed by the critical signature.
+
+use clip_types::SatCounter;
+
+/// Tag width of a predictor entry (Table 2).
+pub const CRIT_TAG_BITS: u32 = 6;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    valid: bool,
+    tag: u8,
+    counter: SatCounter,
+    nru: bool,
+}
+
+/// The set-associative criticality predictor.
+#[derive(Debug, Clone)]
+pub struct CriticalityTable {
+    sets: usize,
+    ways: usize,
+    counter_bits: u8,
+    entries: Vec<Entry>,
+}
+
+impl CriticalityTable {
+    /// Creates a `sets` x `ways` table of `counter_bits`-wide counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize, counter_bits: u8) -> Self {
+        assert!(sets.is_power_of_two() && ways > 0, "invalid table geometry");
+        CriticalityTable {
+            sets,
+            ways,
+            counter_bits,
+            entries: vec![
+                Entry {
+                    valid: false,
+                    tag: 0,
+                    counter: SatCounter::new(counter_bits),
+                    nru: true,
+                };
+                sets * ways
+            ],
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, sig: u64) -> usize {
+        (sig as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, sig: u64) -> u8 {
+        ((sig >> self.sets.trailing_zeros()) & ((1 << CRIT_TAG_BITS) - 1)) as u8
+    }
+
+    fn find(&self, sig: u64) -> Option<usize> {
+        let set = self.set_of(sig);
+        let tag = self.tag_of(sig);
+        (0..self.ways)
+            .map(|w| set * self.ways + w)
+            .find(|&i| self.entries[i].valid && self.entries[i].tag == tag)
+    }
+
+    /// Predicts criticality for a signature: `Some(msb)` on a hit, `None`
+    /// on a miss.
+    pub fn predict(&self, sig: u64) -> Option<bool> {
+        self.find(sig).map(|i| self.entries[i].counter.msb_set())
+    }
+
+    /// Trains on an observed load outcome: increment the counter when the
+    /// load was an L1 miss stalling the ROB head, decrement otherwise
+    /// (§4.2). Allocates on a critical miss.
+    pub fn train(&mut self, sig: u64, critical: bool) {
+        if let Some(i) = self.find(sig) {
+            let e = &mut self.entries[i];
+            if critical {
+                e.counter.inc();
+            } else {
+                e.counter.dec();
+            }
+            e.nru = false;
+            return;
+        }
+        if critical {
+            let i = self.victim(sig);
+            let mut counter = SatCounter::new(self.counter_bits);
+            counter.inc();
+            self.entries[i] = Entry {
+                valid: true,
+                tag: self.tag_of(sig),
+                counter,
+                nru: false,
+            };
+        }
+    }
+
+    /// Allocates an entry at the midpoint without biasing it (used when a
+    /// prefetch probes an unseen signature, so the pattern can be learned).
+    pub fn allocate(&mut self, sig: u64) {
+        if self.find(sig).is_some() {
+            return;
+        }
+        let i = self.victim(sig);
+        self.entries[i] = Entry {
+            valid: true,
+            tag: self.tag_of(sig),
+            counter: SatCounter::new(self.counter_bits),
+            nru: false,
+        };
+    }
+
+    fn victim(&mut self, sig: u64) -> usize {
+        let set = self.set_of(sig);
+        let base = set * self.ways;
+        if let Some(i) = (0..self.ways)
+            .map(|w| base + w)
+            .find(|&i| !self.entries[i].valid)
+        {
+            return i;
+        }
+        // NRU: first entry with the bit set; if none, reset all and take 0.
+        if let Some(i) = (0..self.ways)
+            .map(|w| base + w)
+            .find(|&i| self.entries[i].nru)
+        {
+            return i;
+        }
+        for w in 0..self.ways {
+            self.entries[base + w].nru = true;
+        }
+        base
+    }
+
+    /// Valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Total capacity (sets x ways).
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Clears the table (phase change).
+    pub fn reset(&mut self) {
+        for e in self.entries.iter_mut() {
+            e.valid = false;
+            e.nru = true;
+            e.counter = SatCounter::new(self.counter_bits);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_allocate_then_hit() {
+        let mut t = CriticalityTable::new(128, 4, 3);
+        let sig = 0xABCDEF;
+        assert_eq!(t.predict(sig), None);
+        t.allocate(sig);
+        // Midpoint of a 3-bit counter has the MSB set.
+        assert_eq!(t.predict(sig), Some(true));
+    }
+
+    #[test]
+    fn training_moves_prediction() {
+        let mut t = CriticalityTable::new(128, 4, 3);
+        let sig = 0x1234;
+        t.train(sig, true); // allocates at midpoint+1
+        assert_eq!(t.predict(sig), Some(true));
+        for _ in 0..8 {
+            t.train(sig, false);
+        }
+        assert_eq!(t.predict(sig), Some(false));
+        for _ in 0..8 {
+            t.train(sig, true);
+        }
+        assert_eq!(t.predict(sig), Some(true));
+    }
+
+    #[test]
+    fn non_critical_misses_do_not_allocate() {
+        let mut t = CriticalityTable::new(128, 4, 3);
+        t.train(0x9999, false);
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn distinct_signatures_learn_independently() {
+        let mut t = CriticalityTable::new(128, 4, 3);
+        // Two signatures in the same set, different tags.
+        let a = 0x40u64; // set 64
+        let b = 0x40u64 | (1 << 7); // same set, different tag bits
+        for _ in 0..6 {
+            t.train(a, true);
+            t.train(b, false);
+        }
+        assert_eq!(t.predict(a), Some(true));
+        // b never allocated (non-critical) → miss.
+        assert_eq!(t.predict(b), None);
+        t.allocate(b);
+        for _ in 0..6 {
+            t.train(b, false);
+        }
+        assert_eq!(t.predict(b), Some(false));
+        assert_eq!(t.predict(a), Some(true), "a unaffected by b");
+    }
+
+    #[test]
+    fn nru_victimizes_within_set() {
+        let mut t = CriticalityTable::new(1, 2, 3);
+        t.allocate(0b0000_0000);
+        t.allocate(0b0000_0010); // different tag
+        assert_eq!(t.occupancy(), 2);
+        // A third allocation evicts someone but capacity holds.
+        t.allocate(0b0000_1000);
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = CriticalityTable::new(128, 4, 3);
+        for s in 0..200u64 {
+            t.train(clip_types::hash64(s), true);
+        }
+        assert!(t.occupancy() > 0);
+        t.reset();
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn paper_geometry_is_512_entries() {
+        let t = CriticalityTable::new(128, 4, 3);
+        assert_eq!(t.capacity(), 512);
+    }
+}

@@ -1,0 +1,141 @@
+//! Storage accounting reproducing Table 2 (1.56 KB per core for the
+//! paper's configuration), parameterised over [`crate::ClipConfig`] so the
+//! sensitivity sweeps report their true budgets.
+
+use crate::filter::IP_TAG_BITS;
+use crate::predictor::CRIT_TAG_BITS;
+use crate::ClipConfig;
+use std::fmt;
+
+/// Bit widths of one criticality-filter entry (Table 2).
+const FILTER_CRIT_COUNT_BITS: usize = 2;
+const FILTER_HIT_BITS: usize = 6;
+const FILTER_ISSUE_BITS: usize = 6;
+const FILTER_FLAG_BITS: usize = 1;
+/// Predictor entry: 6-bit tag + 3-bit counter + NRU bit.
+const PRED_NRU_BITS: usize = 1;
+/// ROB miss-level flags: 1 bit per ROB entry (512).
+const ROB_ENTRIES: usize = 512;
+/// Utility buffer entry: 6-bit IP tag + 58-bit line address.
+const UB_IP_TAG_BITS: usize = 6;
+const UB_ADDR_BITS: usize = 58;
+/// Branch + criticality history registers.
+const HISTORY_BITS: usize = 32 + 32;
+/// Two 11-bit APC registers + 10-bit window reset counter + ROB flag.
+const MISC_BITS: usize = 11 + 11 + 10 + 1;
+
+/// Itemised storage of one CLIP instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Criticality filter + accuracy tracker, in bits.
+    pub filter_bits: usize,
+    /// Criticality predictor, in bits.
+    pub predictor_bits: usize,
+    /// ROB miss-level flag extension, in bits.
+    pub rob_bits: usize,
+    /// Utility buffer, in bits.
+    pub utility_bits: usize,
+    /// Histories + APC + window counters + ROB stall flag, in bits.
+    pub misc_bits: usize,
+}
+
+impl StorageReport {
+    /// Computes the report for a configuration.
+    pub fn for_config(cfg: &ClipConfig) -> Self {
+        let counter_bits = cfg.counter_bits as usize;
+        let filter_entry = IP_TAG_BITS as usize
+            + FILTER_CRIT_COUNT_BITS
+            + FILTER_HIT_BITS
+            + FILTER_ISSUE_BITS
+            + FILTER_FLAG_BITS;
+        let pred_entry = CRIT_TAG_BITS as usize + counter_bits + PRED_NRU_BITS;
+        StorageReport {
+            filter_bits: cfg.filter_sets * cfg.filter_ways * filter_entry,
+            predictor_bits: cfg.predictor_sets * cfg.predictor_ways * pred_entry,
+            rob_bits: ROB_ENTRIES,
+            utility_bits: cfg.utility_entries * (UB_IP_TAG_BITS + UB_ADDR_BITS),
+            misc_bits: HISTORY_BITS + MISC_BITS,
+        }
+    }
+
+    /// Total bits.
+    pub fn total_bits(&self) -> usize {
+        self.filter_bits + self.predictor_bits + self.rob_bits + self.utility_bits + self.misc_bits
+    }
+
+    /// Total kilobytes (1024 bytes), as Table 2 reports.
+    pub fn total_kib(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+impl fmt::Display for StorageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Criticality filter     : {:>6} bytes",
+            self.filter_bits / 8
+        )?;
+        writeln!(
+            f,
+            "Criticality predictor  : {:>6} bytes",
+            self.predictor_bits / 8
+        )?;
+        writeln!(f, "ROB extension          : {:>6} bytes", self.rob_bits / 8)?;
+        writeln!(
+            f,
+            "Utility buffer         : {:>6} bytes",
+            self.utility_bits / 8
+        )?;
+        writeln!(f, "Histories + APC + misc : {:>6} bits", self.misc_bits)?;
+        write!(
+            f,
+            "Total                  : {:>6.2} KB/core",
+            self.total_kib()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_about_1_56_kb() {
+        let r = StorageReport::for_config(&ClipConfig::default());
+        let kib = r.total_kib();
+        assert!(
+            (1.4..=1.7).contains(&kib),
+            "Table 2 reports 1.56 KB/core; got {kib:.3}"
+        );
+    }
+
+    #[test]
+    fn component_sizes_match_table2() {
+        let r = StorageReport::for_config(&ClipConfig::default());
+        // Filter: 128 entries x 21 bits = 2688 bits = 336 bytes.
+        assert_eq!(r.filter_bits / 8, 336);
+        // Predictor: 512 x 10 bits = 5120 bits = 640 bytes.
+        assert_eq!(r.predictor_bits / 8, 640);
+        // ROB extension: 512 bits = 64 bytes.
+        assert_eq!(r.rob_bits / 8, 64);
+        // Utility buffer: 64 x 64 bits = 512 bytes.
+        assert_eq!(r.utility_bits / 8, 512);
+    }
+
+    #[test]
+    fn scaling_scales_storage() {
+        let small = StorageReport::for_config(&ClipConfig::default().scaled(0.25));
+        let big = StorageReport::for_config(&ClipConfig::default().scaled(4.0));
+        assert!(small.total_bits() < big.total_bits());
+        assert_eq!(small.predictor_bits * 16, big.predictor_bits);
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let r = StorageReport::for_config(&ClipConfig::default());
+        let s = r.to_string();
+        assert!(s.contains("Total"));
+        assert!(s.contains("KB/core"));
+    }
+}

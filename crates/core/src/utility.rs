@@ -1,0 +1,153 @@
+//! The utility buffer: a 64-entry circular CAM mapping recently issued
+//! prefetch line addresses to their trigger IPs (§4.3). A demand hit in
+//! the CAM credits the trigger IP's hit count in the criticality filter.
+
+use clip_types::{Ip, LineAddr};
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    line: u64,
+    ip: u64,
+    valid: bool,
+}
+
+/// The circular prefetch-utility CAM.
+///
+/// # Examples
+///
+/// ```
+/// use clip_core::UtilityBuffer;
+/// use clip_types::{Ip, LineAddr};
+///
+/// let mut cam = UtilityBuffer::new(64);
+/// cam.push(LineAddr::new(0x100), Ip::new(0x400));
+/// // A later demand to the prefetched line credits the trigger IP.
+/// assert_eq!(cam.probe(LineAddr::new(0x100)), Some(Ip::new(0x400)));
+/// assert_eq!(cam.probe(LineAddr::new(0x100)), None, "entries are consumed");
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtilityBuffer {
+    slots: Vec<Slot>,
+    head: usize,
+}
+
+impl UtilityBuffer {
+    /// Creates a buffer of `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "utility buffer needs at least one entry");
+        UtilityBuffer {
+            slots: vec![
+                Slot {
+                    line: 0,
+                    ip: 0,
+                    valid: false
+                };
+                entries
+            ],
+            head: 0,
+        }
+    }
+
+    /// Records an issued prefetch, overwriting the oldest slot.
+    pub fn push(&mut self, line: LineAddr, trigger_ip: Ip) {
+        self.slots[self.head] = Slot {
+            line: line.raw(),
+            ip: trigger_ip.raw(),
+            valid: true,
+        };
+        self.head = (self.head + 1) % self.slots.len();
+    }
+
+    /// CAM probe by a demand access: on a match, consumes the slot and
+    /// returns the trigger IP.
+    pub fn probe(&mut self, line: LineAddr) -> Option<Ip> {
+        let raw = line.raw();
+        for s in self.slots.iter_mut() {
+            if s.valid && s.line == raw {
+                s.valid = false;
+                return Some(Ip::new(s.ip));
+            }
+        }
+        None
+    }
+
+    /// Removes a recorded prefetch (cancelled before it fetched). Returns
+    /// whether an entry was found.
+    pub fn remove(&mut self, line: LineAddr) -> bool {
+        let raw = line.raw();
+        for s in self.slots.iter_mut() {
+            if s.valid && s.line == raw {
+                s.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    /// Capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Clears the buffer (phase change).
+    pub fn reset(&mut self) {
+        for s in self.slots.iter_mut() {
+            s.valid = false;
+        }
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_probe_roundtrip() {
+        let mut b = UtilityBuffer::new(4);
+        b.push(LineAddr::new(10), Ip::new(0x400));
+        assert_eq!(b.probe(LineAddr::new(10)), Some(Ip::new(0x400)));
+        // Consumed: second probe misses.
+        assert_eq!(b.probe(LineAddr::new(10)), None);
+    }
+
+    #[test]
+    fn oldest_entry_is_overwritten() {
+        let mut b = UtilityBuffer::new(2);
+        b.push(LineAddr::new(1), Ip::new(0xA));
+        b.push(LineAddr::new(2), Ip::new(0xB));
+        b.push(LineAddr::new(3), Ip::new(0xC)); // overwrites line 1
+        assert_eq!(b.probe(LineAddr::new(1)), None);
+        assert_eq!(b.probe(LineAddr::new(2)), Some(Ip::new(0xB)));
+        assert_eq!(b.probe(LineAddr::new(3)), Some(Ip::new(0xC)));
+    }
+
+    #[test]
+    fn probe_miss_returns_none() {
+        let mut b = UtilityBuffer::new(4);
+        assert_eq!(b.probe(LineAddr::new(99)), None);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut b = UtilityBuffer::new(4);
+        b.push(LineAddr::new(5), Ip::new(0x1));
+        b.reset();
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.probe(LineAddr::new(5)), None);
+    }
+
+    #[test]
+    fn paper_capacity_is_64() {
+        assert_eq!(UtilityBuffer::new(64).capacity(), 64);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests: ROB invariants under arbitrary instruction
+//! streams and memory-latency schedules.
+
+use clip_cpu::{Core, MemIssuePort};
+use clip_trace::{Instr, InstrKind};
+use clip_types::{Addr, CoreConfig, Cycle, Ip, MemLevel, ReqId};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A port that completes loads after a scripted latency.
+struct DelayPort {
+    next: u64,
+    latency: u64,
+    inflight: VecDeque<(ReqId, Cycle)>,
+    accept_every: u64,
+    calls: u64,
+}
+
+impl MemIssuePort for DelayPort {
+    fn issue_load(&mut self, _ip: Ip, _addr: Addr, now: Cycle) -> Option<ReqId> {
+        self.calls += 1;
+        if self.accept_every > 1 && !self.calls.is_multiple_of(self.accept_every) {
+            return None; // structural back-pressure
+        }
+        self.next += 1;
+        let id = ReqId(self.next);
+        self.inflight.push_back((id, now + self.latency));
+        Some(id)
+    }
+
+    fn issue_store(&mut self, _ip: Ip, _addr: Addr, _now: Cycle) -> bool {
+        true
+    }
+}
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0u64..16, 0u64..(1 << 20), any::<bool>()).prop_map(|(ip, line, ser)| Instr {
+            ip: Ip::new(0x400 + ip * 8),
+            kind: InstrKind::Load {
+                addr: Addr::new(line * 64),
+                serialized: ser
+            },
+        }),
+        (0u64..8, 0u64..(1 << 20)).prop_map(|(ip, line)| Instr {
+            ip: Ip::new(0x800 + ip * 8),
+            kind: InstrKind::Store {
+                addr: Addr::new(line * 64)
+            },
+        }),
+        (0u64..8, any::<bool>()).prop_map(|(ip, taken)| Instr {
+            ip: Ip::new(0xc00 + ip * 8),
+            kind: InstrKind::Branch { taken },
+        }),
+        (1u8..4).prop_map(|latency| Instr {
+            ip: Ip::new(0x100),
+            kind: InstrKind::Alu { latency },
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any instruction mix, latency, and back-pressure pattern: the
+    /// ROB never overflows, retirement never exceeds the machine width,
+    /// and every issued load eventually completes exactly once.
+    #[test]
+    fn rob_invariants(
+        instrs in proptest::collection::vec(instr_strategy(), 16..400),
+        latency in 1u64..300,
+        accept_every in 1u64..4,
+        rob_entries in 8usize..256,
+    ) {
+        let cfg = CoreConfig { rob_entries, ..CoreConfig::default() };
+        let mut core = Core::new(&cfg);
+        let mut port = DelayPort {
+            next: 0,
+            latency,
+            inflight: VecDeque::new(),
+            accept_every,
+            calls: 0,
+        };
+        let mut stream = instrs.iter().cycle();
+        let cycles = 3_000u64;
+        for now in 0..cycles {
+            // Deliver due responses.
+            while let Some(&(id, due)) = port.inflight.front() {
+                if due <= now {
+                    port.inflight.pop_front();
+                    let out = core.complete_load(id, MemLevel::L2, now);
+                    prop_assert!(out.is_some(), "every live request maps to a ROB entry");
+                } else {
+                    break;
+                }
+            }
+            let mut fetch = || *stream.next().expect("infinite stream");
+            core.tick(now, &mut fetch, &mut port);
+            prop_assert!(core.rob_occupancy() <= rob_entries);
+        }
+        let s = core.stats();
+        prop_assert!(s.retired <= cycles * cfg.retire_width as u64);
+        prop_assert!(s.ipc() <= cfg.retire_width as f64 + 1e-9);
+        // Conservation: issued loads = completed + still in flight + in ROB.
+        prop_assert!(s.loads >= port.inflight.len() as u64);
+    }
+
+    /// Completing the same request twice is rejected.
+    #[test]
+    fn duplicate_completion_rejected(latency in 5u64..50) {
+        let cfg = CoreConfig::default();
+        let mut core = Core::new(&cfg);
+        let mut port = DelayPort {
+            next: 0,
+            latency,
+            inflight: VecDeque::new(),
+            accept_every: 1,
+            calls: 0,
+        };
+        let mut n = 0u64;
+        let mut fetch = || {
+            n += 1;
+            Instr {
+                ip: Ip::new(0x400),
+                kind: InstrKind::Load { addr: Addr::new(n * 64), serialized: false },
+            }
+        };
+        core.tick(0, &mut fetch, &mut port);
+        let first = core.complete_load(ReqId(1), MemLevel::Dram, latency);
+        prop_assert!(first.is_some());
+        let second = core.complete_load(ReqId(1), MemLevel::Dram, latency + 1);
+        prop_assert!(second.is_none(), "double completion must be ignored");
+    }
+}

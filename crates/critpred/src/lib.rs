@@ -1,0 +1,499 @@
+//! Baseline load criticality predictors: CATCH, FP, FVP, CBP, ROBO, and
+//! CRISP (Section 2.2 / Table 1 of the paper), plus the evaluation
+//! machinery that measures their prediction accuracy and coverage
+//! (Figure 4).
+//!
+//! Each predictor observes completed loads ([`clip_cpu::LoadOutcome`]) and
+//! answers "is the *next* dynamic instance of this load critical?". The
+//! paper's ground truth: a load is critical when it stalls the head of the
+//! ROB while being serviced by L2, LLC, or DRAM. The baselines share a
+//! structural weakness CLIP exploits — they key on the IP alone, so an IP
+//! whose criticality is *dynamic* (follows control flow) is misclassified
+//! roughly half the time.
+//!
+//! # Examples
+//!
+//! ```
+//! use clip_crit::{build, BaselineKind, CriticalityPredictor};
+//! use clip_types::{Addr, Ip};
+//!
+//! let pred = build(BaselineKind::Fp);
+//! // An untrained predictor has no critical IPs.
+//! assert!(!pred.predict(Ip::new(0x400), Addr::new(0x1000)));
+//! ```
+
+pub mod evaluate;
+
+pub use evaluate::{EvalCounts, PredictorEvaluator};
+
+use clip_cpu::LoadOutcome;
+use clip_types::{Addr, Ip, MemLevel};
+use std::collections::HashMap;
+
+/// The interface every load criticality predictor implements.
+pub trait CriticalityPredictor {
+    /// Observes a completed load (training).
+    fn on_load_complete(&mut self, outcome: &LoadOutcome);
+
+    /// Predicts whether the next dynamic instance of `ip` accessing `addr`
+    /// will be critical. The baselines ignore `addr`; CLIP does not.
+    fn predict(&self, ip: Ip, addr: Addr) -> bool;
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Resets learned state (e.g. on a phase change).
+    fn reset(&mut self);
+}
+
+/// Selector for the baseline predictors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// Criticality-aware tiered cache hierarchy (ISCA '18) — DDG critical
+    /// path enumeration; over-predicts (100% coverage, low accuracy).
+    Catch,
+    /// Focused prefetching / LIMCOS (ICS '08) — commit-stall ranking.
+    Fp,
+    /// Focused value prediction (ISCA '20) — dependence-root tagging;
+    /// over-predicts.
+    Fvp,
+    /// Commit block predictor (SIGARCH '13) — stall-time thresholds,
+    /// static per IP.
+    Cbp,
+    /// ROB-occupancy criticality (CAL '21) — static per IP.
+    Robo,
+    /// Critical slice prefetching (ASPLOS '22) — LLC-miss + low-MLP
+    /// thresholds.
+    Crisp,
+}
+
+impl BaselineKind {
+    /// All baseline kinds, in the order of Figure 4.
+    pub fn all() -> [BaselineKind; 6] {
+        [
+            BaselineKind::Crisp,
+            BaselineKind::Catch,
+            BaselineKind::Fp,
+            BaselineKind::Fvp,
+            BaselineKind::Cbp,
+            BaselineKind::Robo,
+        ]
+    }
+}
+
+/// Builds a boxed baseline predictor.
+pub fn build(kind: BaselineKind) -> Box<dyn CriticalityPredictor> {
+    match kind {
+        BaselineKind::Catch => Box::new(Catch::new()),
+        BaselineKind::Fp => Box::new(Fp::new()),
+        BaselineKind::Fvp => Box::new(Fvp::new()),
+        BaselineKind::Cbp => Box::new(Cbp::new()),
+        BaselineKind::Robo => Box::new(Robo::new()),
+        BaselineKind::Crisp => Box::new(Crisp::new()),
+    }
+}
+
+/// CATCH: enumerates the costliest path through the data dependence graph
+/// and tags load IPs on it as critical, with a confidence mechanism.
+///
+/// Approximation: without full register dataflow in a trace-driven model,
+/// we tag an IP critical when its observed latency rivals the costliest
+/// recent load (it would lie on the costliest path) *or* it ever stalls
+/// the head. The resulting behaviour matches Table 1: blind to MLP, tags
+/// low-latency loads masked by high-latency ones, near-total coverage
+/// with poor accuracy.
+#[derive(Debug, Clone)]
+pub struct Catch {
+    tagged: HashMap<u64, u8>,
+    max_latency_ewma: f64,
+}
+
+impl Catch {
+    /// Creates an empty CATCH predictor.
+    pub fn new() -> Self {
+        Catch {
+            tagged: HashMap::new(),
+            max_latency_ewma: 0.0,
+        }
+    }
+}
+
+impl Default for Catch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CriticalityPredictor for Catch {
+    fn on_load_complete(&mut self, o: &LoadOutcome) {
+        self.max_latency_ewma = (self.max_latency_ewma * 0.99).max(o.latency as f64);
+        // On the costliest path: latency within 4x of the recent maximum,
+        // or an observed head stall.
+        let on_path = o.stalled_head
+            || (o.level.is_beyond_l1() && o.latency as f64 * 4.0 >= self.max_latency_ewma);
+        let conf = self.tagged.entry(o.ip.raw()).or_insert(0);
+        if on_path {
+            *conf = (*conf + 1).min(3);
+        } else if *conf > 0 && !o.level.is_beyond_l1() {
+            *conf -= 1;
+        }
+    }
+
+    fn predict(&self, ip: Ip, _addr: Addr) -> bool {
+        self.tagged.get(&ip.raw()).copied().unwrap_or(0) >= 1
+    }
+
+    fn name(&self) -> &'static str {
+        "CATCH"
+    }
+
+    fn reset(&mut self) {
+        self.tagged.clear();
+        self.max_latency_ewma = 0.0;
+    }
+}
+
+/// FP / LIMCOS: ranks IPs by accumulated commit-stall cycles; an IP that
+/// contributes any significant stalls is focused. Tends to mark most L3
+/// misses critical (Table 1).
+#[derive(Debug, Clone)]
+pub struct Fp {
+    stall_cycles: HashMap<u64, u64>,
+    threshold: u64,
+}
+
+impl Fp {
+    /// Creates FP with the default focus threshold.
+    pub fn new() -> Self {
+        Fp {
+            stall_cycles: HashMap::new(),
+            threshold: 16,
+        }
+    }
+}
+
+impl Default for Fp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CriticalityPredictor for Fp {
+    fn on_load_complete(&mut self, o: &LoadOutcome) {
+        if o.stalled_head {
+            *self.stall_cycles.entry(o.ip.raw()).or_insert(0) += o.stall_cycles;
+        } else if o.level == MemLevel::Dram {
+            // L3 misses accrue implicit stall credit even when overlapped —
+            // the over-marking Table 1 describes.
+            *self.stall_cycles.entry(o.ip.raw()).or_insert(0) += 1;
+        }
+    }
+
+    fn predict(&self, ip: Ip, _addr: Addr) -> bool {
+        self.stall_cycles.get(&ip.raw()).copied().unwrap_or(0) >= self.threshold
+    }
+
+    fn name(&self) -> &'static str {
+        "FP"
+    }
+
+    fn reset(&mut self) {
+        self.stall_cycles.clear();
+    }
+}
+
+/// FVP: identifies roots of dependence chains; ends up tagging any load
+/// that produces values for nearby instructions — effectively every load
+/// that leaves the L1 (Table 1: excessive tagging, low accuracy).
+#[derive(Debug, Clone, Default)]
+pub struct Fvp {
+    tagged: HashMap<u64, ()>,
+}
+
+impl Fvp {
+    /// Creates an empty FVP predictor.
+    pub fn new() -> Self {
+        Fvp::default()
+    }
+}
+
+impl CriticalityPredictor for Fvp {
+    fn on_load_complete(&mut self, o: &LoadOutcome) {
+        // Nearly every load feeds something in its retire-width vicinity.
+        if o.level.is_beyond_l1() || o.latency > 5 {
+            self.tagged.insert(o.ip.raw(), ());
+        }
+    }
+
+    fn predict(&self, ip: Ip, _addr: Addr) -> bool {
+        self.tagged.contains_key(&ip.raw())
+    }
+
+    fn name(&self) -> &'static str {
+        "FVP"
+    }
+
+    fn reset(&mut self) {
+        self.tagged.clear();
+    }
+}
+
+/// CBP: thresholds on maximum or total stall time; once an IP crosses the
+/// threshold it stays critical (static, like ROBO — Table 1).
+#[derive(Debug, Clone)]
+pub struct Cbp {
+    total_stall: HashMap<u64, u64>,
+    max_stall: HashMap<u64, u64>,
+    total_threshold: u64,
+    max_threshold: u64,
+}
+
+impl Cbp {
+    /// Creates CBP with default thresholds.
+    pub fn new() -> Self {
+        Cbp {
+            total_stall: HashMap::new(),
+            max_stall: HashMap::new(),
+            total_threshold: 64,
+            max_threshold: 24,
+        }
+    }
+}
+
+impl Default for Cbp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CriticalityPredictor for Cbp {
+    fn on_load_complete(&mut self, o: &LoadOutcome) {
+        if o.stalled_head {
+            let t = self.total_stall.entry(o.ip.raw()).or_insert(0);
+            *t += o.stall_cycles;
+            let m = self.max_stall.entry(o.ip.raw()).or_insert(0);
+            *m = (*m).max(o.stall_cycles);
+        }
+    }
+
+    fn predict(&self, ip: Ip, _addr: Addr) -> bool {
+        self.total_stall.get(&ip.raw()).copied().unwrap_or(0) >= self.total_threshold
+            || self.max_stall.get(&ip.raw()).copied().unwrap_or(0) >= self.max_threshold
+    }
+
+    fn name(&self) -> &'static str {
+        "CBP"
+    }
+
+    fn reset(&mut self) {
+        self.total_stall.clear();
+        self.max_stall.clear();
+    }
+}
+
+/// ROBO: flags an IP critical when a retirement stall coincides with high
+/// ROB occupancy; the flag is sticky for the rest of execution (Table 1:
+/// blind to dynamic criticality).
+#[derive(Debug, Clone)]
+pub struct Robo {
+    flagged: HashMap<u64, ()>,
+    occupancy_threshold: usize,
+}
+
+impl Robo {
+    /// Creates ROBO with the default occupancy threshold (half the ROB).
+    pub fn new() -> Self {
+        Robo {
+            flagged: HashMap::new(),
+            occupancy_threshold: 256,
+        }
+    }
+}
+
+impl Default for Robo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CriticalityPredictor for Robo {
+    fn on_load_complete(&mut self, o: &LoadOutcome) {
+        if o.stalled_head && o.rob_occupancy >= self.occupancy_threshold {
+            self.flagged.insert(o.ip.raw(), ());
+        }
+    }
+
+    fn predict(&self, ip: Ip, _addr: Addr) -> bool {
+        self.flagged.contains_key(&ip.raw())
+    }
+
+    fn name(&self) -> &'static str {
+        "ROBO"
+    }
+
+    fn reset(&mut self) {
+        self.flagged.clear();
+    }
+}
+
+/// CRISP: loads with many LLC misses and low memory-level parallelism are
+/// critical; thresholds are pre-defined per workload set. Ignores L1/L2
+/// misses that stall the head (Table 1).
+#[derive(Debug, Clone)]
+pub struct Crisp {
+    llc_misses: HashMap<u64, u32>,
+    miss_threshold: u32,
+    mlp_threshold: usize,
+}
+
+impl Crisp {
+    /// Creates CRISP with the thresholds used in our experiments.
+    pub fn new() -> Self {
+        Crisp {
+            llc_misses: HashMap::new(),
+            miss_threshold: 8,
+            mlp_threshold: 3,
+        }
+    }
+}
+
+impl Default for Crisp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CriticalityPredictor for Crisp {
+    fn on_load_complete(&mut self, o: &LoadOutcome) {
+        if o.level == MemLevel::Dram && o.outstanding_loads <= self.mlp_threshold {
+            *self.llc_misses.entry(o.ip.raw()).or_insert(0) += 1;
+        }
+    }
+
+    fn predict(&self, ip: Ip, _addr: Addr) -> bool {
+        self.llc_misses.get(&ip.raw()).copied().unwrap_or(0) >= self.miss_threshold
+    }
+
+    fn name(&self) -> &'static str {
+        "CRISP"
+    }
+
+    fn reset(&mut self) {
+        self.llc_misses.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(ip: u64, level: MemLevel, stalled: bool, stall: u64) -> LoadOutcome {
+        LoadOutcome {
+            ip: Ip::new(ip),
+            addr: Addr::new(0x1000),
+            level,
+            stalled_head: stalled,
+            stall_cycles: stall,
+            rob_occupancy: 300,
+            outstanding_loads: 1,
+            done_cycle: 100,
+            latency: if level.is_beyond_l1() { 200 } else { 4 },
+        }
+    }
+
+    #[test]
+    fn fp_focuses_heavy_stallers() {
+        let mut p = Fp::new();
+        for _ in 0..4 {
+            p.on_load_complete(&outcome(0xA, MemLevel::Dram, true, 50));
+        }
+        p.on_load_complete(&outcome(0xB, MemLevel::L2, false, 0));
+        assert!(p.predict(Ip::new(0xA), Addr::new(0)));
+        assert!(!p.predict(Ip::new(0xB), Addr::new(0)));
+    }
+
+    #[test]
+    fn fvp_overtags_everything_beyond_l1() {
+        let mut p = Fvp::new();
+        p.on_load_complete(&outcome(0xC, MemLevel::L2, false, 0));
+        assert!(
+            p.predict(Ip::new(0xC), Addr::new(0)),
+            "FVP tags non-stalling loads"
+        );
+    }
+
+    #[test]
+    fn cbp_static_once_thresholded() {
+        let mut p = Cbp::new();
+        p.on_load_complete(&outcome(0xD, MemLevel::Dram, true, 100));
+        assert!(p.predict(Ip::new(0xD), Addr::new(0)));
+        // Subsequent non-stalling instances do not clear the flag.
+        for _ in 0..100 {
+            p.on_load_complete(&outcome(0xD, MemLevel::L1, false, 0));
+        }
+        assert!(p.predict(Ip::new(0xD), Addr::new(0)), "CBP is static");
+    }
+
+    #[test]
+    fn robo_requires_high_occupancy() {
+        let mut p = Robo::new();
+        let mut low = outcome(0xE, MemLevel::Dram, true, 40);
+        low.rob_occupancy = 10;
+        p.on_load_complete(&low);
+        assert!(!p.predict(Ip::new(0xE), Addr::new(0)));
+        p.on_load_complete(&outcome(0xE, MemLevel::Dram, true, 40));
+        assert!(p.predict(Ip::new(0xE), Addr::new(0)));
+    }
+
+    #[test]
+    fn crisp_needs_llc_misses_and_low_mlp() {
+        let mut p = Crisp::new();
+        // High-MLP DRAM loads: not critical for CRISP.
+        let mut high_mlp = outcome(0xF, MemLevel::Dram, true, 90);
+        high_mlp.outstanding_loads = 20;
+        for _ in 0..20 {
+            p.on_load_complete(&high_mlp);
+        }
+        assert!(!p.predict(Ip::new(0xF), Addr::new(0)));
+        // Low-MLP DRAM loads cross the threshold.
+        for _ in 0..8 {
+            p.on_load_complete(&outcome(0x10, MemLevel::Dram, true, 90));
+        }
+        assert!(p.predict(Ip::new(0x10), Addr::new(0)));
+        // L2 stalls are invisible to CRISP (Table 1).
+        for _ in 0..20 {
+            p.on_load_complete(&outcome(0x11, MemLevel::L2, true, 90));
+        }
+        assert!(!p.predict(Ip::new(0x11), Addr::new(0)));
+    }
+
+    #[test]
+    fn catch_covers_stalling_ips() {
+        let mut p = Catch::new();
+        p.on_load_complete(&outcome(0x12, MemLevel::Llc, true, 30));
+        assert!(p.predict(Ip::new(0x12), Addr::new(0)));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        for kind in BaselineKind::all() {
+            let mut p = build(kind);
+            for _ in 0..20 {
+                p.on_load_complete(&outcome(0x13, MemLevel::Dram, true, 100));
+            }
+            p.reset();
+            assert!(
+                !p.predict(Ip::new(0x13), Addr::new(0)),
+                "{} must forget after reset",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn build_names_match() {
+        assert_eq!(build(BaselineKind::Catch).name(), "CATCH");
+        assert_eq!(build(BaselineKind::Crisp).name(), "CRISP");
+        assert_eq!(build(BaselineKind::Robo).name(), "ROBO");
+    }
+}

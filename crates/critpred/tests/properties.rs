@@ -1,0 +1,105 @@
+//! Property-based tests over the baseline criticality predictors.
+
+use clip_cpu::LoadOutcome;
+use clip_crit::{build, BaselineKind, PredictorEvaluator};
+use clip_types::{Addr, Ip, MemLevel};
+use proptest::prelude::*;
+
+fn outcome(seed: u64, i: u64) -> LoadOutcome {
+    let h = clip_types::hash64(seed ^ i);
+    let level = match h % 4 {
+        0 => MemLevel::L1,
+        1 => MemLevel::L2,
+        2 => MemLevel::Llc,
+        _ => MemLevel::Dram,
+    };
+    let stalled = level.is_beyond_l1() && h & 0x30 == 0x30;
+    LoadOutcome {
+        ip: Ip::new(0x400 + (h % 24) * 8),
+        addr: Addr::new((h >> 12) % (1 << 30)),
+        level,
+        stalled_head: stalled,
+        stall_cycles: if stalled { 20 + h % 100 } else { 0 },
+        rob_occupancy: (h % 512) as usize,
+        outstanding_loads: (h % 16) as usize,
+        done_cycle: i,
+        latency: 10 + h % 400,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Predictions never panic and reset always clears every predictor,
+    /// for arbitrary training streams.
+    #[test]
+    fn predictors_are_total_and_resettable(seed in any::<u64>(), n in 1u64..500) {
+        for kind in BaselineKind::all() {
+            let mut p = build(kind);
+            for i in 0..n {
+                p.on_load_complete(&outcome(seed, i));
+                let _ = p.predict(Ip::new(0x400), Addr::new(0x1000));
+            }
+            p.reset();
+            // After reset, no IP may be predicted critical.
+            for i in 0..24u64 {
+                prop_assert!(
+                    !p.predict(Ip::new(0x400 + i * 8), Addr::new(0)),
+                    "{} predicts after reset",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    /// The evaluator's confusion counts always partition the scored events
+    /// and its metrics stay within [0, 1].
+    #[test]
+    fn evaluator_counts_partition(seed in any::<u64>(), n in 1u64..400) {
+        for kind in BaselineKind::all() {
+            let mut ev = PredictorEvaluator::new(build(kind));
+            let mut beyond = 0u64;
+            for i in 0..n {
+                let o = outcome(seed, i);
+                if o.level.is_beyond_l1() {
+                    beyond += 1;
+                }
+                ev.observe(&o);
+            }
+            let c = ev.counts();
+            prop_assert_eq!(c.total(), beyond);
+            prop_assert!((0.0..=1.0).contains(&c.accuracy()));
+            prop_assert!((0.0..=1.0).contains(&c.coverage()));
+            let ip = ev.ip_counts();
+            prop_assert!((0.0..=1.0).contains(&ip.accuracy()));
+            prop_assert!((0.0..=1.0).contains(&ip.coverage()));
+        }
+    }
+
+    /// Monotone training: an IP that stalls on every DRAM access must end
+    /// up predicted critical by every stall-driven baseline.
+    #[test]
+    fn persistent_staller_gets_flagged(ip_raw in 1u64..(1 << 40)) {
+        for kind in [BaselineKind::Fp, BaselineKind::Cbp, BaselineKind::Robo, BaselineKind::Fvp] {
+            let mut p = build(kind);
+            for i in 0..64u64 {
+                p.on_load_complete(&LoadOutcome {
+                    ip: Ip::new(ip_raw),
+                    addr: Addr::new(i * 64),
+                    level: MemLevel::Dram,
+                    stalled_head: true,
+                    stall_cycles: 80,
+                    rob_occupancy: 400,
+                    outstanding_loads: 1,
+                    done_cycle: i,
+                    latency: 300,
+                });
+            }
+            prop_assert!(
+                p.predict(Ip::new(ip_raw), Addr::new(0)),
+                "{} must flag a persistent staller",
+                p.name()
+            );
+        }
+    }
+}

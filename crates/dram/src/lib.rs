@@ -1,0 +1,595 @@
+//! DDR4 DRAM model: channels, banks, row buffers, timing constraints, and
+//! a prefetch-aware FR-FCFS controller (PADC, Lee et al., MICRO '08).
+//!
+//! This is the contended resource at the heart of the paper: with 64 cores
+//! and eight DDR4-3200 channels, queueing here inflates every on-chip
+//! latency. The model captures the effects the paper depends on:
+//!
+//! * per-channel data-bus bandwidth (64 B per [`clip_types::DramConfig::burst_cycles`]),
+//! * bank-level parallelism and row-buffer locality (tRP/tRCD/CAS),
+//! * finite read/write queues with back-pressure,
+//! * demand-first scheduling where plain prefetches lose to demands and to
+//!   CLIP's critical prefetches, and
+//! * write draining with the 7/8 watermark of Table 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use clip_dram::DramSystem;
+//! use clip_types::{DramConfig, LineAddr, Priority, ReqId};
+//!
+//! let mut dram = DramSystem::new(&DramConfig::default());
+//! let ch = dram.channel_for(LineAddr::new(0x42));
+//! dram.enqueue_read(ch, ReqId(1), LineAddr::new(0x42), Priority::Demand, 0)
+//!     .expect("queue has room");
+//! let mut done = Vec::new();
+//! for now in 0..400 {
+//!     done.extend(dram.tick(now));
+//! }
+//! assert_eq!(done.len(), 1);
+//! ```
+
+use clip_types::{Cycle, DramConfig, LineAddr, Priority, ReqId};
+use std::fmt;
+
+/// A completed read returned by [`DramSystem::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramCompletion {
+    /// The request that completed.
+    pub id: ReqId,
+    /// The line read.
+    pub line: LineAddr,
+    /// Channel that serviced it.
+    pub channel: usize,
+    /// Cycle at which data is available.
+    pub done_cycle: Cycle,
+}
+
+/// Error returned when a channel queue cannot accept another request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFullError;
+
+impl fmt::Display for QueueFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("dram queue is full")
+    }
+}
+
+impl std::error::Error for QueueFullError {}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingRead {
+    id: ReqId,
+    line: LineAddr,
+    priority: Priority,
+    arrive: Cycle,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingWrite {
+    line: LineAddr,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycle,
+}
+
+/// Per-channel statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Reads serviced.
+    pub reads: u64,
+    /// Writes serviced.
+    pub writes: u64,
+    /// Row-buffer hits among serviced commands.
+    pub row_hits: u64,
+    /// Cycles the data bus was transferring.
+    pub busy_cycles: u64,
+    /// Sum of read queueing delays (arrival → issue), for averages.
+    pub total_read_queue_delay: u64,
+    /// Reads that arrived with prefetch priority.
+    pub prefetch_reads: u64,
+    /// All-bank refreshes performed.
+    pub refreshes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    banks: Vec<Bank>,
+    read_q: Vec<PendingRead>,
+    write_q: Vec<PendingWrite>,
+    bus_free_at: Cycle,
+    draining: bool,
+    inflight: Vec<DramCompletion>,
+    /// Cycle of the next scheduled all-bank refresh (refresh modeling).
+    next_refresh: Cycle,
+    stats: ChannelStats,
+}
+
+/// The DRAM subsystem: all channels of the socket.
+#[derive(Debug, Clone)]
+pub struct DramSystem {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    lines_per_row: u64,
+}
+
+impl DramSystem {
+    /// Builds the DRAM system from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero or not a power of two.
+    pub fn new(cfg: &DramConfig) -> Self {
+        assert!(
+            cfg.channels > 0 && cfg.channels.is_power_of_two(),
+            "channel count must be a power of two"
+        );
+        let channel = Channel {
+            banks: vec![Bank::default(); cfg.banks_per_channel],
+            read_q: Vec::with_capacity(cfg.read_queue),
+            write_q: Vec::with_capacity(cfg.write_queue),
+            bus_free_at: 0,
+            draining: false,
+            inflight: Vec::new(),
+            next_refresh: cfg.t_refi,
+            stats: ChannelStats::default(),
+        };
+        DramSystem {
+            cfg: *cfg,
+            channels: vec![channel; cfg.channels],
+            lines_per_row: (cfg.row_bytes / clip_types::LINE_BYTES) as u64,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Maps a line to its channel (hash-interleaved).
+    #[inline]
+    pub fn channel_for(&self, line: LineAddr) -> usize {
+        (clip_types::hash64(line.raw()) as usize) & (self.channels.len() - 1)
+    }
+
+    /// True when the channel's read queue can accept another request.
+    pub fn read_queue_has_room(&self, channel: usize) -> bool {
+        self.channels[channel].read_q.len() < self.cfg.read_queue
+    }
+
+    /// Current read-queue occupancy of a channel.
+    pub fn read_queue_len(&self, channel: usize) -> usize {
+        self.channels[channel].read_q.len()
+    }
+
+    /// Enqueues a read (demand, prefetch, or critical prefetch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFullError`] when the read queue is full; the caller
+    /// must retry (this is the back-pressure path).
+    pub fn enqueue_read(
+        &mut self,
+        channel: usize,
+        id: ReqId,
+        line: LineAddr,
+        priority: Priority,
+        now: Cycle,
+    ) -> Result<(), QueueFullError> {
+        let ch = &mut self.channels[channel];
+        if ch.read_q.len() >= self.cfg.read_queue {
+            return Err(QueueFullError);
+        }
+        if priority == Priority::Prefetch {
+            ch.stats.prefetch_reads += 1;
+        }
+        ch.read_q.push(PendingRead {
+            id,
+            line,
+            priority,
+            arrive: now,
+        });
+        Ok(())
+    }
+
+    /// Enqueues a writeback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFullError`] when the write queue is full.
+    pub fn enqueue_write(&mut self, line: LineAddr, _now: Cycle) -> Result<(), QueueFullError> {
+        let channel = self.channel_for(line);
+        let ch = &mut self.channels[channel];
+        if ch.write_q.len() >= self.cfg.write_queue {
+            return Err(QueueFullError);
+        }
+        ch.write_q.push(PendingWrite { line });
+        Ok(())
+    }
+
+    /// Advances all channels by one cycle, returning reads whose data is
+    /// now available.
+    pub fn tick(&mut self, now: Cycle) -> Vec<DramCompletion> {
+        let mut done = Vec::new();
+        for ci in 0..self.channels.len() {
+            self.tick_channel(ci, now, &mut done);
+        }
+        done
+    }
+
+    fn tick_channel(&mut self, ci: usize, now: Cycle, done: &mut Vec<DramCompletion>) {
+        // Deliver finished reads.
+        let lines_per_row = self.lines_per_row;
+        let banks = self.cfg.banks_per_channel;
+        let cfg = self.cfg;
+        let ch = &mut self.channels[ci];
+        let mut i = 0;
+        while i < ch.inflight.len() {
+            if ch.inflight[i].done_cycle <= now {
+                done.push(ch.inflight.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+
+        // All-bank refresh: when tREFI elapses, every bank is blocked for
+        // tRFC and all rows close (the post-refresh state).
+        if cfg.t_refi > 0 && now >= ch.next_refresh {
+            ch.next_refresh = now + cfg.t_refi;
+            ch.stats.refreshes += 1;
+            for b in ch.banks.iter_mut() {
+                b.busy_until = b.busy_until.max(now + cfg.t_rfc);
+                b.open_row = None;
+            }
+        }
+
+        // Update write-drain hysteresis (enter at watermark, leave empty).
+        let (wn, wd) = cfg.write_watermark;
+        if ch.write_q.len() * wd >= cfg.write_queue * wn {
+            ch.draining = true;
+        } else if ch.write_q.is_empty() {
+            ch.draining = false;
+        }
+
+        if ch.bus_free_at > now {
+            ch.stats.busy_cycles += 1;
+            return;
+        }
+
+        // Reads are prioritized over writes unless draining (Table 3).
+        let serve_write = ch.draining || ch.read_q.is_empty();
+        if serve_write {
+            // FCFS over writes with a ready bank.
+            let mut chosen: Option<usize> = None;
+            for (qi, w) in ch.write_q.iter().enumerate() {
+                let row_global = w.line.raw() / lines_per_row;
+                let bank = (clip_types::hash64(row_global) as usize) % banks;
+                if ch.banks[bank].busy_until <= now {
+                    chosen = Some(qi);
+                    break;
+                }
+            }
+            if let Some(qi) = chosen {
+                let w = ch.write_q.remove(qi);
+                let row_global = w.line.raw() / lines_per_row;
+                let bank_i = (clip_types::hash64(row_global) as usize) % banks;
+                let bank = &mut ch.banks[bank_i];
+                let lat = Self::access_latency(&cfg, bank, row_global);
+                bank.open_row = Some(row_global);
+                bank.busy_until = now + lat + cfg.burst_cycles;
+                ch.bus_free_at = now + cfg.burst_cycles;
+                ch.stats.writes += 1;
+            }
+            return;
+        }
+
+        // FR-FCFS with priority classes: (priority, row-hit, age).
+        let mut best: Option<(usize, (u8, bool, Cycle))> = None;
+        for (qi, r) in ch.read_q.iter().enumerate() {
+            let row_global = r.line.raw() / lines_per_row;
+            let bank_i = (clip_types::hash64(row_global) as usize) % banks;
+            let bank = &ch.banks[bank_i];
+            if bank.busy_until > now {
+                continue;
+            }
+            let row_hit = bank.open_row == Some(row_global);
+            let prio_class = if cfg.prefetch_aware {
+                match r.priority {
+                    Priority::Demand => 2u8,
+                    Priority::Writeback => 1,
+                    Priority::Prefetch => 0,
+                }
+            } else {
+                1
+            };
+            // Demand-first FR-FCFS (PADC): priority class first — demands
+            // and CLIP-critical prefetches beat plain prefetches — then
+            // row hits, then age. This sacrifices some row locality when
+            // prefetches are accurate, which is part of the paper's
+            // constrained-bandwidth story.
+            let key = (prio_class, row_hit, Cycle::MAX - r.arrive);
+            if best.is_none_or(|(_, bk)| key > bk) {
+                best = Some((qi, key));
+            }
+        }
+        let Some((qi, _)) = best else {
+            return;
+        };
+        let r = ch.read_q.remove(qi);
+        let row_global = r.line.raw() / lines_per_row;
+        let bank_i = (clip_types::hash64(row_global) as usize) % banks;
+        let bank = &mut ch.banks[bank_i];
+        let row_hit = bank.open_row == Some(row_global);
+        let lat = Self::access_latency(&cfg, bank, row_global);
+        bank.open_row = Some(row_global);
+        bank.busy_until = now + lat + cfg.burst_cycles;
+        ch.bus_free_at = now + cfg.burst_cycles;
+        ch.stats.reads += 1;
+        if row_hit {
+            ch.stats.row_hits += 1;
+        }
+        ch.stats.total_read_queue_delay += now - r.arrive;
+        ch.inflight.push(DramCompletion {
+            id: r.id,
+            line: r.line,
+            channel: ci,
+            done_cycle: now + lat + cfg.burst_cycles,
+        });
+    }
+
+    fn access_latency(cfg: &DramConfig, bank: &Bank, row: u64) -> Cycle {
+        match bank.open_row {
+            Some(open) if open == row => cfg.t_cas,
+            Some(_) => cfg.t_rp + cfg.t_rcd + cfg.t_cas,
+            None => cfg.t_rcd + cfg.t_cas,
+        }
+    }
+
+    /// Per-channel statistics.
+    pub fn stats(&self, channel: usize) -> &ChannelStats {
+        &self.channels[channel].stats
+    }
+
+    /// Aggregate statistics across channels.
+    pub fn total_stats(&self) -> ChannelStats {
+        let mut t = ChannelStats::default();
+        for ch in &self.channels {
+            t.reads += ch.stats.reads;
+            t.writes += ch.stats.writes;
+            t.row_hits += ch.stats.row_hits;
+            t.busy_cycles += ch.stats.busy_cycles;
+            t.total_read_queue_delay += ch.stats.total_read_queue_delay;
+            t.prefetch_reads += ch.stats.prefetch_reads;
+            t.refreshes += ch.stats.refreshes;
+        }
+        t
+    }
+
+    /// Fraction of peak bandwidth used so far, given the elapsed cycles.
+    /// This is the *overall* utilization across channels — the signal
+    /// DSPatch samples (per-controller in the original; see the paper's
+    /// critique).
+    pub fn bandwidth_utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        let transfers: u64 = self
+            .channels
+            .iter()
+            .map(|c| c.stats.reads + c.stats.writes)
+            .sum();
+        let peak = self.channels.len() as f64 * elapsed as f64 / self.cfg.burst_cycles as f64;
+        (transfers as f64 / peak).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(channels: usize) -> DramSystem {
+        let cfg = DramConfig {
+            channels,
+            ..DramConfig::default()
+        };
+        DramSystem::new(&cfg)
+    }
+
+    fn run(dram: &mut DramSystem, cycles: u64) -> Vec<DramCompletion> {
+        let mut out = Vec::new();
+        for now in 0..cycles {
+            out.extend(dram.tick(now));
+        }
+        out
+    }
+
+    #[test]
+    fn single_read_completes_with_closed_row_latency() {
+        let mut d = sys(1);
+        d.enqueue_read(0, ReqId(1), LineAddr::new(7), Priority::Demand, 0)
+            .unwrap();
+        let done = run(&mut d, 200);
+        assert_eq!(done.len(), 1);
+        // Closed row: tRCD + CAS + burst = 50 + 50 + 10 = 110.
+        assert_eq!(done[0].done_cycle, 110);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_row_miss() {
+        let mut d = sys(1);
+        // Same row back to back.
+        d.enqueue_read(0, ReqId(1), LineAddr::new(0), Priority::Demand, 0)
+            .unwrap();
+        d.enqueue_read(0, ReqId(2), LineAddr::new(1), Priority::Demand, 0)
+            .unwrap();
+        let done = run(&mut d, 400);
+        assert_eq!(done.len(), 2);
+        let t1 = done.iter().find(|c| c.id == ReqId(1)).unwrap().done_cycle;
+        let t2 = done.iter().find(|c| c.id == ReqId(2)).unwrap().done_cycle;
+        // Second access is a row hit: CAS + burst after first issue.
+        assert!(t2 - t1 < 110, "row hit should be fast, got {}", t2 - t1);
+    }
+
+    #[test]
+    fn demand_beats_queued_prefetches() {
+        let mut d = sys(1);
+        // Fill with prefetches to different rows, then one demand.
+        for i in 0..8u64 {
+            d.enqueue_read(0, ReqId(i), LineAddr::new(i * 1000), Priority::Prefetch, 0)
+                .unwrap();
+        }
+        d.enqueue_read(0, ReqId(99), LineAddr::new(50_000), Priority::Demand, 0)
+            .unwrap();
+        let done = run(&mut d, 2000);
+        let demand_pos = done.iter().position(|c| c.id == ReqId(99)).unwrap();
+        assert!(
+            demand_pos <= 1,
+            "demand must be serviced near-first, was at {demand_pos}"
+        );
+    }
+
+    #[test]
+    fn without_prefetch_awareness_fcfs_age_order() {
+        let cfg = DramConfig {
+            channels: 1,
+            prefetch_aware: false,
+            ..DramConfig::default()
+        };
+        let mut d = DramSystem::new(&cfg);
+        for i in 0..4u64 {
+            d.enqueue_read(0, ReqId(i), LineAddr::new(i * 1000), Priority::Prefetch, i)
+                .unwrap();
+        }
+        d.enqueue_read(0, ReqId(99), LineAddr::new(50_000), Priority::Demand, 10)
+            .unwrap();
+        let done = run(&mut d, 2000);
+        let demand_pos = done.iter().position(|c| c.id == ReqId(99)).unwrap();
+        assert!(demand_pos >= 3, "demand must wait its turn without PADC");
+    }
+
+    #[test]
+    fn queue_full_backpressure() {
+        let mut d = sys(1);
+        let mut ok = 0;
+        for i in 0..100u64 {
+            if d.enqueue_read(0, ReqId(i), LineAddr::new(i), Priority::Demand, 0)
+                .is_ok()
+            {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, DramConfig::default().read_queue);
+        assert!(!d.read_queue_has_room(0));
+    }
+
+    #[test]
+    fn bandwidth_scales_with_channels() {
+        // Saturate 1 vs 4 channels with uniformly spread lines and compare
+        // completions in the same window.
+        let mut served = Vec::new();
+        for chans in [1usize, 4] {
+            let mut d = sys(chans);
+            let mut next_id = 0u64;
+            let mut completions = 0u64;
+            for now in 0..5000u64 {
+                for _ in 0..4 {
+                    let line = LineAddr::new(clip_types::hash64(next_id) >> 16);
+                    let ch = d.channel_for(line);
+                    if d.enqueue_read(ch, ReqId(next_id), line, Priority::Demand, now)
+                        .is_ok()
+                    {
+                        next_id += 1;
+                    }
+                }
+                completions += d.tick(now).len() as u64;
+            }
+            served.push(completions);
+        }
+        assert!(
+            served[1] as f64 > served[0] as f64 * 2.5,
+            "4 channels must serve >2.5x of 1 channel: {served:?}"
+        );
+    }
+
+    #[test]
+    fn writes_drain_at_watermark() {
+        let mut d = sys(1);
+        let wq = DramConfig::default().write_queue;
+        // Fill write queue to the watermark.
+        for i in 0..(wq * 7 / 8 + 1) as u64 {
+            d.enqueue_write(LineAddr::new(i * 64), 0).unwrap();
+        }
+        let _ = run(&mut d, 3000);
+        let s = d.total_stats();
+        assert!(s.writes > 0, "writes must drain");
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut d = sys(2);
+        for i in 0..32u64 {
+            let line = LineAddr::new(i * 997);
+            let ch = d.channel_for(line);
+            let _ = d.enqueue_read(ch, ReqId(i), line, Priority::Demand, 0);
+        }
+        let _ = run(&mut d, 1000);
+        let u = d.bandwidth_utilization(1000);
+        assert!((0.0..=1.0).contains(&u));
+        assert!(u > 0.0);
+    }
+
+    #[test]
+    fn refresh_blocks_banks_and_closes_rows() {
+        let cfg = DramConfig {
+            channels: 1,
+            t_refi: 1_000,
+            t_rfc: 300,
+            ..DramConfig::default()
+        };
+        let mut d = DramSystem::new(&cfg);
+        // Request arriving right at the refresh boundary waits out tRFC.
+        d.enqueue_read(0, ReqId(1), LineAddr::new(5), Priority::Demand, 0)
+            .unwrap();
+        let done = run(&mut d, 2000);
+        assert_eq!(done.len(), 1);
+        // Without refresh the request would finish in ~110 cycles; one
+        // arriving at the refresh boundary waits out tRFC first.
+        let mut d2 = DramSystem::new(&cfg);
+        for now in 0..1_000u64 {
+            let _ = d2.tick(now);
+        }
+        d2.enqueue_read(0, ReqId(2), LineAddr::new(5), Priority::Demand, 1_000)
+            .unwrap();
+        let mut done2 = Vec::new();
+        for now in 1_000..5_000u64 {
+            done2.extend(d2.tick(now));
+        }
+        assert_eq!(done2.len(), 1);
+        assert!(
+            done2[0].done_cycle >= 1_000 + 300,
+            "request behind a refresh must wait tRFC: {}",
+            done2[0].done_cycle
+        );
+        assert!(d2.total_stats().refreshes >= 1);
+    }
+
+    #[test]
+    fn refresh_disabled_by_default() {
+        let mut d = sys(1);
+        let _ = run(&mut d, 100_000);
+        assert_eq!(d.total_stats().refreshes, 0);
+    }
+
+    #[test]
+    fn channel_mapping_is_stable_and_in_range() {
+        let d = sys(8);
+        for i in 0..1000u64 {
+            let c = d.channel_for(LineAddr::new(i));
+            assert!(c < 8);
+            assert_eq!(c, d.channel_for(LineAddr::new(i)));
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Related-work mechanisms the paper compares against (§5.3): **Hermes**
+//! (perceptron-based off-chip load prediction, MICRO '22) and **DSPatch**
+//! (dual spatial patterns, MICRO '19).
+//!
+//! * [`Hermes`] predicts, at load issue, whether a load will be serviced
+//!   by DRAM; predicted off-chip loads get a *speculative direct DRAM
+//!   probe* issued in parallel with the cache walk, hiding the on-chip
+//!   lookup latency. Hermes does **not** reduce DRAM traffic — the
+//!   paper's reason it loses to CLIP under constrained bandwidth.
+//! * [`DsPatch`] modulates a host prefetcher between a coverage-biased
+//!   and an accuracy-biased spatial pattern per trigger, choosing by
+//!   *per-controller* DRAM bandwidth utilization. Under constrained
+//!   bandwidth, each controller individually looks underutilised (queues,
+//!   not busses, are the bottleneck), so DSPatch picks coverage mode —
+//!   the pathology §5.3 describes.
+
+use clip_prefetch::PrefetchCandidate;
+use clip_types::{Ip, LineAddr};
+
+const HERMES_TABLE: usize = 1024;
+const HERMES_THRESHOLD: i32 = 0;
+const W_MAX: i16 = 31;
+const W_MIN: i16 = -32;
+
+/// Perceptron-based off-chip load predictor (Hermes, MICRO '22).
+///
+/// Features: load IP, page, line-within-page, and IP⊕page — a subset of
+/// the POPET feature set sufficient for the trace-level model.
+///
+/// # Examples
+///
+/// ```
+/// use clip_offchip::Hermes;
+/// use clip_types::{Ip, LineAddr};
+///
+/// let mut hermes = Hermes::new();
+/// for _ in 0..100 {
+///     hermes.train(Ip::new(0x400), LineAddr::new(0x9000), true); // off-chip
+/// }
+/// assert!(hermes.predict_offchip(Ip::new(0x400), LineAddr::new(0x9000)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hermes {
+    w_ip: Vec<i16>,
+    w_page: Vec<i16>,
+    w_offset: Vec<i16>,
+    w_cross: Vec<i16>,
+    predictions: u64,
+    predicted_offchip: u64,
+}
+
+impl Hermes {
+    /// Creates a zero-initialised predictor.
+    pub fn new() -> Self {
+        Hermes {
+            w_ip: vec![0; HERMES_TABLE],
+            w_page: vec![0; HERMES_TABLE],
+            w_offset: vec![0; 64],
+            w_cross: vec![0; HERMES_TABLE],
+            predictions: 0,
+            predicted_offchip: 0,
+        }
+    }
+
+    fn features(ip: Ip, line: LineAddr) -> [usize; 4] {
+        [
+            (clip_types::hash64(ip.raw()) as usize) % HERMES_TABLE,
+            (clip_types::hash64(line.page()) as usize) % HERMES_TABLE,
+            line.page_offset() as usize,
+            (clip_types::hash64(ip.raw() ^ line.page().rotate_left(21)) as usize) % HERMES_TABLE,
+        ]
+    }
+
+    fn score(&self, f: [usize; 4]) -> i32 {
+        self.w_ip[f[0]] as i32
+            + self.w_page[f[1]] as i32
+            + self.w_offset[f[2]] as i32
+            + self.w_cross[f[3]] as i32
+    }
+
+    /// Predicts whether a load to `line` by `ip` will be serviced off-chip.
+    pub fn predict_offchip(&mut self, ip: Ip, line: LineAddr) -> bool {
+        self.predictions += 1;
+        let off = self.score(Self::features(ip, line)) > HERMES_THRESHOLD;
+        if off {
+            self.predicted_offchip += 1;
+        }
+        off
+    }
+
+    /// Trains on the resolved service level.
+    pub fn train(&mut self, ip: Ip, line: LineAddr, went_offchip: bool) {
+        let f = Self::features(ip, line);
+        let predicted = self.score(f) > HERMES_THRESHOLD;
+        if predicted == went_offchip {
+            return;
+        }
+        let d: i16 = if went_offchip { 1 } else { -1 };
+        for (w, i) in [
+            (&mut self.w_ip, f[0]),
+            (&mut self.w_page, f[1]),
+            (&mut self.w_offset, f[2]),
+            (&mut self.w_cross, f[3]),
+        ] {
+            w[i] = (w[i] + d).clamp(W_MIN, W_MAX);
+        }
+    }
+
+    /// Fraction of loads predicted off-chip so far.
+    pub fn offchip_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.predicted_offchip as f64 / self.predictions as f64
+        }
+    }
+}
+
+impl Default for Hermes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bandwidth-mode DSPatch operates in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DsPatchMode {
+    /// Bandwidth looks free → maximise coverage (expand patterns).
+    Coverage,
+    /// Bandwidth saturated → maximise accuracy (shrink patterns).
+    Accuracy,
+}
+
+/// Dual-spatial-pattern modulation (DSPatch, MICRO '19), applied to a host
+/// prefetcher's candidate stream.
+///
+/// # Examples
+///
+/// ```
+/// use clip_offchip::{DsPatch, DsPatchMode};
+///
+/// let mut dspatch = DsPatch::new();
+/// dspatch.set_bandwidth(0.95); // one controller looks saturated
+/// assert_eq!(dspatch.mode(), DsPatchMode::Accuracy);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DsPatch {
+    /// Latest per-controller utilization sample in [0,1]. DSPatch samples
+    /// each DRAM controller independently (the myopia the paper calls
+    /// out); callers pass the *maximum* single-controller utilization.
+    per_ctrl_util: f64,
+    /// Utilization above which DSPatch switches to accuracy mode.
+    switch_threshold: f64,
+    mode_switches: u64,
+    last_mode: DsPatchMode,
+}
+
+impl DsPatch {
+    /// Creates DSPatch with the default 7/8 switch threshold.
+    pub fn new() -> Self {
+        DsPatch {
+            per_ctrl_util: 0.0,
+            switch_threshold: 0.875,
+            mode_switches: 0,
+            last_mode: DsPatchMode::Coverage,
+        }
+    }
+
+    /// Feeds the per-controller bandwidth utilization sample.
+    pub fn set_bandwidth(&mut self, per_controller_util: f64) {
+        self.per_ctrl_util = per_controller_util.clamp(0.0, 1.0);
+        let mode = self.mode();
+        if mode != self.last_mode {
+            self.mode_switches += 1;
+            self.last_mode = mode;
+        }
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> DsPatchMode {
+        if self.per_ctrl_util >= self.switch_threshold {
+            DsPatchMode::Accuracy
+        } else {
+            DsPatchMode::Coverage
+        }
+    }
+
+    /// Times the mode flipped.
+    pub fn mode_switches(&self) -> u64 {
+        self.mode_switches
+    }
+
+    /// Modulates a host prefetcher's candidates in place:
+    ///
+    /// * **Coverage mode** — passes everything and adds the spatial
+    ///   neighbour of each candidate (CovP bit expansion).
+    /// * **Accuracy mode** — keeps only the high-confidence (L1-fill)
+    ///   candidates (AccP intersection).
+    pub fn modulate(&mut self, candidates: &mut Vec<PrefetchCandidate>) {
+        match self.mode() {
+            DsPatchMode::Coverage => {
+                let extra: Vec<PrefetchCandidate> = candidates
+                    .iter()
+                    .map(|c| PrefetchCandidate {
+                        line: c.line.offset_by(1),
+                        trigger_ip: c.trigger_ip,
+                        fill_l1: false,
+                    })
+                    .collect();
+                candidates.extend(extra);
+            }
+            DsPatchMode::Accuracy => {
+                candidates.retain(|c| c.fill_l1);
+            }
+        }
+    }
+}
+
+impl Default for DsPatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hermes_learns_offchip_pages() {
+        let mut h = Hermes::new();
+        let hot_page = LineAddr::new(64 * 10); // page 10: always on-chip
+        let cold_page = LineAddr::new(64 * 999); // page 999: always off-chip
+        for _ in 0..200 {
+            h.train(Ip::new(0x400), cold_page, true);
+            h.train(Ip::new(0x400), hot_page, false);
+        }
+        assert!(h.predict_offchip(Ip::new(0x400), cold_page));
+        assert!(!h.predict_offchip(Ip::new(0x400), hot_page));
+    }
+
+    #[test]
+    fn hermes_untrained_predicts_onchip() {
+        let mut h = Hermes::new();
+        assert!(!h.predict_offchip(Ip::new(0x1), LineAddr::new(5)));
+        assert_eq!(h.offchip_rate(), 0.0);
+    }
+
+    #[test]
+    fn dspatch_mode_switches_at_threshold() {
+        let mut d = DsPatch::new();
+        assert_eq!(d.mode(), DsPatchMode::Coverage);
+        d.set_bandwidth(0.9);
+        assert_eq!(d.mode(), DsPatchMode::Accuracy);
+        d.set_bandwidth(0.2);
+        assert_eq!(d.mode(), DsPatchMode::Coverage);
+        assert_eq!(d.mode_switches(), 2);
+    }
+
+    #[test]
+    fn coverage_mode_expands_candidates() {
+        let mut d = DsPatch::new();
+        d.set_bandwidth(0.1);
+        let mut v = vec![PrefetchCandidate {
+            line: LineAddr::new(100),
+            trigger_ip: Ip::new(0x4),
+            fill_l1: true,
+        }];
+        d.modulate(&mut v);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|c| c.line == LineAddr::new(101)));
+    }
+
+    #[test]
+    fn hermes_offchip_rate_tracks_predictions() {
+        let mut h = Hermes::new();
+        for _ in 0..100 {
+            h.train(Ip::new(0x7), LineAddr::new(64 * 5), true);
+        }
+        let mut off = 0;
+        for i in 0..50u64 {
+            if h.predict_offchip(Ip::new(0x7), LineAddr::new(64 * 5 + i % 2)) {
+                off += 1;
+            }
+        }
+        assert!(off > 0);
+        assert!(h.offchip_rate() > 0.0 && h.offchip_rate() <= 1.0);
+    }
+
+    #[test]
+    fn hermes_weights_stay_clamped() {
+        let mut h = Hermes::new();
+        for _ in 0..10_000 {
+            h.train(Ip::new(0x9), LineAddr::new(640), true);
+        }
+        // Saturated training must not overflow; prediction stays stable.
+        assert!(h.predict_offchip(Ip::new(0x9), LineAddr::new(640)));
+    }
+
+    #[test]
+    fn dspatch_modulate_empty_is_noop() {
+        let mut d = DsPatch::new();
+        let mut v: Vec<PrefetchCandidate> = Vec::new();
+        d.modulate(&mut v);
+        assert!(v.is_empty());
+        d.set_bandwidth(1.5); // clamped
+        assert_eq!(d.mode(), DsPatchMode::Accuracy);
+        d.set_bandwidth(-1.0); // clamped
+        assert_eq!(d.mode(), DsPatchMode::Coverage);
+    }
+
+    #[test]
+    fn accuracy_mode_prunes_low_confidence() {
+        let mut d = DsPatch::new();
+        d.set_bandwidth(0.95);
+        let mut v = vec![
+            PrefetchCandidate {
+                line: LineAddr::new(1),
+                trigger_ip: Ip::new(0x4),
+                fill_l1: true,
+            },
+            PrefetchCandidate {
+                line: LineAddr::new(2),
+                trigger_ip: Ip::new(0x4),
+                fill_l1: false,
+            },
+        ];
+        d.modulate(&mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].fill_l1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Hardware data prefetchers: Berti, IPCP, Bingo, SPP-PPF, and the simple
+//! baselines (IP-stride, stream, next-line).
+//!
+//! All prefetchers implement [`Prefetcher`]: the cache level they train at
+//! feeds them every demand access via [`Prefetcher::on_access`], and they
+//! append [`PrefetchCandidate`]s to the caller's buffer. The candidates
+//! then pass through CLIP (when enabled), dedup against the cache/MSHRs,
+//! and a bounded prefetch queue — exactly the paper's pipeline (Fig. 8).
+//!
+//! Throttlers adjust aggressiveness with [`Prefetcher::set_level`]
+//! (1 = most conservative .. 5 = most aggressive, FDP-style).
+//!
+//! # Examples
+//!
+//! ```
+//! use clip_prefetch::{AccessInfo, Prefetcher, build, PrefetcherKind};
+//! use clip_types::{Addr, Ip};
+//!
+//! let mut pf = build(PrefetcherKind::NextLine);
+//! let mut out = Vec::new();
+//! pf.on_access(
+//!     &AccessInfo { ip: Ip::new(0x400), addr: Addr::new(0x1000), hit: false, is_store: false, cycle: 0 },
+//!     &mut out,
+//! );
+//! assert!(!out.is_empty());
+//! ```
+
+pub mod berti;
+pub mod bingo;
+pub mod ipcp;
+pub mod simple;
+pub mod spp;
+
+pub use berti::Berti;
+pub use bingo::Bingo;
+pub use ipcp::Ipcp;
+pub use simple::{IpStride, NextLine, Stream};
+pub use spp::SppPpf;
+
+pub use clip_types::PrefetcherKind;
+use clip_types::{Addr, Cycle, Ip, LineAddr};
+
+/// One demand access observed at the training cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// Instruction pointer of the demand access.
+    pub ip: Ip,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Whether the access hit at this level.
+    pub hit: bool,
+    /// True for stores.
+    pub is_store: bool,
+    /// Current cycle.
+    pub cycle: Cycle,
+}
+
+/// A prefetch the prefetcher would like to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchCandidate {
+    /// Line to fetch.
+    pub line: LineAddr,
+    /// The demand IP that triggered this candidate — CLIP's trigger IP.
+    pub trigger_ip: Ip,
+    /// Fill into L1 (true) or stop at L2 (false). CLIP overrides this to
+    /// L1 for the prefetches it lets through.
+    pub fill_l1: bool,
+}
+
+/// Common interface of every prefetcher in the bouquet.
+pub trait Prefetcher {
+    /// Observes a demand access at the training level and appends
+    /// candidates to `out`.
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<PrefetchCandidate>);
+
+    /// Notifies the prefetcher that a line it requested has filled
+    /// (used by Berti's timeliness measurement).
+    fn on_fill(&mut self, _line: LineAddr, _cycle: Cycle) {}
+
+    /// Feedback: a previously issued prefetch resolved as useful (demand
+    /// hit) or useless (evicted untouched). Drives PPF training.
+    fn on_prefetch_result(&mut self, _line: LineAddr, _useful: bool) {}
+
+    /// Sets the aggressiveness level, 1 (conservative) ..= 5 (aggressive).
+    /// Level 3 is the default. Used by FDP/HPAC/SPAC/NST.
+    fn set_level(&mut self, _level: u8) {}
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Builds a boxed prefetcher of the given kind with default tuning.
+///
+/// # Panics
+///
+/// Panics for [`PrefetcherKind::None`]; callers handle "no prefetcher"
+/// before reaching this factory.
+pub fn build(kind: PrefetcherKind) -> Box<dyn Prefetcher> {
+    match kind {
+        PrefetcherKind::Berti => Box::new(Berti::new()),
+        PrefetcherKind::Ipcp => Box::new(Ipcp::new()),
+        PrefetcherKind::Bingo => Box::new(Bingo::new()),
+        PrefetcherKind::SppPpf => Box::new(SppPpf::new()),
+        PrefetcherKind::IpStride => Box::new(IpStride::new()),
+        PrefetcherKind::Stream => Box::new(Stream::new()),
+        PrefetcherKind::NextLine => Box::new(NextLine::new()),
+        PrefetcherKind::None => panic!("PrefetcherKind::None has no implementation"),
+    }
+}
+
+/// Maps an FDP-style aggressiveness level to a degree, given the
+/// prefetcher's baseline degree at level 3.
+pub(crate) fn degree_for_level(base: usize, level: u8) -> usize {
+    match level {
+        0 | 1 => (base / 4).max(1),
+        2 => (base / 2).max(1),
+        3 => base,
+        4 => base * 2,
+        _ => base * 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(ip: u64, addr: u64, cycle: Cycle) -> AccessInfo {
+        AccessInfo {
+            ip: Ip::new(ip),
+            addr: Addr::new(addr),
+            hit: false,
+            is_store: false,
+            cycle,
+        }
+    }
+
+    /// Every prefetcher must learn a unit-stride stream.
+    #[test]
+    fn all_prefetchers_cover_sequential_stream() {
+        for kind in [
+            PrefetcherKind::Berti,
+            PrefetcherKind::Ipcp,
+            PrefetcherKind::Bingo,
+            PrefetcherKind::SppPpf,
+            PrefetcherKind::IpStride,
+            PrefetcherKind::Stream,
+            PrefetcherKind::NextLine,
+        ] {
+            let mut pf = build(kind);
+            let mut out = Vec::new();
+            let mut issued = std::collections::HashSet::new();
+            let mut useful = 0u32;
+            let n = 600u64;
+            for i in 0..n {
+                let addr = 0x10_0000 + i * 64;
+                if issued.contains(&Addr::new(addr).line()) {
+                    useful += 1;
+                }
+                out.clear();
+                pf.on_access(&access(0x400, addr, i * 20), &mut out);
+                for c in &out {
+                    issued.insert(c.line);
+                    pf.on_fill(c.line, i * 20 + 100);
+                }
+            }
+            assert!(
+                useful as f64 / n as f64 > 0.3,
+                "{}: sequential coverage too low: {useful}/{n}",
+                pf.name()
+            );
+        }
+    }
+
+    /// No prefetcher should flood on a random (unpredictable) stream.
+    #[test]
+    fn prefetchers_restrain_on_random_access() {
+        for kind in [
+            PrefetcherKind::Berti,
+            PrefetcherKind::Ipcp,
+            PrefetcherKind::SppPpf,
+        ] {
+            let mut pf = build(kind);
+            let mut out = Vec::new();
+            let mut total = 0usize;
+            let n = 2000u64;
+            for i in 0..n {
+                let addr = (clip_types::hash64(i) % (1 << 30)) & !63;
+                out.clear();
+                pf.on_access(&access(0x500, addr, i * 20), &mut out);
+                total += out.len();
+            }
+            assert!(
+                (total as f64) < n as f64 * 2.0,
+                "{}: issues {} prefetches on {} random accesses",
+                pf.name(),
+                total,
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn degree_for_level_monotonic() {
+        let base = 4;
+        let mut prev = 0;
+        for level in 1..=5u8 {
+            let d = degree_for_level(base, level);
+            assert!(d >= prev);
+            prev = d;
+        }
+        assert_eq!(degree_for_level(4, 3), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn building_none_panics() {
+        let _ = build(PrefetcherKind::None);
+    }
+}

@@ -1,0 +1,338 @@
+//! Simple baseline prefetchers: next-line, IP-stride, and a POWER4-style
+//! stream prefetcher. These are the hosts that classic throttlers (FDP,
+//! HPAC) were designed for; the paper contrasts their modest accuracy with
+//! Berti's.
+
+use crate::{degree_for_level, AccessInfo, PrefetchCandidate, Prefetcher};
+#[cfg(test)]
+use clip_types::Ip;
+use clip_types::{Cycle, LineAddr};
+
+/// Prefetches the next `degree` sequential lines on every miss.
+#[derive(Debug, Clone)]
+pub struct NextLine {
+    degree: usize,
+}
+
+impl NextLine {
+    /// Creates a next-line prefetcher with degree 1.
+    pub fn new() -> Self {
+        NextLine { degree: 1 }
+    }
+}
+
+impl Default for NextLine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<PrefetchCandidate>) {
+        if info.hit {
+            return;
+        }
+        let line = info.addr.line();
+        for d in 1..=self.degree as i64 {
+            out.push(PrefetchCandidate {
+                line: line.offset_by(d),
+                trigger_ip: info.ip,
+                fill_l1: true,
+            });
+        }
+    }
+
+    fn set_level(&mut self, level: u8) {
+        self.degree = degree_for_level(1, level);
+    }
+
+    fn name(&self) -> &'static str {
+        "Next-line"
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideEntry {
+    ip: u64,
+    last_line: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+/// Classic per-IP constant-stride prefetcher (Fu et al., MICRO '92).
+#[derive(Debug, Clone)]
+pub struct IpStride {
+    table: Vec<StrideEntry>,
+    degree: usize,
+}
+
+const STRIDE_TABLE: usize = 256;
+const STRIDE_CONF_MAX: u8 = 3;
+
+impl IpStride {
+    /// Creates an IP-stride prefetcher with degree 2.
+    pub fn new() -> Self {
+        IpStride {
+            table: vec![StrideEntry::default(); STRIDE_TABLE],
+            degree: 2,
+        }
+    }
+}
+
+impl Default for IpStride {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for IpStride {
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<PrefetchCandidate>) {
+        let line = info.addr.line().raw();
+        let idx = (clip_types::hash64(info.ip.raw()) as usize) % STRIDE_TABLE;
+        let e = &mut self.table[idx];
+        if e.ip != info.ip.raw() {
+            *e = StrideEntry {
+                ip: info.ip.raw(),
+                last_line: line,
+                stride: 0,
+                confidence: 0,
+            };
+            return;
+        }
+        let stride = line as i64 - e.last_line as i64;
+        e.last_line = line;
+        if stride == 0 {
+            return;
+        }
+        if stride == e.stride {
+            e.confidence = (e.confidence + 1).min(STRIDE_CONF_MAX);
+        } else {
+            e.confidence = e.confidence.saturating_sub(1);
+            if e.confidence == 0 {
+                e.stride = stride;
+            }
+            return;
+        }
+        if e.confidence >= 2 {
+            for d in 1..=self.degree as i64 {
+                out.push(PrefetchCandidate {
+                    line: info.addr.line().offset_by(e.stride * d),
+                    trigger_ip: info.ip,
+                    fill_l1: true,
+                });
+            }
+        }
+    }
+
+    fn set_level(&mut self, level: u8) {
+        self.degree = degree_for_level(2, level);
+    }
+
+    fn name(&self) -> &'static str {
+        "IP-stride"
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamEntry {
+    valid: bool,
+    last_line: u64,
+    direction: i64,
+    confidence: u8,
+    last_used: Cycle,
+}
+
+/// POWER4-style stream prefetcher: detects sequential miss streams within
+/// aligned regions and runs ahead of them.
+#[derive(Debug, Clone)]
+pub struct Stream {
+    streams: Vec<StreamEntry>,
+    degree: usize,
+    distance: usize,
+}
+
+const STREAM_ENTRIES: usize = 16;
+/// Streams are confined to 4 KiB regions, like the hardware they model.
+const REGION_LINES: u64 = 64;
+
+impl Stream {
+    /// Creates a stream prefetcher with degree 2, distance 4.
+    pub fn new() -> Self {
+        Stream {
+            streams: vec![StreamEntry::default(); STREAM_ENTRIES],
+            degree: 2,
+            distance: 4,
+        }
+    }
+}
+
+impl Default for Stream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for Stream {
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<PrefetchCandidate>) {
+        if info.hit {
+            return;
+        }
+        let line = info.addr.line().raw();
+        // Match an existing stream whose head is within the window.
+        for e in self.streams.iter_mut() {
+            if !e.valid {
+                continue;
+            }
+            let delta = line as i64 - e.last_line as i64;
+            if delta != 0 && delta.signum() == e.direction.signum() && delta.abs() <= 4 {
+                e.last_line = line;
+                e.confidence = (e.confidence + 1).min(3);
+                e.last_used = info.cycle;
+                if e.confidence >= 2 {
+                    for d in 1..=self.degree as i64 {
+                        let target =
+                            line as i64 + e.direction.signum() * (self.distance as i64 + d);
+                        if target >= 0 && (target as u64) / REGION_LINES == line / REGION_LINES {
+                            out.push(PrefetchCandidate {
+                                line: LineAddr::new(target as u64),
+                                trigger_ip: info.ip,
+                                fill_l1: true,
+                            });
+                        }
+                    }
+                }
+                return;
+            }
+            // Allocation check: adjacent first-touch establishes direction.
+            if delta.abs() == 1 && e.confidence == 0 {
+                e.direction = delta;
+                e.last_line = line;
+                e.confidence = 1;
+                e.last_used = info.cycle;
+                return;
+            }
+        }
+        // Allocate a new tracking entry (LRU).
+        let victim = self
+            .streams
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.last_used } else { 0 })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.streams[victim] = StreamEntry {
+            valid: true,
+            last_line: line,
+            direction: 1,
+            confidence: 0,
+            last_used: info.cycle,
+        };
+    }
+
+    fn set_level(&mut self, level: u8) {
+        self.degree = degree_for_level(2, level);
+        self.distance = degree_for_level(4, level);
+    }
+
+    fn name(&self) -> &'static str {
+        "Stream"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_types::Addr;
+
+    fn access(ip: u64, line: u64, cycle: Cycle) -> AccessInfo {
+        AccessInfo {
+            ip: Ip::new(ip),
+            addr: Addr::new(line * 64),
+            hit: false,
+            is_store: false,
+            cycle,
+        }
+    }
+
+    #[test]
+    fn next_line_prefetches_successor() {
+        let mut pf = NextLine::new();
+        let mut out = Vec::new();
+        pf.on_access(&access(1, 100, 0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, LineAddr::new(101));
+    }
+
+    #[test]
+    fn next_line_skips_hits() {
+        let mut pf = NextLine::new();
+        let mut out = Vec::new();
+        let mut a = access(1, 100, 0);
+        a.hit = true;
+        pf.on_access(&a, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ip_stride_learns_stride_of_three() {
+        let mut pf = IpStride::new();
+        let mut out = Vec::new();
+        for i in 0..10u64 {
+            out.clear();
+            pf.on_access(&access(7, 100 + i * 3, i), &mut out);
+        }
+        assert!(!out.is_empty());
+        assert_eq!(out[0].line, LineAddr::new(100 + 9 * 3 + 3));
+    }
+
+    #[test]
+    fn ip_stride_distrusts_changing_strides() {
+        let mut pf = IpStride::new();
+        let mut out = Vec::new();
+        let pattern = [0u64, 5, 7, 20, 22, 90];
+        for (i, l) in pattern.iter().enumerate() {
+            pf.on_access(&access(9, *l, i as u64), &mut out);
+        }
+        assert!(out.is_empty(), "no stable stride, no prefetch");
+    }
+
+    #[test]
+    fn stream_follows_sequential_misses() {
+        let mut pf = Stream::new();
+        let mut out = Vec::new();
+        for i in 0..10u64 {
+            out.clear();
+            pf.on_access(&access(3, 1000 + i, i * 10), &mut out);
+        }
+        assert!(!out.is_empty(), "established stream must prefetch ahead");
+        assert!(out.iter().all(|c| c.line.raw() > 1009));
+    }
+
+    #[test]
+    fn stream_respects_region_boundary() {
+        let mut pf = Stream::new();
+        let mut out = Vec::new();
+        // Approach the end of a 64-line region.
+        for i in 0..8u64 {
+            out.clear();
+            pf.on_access(&access(3, 56 + i, i * 10), &mut out);
+        }
+        for c in &out {
+            assert!(c.line.raw() < 64, "must not cross 4K region: {:?}", c.line);
+        }
+    }
+
+    #[test]
+    fn levels_scale_degree() {
+        let mut pf = NextLine::new();
+        let mut out = Vec::new();
+        pf.set_level(5);
+        pf.on_access(&access(1, 100, 0), &mut out);
+        let aggressive = out.len();
+        out.clear();
+        pf.set_level(1);
+        pf.on_access(&access(1, 200, 1), &mut out);
+        let conservative = out.len();
+        assert!(aggressive > conservative);
+    }
+}

@@ -1,0 +1,357 @@
+//! SPP-PPF: signature path prefetching (Kim et al., MICRO '16) with
+//! perceptron prefetch filtering (Bhatia et al., ISCA '19) — the paper's
+//! state-of-the-art L2 prefetcher.
+//!
+//! SPP tracks, per 4 KiB page, a compressed *signature* of the recent
+//! delta path and predicts the next delta from a pattern table, walking
+//! the path speculatively (lookahead) while the product of per-step
+//! confidences stays above a threshold. PPF lets the lookahead run deeper
+//! regardless of confidence and gates each candidate with a perceptron
+//! over features of the candidate, trained by prefetch-usefulness
+//! feedback.
+
+use crate::{AccessInfo, PrefetchCandidate, Prefetcher};
+#[cfg(test)]
+use clip_types::Ip;
+use clip_types::LineAddr;
+
+const PAGE_TABLE: usize = 256;
+const PATTERN_TABLE: usize = 2048;
+const DELTAS_PER_SIG: usize = 4;
+const SIG_BITS: u16 = 12;
+const LOOKAHEAD_MAX: usize = 8;
+/// Confidence floor below which SPP alone would stop; PPF keeps walking
+/// until `PPF_FLOOR`.
+const SPP_CONF_FLOOR: f64 = 0.30;
+const PPF_FLOOR: f64 = 0.10;
+/// Lines per 4 KiB page.
+const PAGE_LINES: i64 = 64;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PageEntry {
+    tag: u64,
+    last_offset: i64,
+    sig: u16,
+    valid: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PatternSlot {
+    delta: i64,
+    counter: u16,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PatternEntry {
+    slots: [PatternSlot; DELTAS_PER_SIG],
+    total: u16,
+}
+
+/// Perceptron prefetch filter: one weight table per feature.
+#[derive(Debug, Clone)]
+struct Ppf {
+    w_sig: Vec<i16>,
+    w_ip: Vec<i16>,
+    w_offset: Vec<i16>,
+    w_depth: Vec<i16>,
+    /// Recently issued prefetches awaiting a verdict: (line, features).
+    pending: std::collections::VecDeque<(u64, [usize; 4])>,
+}
+
+const PPF_TABLE: usize = 1024;
+const PPF_THRESHOLD: i32 = 0;
+const PPF_WEIGHT_MAX: i16 = 31;
+const PPF_WEIGHT_MIN: i16 = -32;
+const PPF_PENDING: usize = 1024;
+
+impl Ppf {
+    fn new() -> Self {
+        Ppf {
+            w_sig: vec![0; PPF_TABLE],
+            w_ip: vec![0; PPF_TABLE],
+            w_offset: vec![0; 64],
+            w_depth: vec![0; LOOKAHEAD_MAX + 1],
+            pending: std::collections::VecDeque::with_capacity(PPF_PENDING),
+        }
+    }
+
+    fn features(sig: u16, ip: u64, offset: i64, depth: usize) -> [usize; 4] {
+        [
+            (clip_types::hash64(sig as u64) as usize) % PPF_TABLE,
+            (clip_types::hash64(ip) as usize) % PPF_TABLE,
+            (offset.rem_euclid(64)) as usize,
+            depth.min(LOOKAHEAD_MAX),
+        ]
+    }
+
+    fn score(&self, f: [usize; 4]) -> i32 {
+        self.w_sig[f[0]] as i32
+            + self.w_ip[f[1]] as i32
+            + self.w_offset[f[2]] as i32
+            + self.w_depth[f[3]] as i32
+    }
+
+    fn record(&mut self, line: u64, f: [usize; 4]) {
+        if self.pending.len() >= PPF_PENDING {
+            self.pending.pop_front();
+        }
+        self.pending.push_back((line, f));
+    }
+
+    fn train(&mut self, line: u64, useful: bool) {
+        let Some(pos) = self.pending.iter().position(|(l, _)| *l == line) else {
+            return;
+        };
+        let (_, f) = self
+            .pending
+            .swap_remove_back(pos)
+            .expect("position is valid");
+        let d: i16 = if useful { 1 } else { -1 };
+        for (w, i) in [
+            (&mut self.w_sig, f[0]),
+            (&mut self.w_ip, f[1]),
+            (&mut self.w_offset, f[2]),
+            (&mut self.w_depth, f[3]),
+        ] {
+            w[i] = (w[i] + d).clamp(PPF_WEIGHT_MIN, PPF_WEIGHT_MAX);
+        }
+    }
+}
+
+/// The SPP-PPF prefetcher.
+#[derive(Debug, Clone)]
+pub struct SppPpf {
+    pages: Vec<PageEntry>,
+    patterns: Vec<PatternEntry>,
+    ppf: Ppf,
+    lookahead_max: usize,
+}
+
+impl SppPpf {
+    /// Creates SPP-PPF with default tuning.
+    pub fn new() -> Self {
+        SppPpf {
+            pages: vec![PageEntry::default(); PAGE_TABLE],
+            patterns: vec![PatternEntry::default(); PATTERN_TABLE],
+            ppf: Ppf::new(),
+            lookahead_max: LOOKAHEAD_MAX,
+        }
+    }
+
+    fn sig_update(sig: u16, delta: i64) -> u16 {
+        let d = (delta.rem_euclid(128)) as u16;
+        ((sig << 3) ^ d) & ((1 << SIG_BITS) - 1)
+    }
+
+    fn pattern_update(&mut self, sig: u16, delta: i64) {
+        let e = &mut self.patterns[(sig as usize) % PATTERN_TABLE];
+        e.total = e.total.saturating_add(1);
+        if let Some(s) = e
+            .slots
+            .iter_mut()
+            .find(|s| s.delta == delta && s.counter > 0)
+        {
+            s.counter = s.counter.saturating_add(1);
+        } else if let Some(s) = e.slots.iter_mut().min_by_key(|s| s.counter) {
+            *s = PatternSlot { delta, counter: 1 };
+        }
+        if e.total >= 256 {
+            e.total /= 2;
+            for s in e.slots.iter_mut() {
+                s.counter /= 2;
+            }
+        }
+    }
+
+    fn best_delta(&self, sig: u16) -> Option<(i64, f64)> {
+        let e = &self.patterns[(sig as usize) % PATTERN_TABLE];
+        if e.total == 0 {
+            return None;
+        }
+        e.slots
+            .iter()
+            .filter(|s| s.counter > 0 && s.delta != 0)
+            .max_by_key(|s| s.counter)
+            .map(|s| (s.delta, s.counter as f64 / e.total as f64))
+    }
+}
+
+impl Default for SppPpf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for SppPpf {
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<PrefetchCandidate>) {
+        let line = info.addr.line();
+        let page = line.page();
+        let offset = line.page_offset() as i64;
+        let slot = (clip_types::hash64(page) as usize) % PAGE_TABLE;
+
+        let (mut sig, known) = {
+            let e = &self.pages[slot];
+            if e.valid && e.tag == page {
+                (e.sig, true)
+            } else {
+                (0u16, false)
+            }
+        };
+
+        if known {
+            let delta = offset - self.pages[slot].last_offset;
+            if delta != 0 {
+                self.pattern_update(sig, delta);
+                sig = Self::sig_update(sig, delta);
+            }
+        }
+        self.pages[slot] = PageEntry {
+            tag: page,
+            last_offset: offset,
+            sig,
+            valid: true,
+        };
+        if !known {
+            return;
+        }
+
+        // Lookahead walk.
+        let mut cur_sig = sig;
+        let mut cur_off = offset;
+        let mut conf = 1.0f64;
+        let page_base = page * PAGE_LINES as u64;
+        for depth in 1..=self.lookahead_max {
+            let Some((delta, c)) = self.best_delta(cur_sig) else {
+                break;
+            };
+            conf *= c;
+            if conf < PPF_FLOOR {
+                break;
+            }
+            cur_off += delta;
+            if !(0..PAGE_LINES).contains(&cur_off) {
+                break; // SPP does not cross pages
+            }
+            let target = LineAddr::new(page_base + cur_off as u64);
+            let f = Ppf::features(cur_sig, info.ip.raw(), cur_off, depth);
+            // PPF gates every candidate: SPP proposes (walking deeper than
+            // its own confidence floor would allow), the perceptron
+            // disposes. Candidates SPP itself is confident about still go
+            // through the filter, so sustained uselessness feedback can
+            // shut even them off.
+            let _ = SPP_CONF_FLOOR; // retained for documentation parity
+                                    // A delta path can revisit the trigger offset (deltas summing
+                                    // to zero); prefetching it would be a self-prefetch.
+            let issue = cur_off != offset && self.ppf.score(f) >= PPF_THRESHOLD;
+            if issue {
+                self.ppf.record(target.raw(), f);
+                out.push(PrefetchCandidate {
+                    line: target,
+                    trigger_ip: info.ip,
+                    fill_l1: false,
+                });
+            }
+            cur_sig = Self::sig_update(cur_sig, delta);
+        }
+    }
+
+    fn on_prefetch_result(&mut self, line: LineAddr, useful: bool) {
+        self.ppf.train(line.raw(), useful);
+    }
+
+    fn set_level(&mut self, level: u8) {
+        self.lookahead_max = crate::degree_for_level(LOOKAHEAD_MAX, level).min(16);
+    }
+
+    fn name(&self) -> &'static str {
+        "SPP-PPF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_types::Addr;
+
+    fn access(ip: u64, line: u64, cycle: u64) -> AccessInfo {
+        AccessInfo {
+            ip: Ip::new(ip),
+            addr: Addr::new(line * 64),
+            hit: false,
+            is_store: false,
+            cycle,
+        }
+    }
+
+    #[test]
+    fn learns_unit_stride_within_page() {
+        let mut pf = SppPpf::new();
+        let mut out = Vec::new();
+        for i in 0..40u64 {
+            out.clear();
+            pf.on_access(&access(0x400, 64 * 100 + i, i), &mut out);
+        }
+        assert!(!out.is_empty(), "stride path must prefetch");
+        // All candidates stay in the page.
+        assert!(out.iter().all(|c| c.line.page() == 100));
+    }
+
+    #[test]
+    fn lookahead_goes_multiple_steps() {
+        let mut pf = SppPpf::new();
+        let mut out = Vec::new();
+        // Strong unit-delta pattern across many pages builds confidence.
+        for p in 0..20u64 {
+            for i in 0..30u64 {
+                out.clear();
+                pf.on_access(&access(0x400, 64 * (200 + p) + i, p * 100 + i), &mut out);
+            }
+        }
+        assert!(out.len() >= 2, "confident path walks ahead: {}", out.len());
+    }
+
+    #[test]
+    fn ppf_training_suppresses_useless_paths() {
+        let mut pf = SppPpf::new();
+        let mut out = Vec::new();
+        // Build a weak alternating pattern and mark everything useless.
+        for round in 0..60u64 {
+            for i in 0..20u64 {
+                out.clear();
+                let off = (i * 3) % 60;
+                pf.on_access(
+                    &access(0x500, 64 * (300 + round) + off, round * 100 + i),
+                    &mut out,
+                );
+                for c in &out {
+                    pf.on_prefetch_result(c.line, false);
+                }
+            }
+        }
+        // After sustained negative feedback, deep (low-confidence)
+        // candidates should be rarer than at the start.
+        let mut late = 0;
+        for i in 0..20u64 {
+            out.clear();
+            let off = (i * 3) % 60;
+            pf.on_access(&access(0x500, 64 * 999 + off, 1_000_000 + i), &mut out);
+            late += out.len();
+        }
+        // Not a strict zero (SPP still fires at high confidence), but the
+        // filter must bound the flood.
+        assert!(late <= 40, "PPF must bound useless prefetching: {late}");
+    }
+
+    #[test]
+    fn no_cross_page_prefetches() {
+        let mut pf = SppPpf::new();
+        let mut out = Vec::new();
+        for i in 0..63u64 {
+            out.clear();
+            pf.on_access(&access(0x600, 64 * 50 + i, i), &mut out);
+        }
+        for c in &out {
+            assert_eq!(c.line.page(), 50);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests over the whole prefetcher bouquet: interface
+//! invariants every implementation must uphold for any access stream.
+
+use clip_prefetch::{build, AccessInfo, PrefetcherKind};
+use clip_types::{Addr, Ip};
+use proptest::prelude::*;
+
+const ALL_KINDS: [PrefetcherKind; 7] = [
+    PrefetcherKind::Berti,
+    PrefetcherKind::Ipcp,
+    PrefetcherKind::Bingo,
+    PrefetcherKind::SppPpf,
+    PrefetcherKind::IpStride,
+    PrefetcherKind::Stream,
+    PrefetcherKind::NextLine,
+];
+
+fn stream_of(seed: u64, n: usize) -> Vec<AccessInfo> {
+    // A blend of a few strided IPs and a noisy one.
+    (0..n)
+        .map(|i| {
+            let h = clip_types::hash64(seed ^ i as u64);
+            let ip_sel = h % 4;
+            let line = match ip_sel {
+                0 => 10_000 + i as u64,         // unit stream
+                1 => 50_000 + i as u64 * 5,     // stride 5
+                2 => 90_000 + (h >> 8) % 4096,  // noise
+                _ => 130_000 + (i as u64 % 64), // hot set
+            };
+            AccessInfo {
+                ip: Ip::new(0x400 + ip_sel * 16),
+                addr: Addr::new(line * 64),
+                hit: h & 0x10 != 0,
+                is_store: false,
+                cycle: i as u64 * 25,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No prefetcher may emit the line currently being accessed (a
+    /// self-prefetch is always wasted) and degree stays bounded.
+    #[test]
+    fn no_self_prefetch_and_bounded_degree(seed in any::<u64>(), kind_idx in 0usize..7) {
+        let kind = ALL_KINDS[kind_idx];
+        let mut pf = build(kind);
+        let mut out = Vec::new();
+        for a in stream_of(seed, 800) {
+            out.clear();
+            pf.on_access(&a, &mut out);
+            for c in &out {
+                prop_assert_ne!(c.line, a.addr.line(), "{} self-prefetched", pf.name());
+            }
+            prop_assert!(out.len() <= 64, "{} flooded: {}", pf.name(), out.len());
+        }
+    }
+
+    /// Determinism: identical access streams produce identical candidates.
+    #[test]
+    fn prefetchers_are_deterministic(seed in any::<u64>(), kind_idx in 0usize..7) {
+        let kind = ALL_KINDS[kind_idx];
+        let run = || {
+            let mut pf = build(kind);
+            let mut all = Vec::new();
+            let mut out = Vec::new();
+            for a in stream_of(seed, 500) {
+                out.clear();
+                pf.on_access(&a, &mut out);
+                all.extend(out.iter().map(|c| (c.line, c.trigger_ip, c.fill_l1)));
+            }
+            all
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Trigger attribution: every candidate carries the IP of the access
+    /// that produced it (CLIP's attribution requirement).
+    #[test]
+    fn candidates_attribute_their_trigger(seed in any::<u64>(), kind_idx in 0usize..7) {
+        let kind = ALL_KINDS[kind_idx];
+        let mut pf = build(kind);
+        let mut out = Vec::new();
+        for a in stream_of(seed, 600) {
+            out.clear();
+            pf.on_access(&a, &mut out);
+            for c in &out {
+                prop_assert_eq!(c.trigger_ip, a.ip, "{} mis-attributed", pf.name());
+            }
+        }
+    }
+
+    /// Aggressiveness levels never panic and level 5 emits at least as
+    /// many candidates as level 1 over the same stream.
+    #[test]
+    fn levels_scale_monotonically(seed in any::<u64>(), kind_idx in 0usize..7) {
+        let kind = ALL_KINDS[kind_idx];
+        let volume = |level: u8| {
+            let mut pf = build(kind);
+            pf.set_level(level);
+            let mut out = Vec::new();
+            let mut total = 0usize;
+            for a in stream_of(seed, 600) {
+                out.clear();
+                pf.on_access(&a, &mut out);
+                total += out.len();
+            }
+            total
+        };
+        let lo = volume(1);
+        let hi = volume(5);
+        prop_assert!(hi >= lo, "{kind:?}: level 5 ({hi}) below level 1 ({lo})");
+    }
+}

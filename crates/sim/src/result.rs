@@ -1,0 +1,218 @@
+//! Simulation results: everything the figure harness consumes.
+
+use clip_core::ClipStats;
+use clip_crit::EvalCounts;
+use clip_stats::energy::EnergyCounts;
+use clip_stats::LatencyStat;
+use clip_types::Cycle;
+
+/// Per-level demand latency aggregation for one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyReport {
+    /// Latency of demand loads that missed the L1 (all outstanding txns).
+    pub l1_miss: LatencyStat,
+    /// Demand loads serviced by the L2.
+    pub by_l2: LatencyStat,
+    /// Demand loads serviced by an LLC slice.
+    pub by_llc: LatencyStat,
+    /// Demand loads serviced by DRAM.
+    pub by_dram: LatencyStat,
+}
+
+/// Prefetch effectiveness aggregates across a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefetchReport {
+    /// Candidates produced by the prefetcher(s) before any gating.
+    pub candidates: u64,
+    /// Prefetch transactions actually sent into the hierarchy.
+    pub issued: u64,
+    /// Prefetched lines touched by demand (useful).
+    pub useful: u64,
+    /// Prefetched lines evicted untouched (useless).
+    pub useless: u64,
+    /// Demands that merged into an in-flight prefetch (late prefetches).
+    pub late: u64,
+}
+
+impl PrefetchReport {
+    /// Prefetch accuracy: useful / resolved.
+    pub fn accuracy(&self) -> f64 {
+        let resolved = self.useful + self.useless;
+        if resolved == 0 {
+            1.0
+        } else {
+            self.useful as f64 / resolved as f64
+        }
+    }
+
+    /// Lateness: late / (late + useful on time). Late prefetches are also
+    /// useful by the paper's definition.
+    pub fn lateness(&self) -> f64 {
+        let useful_any = self.useful + self.late;
+        if useful_any == 0 {
+            0.0
+        } else {
+            self.late as f64 / useful_any as f64
+        }
+    }
+}
+
+/// Per-cache-level demand-miss counts (for the miss-coverage figure).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MissReport {
+    /// Demand accesses / misses at L1D.
+    pub l1_accesses: u64,
+    /// L1 demand misses.
+    pub l1_misses: u64,
+    /// L2 demand accesses.
+    pub l2_accesses: u64,
+    /// L2 demand misses.
+    pub l2_misses: u64,
+    /// LLC demand accesses.
+    pub llc_accesses: u64,
+    /// LLC demand misses.
+    pub llc_misses: u64,
+}
+
+/// CLIP-specific outputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClipReport {
+    /// Gate statistics (candidates, drops by reason).
+    pub stats: ClipStats,
+    /// Critical-load prediction confusion counts at instance granularity.
+    pub eval: EvalCounts,
+    /// Critical-load prediction confusion counts at IP-set granularity —
+    /// the metric of Figures 4/13/14 ("predicting critical load IPs").
+    pub ip_eval: EvalCounts,
+    /// Critical-and-accurate IPs at the end of the run, averaged per core.
+    pub critical_ips: f64,
+    /// IPs that flipped predicted criticality at least once
+    /// (dynamic-critical, Figure 15), averaged per core.
+    pub dynamic_ips: f64,
+}
+
+/// One sample of the run's time series (taken every
+/// `RunOptions::timeline_interval` cycles during measurement).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimelinePoint {
+    /// Cycle (relative to the start of measurement) this sample closes.
+    pub cycle: Cycle,
+    /// Instructions retired across all cores during the interval.
+    pub retired: u64,
+    /// DRAM transfers during the interval.
+    pub dram_transfers: u64,
+    /// DRAM bandwidth utilization within the interval, in [0, 1].
+    pub bw_util: f64,
+    /// Prefetches issued during the interval.
+    pub prefetches: u64,
+}
+
+impl TimelinePoint {
+    /// System IPC over the interval (`interval` cycles long).
+    pub fn ipc(&self, interval: Cycle, cores: usize) -> f64 {
+        if interval == 0 || cores == 0 {
+            0.0
+        } else {
+            self.retired as f64 / interval as f64 / cores as f64
+        }
+    }
+}
+
+/// The complete result of simulating one mix under one scheme.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// Label (scheme + mix).
+    pub label: String,
+    /// Per-core IPC over the measured window.
+    pub per_core_ipc: Vec<f64>,
+    /// Cycles in the measured window (to global completion).
+    pub cycles: Cycle,
+    /// Demand latency aggregation.
+    pub latency: LatencyReport,
+    /// Prefetch effectiveness.
+    pub prefetch: PrefetchReport,
+    /// Demand miss counts by level.
+    pub misses: MissReport,
+    /// DRAM reads + writes serviced.
+    pub dram_transfers: u64,
+    /// DRAM row hits among those.
+    pub dram_row_hits: u64,
+    /// Overall DRAM bandwidth utilization in \[0,1\].
+    pub dram_bw_util: f64,
+    /// Maximum single-channel utilization (what DSPatch samples).
+    pub dram_max_channel_util: f64,
+    /// NoC flit-hops (energy).
+    pub noc_flit_hops: u64,
+    /// CLIP outputs when CLIP was enabled.
+    pub clip: Option<ClipReport>,
+    /// Baseline criticality predictor evaluations (Figure 4), when
+    /// requested: (name, counts).
+    pub baseline_evals: Vec<(&'static str, EvalCounts)>,
+    /// Energy event counts for the energy model.
+    pub energy: EnergyCounts,
+    /// Per-interval time series (empty unless requested via
+    /// `RunOptions::timeline_interval`).
+    pub timeline: Vec<TimelinePoint>,
+}
+
+impl SimResult {
+    /// Mean IPC across cores.
+    pub fn mean_ipc(&self) -> f64 {
+        if self.per_core_ipc.is_empty() {
+            return 0.0;
+        }
+        self.per_core_ipc.iter().sum::<f64>() / self.per_core_ipc.len() as f64
+    }
+
+    /// Prefetch coverage at a level: fraction of the *baseline's* demand
+    /// misses removed. Needs the no-prefetch run's miss count.
+    pub fn coverage_vs(&self, baseline_misses: u64, own_misses: u64) -> f64 {
+        if baseline_misses == 0 {
+            0.0
+        } else {
+            1.0 - (own_misses as f64 / baseline_misses as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_report_metrics() {
+        let p = PrefetchReport {
+            candidates: 100,
+            issued: 80,
+            useful: 60,
+            useless: 20,
+            late: 15,
+        };
+        assert!((p.accuracy() - 0.75).abs() < 1e-12);
+        assert!((p.lateness() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_reports_are_neutral() {
+        let p = PrefetchReport::default();
+        assert_eq!(p.accuracy(), 1.0);
+        assert_eq!(p.lateness(), 0.0);
+    }
+
+    #[test]
+    fn coverage_math() {
+        let r = SimResult::default();
+        assert!((r.coverage_vs(100, 40) - 0.6).abs() < 1e-12);
+        assert_eq!(r.coverage_vs(0, 40), 0.0);
+        assert_eq!(r.coverage_vs(100, 150), 0.0);
+    }
+
+    #[test]
+    fn mean_ipc() {
+        let r = SimResult {
+            per_core_ipc: vec![1.0, 3.0],
+            ..SimResult::default()
+        };
+        assert!((r.mean_ipc() - 2.0).abs() < 1e-12);
+    }
+}

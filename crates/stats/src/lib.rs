@@ -1,0 +1,16 @@
+//! Metrics and the memory-hierarchy dynamic-energy model.
+//!
+//! * [`metrics`] — weighted speedup (Snavely & Tullsen), the
+//!   normalisation against no-prefetching the paper reports, latency
+//!   averages, and coverage/accuracy helpers.
+//! * [`energy`] — per-access dynamic-energy accounting with 7 nm-class
+//!   constants standing in for CACTI-P and the Micron DRAM power
+//!   calculator (see `DESIGN.md` §3).
+
+pub mod energy;
+pub mod metrics;
+
+pub use energy::{energy_delay_product, EnergyBreakdown, EnergyModel, StaticPower};
+pub use metrics::{
+    geomean, normalized_weighted_speedup, weighted_speedup, LatencyStat, SampleSummary,
+};

@@ -1,0 +1,496 @@
+//! Prefetch throttlers: FDP, HPAC, SPAC, and NST (Section 3 / Figure 6).
+//!
+//! All four operate at epoch granularity on coarse feedback metrics —
+//! exactly the property the paper criticises: within an epoch some loads
+//! prefetch accurately even when the aggregate accuracy is poor, and vice
+//! versa, so epoch-level decisions cannot separate them.
+//!
+//! A throttler consumes one [`EpochFeedback`] per epoch and returns the
+//! aggressiveness level (1..=5) that the simulator applies through the
+//! prefetcher's `set_level` hook.
+
+use std::fmt;
+
+/// Aggregate feedback for one epoch of one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochFeedback {
+    /// Prefetch accuracy in \[0,1\]: useful / resolved.
+    pub accuracy: f64,
+    /// Prefetch lateness in \[0,1\]: late-but-useful / useful.
+    pub lateness: f64,
+    /// Cache-pollution estimate in \[0,1\]: demand misses to lines evicted
+    /// by prefetches / demand misses.
+    pub pollution: f64,
+    /// Overall DRAM bandwidth utilization in \[0,1\].
+    pub bandwidth_util: f64,
+    /// This core's share of DRAM traffic in \[0,1\].
+    pub traffic_share: f64,
+    /// Estimated per-core prefetch utility (miss-latency saved per unit of
+    /// bandwidth consumed), normalised to \[0,1\]. Used by SPAC.
+    pub utility: f64,
+}
+
+impl Default for EpochFeedback {
+    fn default() -> Self {
+        EpochFeedback {
+            accuracy: 1.0,
+            lateness: 0.0,
+            pollution: 0.0,
+            bandwidth_util: 0.0,
+            traffic_share: 0.0,
+            utility: 1.0,
+        }
+    }
+}
+
+/// Interface of an epoch-level prefetch aggressiveness controller.
+pub trait Throttler {
+    /// Consumes one epoch of feedback; returns the new level (1..=5).
+    fn on_epoch(&mut self, fb: &EpochFeedback) -> u8;
+
+    /// Current level.
+    fn level(&self) -> u8;
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Which throttler to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThrottlerKind {
+    /// Feedback-directed prefetching (HPCA '07).
+    Fdp,
+    /// Hierarchical prefetcher aggressiveness control (MICRO '09).
+    Hpac,
+    /// Synergistic prefetcher aggressiveness controller (TC '16).
+    Spac,
+    /// Near-side prefetch throttling (PACT '18).
+    Nst,
+}
+
+impl ThrottlerKind {
+    /// All throttlers in Figure 6's order.
+    pub fn all() -> [ThrottlerKind; 4] {
+        [
+            ThrottlerKind::Fdp,
+            ThrottlerKind::Hpac,
+            ThrottlerKind::Spac,
+            ThrottlerKind::Nst,
+        ]
+    }
+}
+
+impl fmt::Display for ThrottlerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ThrottlerKind::Fdp => "FDP",
+            ThrottlerKind::Hpac => "HPAC",
+            ThrottlerKind::Spac => "SPAC",
+            ThrottlerKind::Nst => "NST",
+        })
+    }
+}
+
+/// Builds a boxed throttler with default tuning (level 3 start).
+pub fn build(kind: ThrottlerKind) -> Box<dyn Throttler> {
+    match kind {
+        ThrottlerKind::Fdp => Box::new(Fdp::new()),
+        ThrottlerKind::Hpac => Box::new(Hpac::new()),
+        ThrottlerKind::Spac => Box::new(Spac::new()),
+        ThrottlerKind::Nst => Box::new(Nst::new()),
+    }
+}
+
+const LEVEL_MIN: u8 = 1;
+const LEVEL_MAX: u8 = 5;
+
+fn clamp_level(l: i16) -> u8 {
+    l.clamp(LEVEL_MIN as i16, LEVEL_MAX as i16) as u8
+}
+
+/// FDP: the classic accuracy/lateness/pollution decision table.
+///
+/// # Examples
+///
+/// ```
+/// use clip_throttle::{EpochFeedback, Fdp, Throttler};
+///
+/// let mut fdp = Fdp::new();
+/// // Accurate but late prefetching: FDP ramps the degree up.
+/// let level = fdp.on_epoch(&EpochFeedback {
+///     accuracy: 0.9,
+///     lateness: 0.3,
+///     ..EpochFeedback::default()
+/// });
+/// assert!(level > 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fdp {
+    level: u8,
+    acc_high: f64,
+    acc_low: f64,
+    late_high: f64,
+    poll_high: f64,
+}
+
+impl Fdp {
+    /// Creates FDP with the thresholds of the original paper.
+    pub fn new() -> Self {
+        Fdp {
+            level: 3,
+            acc_high: 0.75,
+            acc_low: 0.40,
+            late_high: 0.10,
+            poll_high: 0.05,
+        }
+    }
+
+    fn decide(&self, fb: &EpochFeedback) -> i16 {
+        let acc_high = fb.accuracy >= self.acc_high;
+        let acc_low = fb.accuracy < self.acc_low;
+        let late = fb.lateness >= self.late_high;
+        let poll = fb.pollution >= self.poll_high;
+        match (acc_high, acc_low, late, poll) {
+            // High accuracy, late → run further ahead.
+            (true, _, true, _) => 1,
+            // High accuracy, timely, clean → keep.
+            (true, _, false, false) => 0,
+            // High accuracy but polluting → back off one.
+            (true, _, false, true) => -1,
+            // Low accuracy and polluting → back off hard.
+            (_, true, _, true) => -2,
+            // Low accuracy → back off.
+            (_, true, _, false) => -1,
+            // Mid accuracy: nudge by lateness.
+            (false, false, true, _) => 1,
+            (false, false, false, _) => 0,
+        }
+    }
+}
+
+impl Default for Fdp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Throttler for Fdp {
+    fn on_epoch(&mut self, fb: &EpochFeedback) -> u8 {
+        self.level = clamp_level(self.level as i16 + self.decide(fb));
+        self.level
+    }
+
+    fn level(&self) -> u8 {
+        self.level
+    }
+
+    fn name(&self) -> &'static str {
+        "FDP"
+    }
+}
+
+/// HPAC: per-core FDP plus a global layer that overrides local decisions
+/// when the shared memory system is congested and the core is hurting
+/// others (low accuracy + high bandwidth share).
+#[derive(Debug, Clone)]
+pub struct Hpac {
+    local: Fdp,
+    bw_high: f64,
+    share_high: f64,
+}
+
+impl Hpac {
+    /// Creates HPAC with default global thresholds.
+    pub fn new() -> Self {
+        Hpac {
+            local: Fdp::new(),
+            bw_high: 0.75,
+            share_high: 0.04, // 1/64 would be fair in a 64-core system
+        }
+    }
+}
+
+impl Default for Hpac {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Throttler for Hpac {
+    fn on_epoch(&mut self, fb: &EpochFeedback) -> u8 {
+        let mut level = clamp_level(self.local.level as i16 + self.local.decide(fb));
+        // Global override: congested bus + this core over-consuming with
+        // mediocre accuracy → force down.
+        if fb.bandwidth_util >= self.bw_high
+            && fb.traffic_share >= self.share_high
+            && fb.accuracy < 0.9
+        {
+            level = clamp_level(level as i16 - 2);
+        }
+        self.local.level = level;
+        level
+    }
+
+    fn level(&self) -> u8 {
+        self.local.level
+    }
+
+    fn name(&self) -> &'static str {
+        "HPAC"
+    }
+}
+
+/// SPAC: drives each prefetcher toward the aggressiveness that maximises
+/// system-wide fair speedup, approximated by per-core prefetch *utility*
+/// (latency saved per unit bandwidth). Under congestion, low-utility
+/// cores throttle first.
+#[derive(Debug, Clone)]
+pub struct Spac {
+    level: u8,
+}
+
+impl Spac {
+    /// Creates SPAC at the default level.
+    pub fn new() -> Self {
+        Spac { level: 3 }
+    }
+}
+
+impl Default for Spac {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Throttler for Spac {
+    fn on_epoch(&mut self, fb: &EpochFeedback) -> u8 {
+        let target = if fb.bandwidth_util >= 0.8 {
+            // Congested: level proportional to utility.
+            1.0 + fb.utility * 3.0
+        } else if fb.bandwidth_util >= 0.5 {
+            2.0 + fb.utility * 3.0
+        } else {
+            // Plenty of headroom: be aggressive if at all useful.
+            if fb.utility > 0.2 {
+                5.0
+            } else {
+                3.0
+            }
+        };
+        let target = target.round() as i16;
+        // Move one step toward the target per epoch (stability).
+        let step = (target - self.level as i16).signum();
+        self.level = clamp_level(self.level as i16 + step);
+        self.level
+    }
+
+    fn level(&self) -> u8 {
+        self.level
+    }
+
+    fn name(&self) -> &'static str {
+        "SPAC"
+    }
+}
+
+/// NST: near-side throttling — keeps the far-side (distance) aggressive
+/// but cuts issue rate near the core when accuracy drops; recovers fast
+/// when accuracy is restored.
+#[derive(Debug, Clone)]
+pub struct Nst {
+    level: u8,
+    bad_epochs: u8,
+}
+
+impl Nst {
+    /// Creates NST at the default level.
+    pub fn new() -> Self {
+        Nst {
+            level: 3,
+            bad_epochs: 0,
+        }
+    }
+}
+
+impl Default for Nst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Throttler for Nst {
+    fn on_epoch(&mut self, fb: &EpochFeedback) -> u8 {
+        if fb.accuracy < 0.60 {
+            self.bad_epochs = self.bad_epochs.saturating_add(1);
+            if self.bad_epochs >= 2 {
+                self.level = clamp_level(self.level as i16 - 1);
+            }
+        } else {
+            self.bad_epochs = 0;
+            if fb.accuracy > 0.85 {
+                self.level = clamp_level(self.level as i16 + 1);
+            }
+        }
+        self.level
+    }
+
+    fn level(&self) -> u8 {
+        self.level
+    }
+
+    fn name(&self) -> &'static str {
+        "NST"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(accuracy: f64, lateness: f64, pollution: f64, bw: f64) -> EpochFeedback {
+        EpochFeedback {
+            accuracy,
+            lateness,
+            pollution,
+            bandwidth_util: bw,
+            traffic_share: 1.0 / 64.0,
+            utility: accuracy,
+        }
+    }
+
+    #[test]
+    fn fdp_ramps_up_on_accurate_late() {
+        let mut t = Fdp::new();
+        for _ in 0..5 {
+            t.on_epoch(&fb(0.9, 0.3, 0.0, 0.5));
+        }
+        assert_eq!(t.level(), 5);
+    }
+
+    #[test]
+    fn fdp_backs_off_on_inaccuracy() {
+        let mut t = Fdp::new();
+        for _ in 0..5 {
+            t.on_epoch(&fb(0.2, 0.0, 0.1, 0.5));
+        }
+        assert_eq!(t.level(), 1);
+    }
+
+    #[test]
+    fn fdp_holds_on_accurate_timely() {
+        let mut t = Fdp::new();
+        let l0 = t.level();
+        t.on_epoch(&fb(0.9, 0.0, 0.0, 0.3));
+        assert_eq!(t.level(), l0);
+    }
+
+    #[test]
+    fn hpac_overrides_under_congestion() {
+        let mut fdp = Fdp::new();
+        let mut hpac = Hpac::new();
+        let feedback = EpochFeedback {
+            accuracy: 0.7,
+            lateness: 0.2,
+            pollution: 0.0,
+            bandwidth_util: 0.95,
+            traffic_share: 0.1,
+            utility: 0.5,
+        };
+        let lf = fdp.on_epoch(&feedback);
+        let lh = hpac.on_epoch(&feedback);
+        assert!(
+            lh < lf,
+            "HPAC's global stage must throttle harder: {lh} vs {lf}"
+        );
+    }
+
+    #[test]
+    fn spac_tracks_utility_under_congestion() {
+        let mut high = Spac::new();
+        let mut low = Spac::new();
+        for _ in 0..6 {
+            high.on_epoch(&EpochFeedback {
+                bandwidth_util: 0.9,
+                utility: 1.0,
+                ..EpochFeedback::default()
+            });
+            low.on_epoch(&EpochFeedback {
+                bandwidth_util: 0.9,
+                utility: 0.0,
+                ..EpochFeedback::default()
+            });
+        }
+        assert!(high.level() > low.level());
+        assert_eq!(low.level(), 1);
+    }
+
+    #[test]
+    fn spac_aggressive_with_headroom() {
+        let mut t = Spac::new();
+        for _ in 0..4 {
+            t.on_epoch(&EpochFeedback {
+                bandwidth_util: 0.2,
+                utility: 0.9,
+                ..EpochFeedback::default()
+            });
+        }
+        assert_eq!(t.level(), 5);
+    }
+
+    #[test]
+    fn nst_needs_sustained_inaccuracy() {
+        let mut t = Nst::new();
+        t.on_epoch(&fb(0.3, 0.0, 0.0, 0.5));
+        assert_eq!(t.level(), 3, "one bad epoch is tolerated");
+        t.on_epoch(&fb(0.3, 0.0, 0.0, 0.5));
+        assert!(t.level() < 3);
+        // Recovery.
+        for _ in 0..5 {
+            t.on_epoch(&fb(0.95, 0.0, 0.0, 0.5));
+        }
+        assert_eq!(t.level(), 5);
+    }
+
+    #[test]
+    fn display_names_match_builders() {
+        for kind in ThrottlerKind::all() {
+            let t = build(kind);
+            assert_eq!(t.name(), kind.to_string());
+            assert_eq!(t.level(), 3, "all throttlers start at the default level");
+        }
+    }
+
+    #[test]
+    fn default_feedback_is_benign() {
+        // A perfect epoch (accuracy 1.0, no lateness/pollution, idle bus)
+        // must never throttle below the default.
+        for kind in ThrottlerKind::all() {
+            let mut t = build(kind);
+            for _ in 0..10 {
+                t.on_epoch(&EpochFeedback::default());
+            }
+            assert!(
+                t.level() >= 3,
+                "{} throttled a perfect prefetcher",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn levels_stay_in_range_under_fuzz() {
+        for kind in ThrottlerKind::all() {
+            let mut t = build(kind);
+            for i in 0..200u64 {
+                let h = clip_types::hash64(i);
+                let level = t.on_epoch(&fb(
+                    (h & 0xff) as f64 / 255.0,
+                    ((h >> 8) & 0xff) as f64 / 255.0,
+                    ((h >> 16) & 0xff) as f64 / 255.0,
+                    ((h >> 24) & 0xff) as f64 / 255.0,
+                ));
+                assert!((1..=5).contains(&level), "{}", t.name());
+            }
+        }
+    }
+}

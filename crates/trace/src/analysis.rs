@@ -1,0 +1,218 @@
+//! Offline trace analysis: instruction-mix, footprint, and locality
+//! statistics for recorded instruction streams — the tooling a user needs
+//! to sanity-check a synthetic model against a real workload's published
+//! characteristics.
+
+use crate::{Instr, InstrKind};
+use std::collections::HashSet;
+
+/// Summary statistics of a recorded instruction stream.
+///
+/// # Examples
+///
+/// ```
+/// use clip_trace::{catalog, TraceStats};
+///
+/// let spec = catalog::by_name("619.lbm_s-4268B").expect("known workload");
+/// let window = spec.generator(1).record(10_000);
+/// let stats = TraceStats::analyse(&window, 768);
+/// assert!(stats.est_mpki > 50.0, "lbm streams through memory");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Instructions analysed.
+    pub instructions: usize,
+    /// Fraction of loads.
+    pub load_frac: f64,
+    /// Fraction of stores.
+    pub store_frac: f64,
+    /// Fraction of conditional branches.
+    pub branch_frac: f64,
+    /// Taken rate among branches.
+    pub taken_rate: f64,
+    /// Distinct cache lines touched.
+    pub unique_lines: usize,
+    /// Distinct 4 KiB pages touched.
+    pub unique_pages: usize,
+    /// Distinct load IPs.
+    pub load_ips: usize,
+    /// Fraction of loads marked serialized (pointer-chase).
+    pub serialized_frac: f64,
+    /// Estimated misses per kilo-instruction against an idealised cache
+    /// of `model_lines` lines (fully associative, LRU).
+    pub est_mpki: f64,
+    /// Lines used for the MPKI estimate.
+    pub model_lines: usize,
+}
+
+impl TraceStats {
+    /// Analyses a recorded stream against an idealised `model_lines`-line
+    /// cache (use the L1D size, 768, for an L1 MPKI estimate).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model_lines` is zero.
+    pub fn analyse(instrs: &[Instr], model_lines: usize) -> Self {
+        assert!(model_lines > 0, "cache model needs at least one line");
+        let mut loads = 0usize;
+        let mut stores = 0usize;
+        let mut branches = 0usize;
+        let mut taken = 0usize;
+        let mut serialized = 0usize;
+        let mut lines = HashSet::new();
+        let mut pages = HashSet::new();
+        let mut ips = HashSet::new();
+
+        // Idealised LRU cache for the MPKI estimate.
+        let mut lru: Vec<u64> = Vec::with_capacity(model_lines);
+        let mut misses = 0usize;
+        let touch = |lru: &mut Vec<u64>, line: u64, misses: &mut usize| {
+            if let Some(pos) = lru.iter().position(|&l| l == line) {
+                lru.remove(pos);
+            } else {
+                *misses += 1;
+                if lru.len() == model_lines {
+                    lru.remove(0);
+                }
+            }
+            lru.push(line);
+        };
+
+        for i in instrs {
+            match i.kind {
+                InstrKind::Load {
+                    addr,
+                    serialized: s,
+                } => {
+                    loads += 1;
+                    serialized += s as usize;
+                    let line = addr.line().raw();
+                    lines.insert(line);
+                    pages.insert(addr.page());
+                    ips.insert(i.ip.raw());
+                    touch(&mut lru, line, &mut misses);
+                }
+                InstrKind::Store { addr } => {
+                    stores += 1;
+                    lines.insert(addr.line().raw());
+                    pages.insert(addr.page());
+                    touch(&mut lru, addr.line().raw(), &mut misses);
+                }
+                InstrKind::Branch { taken: t } => {
+                    branches += 1;
+                    taken += t as usize;
+                }
+                InstrKind::Alu { .. } => {}
+            }
+        }
+
+        let n = instrs.len().max(1) as f64;
+        TraceStats {
+            instructions: instrs.len(),
+            load_frac: loads as f64 / n,
+            store_frac: stores as f64 / n,
+            branch_frac: branches as f64 / n,
+            taken_rate: if branches == 0 {
+                0.0
+            } else {
+                taken as f64 / branches as f64
+            },
+            unique_lines: lines.len(),
+            unique_pages: pages.len(),
+            load_ips: ips.len(),
+            serialized_frac: if loads == 0 {
+                0.0
+            } else {
+                serialized as f64 / loads as f64
+            },
+            est_mpki: misses as f64 * 1000.0 / n,
+            model_lines,
+        }
+    }
+
+    /// Working-set estimate in bytes (unique lines x line size).
+    pub fn footprint_bytes(&self) -> usize {
+        self.unique_lines * clip_types::LINE_BYTES
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "instructions : {}", self.instructions)?;
+        writeln!(
+            f,
+            "mix          : {:.1}% loads / {:.1}% stores / {:.1}% branches",
+            self.load_frac * 100.0,
+            self.store_frac * 100.0,
+            self.branch_frac * 100.0
+        )?;
+        writeln!(f, "taken rate   : {:.1}%", self.taken_rate * 100.0)?;
+        writeln!(
+            f,
+            "footprint    : {} lines / {} pages ({:.1} MiB)",
+            self.unique_lines,
+            self.unique_pages,
+            self.footprint_bytes() as f64 / (1024.0 * 1024.0)
+        )?;
+        writeln!(f, "load IPs     : {}", self.load_ips)?;
+        writeln!(f, "chase loads  : {:.1}%", self.serialized_frac * 100.0)?;
+        write!(
+            f,
+            "est. MPKI    : {:.1} (vs {}-line ideal cache)",
+            self.est_mpki, self.model_lines
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn mix_fractions_match_generator() {
+        let spec = &catalog::spec_cpu2017()[5];
+        let v = spec.generator(1).record(20_000);
+        let s = TraceStats::analyse(&v, 768);
+        assert!((s.load_frac - spec.load_frac).abs() < 0.1);
+        assert!((s.branch_frac - spec.branch_frac).abs() < 0.1);
+        assert_eq!(s.instructions, 20_000);
+    }
+
+    #[test]
+    fn streaming_has_higher_mpki_than_friendly() {
+        let lbm = catalog::by_name("619.lbm_s-4268B").unwrap();
+        let cloud = catalog::by_name("cloudsuite.cassandra").unwrap();
+        let s_lbm = TraceStats::analyse(&lbm.generator(2).record(30_000), 768);
+        let s_cloud = TraceStats::analyse(&cloud.generator(2).record(30_000), 768);
+        assert!(
+            s_lbm.est_mpki > s_cloud.est_mpki,
+            "lbm {} vs cloudsuite {}",
+            s_lbm.est_mpki,
+            s_cloud.est_mpki
+        );
+    }
+
+    #[test]
+    fn mcf_has_chase_loads_and_wide_footprint() {
+        let mcf = catalog::by_name("605.mcf_s-1554B").unwrap();
+        let s = TraceStats::analyse(&mcf.generator(3).record(30_000), 768);
+        assert!(s.serialized_frac > 0.02);
+        assert!(s.unique_pages > 100);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let spec = &catalog::spec_cpu2017()[0];
+        let s = TraceStats::analyse(&spec.generator(4).record(5_000), 768);
+        let out = s.to_string();
+        assert!(out.contains("MPKI"));
+        assert!(out.contains("footprint"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_line_model_panics() {
+        let _ = TraceStats::analyse(&[], 0);
+    }
+}

@@ -1,0 +1,448 @@
+//! The workload catalog: 45 memory-intensive SPEC CPU2017 simpoints, the
+//! GAP graph kernels, and the CloudSuite / CVP client-server traces used by
+//! the paper, each mapped to a synthetic [`WorkloadSpec`] model.
+//!
+//! Family parameters are chosen to reproduce each benchmark's published
+//! memory character (pattern mix, footprint, IP population); simpoints of
+//! the same benchmark differ in footprint/phase details, mirroring how
+//! different simpoints of one binary behave similarly but not identically.
+
+use crate::spec::{PatternMix, Suite, WorkloadSpec};
+
+fn spec(name: &str, pattern: PatternMix) -> WorkloadSpec {
+    WorkloadSpec::new(name, Suite::SpecCpu2017, pattern)
+}
+
+/// The 45 memory-intensive SPEC CPU2017 simpoint workloads (Fig. 10's
+/// x-axis). Order matches the paper's per-mix figures.
+pub fn spec_cpu2017() -> Vec<WorkloadSpec> {
+    let mut v = Vec::with_capacity(45);
+
+    // 600.perlbench — irregular, branchy, moderately cache-friendly.
+    v.push(
+        spec("600.perlbench_s-570B", PatternMix::irregular())
+            .footprint(1 << 18)
+            .hot(384)
+            .ips(48, 32)
+            .mixfrac(0.26, 0.1, 0.18)
+            .predictability(0.9),
+    );
+
+    // 602.gcc — irregular integer, pointer-rich, many IPs.
+    for (nm, fpl) in [
+        ("602.gcc_s-1850B", 1u64 << 19),
+        ("602.gcc_s-2226B", 1 << 19),
+        ("602.gcc_s-734B", 1 << 18),
+    ] {
+        v.push(
+            spec(nm, PatternMix::irregular())
+                .footprint(fpl)
+                .hot(320)
+                .ips(64, 40)
+                .mixfrac(0.27, 0.1, 0.2)
+                .predictability(0.82),
+        );
+    }
+
+    // 603.bwaves — strided FP, large footprint, very regular.
+    for (nm, fpl) in [
+        ("603.bwaves_s-1740B", 1u64 << 21),
+        ("603.bwaves_s-2609B", 1 << 21),
+        ("603.bwaves_s-2931B", 1 << 21),
+        ("603.bwaves_s-891B", 1 << 20),
+    ] {
+        v.push(
+            spec(nm, PatternMix::strided())
+                .footprint(fpl)
+                .hot(192)
+                .ips(20, 8)
+                .mixfrac(0.34, 0.09, 0.06)
+                .predictability(0.96),
+        );
+    }
+
+    // 605.mcf — the pointer-chasing poster child; dynamic-critical IPs.
+    for (nm, fpl) in [
+        ("605.mcf_s-1152B", 1u64 << 21),
+        ("605.mcf_s-1536B", 1 << 21),
+        ("605.mcf_s-1554B", 1 << 21),
+        ("605.mcf_s-1644B", 1 << 21),
+        ("605.mcf_s-472B", 1 << 20),
+        ("605.mcf_s-484B", 1 << 20),
+        ("605.mcf_s-665B", 1 << 20),
+        ("605.mcf_s-782B", 1 << 20),
+        ("605.mcf_s-994B", 1 << 21),
+    ] {
+        v.push(
+            spec(nm, PatternMix::chasing())
+                .footprint(fpl)
+                .hot(256)
+                .ips(32, 24)
+                .mixfrac(0.3, 0.08, 0.17)
+                .predictability(0.7),
+        );
+    }
+
+    // 607.cactuBSSN — stencil FP with many strided streams.
+    for (nm, fpl) in [
+        ("607.cactuBSSN_s-2421B", 1u64 << 21),
+        ("607.cactuBSSN_s-3477B", 1 << 21),
+        ("607.cactuBSSN_s-4004B", 1 << 21),
+    ] {
+        v.push(
+            spec(nm, PatternMix::strided())
+                .footprint(fpl)
+                .hot(160)
+                .ips(36, 6)
+                .mixfrac(0.36, 0.12, 0.04)
+                .predictability(0.97),
+        );
+    }
+
+    // 619.lbm — pure streaming, few IPs, huge footprint.
+    for (nm, fpl) in [
+        ("619.lbm_s-2676B", 1u64 << 22),
+        ("619.lbm_s-2677B", 1 << 22),
+        ("619.lbm_s-3766B", 1 << 22),
+        ("619.lbm_s-4268B", 1 << 22),
+    ] {
+        v.push(
+            spec(nm, PatternMix::streaming())
+                .footprint(fpl)
+                .hot(96)
+                .ips(12, 4)
+                .mixfrac(0.32, 0.16, 0.03)
+                .predictability(0.98),
+        );
+    }
+
+    // 620.omnetpp — discrete-event simulator: pointer-heavy, branchy.
+    for nm in ["620.omnetpp_s-141B", "620.omnetpp_s-874B"] {
+        v.push(
+            spec(nm, PatternMix::chasing())
+                .footprint(1 << 20)
+                .hot(384)
+                .ips(56, 36)
+                .mixfrac(0.29, 0.11, 0.19)
+                .predictability(0.78),
+        );
+    }
+
+    // 621.wrf — weather model: strided with phase behaviour.
+    for nm in ["621.wrf_s-6673B", "621.wrf_s-8065B"] {
+        v.push(
+            spec(nm, PatternMix::strided())
+                .footprint(1 << 21)
+                .hot(256)
+                .ips(40, 12)
+                .mixfrac(0.3, 0.1, 0.08)
+                .predictability(0.93)
+                .phases(400_000),
+        );
+    }
+
+    // 623.xalancbmk — XSLT: irregular, high IP count.
+    for nm in [
+        "623.xalancbmk_s-10B",
+        "623.xalancbmk_s-165B",
+        "623.xalancbmk_s-202B",
+    ] {
+        v.push(
+            spec(nm, PatternMix::irregular())
+                .footprint(1 << 19)
+                .hot(448)
+                .ips(72, 48)
+                .mixfrac(0.28, 0.08, 0.21)
+                .predictability(0.84),
+        );
+    }
+
+    // 628.pop2 — ocean model, strided.
+    v.push(
+        spec("628.pop2_s-17B", PatternMix::strided())
+            .footprint(1 << 20)
+            .hot(224)
+            .ips(36, 10)
+            .mixfrac(0.31, 0.11, 0.07)
+            .predictability(0.94),
+    );
+
+    // 649.fotonik3d — FDTD: streaming FP.
+    for (nm, fpl) in [
+        ("649.fotonik3d_s-10881B", 1u64 << 22),
+        ("649.fotonik3d_s-1176B", 1 << 21),
+        ("649.fotonik3d_s-7084B", 1 << 22),
+        ("649.fotonik3d_s-8225B", 1 << 22),
+    ] {
+        v.push(
+            spec(nm, PatternMix::streaming())
+                .footprint(fpl)
+                .hot(128)
+                .ips(16, 5)
+                .mixfrac(0.33, 0.14, 0.04)
+                .predictability(0.97),
+        );
+    }
+
+    // 654.roms — ocean model: strided with streams.
+    for (nm, fpl) in [
+        ("654.roms_s-1007B", 1u64 << 21),
+        ("654.roms_s-1070B", 1 << 21),
+        ("654.roms_s-1390B", 1 << 21),
+        ("654.roms_s-293B", 1 << 20),
+        ("654.roms_s-294B", 1 << 20),
+        ("654.roms_s-523B", 1 << 21),
+    ] {
+        v.push(
+            spec(nm, PatternMix::strided())
+                .footprint(fpl)
+                .hot(192)
+                .ips(28, 8)
+                .mixfrac(0.32, 0.12, 0.06)
+                .predictability(0.95),
+        );
+    }
+
+    // 657.xz — compression: irregular with context-dependent loads.
+    for nm in ["657.xz_s-1306B", "657.xz_s-2302B"] {
+        v.push(
+            spec(nm, PatternMix::irregular())
+                .footprint(1 << 20)
+                .hot(320)
+                .ips(44, 28)
+                .mixfrac(0.27, 0.09, 0.17)
+                .predictability(0.72),
+        );
+    }
+
+    // 654.roms — additional large simpoint.
+    v.push(
+        spec("654.roms_s-1613B", PatternMix::strided())
+            .footprint(1 << 21)
+            .hot(192)
+            .ips(28, 8)
+            .mixfrac(0.32, 0.12, 0.06)
+            .predictability(0.95),
+    );
+
+    debug_assert_eq!(v.len(), 45);
+    v
+}
+
+/// GAP graph kernels (all memory-intensive in the paper).
+pub fn gap() -> Vec<WorkloadSpec> {
+    let mut v = Vec::new();
+    let kernels: [(&str, PatternMix, u64); 6] = [
+        // Graph kernels mix frontier streaming with neighbour chasing.
+        (
+            "bfs-14B",
+            PatternMix {
+                stream: 0.2,
+                stride: 0.1,
+                chase: 0.4,
+                hot: 0.2,
+                ctx_dual: 0.1,
+            },
+            1 << 21,
+        ),
+        (
+            "pr-14B",
+            PatternMix {
+                stream: 0.35,
+                stride: 0.1,
+                chase: 0.3,
+                hot: 0.2,
+                ctx_dual: 0.05,
+            },
+            1 << 22,
+        ),
+        (
+            "cc-13B",
+            PatternMix {
+                stream: 0.25,
+                stride: 0.1,
+                chase: 0.35,
+                hot: 0.25,
+                ctx_dual: 0.05,
+            },
+            1 << 21,
+        ),
+        (
+            "bc-12B",
+            PatternMix {
+                stream: 0.2,
+                stride: 0.12,
+                chase: 0.38,
+                hot: 0.22,
+                ctx_dual: 0.08,
+            },
+            1 << 21,
+        ),
+        (
+            "sssp-14B",
+            PatternMix {
+                stream: 0.18,
+                stride: 0.1,
+                chase: 0.42,
+                hot: 0.2,
+                ctx_dual: 0.1,
+            },
+            1 << 22,
+        ),
+        (
+            "tc-11B",
+            PatternMix {
+                stream: 0.3,
+                stride: 0.15,
+                chase: 0.3,
+                hot: 0.2,
+                ctx_dual: 0.05,
+            },
+            1 << 21,
+        ),
+    ];
+    for (nm, pm, fpl) in kernels {
+        v.push(
+            WorkloadSpec::new(nm, Suite::Gap, pm)
+                .footprint(fpl)
+                .hot(192)
+                .ips(28, 20)
+                .mixfrac(0.31, 0.06, 0.16)
+                .predictability(0.6),
+        );
+    }
+    v
+}
+
+/// CloudSuite scale-out workloads: enormous instruction footprints, large
+/// IP populations, low prefetchability — prefetchers struggle here (Fig. 17).
+pub fn cloudsuite() -> Vec<WorkloadSpec> {
+    [
+        "cassandra",
+        "classification",
+        "cloud9",
+        "nutch",
+        "streaming",
+    ]
+    .iter()
+    .map(|nm| {
+        WorkloadSpec::new(
+            &format!("cloudsuite.{nm}"),
+            Suite::CloudSuite,
+            PatternMix {
+                stream: 0.06,
+                stride: 0.08,
+                chase: 0.2,
+                hot: 0.56,
+                ctx_dual: 0.1,
+            },
+        )
+        .footprint(1 << 19)
+        .hot(512)
+        .ips(160, 96)
+        .mixfrac(0.26, 0.1, 0.2)
+        .predictability(0.75)
+    })
+    .collect()
+}
+
+/// CVP-1 client/server traces (e.g. `server_013` with its 32k IPs of which
+/// only nine are critical, per §4.3).
+pub fn cvp() -> Vec<WorkloadSpec> {
+    [
+        "server_013",
+        "server_036",
+        "server_211",
+        "client_005",
+        "client_014",
+    ]
+    .iter()
+    .map(|nm| {
+        WorkloadSpec::new(
+            &format!("cvp.{nm}"),
+            Suite::Cvp,
+            PatternMix {
+                stream: 0.05,
+                stride: 0.1,
+                chase: 0.15,
+                hot: 0.6,
+                ctx_dual: 0.1,
+            },
+        )
+        .footprint(1 << 18)
+        .hot(448)
+        .ips(192, 128)
+        .mixfrac(0.25, 0.11, 0.22)
+        .predictability(0.8)
+    })
+    .collect()
+}
+
+/// Every workload in the catalog.
+pub fn all() -> Vec<WorkloadSpec> {
+    let mut v = spec_cpu2017();
+    v.extend(gap());
+    v.extend(cloudsuite());
+    v.extend(cvp());
+    v
+}
+
+/// Looks a workload up by its paper name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_catalog_has_45_entries() {
+        assert_eq!(spec_cpu2017().len(), 45);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = all().into_iter().map(|w| w.name).collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate workload names");
+    }
+
+    #[test]
+    fn by_name_finds_known_traces() {
+        assert!(by_name("605.mcf_s-1554B").is_some());
+        assert!(by_name("cvp.server_013").is_some());
+        assert!(by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn suites_are_tagged() {
+        assert!(gap().iter().all(|w| w.suite == Suite::Gap));
+        assert!(cloudsuite().iter().all(|w| w.suite == Suite::CloudSuite));
+        assert!(cvp().iter().all(|w| w.suite == Suite::Cvp));
+        assert!(spec_cpu2017().iter().all(|w| w.suite == Suite::SpecCpu2017));
+    }
+
+    #[test]
+    fn cloudsuite_is_less_memory_intense_than_lbm() {
+        let lbm = by_name("619.lbm_s-4268B").unwrap();
+        let cs = by_name("cloudsuite.cassandra").unwrap();
+        assert!(lbm.memory_intensity() > cs.memory_intensity());
+    }
+
+    #[test]
+    fn all_specs_validate_basic_ranges() {
+        for w in all() {
+            assert!(
+                w.load_frac + w.store_frac + w.branch_frac < 0.9,
+                "{}",
+                w.name
+            );
+            assert!(w.footprint_lines >= 1024, "{}", w.name);
+            assert!(w.hot_lines < w.footprint_lines, "{}", w.name);
+            assert!(w.load_ips > 0 && w.branch_ips > 0, "{}", w.name);
+        }
+    }
+}

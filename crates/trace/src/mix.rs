@@ -1,0 +1,121 @@
+//! Workload mixes: homogeneous (SPEC RATE style) and randomly generated
+//! heterogeneous many-core mixes, as used throughout the paper's
+//! evaluation (45 homogeneous + 200 heterogeneous 64-core mixes).
+
+use crate::catalog;
+use crate::spec::WorkloadSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A many-core workload mix: one workload per core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mix {
+    /// Mix label used in experiment output (the trace name for homogeneous
+    /// mixes, `hetero-N` for heterogeneous ones).
+    pub name: String,
+    /// One entry per core.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl Mix {
+    /// Builds a homogeneous mix: `cores` copies of one workload (the SPEC
+    /// RATE mode of the paper).
+    pub fn homogeneous(spec: &WorkloadSpec, cores: usize) -> Self {
+        Mix {
+            name: spec.name.clone(),
+            workloads: vec![spec.clone(); cores],
+        }
+    }
+
+    /// Number of cores this mix targets.
+    pub fn cores(&self) -> usize {
+        self.workloads.len()
+    }
+}
+
+/// The paper's 45 64-core homogeneous mixes (one per memory-intensive SPEC
+/// CPU2017 simpoint), for an arbitrary core count.
+pub fn homogeneous_mixes(cores: usize) -> Vec<Mix> {
+    catalog::spec_cpu2017()
+        .iter()
+        .map(|w| Mix::homogeneous(w, cores))
+        .collect()
+}
+
+/// Randomly generated heterogeneous mixes from SPEC CPU2017 and GAP, with
+/// no bias towards any benchmark (§5: "200 randomly generated heterogeneous
+/// mixes"). Deterministic in `seed`.
+pub fn heterogeneous_mixes(n: usize, cores: usize, seed: u64) -> Vec<Mix> {
+    let pool: Vec<WorkloadSpec> = catalog::spec_cpu2017()
+        .into_iter()
+        .chain(catalog::gap())
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let workloads = (0..cores)
+                .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+                .collect();
+            Mix {
+                name: format!("hetero-{i:03}"),
+                workloads,
+            }
+        })
+        .collect()
+}
+
+/// Homogeneous mixes over the CloudSuite + CVP traces (Fig. 17).
+pub fn cloud_cvp_mixes(cores: usize) -> Vec<Mix> {
+    catalog::cloudsuite()
+        .iter()
+        .chain(catalog::cvp().iter())
+        .map(|w| Mix::homogeneous(w, cores))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_mixes_cover_all_45() {
+        let mixes = homogeneous_mixes(64);
+        assert_eq!(mixes.len(), 45);
+        for m in &mixes {
+            assert_eq!(m.cores(), 64);
+            assert!(m.workloads.iter().all(|w| w.name == m.name));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_mixes_are_deterministic() {
+        let a = heterogeneous_mixes(10, 8, 7);
+        let b = heterogeneous_mixes(10, 8, 7);
+        assert_eq!(a, b);
+        let c = heterogeneous_mixes(10, 8, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn heterogeneous_mixes_actually_mix() {
+        let mixes = heterogeneous_mixes(5, 64, 3);
+        for m in mixes {
+            let mut names: Vec<&str> = m.workloads.iter().map(|w| w.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert!(
+                names.len() > 4,
+                "{} distinct workloads in 64-core mix",
+                names.len()
+            );
+        }
+    }
+
+    #[test]
+    fn cloud_cvp_mixes_cover_both_suites() {
+        let mixes = cloud_cvp_mixes(4);
+        assert_eq!(mixes.len(), 10);
+        assert!(mixes.iter().any(|m| m.name.starts_with("cloudsuite.")));
+        assert!(mixes.iter().any(|m| m.name.starts_with("cvp.")));
+    }
+}

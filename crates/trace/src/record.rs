@@ -1,0 +1,288 @@
+//! Trace recording and replay: a compact line-oriented text format for
+//! instruction streams, so workloads can be captured once, inspected with
+//! external tools, and replayed deterministically.
+//!
+//! Format (one record per line, `#`-prefixed header lines):
+//!
+//! ```text
+//! #clip-trace v1
+//! #name 605.mcf_s-1554B
+//! #seed 42
+//! L <ip-hex> <addr-hex>     demand load
+//! C <ip-hex> <addr-hex>     serialized (chase) load
+//! S <ip-hex> <addr-hex>     store
+//! B <ip-hex> 1|0            branch (taken|not-taken)
+//! A <ip-hex> <latency>      ALU op
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use clip_trace::record::{decode, encode};
+//! use clip_trace::catalog;
+//!
+//! let spec = &catalog::spec_cpu2017()[0];
+//! let instrs = spec.generator(7).record(100);
+//! let text = encode(&spec.name, 7, &instrs);
+//! let replayed = decode(&text).expect("well-formed");
+//! assert_eq!(replayed.instrs, instrs);
+//! ```
+
+use crate::{Instr, InstrKind};
+use clip_types::{Addr, Ip};
+use std::fmt::Write as _;
+
+/// A decoded trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFile {
+    /// Workload name from the header (empty if absent).
+    pub name: String,
+    /// Generation seed from the header (0 if absent).
+    pub seed: u64,
+    /// The instruction stream.
+    pub instrs: Vec<Instr>,
+}
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Encodes an instruction stream into the v1 text format.
+pub fn encode(name: &str, seed: u64, instrs: &[Instr]) -> String {
+    let mut out = String::with_capacity(instrs.len() * 24 + 64);
+    out.push_str("#clip-trace v1\n");
+    let _ = writeln!(out, "#name {name}");
+    let _ = writeln!(out, "#seed {seed}");
+    for i in instrs {
+        match i.kind {
+            InstrKind::Load { addr, serialized } => {
+                let tag = if serialized { 'C' } else { 'L' };
+                let _ = writeln!(out, "{tag} {:x} {:x}", i.ip.raw(), addr.raw());
+            }
+            InstrKind::Store { addr } => {
+                let _ = writeln!(out, "S {:x} {:x}", i.ip.raw(), addr.raw());
+            }
+            InstrKind::Branch { taken } => {
+                let _ = writeln!(out, "B {:x} {}", i.ip.raw(), taken as u8);
+            }
+            InstrKind::Alu { latency } => {
+                let _ = writeln!(out, "A {:x} {latency}", i.ip.raw());
+            }
+        }
+    }
+    out
+}
+
+/// Decodes the v1 text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] with the offending line on malformed input.
+pub fn decode(text: &str) -> Result<TraceFile, ParseTraceError> {
+    let mut name = String::new();
+    let mut seed = 0u64;
+    let mut instrs = Vec::new();
+    let err = |line: usize, message: &str| ParseTraceError {
+        line,
+        message: message.to_string(),
+    };
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(n) = rest.strip_prefix("name ") {
+                name = n.to_string();
+            } else if let Some(s) = rest.strip_prefix("seed ") {
+                seed = s
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, "seed is not an integer"))?;
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().ok_or_else(|| err(lineno, "empty record"))?;
+        let ip_str = parts.next().ok_or_else(|| err(lineno, "missing ip"))?;
+        let ip =
+            u64::from_str_radix(ip_str, 16).map_err(|_| err(lineno, "ip is not hexadecimal"))?;
+        let arg = parts.next().ok_or_else(|| err(lineno, "missing operand"))?;
+        if parts.next().is_some() {
+            return Err(err(lineno, "trailing fields"));
+        }
+        let kind = match tag {
+            "L" | "C" => InstrKind::Load {
+                addr: Addr::new(
+                    u64::from_str_radix(arg, 16)
+                        .map_err(|_| err(lineno, "address is not hexadecimal"))?,
+                ),
+                serialized: tag == "C",
+            },
+            "S" => InstrKind::Store {
+                addr: Addr::new(
+                    u64::from_str_radix(arg, 16)
+                        .map_err(|_| err(lineno, "address is not hexadecimal"))?,
+                ),
+            },
+            "B" => InstrKind::Branch {
+                taken: match arg {
+                    "1" => true,
+                    "0" => false,
+                    _ => return Err(err(lineno, "branch outcome must be 0 or 1")),
+                },
+            },
+            "A" => InstrKind::Alu {
+                latency: arg
+                    .parse()
+                    .map_err(|_| err(lineno, "latency is not an integer"))?,
+            },
+            _ => return Err(err(lineno, "unknown record tag")),
+        };
+        instrs.push(Instr {
+            ip: Ip::new(ip),
+            kind,
+        });
+    }
+    Ok(TraceFile { name, seed, instrs })
+}
+
+/// Writes a trace file to disk.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn save(
+    path: &std::path::Path,
+    name: &str,
+    seed: u64,
+    instrs: &[Instr],
+) -> std::io::Result<()> {
+    std::fs::write(path, encode(name, seed, instrs))
+}
+
+/// Reads a trace file from disk.
+///
+/// # Errors
+///
+/// Returns an I/O error for filesystem problems, or a boxed
+/// [`ParseTraceError`] for malformed content.
+pub fn load(path: &std::path::Path) -> Result<TraceFile, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(decode(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn roundtrip_every_record_kind() {
+        let instrs = vec![
+            Instr {
+                ip: Ip::new(0x400),
+                kind: InstrKind::Load {
+                    addr: Addr::new(0x1000),
+                    serialized: false,
+                },
+            },
+            Instr {
+                ip: Ip::new(0x408),
+                kind: InstrKind::Load {
+                    addr: Addr::new(0x2000),
+                    serialized: true,
+                },
+            },
+            Instr {
+                ip: Ip::new(0x410),
+                kind: InstrKind::Store {
+                    addr: Addr::new(0x3000),
+                },
+            },
+            Instr {
+                ip: Ip::new(0x418),
+                kind: InstrKind::Branch { taken: true },
+            },
+            Instr {
+                ip: Ip::new(0x420),
+                kind: InstrKind::Branch { taken: false },
+            },
+            Instr {
+                ip: Ip::new(0x428),
+                kind: InstrKind::Alu { latency: 3 },
+            },
+        ];
+        let text = encode("unit", 9, &instrs);
+        let file = decode(&text).expect("well-formed");
+        assert_eq!(file.name, "unit");
+        assert_eq!(file.seed, 9);
+        assert_eq!(file.instrs, instrs);
+    }
+
+    #[test]
+    fn roundtrip_generated_workload() {
+        let spec = &catalog::spec_cpu2017()[10];
+        let instrs = spec.generator(77).record(5_000);
+        let file = decode(&encode(&spec.name, 77, &instrs)).expect("well-formed");
+        assert_eq!(file.instrs, instrs);
+        assert_eq!(file.name, spec.name);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let bad = "#clip-trace v1\nL 400 zz\n";
+        let e = decode(bad).expect_err("must fail");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("hexadecimal"));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let e = decode("X 1 2\n").expect_err("must fail");
+        assert!(e.message.contains("unknown record tag"));
+    }
+
+    #[test]
+    fn branch_outcome_validation() {
+        assert!(decode("B 400 2\n").is_err());
+        assert!(decode("B 400 1\n").is_ok());
+    }
+
+    #[test]
+    fn trailing_fields_rejected() {
+        assert!(decode("L 400 1000 extra\n").is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("clip-trace-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("roundtrip.trace");
+        let spec = &catalog::spec_cpu2017()[3];
+        let instrs = spec.generator(5).record(500);
+        save(&path, &spec.name, 5, &instrs).expect("write");
+        let file = load(&path).expect("read");
+        assert_eq!(file.instrs, instrs);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,376 @@
+//! Workload specifications: the tunable statistics of a synthetic workload.
+
+use crate::TraceGenerator;
+use serde::{Deserialize, Serialize};
+
+/// Benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// SPEC CPU2017 (rate-mode simpoints).
+    SpecCpu2017,
+    /// GAP benchmark suite graph kernels.
+    Gap,
+    /// CloudSuite scale-out workloads.
+    CloudSuite,
+    /// Championship Value Prediction client/server traces.
+    Cvp,
+}
+
+impl Suite {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::SpecCpu2017 => "SPEC CPU2017",
+            Suite::Gap => "GAP",
+            Suite::CloudSuite => "CloudSuite",
+            Suite::Cvp => "CVP",
+        }
+    }
+}
+
+/// Relative weights of the spatial access-pattern classes assigned to a
+/// workload's load IPs. Weights need not sum to one; they are normalised.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternMix {
+    /// Sequential streaming (prefetch-friendly, wide footprint).
+    pub stream: f64,
+    /// Constant-stride walks.
+    pub stride: f64,
+    /// Dependent pointer chasing (prefetch-hostile, serialized).
+    pub chase: f64,
+    /// Small hot working set (L1 hits).
+    pub hot: f64,
+    /// Branch-context-dependent dual behaviour (dynamic-critical IPs).
+    pub ctx_dual: f64,
+}
+
+impl PatternMix {
+    /// A mix dominated by streaming (lbm-like).
+    pub fn streaming() -> Self {
+        PatternMix {
+            stream: 0.55,
+            stride: 0.2,
+            chase: 0.0,
+            hot: 0.2,
+            ctx_dual: 0.05,
+        }
+    }
+
+    /// A mix dominated by pointer chasing (mcf-like).
+    pub fn chasing() -> Self {
+        PatternMix {
+            stream: 0.08,
+            stride: 0.12,
+            chase: 0.35,
+            hot: 0.3,
+            ctx_dual: 0.15,
+        }
+    }
+
+    /// A strided scientific mix (bwaves/roms-like).
+    pub fn strided() -> Self {
+        PatternMix {
+            stream: 0.35,
+            stride: 0.35,
+            chase: 0.02,
+            hot: 0.2,
+            ctx_dual: 0.08,
+        }
+    }
+
+    /// An irregular integer mix (gcc/xalancbmk-like).
+    pub fn irregular() -> Self {
+        PatternMix {
+            stream: 0.12,
+            stride: 0.18,
+            chase: 0.18,
+            hot: 0.4,
+            ctx_dual: 0.12,
+        }
+    }
+
+    /// A cache-friendly mix (low MPKI).
+    pub fn friendly() -> Self {
+        PatternMix {
+            stream: 0.08,
+            stride: 0.1,
+            chase: 0.02,
+            hot: 0.75,
+            ctx_dual: 0.05,
+        }
+    }
+}
+
+/// Full description of a synthetic workload. Public fields by design: this
+/// is a passive parameter record (C-STRUCT-PRIVATE exception for plain
+/// data).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Trace name as it appears in the paper's figures.
+    pub name: String,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Total distinct cache lines the workload can touch.
+    pub footprint_lines: u64,
+    /// Size of hot working sets in lines (fits in L1 when small).
+    pub hot_lines: u64,
+    /// Number of static load IPs.
+    pub load_ips: usize,
+    /// Number of static conditional-branch IPs.
+    pub branch_ips: usize,
+    /// Fraction of instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of instructions that are conditional branches.
+    pub branch_frac: f64,
+    /// Probability that a given branch IP is history-predictable.
+    pub branch_predictability: f64,
+    /// Spatial pattern mix across load IPs.
+    pub pattern: PatternMix,
+    /// Instructions per application phase (0 = no phase changes).
+    pub phase_len: u64,
+}
+
+/// Error returned when a [`WorkloadSpec`] fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidSpecError {
+    message: String,
+}
+
+impl std::fmt::Display for InvalidSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid workload spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for InvalidSpecError {}
+
+impl WorkloadSpec {
+    /// Creates a seeded generator for this workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec fails [`WorkloadSpec::validate`]; validate
+    /// first when the spec comes from untrusted input.
+    pub fn generator(&self, seed: u64) -> TraceGenerator {
+        self.validate().expect("workload spec must be valid");
+        TraceGenerator::new(self, seed)
+    }
+
+    /// Checks the spec's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSpecError`] describing the first violated
+    /// invariant: fractions must leave room for ALU work, the hot set must
+    /// fit the footprint, and populations must be non-zero.
+    pub fn validate(&self) -> Result<(), InvalidSpecError> {
+        let err = |m: &str| {
+            Err(InvalidSpecError {
+                message: m.to_string(),
+            })
+        };
+        let fracs = [self.load_frac, self.store_frac, self.branch_frac];
+        if fracs.iter().any(|f| !(0.0..=1.0).contains(f)) {
+            return err("instruction-mix fractions must be within [0, 1]");
+        }
+        if self.load_frac + self.store_frac + self.branch_frac > 0.95 {
+            return err("instruction mix leaves no room for ALU work");
+        }
+        if !(0.0..=1.0).contains(&self.branch_predictability) {
+            return err("branch predictability must be within [0, 1]");
+        }
+        if self.hot_lines.max(16) >= self.footprint_lines.max(1024) {
+            return err("hot working set must be smaller than the footprint");
+        }
+        if self.load_ips == 0 || self.branch_ips == 0 {
+            return err("IP populations must be non-zero");
+        }
+        let p = &self.pattern;
+        let weights = [p.stream, p.stride, p.chase, p.hot, p.ctx_dual];
+        if weights.iter().any(|w| *w < 0.0 || !w.is_finite()) {
+            return err("pattern weights must be non-negative and finite");
+        }
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return err("pattern weights must not all be zero");
+        }
+        Ok(())
+    }
+
+    /// Stable hash of the workload name (namespaces IPs and RNG streams).
+    pub fn name_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in self.name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// A rough memory-intensity score in [0, 1]: how much of the load
+    /// stream misses beyond small caches. Used only by tests and mix
+    /// labelling.
+    pub fn memory_intensity(&self) -> f64 {
+        let p = &self.pattern;
+        let total = p.stream + p.stride + p.chase + p.hot + p.ctx_dual;
+        ((p.stream + p.stride + p.chase + 0.5 * p.ctx_dual) / total * self.load_frac / 0.3).min(1.0)
+    }
+}
+
+/// Builder-style constructors, used by the catalog and available to
+/// downstream users defining custom workload models.
+impl WorkloadSpec {
+    /// Creates a workload with default statistics for the given pattern
+    /// mix. Chain the builder methods to adjust them.
+    pub fn new(name: &str, suite: Suite, pattern: PatternMix) -> Self {
+        WorkloadSpec {
+            name: name.to_string(),
+            suite,
+            footprint_lines: 1 << 20, // 64 MiB default footprint
+            hot_lines: 256,
+            load_ips: 24,
+            branch_ips: 12,
+            load_frac: 0.28,
+            store_frac: 0.08,
+            branch_frac: 0.14,
+            branch_predictability: 0.85,
+            pattern,
+            phase_len: 0,
+        }
+    }
+
+    /// Sets the total footprint in cache lines.
+    pub fn footprint(mut self, lines: u64) -> Self {
+        self.footprint_lines = lines;
+        self
+    }
+
+    /// Sets the hot working-set span in lines.
+    pub fn hot(mut self, lines: u64) -> Self {
+        self.hot_lines = lines;
+        self
+    }
+
+    /// Sets the static load/branch IP populations.
+    pub fn ips(mut self, loads: usize, branches: usize) -> Self {
+        self.load_ips = loads;
+        self.branch_ips = branches;
+        self
+    }
+
+    /// Sets the instruction-mix fractions.
+    pub fn mixfrac(mut self, load: f64, store: f64, branch: f64) -> Self {
+        self.load_frac = load;
+        self.store_frac = store;
+        self.branch_frac = branch;
+        self
+    }
+
+    /// Sets the branch predictability probability.
+    pub fn predictability(mut self, p: f64) -> Self {
+        self.branch_predictability = p;
+        self
+    }
+
+    /// Sets the application phase length in instructions (0 = none).
+    pub fn phases(mut self, len: u64) -> Self {
+        self.phase_len = len;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_hash_is_stable_and_distinct() {
+        let a = WorkloadSpec::new("a", Suite::Gap, PatternMix::streaming());
+        let b = WorkloadSpec::new("b", Suite::Gap, PatternMix::streaming());
+        assert_eq!(a.name_hash(), a.name_hash());
+        assert_ne!(a.name_hash(), b.name_hash());
+    }
+
+    #[test]
+    fn memory_intensity_orders_pattern_classes() {
+        let stream = WorkloadSpec::new("s", Suite::SpecCpu2017, PatternMix::streaming());
+        let friendly = WorkloadSpec::new("f", Suite::SpecCpu2017, PatternMix::friendly());
+        assert!(stream.memory_intensity() > friendly.memory_intensity());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let w = WorkloadSpec::new("x", Suite::Cvp, PatternMix::irregular())
+            .footprint(4096)
+            .hot(64)
+            .ips(100, 50)
+            .mixfrac(0.3, 0.1, 0.2)
+            .predictability(0.5)
+            .phases(10_000);
+        assert_eq!(w.footprint_lines, 4096);
+        assert_eq!(w.hot_lines, 64);
+        assert_eq!(w.load_ips, 100);
+        assert_eq!(w.branch_ips, 50);
+        assert_eq!(w.phase_len, 10_000);
+        assert!((w.load_frac - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_accepts_catalog_style_specs() {
+        let w = WorkloadSpec::new("ok", Suite::Gap, PatternMix::streaming());
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let base = WorkloadSpec::new("bad", Suite::Gap, PatternMix::streaming());
+        let over = WorkloadSpec {
+            load_frac: 0.9,
+            branch_frac: 0.2,
+            ..base.clone()
+        };
+        assert!(over.validate().is_err());
+        let hot = WorkloadSpec {
+            hot_lines: 1 << 30,
+            footprint_lines: 4096,
+            ..base.clone()
+        };
+        assert!(hot.validate().is_err());
+        let zero = WorkloadSpec {
+            pattern: PatternMix {
+                stream: 0.0,
+                stride: 0.0,
+                chase: 0.0,
+                hot: 0.0,
+                ctx_dual: 0.0,
+            },
+            ..base.clone()
+        };
+        assert!(zero.validate().is_err());
+        let neg = WorkloadSpec {
+            pattern: PatternMix {
+                stream: -1.0,
+                ..PatternMix::streaming()
+            },
+            ..base
+        };
+        assert!(neg.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn generator_panics_on_invalid_spec() {
+        let bad = WorkloadSpec {
+            load_ips: 0,
+            ..WorkloadSpec::new("bad", Suite::Gap, PatternMix::streaming())
+        };
+        let _ = bad.generator(1);
+    }
+
+    #[test]
+    fn suite_names() {
+        assert_eq!(Suite::Gap.name(), "GAP");
+        assert_eq!(Suite::SpecCpu2017.name(), "SPEC CPU2017");
+    }
+}

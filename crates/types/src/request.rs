@@ -1,0 +1,237 @@
+//! Memory request/response plumbing shared by caches, NoC, and DRAM.
+
+use crate::{Addr, CoreId, Cycle, Ip, LineAddr};
+use std::fmt;
+
+/// Unique identifier of an in-flight memory transaction.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct ReqId(pub u64);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// The level of the memory hierarchy that ultimately serviced a request.
+///
+/// This is the paper's *miss-level flag* generalised to an enum: `L1` means
+/// the ROB's miss-level flag stays zero; anything deeper sets it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum MemLevel {
+    /// Serviced by the L1 data cache (or load-store queue forwarding).
+    L1,
+    /// Serviced by the private L2.
+    L2,
+    /// Serviced by a shared LLC slice.
+    Llc,
+    /// Serviced by DRAM.
+    Dram,
+}
+
+impl MemLevel {
+    /// True when the paper's miss-level flag would be non-zero, i.e. the
+    /// request was serviced beyond the L1.
+    #[inline]
+    pub fn is_beyond_l1(self) -> bool {
+        self != MemLevel::L1
+    }
+}
+
+impl fmt::Display for MemLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemLevel::L1 => "L1",
+            MemLevel::L2 => "L2",
+            MemLevel::Llc => "LLC",
+            MemLevel::Dram => "DRAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What kind of access a memory request is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AccessKind {
+    /// A demand load issued by the core.
+    Load,
+    /// A demand store (write-allocate; does not block retirement).
+    Store,
+    /// A prefetch issued by a hardware prefetcher. `trigger_ip` is the IP of
+    /// the demand load that trained/triggered it — the IP CLIP attributes
+    /// the prefetch to.
+    Prefetch {
+        /// IP of the triggering demand load.
+        trigger_ip: Ip,
+        /// True when CLIP marked this prefetch critical-and-accurate; such
+        /// prefetches receive demand priority at the NoC and DRAM.
+        critical: bool,
+    },
+    /// A dirty line written back toward memory.
+    Writeback,
+}
+
+impl AccessKind {
+    /// True for demand loads/stores.
+    #[inline]
+    pub fn is_demand(self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::Store)
+    }
+
+    /// True for prefetches (critical or not).
+    #[inline]
+    pub fn is_prefetch(self) -> bool {
+        matches!(self, AccessKind::Prefetch { .. })
+    }
+
+    /// True for demand loads only.
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, AccessKind::Load)
+    }
+}
+
+/// Scheduling priority at shared resources (NoC and DRAM controller).
+///
+/// With CLIP, critical-and-accurate prefetches are promoted to
+/// [`Priority::Demand`]; plain prefetches stay at [`Priority::Prefetch`]
+/// (the PADC / prefetch-aware NoC behaviour of the baseline).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Priority {
+    /// Lowest: speculative traffic (plain prefetches).
+    Prefetch,
+    /// Writebacks: drained opportunistically.
+    Writeback,
+    /// Highest: demand requests and CLIP-critical prefetches.
+    Demand,
+}
+
+/// A memory request travelling down the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MemRequest {
+    /// Transaction id, unique within a simulation.
+    pub id: ReqId,
+    /// Issuing core (also selects the private caches and NoC source node).
+    pub core: CoreId,
+    /// Instruction pointer of the access (the trigger IP for prefetches).
+    pub ip: Ip,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Access kind.
+    pub kind: AccessKind,
+    /// Cycle the request entered the hierarchy.
+    pub issue_cycle: Cycle,
+}
+
+impl MemRequest {
+    /// Cache line addressed by the request.
+    #[inline]
+    pub fn line(&self) -> LineAddr {
+        self.addr.line()
+    }
+
+    /// Scheduling priority of this request at shared resources.
+    #[inline]
+    pub fn priority(&self) -> Priority {
+        match self.kind {
+            AccessKind::Load | AccessKind::Store => Priority::Demand,
+            AccessKind::Prefetch { critical, .. } => {
+                if critical {
+                    Priority::Demand
+                } else {
+                    Priority::Prefetch
+                }
+            }
+            AccessKind::Writeback => Priority::Writeback,
+        }
+    }
+}
+
+/// A response returning up the hierarchy to the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MemResponse {
+    /// The transaction this responds to.
+    pub id: ReqId,
+    /// The core that issued it.
+    pub core: CoreId,
+    /// Line serviced.
+    pub line: LineAddr,
+    /// Deepest level that serviced the request (the miss-level flag).
+    pub level: MemLevel,
+    /// Cycle the response reached the core.
+    pub done_cycle: Cycle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(kind: AccessKind) -> MemRequest {
+        MemRequest {
+            id: ReqId(1),
+            core: CoreId(0),
+            ip: Ip::new(0x400),
+            addr: Addr::new(0x1000),
+            kind,
+            issue_cycle: 0,
+        }
+    }
+
+    #[test]
+    fn demand_requests_have_demand_priority() {
+        assert_eq!(req(AccessKind::Load).priority(), Priority::Demand);
+        assert_eq!(req(AccessKind::Store).priority(), Priority::Demand);
+    }
+
+    #[test]
+    fn plain_prefetch_is_low_priority_critical_is_demand() {
+        let plain = req(AccessKind::Prefetch {
+            trigger_ip: Ip::new(0x400),
+            critical: false,
+        });
+        let crit = req(AccessKind::Prefetch {
+            trigger_ip: Ip::new(0x400),
+            critical: true,
+        });
+        assert_eq!(plain.priority(), Priority::Prefetch);
+        assert_eq!(crit.priority(), Priority::Demand);
+        assert!(plain.priority() < crit.priority());
+    }
+
+    #[test]
+    fn writeback_sits_between_prefetch_and_demand() {
+        let wb = req(AccessKind::Writeback);
+        assert!(wb.priority() > Priority::Prefetch);
+        assert!(wb.priority() < Priority::Demand);
+    }
+
+    #[test]
+    fn mem_level_beyond_l1() {
+        assert!(!MemLevel::L1.is_beyond_l1());
+        assert!(MemLevel::L2.is_beyond_l1());
+        assert!(MemLevel::Llc.is_beyond_l1());
+        assert!(MemLevel::Dram.is_beyond_l1());
+    }
+
+    #[test]
+    fn request_line_matches_addr() {
+        let r = req(AccessKind::Load);
+        assert_eq!(r.line(), Addr::new(0x1000).line());
+    }
+}

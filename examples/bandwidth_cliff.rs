@@ -1,0 +1,56 @@
+//! Bandwidth cliff: sweep the DRAM channel count for a fixed many-core
+//! system and watch state-of-the-art prefetching flip from a win to a
+//! loss — the phenomenon that motivates the paper (Figures 1-3).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example bandwidth_cliff
+//! ```
+
+use clip::sim::{run_mix, RunOptions, Scheme};
+use clip::stats::normalized_weighted_speedup;
+use clip::trace::Mix;
+use clip::types::{PrefetcherKind, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cores = 8;
+    // A streaming workload: maximally prefetch-friendly, so the only thing
+    // that can hurt it is bandwidth contention.
+    let workload =
+        clip::trace::catalog::by_name("619.lbm_s-4268B").ok_or("workload missing from catalog")?;
+    let mix = Mix::homogeneous(&workload, cores);
+    let opts = RunOptions {
+        warmup_instrs: 1_000,
+        sim_instrs: 5_000,
+        ..RunOptions::default()
+    };
+
+    println!("8 cores of lbm (streaming), Berti L1 prefetcher");
+    println!();
+    println!("channels  ch/core  norm.WS(Berti)  DRAM util  avg L1-miss lat (pf/base)");
+    for channels in [1usize, 2, 4, 8] {
+        let cfg_no = SimConfig::builder()
+            .cores(cores)
+            .dram_channels(channels)
+            .build()?;
+        let cfg_pf = SimConfig::builder()
+            .cores(cores)
+            .dram_channels(channels)
+            .l1_prefetcher(PrefetcherKind::Berti)
+            .build()?;
+        let base = run_mix(&cfg_no, &Scheme::plain(), &mix, &opts);
+        let pf = run_mix(&cfg_pf, &Scheme::plain(), &mix, &opts);
+        let ws = normalized_weighted_speedup(&pf.per_core_ipc, &base.per_core_ipc);
+        println!(
+            "{channels:>8}  {:>7.3}  {ws:>14.3}  {:>8.0}%  {:>6.0} / {:.0} cycles",
+            channels as f64 / cores as f64,
+            pf.dram_bw_util * 100.0,
+            pf.latency.l1_miss.avg(),
+            base.latency.l1_miss.avg(),
+        );
+    }
+    println!();
+    println!("expected shape: WS < 1 with one channel, > 1.2 with one channel per core");
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Quickstart: simulate one bandwidth-constrained many-core mix with and
+//! without CLIP and print the headline comparison.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use clip::sim::{run_mix, RunOptions, Scheme};
+use clip::stats::normalized_weighted_speedup;
+use clip::trace::Mix;
+use clip::types::{PrefetcherKind, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-core system with a single DDR4-3200 channel: the same
+    // channels-per-core ratio as the paper's 64-core / 8-channel baseline.
+    let cores = 8;
+    let platform = |pf: PrefetcherKind| {
+        SimConfig::builder()
+            .cores(cores)
+            .dram_channels(1)
+            .l1_prefetcher(pf)
+            .build()
+    };
+    let cfg_nopf = platform(PrefetcherKind::None)?;
+    let cfg_berti = platform(PrefetcherKind::Berti)?;
+
+    // All cores run the same pointer-chasing mcf simpoint (SPEC RATE mode).
+    let workload =
+        clip::trace::catalog::by_name("605.mcf_s-1554B").ok_or("workload missing from catalog")?;
+    let mix = Mix::homogeneous(&workload, cores);
+
+    let opts = RunOptions {
+        warmup_instrs: 2_000,
+        sim_instrs: 8_000,
+        ..RunOptions::default()
+    };
+
+    println!("simulating {} x {} ...", cores, mix.name);
+    let base = run_mix(&cfg_nopf, &Scheme::plain(), &mix, &opts);
+    let berti = run_mix(&cfg_berti, &Scheme::plain(), &mix, &opts);
+    let clip = run_mix(&cfg_berti, &Scheme::with_clip(), &mix, &opts);
+
+    let ws_berti = normalized_weighted_speedup(&berti.per_core_ipc, &base.per_core_ipc);
+    let ws_clip = normalized_weighted_speedup(&clip.per_core_ipc, &base.per_core_ipc);
+
+    println!();
+    println!("scheme        norm.WS   pf-issued  pf-accuracy  avg L1-miss latency");
+    println!(
+        "no prefetch   {:>7.3}   {:>9}  {:>11}  {:>10.0} cycles",
+        1.0,
+        0,
+        "-",
+        base.latency.l1_miss.avg()
+    );
+    println!(
+        "Berti         {:>7.3}   {:>9}  {:>10.1}%  {:>10.0} cycles",
+        ws_berti,
+        berti.prefetch.issued,
+        berti.prefetch.accuracy() * 100.0,
+        berti.latency.l1_miss.avg()
+    );
+    println!(
+        "Berti+CLIP    {:>7.3}   {:>9}  {:>10.1}%  {:>10.0} cycles",
+        ws_clip,
+        clip.prefetch.issued,
+        clip.prefetch.accuracy() * 100.0,
+        clip.latency.l1_miss.avg()
+    );
+
+    let report = clip.clip.expect("CLIP scheme returns a report");
+    println!();
+    println!(
+        "CLIP dropped {:.0}% of prefetch candidates; {:.1} critical-and-accurate IPs/core",
+        report.stats.drop_rate() * 100.0,
+        report.critical_ips
+    );
+    println!(
+        "critical-IP prediction: {:.0}% accuracy, {:.0}% coverage",
+        report.ip_eval.accuracy() * 100.0,
+        report.ip_eval.coverage() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from the all_figures output.
+
+Usage:
+    cargo run --release -p clip-bench --bin all_figures > experiments_raw.txt
+    python3 scripts/make_experiments.py experiments_raw.txt > EXPERIMENTS.md
+
+Each section of the raw output is paired with the paper's reported numbers
+so paper-vs-measured is visible side by side.
+"""
+
+import sys
+
+# What the paper reports for each artifact (shape targets, not absolute
+# numbers — see DESIGN.md §3 item 4 on scale).
+PAPER_NOTES = {
+    "table3": "Table 3 parameters, reproduced verbatim by the configuration defaults.",
+    "table2": "Paper: 1.56 KB/core (336 B filter + 640 B predictor + 64 B ROB "
+              "extension + 512 B utility buffer + histories/APC).",
+    "fig01": "Paper (64 cores, homogeneous): every prefetcher loses at 4-8 channels "
+             "(Berti 0.76/0.84), recovers by 16-32, and wins big at 64 (Berti ~1.35). "
+             "Expected shape here: WS < 1 at the 4-8-channel equivalents, rising "
+             "monotonically, > 1 at the 64-channel equivalent.",
+    "fig02": "Paper (heterogeneous): same crossover, shallower (slowdowns ~0.85-0.95 "
+             "at 4-8 channels; gains up to ~1.2 at 64).",
+    "fig03": "Paper: average L2/L3 demand miss latencies inflate by >1.9x at 4-8 "
+             "channels with Berti, approaching 1.0 at 64. Expected shape: the "
+             "DRAM-serviced ratio well above 1 at small channel counts, "
+             "decreasing with bandwidth. Known deviation: this model's L2/LLC "
+             "hit paths have fixed latencies (no port contention), so their "
+             "columns stay at 1.0 (or '-' when a level serviced no sampled "
+             "demand); the queueing inflation the paper measures on-chip shows "
+             "up here in the DRAM-serviced and all-miss columns.",
+    "fig04": "Paper: best baseline accuracy ~41%; CATCH/FVP reach ~100% coverage "
+             "with poor accuracy. Expected shape: over-taggers (FVP/CATCH/FP) have "
+             "coverage >> accuracy; CRISP/ROBO/CBP trade coverage for accuracy.",
+    "fig05": "Paper: no baseline criticality gate rescues Berti at 4-16 channels "
+             "(all within a few percent of plain Berti, some worse).",
+    "fig06": "Paper: throttlers improve Berti marginally at best; large slowdowns "
+             "remain at 4-8 channels.",
+    "fig09": "Paper (8 channels): CLIP lifts every prefetcher; Berti +24% "
+             "(homogeneous) / +9% (heterogeneous). Expected shape: +CLIP column "
+             "above plain for each prefetcher, biggest deltas for Berti/IPCP.",
+    "fig10": "Paper: Berti slows >26 of 45 mixes; with CLIP only 3 mixes stay "
+             "below 1.0 and the mean moves from 0.84 to 1.08.",
+    "fig11": "Paper: mean L1 miss latency drops from 168 to 132 cycles with CLIP "
+             "(max >900-cycle improvements on lbm mixes).",
+    "fig12": "Paper: CLIP costs ~7% L1 miss coverage and 2-3% at L2/LLC.",
+    "fig13": "Paper: CLIP critical-IP prediction accuracy 93% average (up to "
+             "100%); best prior predictor 41%.",
+    "fig14": "Paper: CLIP coverage averages 76%.",
+    "fig15": "Paper: tens of critical IPs per mix; ~50% dynamic-critical.",
+    "fig16": "Paper: ~50% average prefetch-traffic reduction (up to 90% for "
+             "cactuBSSN); Berti accuracy 82.9% -> 94.2%. Known deviation in "
+             "this model: the traffic cut is stronger (~0.2x) and measured "
+             "accuracy does not rise, because the synthetic Berti is already "
+             ">93% accurate, leaving little inaccuracy for CLIP to filter.",
+    "fig17": "Paper: CloudSuite/CVP gain <10% from prefetching even at 64 "
+             "channels; CLIP's deltas are correspondingly small.",
+    "fig18": "Paper: 2x/4x tables gain little; 0.5x/0.25x lose >7%. Known "
+             "deviation at small scale: with only a few critical IPs per core "
+             "in a short window, even the 0.25x tables do not overflow, so "
+             "the sweep is nearly flat; the paper's drop needs the full IP "
+             "populations of 200M-instruction simpoints.",
+    "fig19": "Paper: CLIP's gains concentrate at 4-8 channels and fade at 16.",
+    "fig20": "Paper: same trend on heterogeneous mixes, shallower.",
+    "fig21": "Paper: CLIP > Hermes > DSPatch at 4-8 channels; Hermes wins at 16. "
+             "DSPatch hurts under constrained bandwidth (coverage mode).",
+    "energy": "Paper: CLIP improves memory-hierarchy dynamic energy by 18.21% "
+              "over Berti (homogeneous; <7% heterogeneous), including CLIP's own "
+              "structures. Known deviation in this model: the saving does not "
+              "materialise because the synthetic Berti wastes only ~7% of its "
+              "traffic (vs 17% in the paper), and dropped prefetches re-issue "
+              "as demand misses for the same lines — there is little wasted "
+              "DRAM energy for CLIP to reclaim at this accuracy level. The "
+              "static-energy saving from the runtime improvement (see "
+              "clip_stats::StaticPower) still applies.",
+    "sens_cores": "Paper: CLIP stays effective across 8-128 cores whenever there "
+                  "is less than one channel per 2-4 cores.",
+    "sens_llc": "Paper: Berti's slowdown worsens to 29% at 512 KB/core and eases "
+                "to 9% at 4 MB/core; CLIP keeps prefetching profitable at every "
+                "capacity. Known deviation at small scale: short measurement "
+                "windows are cold-miss dominated, so LLC capacity barely moves "
+                "the result; the capacity lever itself is exercised by the "
+                "`llc_capacity_reduces_dram_traffic` integration test with a "
+                "tailored working set.",
+    "ablation": "Paper attribution: 77.5% of CLIP's benefit from criticality "
+                "filtering+prediction, the rest from accuracy filtering; the "
+                "criticality-conscious NoC/DRAM flag is worth 2.8 points of 24.",
+    "dynclip": "Paper §5.3 (future work, implemented here): DynCLIP should match "
+               "CLIP under constrained bandwidth and recover the plain "
+               "prefetcher's upside when bandwidth is ample.",
+}
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation, regenerated by
+`cargo run --release -p clip-bench --bin all_figures` (per-figure binaries
+exist too; see DESIGN.md §4 for the experiment index).
+
+**Scale.** The paper simulates 64 cores x 200M instructions on proprietary
+simpoint traces; this run uses the scaled configuration printed in each
+section header (channels are translated to keep the paper's
+channels-per-core ratio — e.g. "8 paper channels" = 2 channels for 16
+cores). Absolute numbers therefore differ; the reproduction target is the
+*shape*: who wins, by roughly what factor, and where the crossovers fall
+(see DESIGN.md §3).
+
+**Workloads.** Synthetic models of the paper's SPEC CPU2017 / GAP /
+CloudSuite / CVP traces (DESIGN.md §3 item 1).
+
+---
+"""
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "experiments_raw.txt"
+    with open(path, encoding="utf-8") as fh:
+        raw = fh.read()
+
+    print(HEADER)
+
+    # Optional second argument: output of the `summary` binary, shown first.
+    if len(sys.argv) > 2:
+        with open(sys.argv[2], encoding="utf-8") as fh:
+            print("## Headline summary\n")
+            print("```text")
+            print(fh.read().rstrip())
+            print("```\n")
+    sections = raw.split("=====================")
+    # sections alternate: [prefix, " name ", body, " name ", body, ...]
+    i = 1
+    while i + 1 < len(sections):
+        name = sections[i].strip()
+        body = sections[i + 1]
+        # Trim the leading newline block up to the next separator marker.
+        body = body.strip("\n")
+        # Remove trailing '=' debris from the split.
+        body = body.rstrip("=").rstrip()
+        print(f"## {name}\n")
+        note = PAPER_NOTES.get(name)
+        if note:
+            if note.startswith("Paper: "):
+                note = note[len("Paper: "):]
+            elif note.startswith("Paper ("):
+                pass
+            print(f"**Paper:** {note}\n")
+        print("**Measured:**\n")
+        print("```text")
+        print(body)
+        print("```\n")
+        i += 2
+
+
+if __name__ == "__main__":
+    main()

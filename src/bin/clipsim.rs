@@ -1,0 +1,251 @@
+//! `clipsim` — command-line driver for the CLIP many-core simulator.
+//!
+//! ```text
+//! clipsim --workload 605.mcf_s-1554B --cores 8 --channels 1 \
+//!         --prefetcher berti --clip --instrs 10000
+//! clipsim --hetero-seed 7 --cores 16 --channels 2 --prefetcher spp-ppf
+//! clipsim --list-workloads
+//! ```
+//!
+//! Runs the requested mix under the requested scheme *and* the
+//! no-prefetch baseline, then prints a comparison report.
+
+use clip::sim::{run_mix, NocChoice, RunOptions, Scheme};
+use clip::trace::Mix;
+use clip::types::{PrefetcherKind, SimConfig};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    workload: Option<String>,
+    hetero_seed: Option<u64>,
+    cores: usize,
+    channels: usize,
+    prefetcher: PrefetcherKind,
+    clip: bool,
+    dynclip: bool,
+    throttler: Option<clip::throttle::ThrottlerKind>,
+    hermes: bool,
+    dspatch: bool,
+    instrs: u64,
+    warmup: u64,
+    seed: u64,
+    noc: NocChoice,
+    list: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workload: None,
+            hetero_seed: None,
+            cores: 8,
+            channels: 1,
+            prefetcher: PrefetcherKind::Berti,
+            clip: false,
+            dynclip: false,
+            throttler: None,
+            hermes: false,
+            dspatch: false,
+            instrs: 10_000,
+            warmup: 2_000,
+            seed: 42,
+            noc: NocChoice::Mesh,
+            list: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+clipsim — CLIP many-core simulator
+
+USAGE:
+  clipsim [OPTIONS]
+
+OPTIONS:
+  --workload <NAME>      homogeneous mix of the named trace (see --list-workloads)
+  --hetero-seed <N>      random heterogeneous mix instead of a named workload
+  --cores <N>            cores in the system              [default: 8]
+  --channels <N>         DDR4-3200 channels (power of 2)  [default: 1]
+  --prefetcher <KIND>    none|berti|ipcp|bingo|spp-ppf|ip-stride|stream|next-line
+                                                          [default: berti]
+  --clip                 attach CLIP to the prefetcher
+  --dynclip              attach Dynamic CLIP (bandwidth-governed)
+  --throttler <KIND>     fdp|hpac|spac|nst
+  --hermes               attach Hermes off-chip prediction
+  --dspatch              attach DSPatch modulation
+  --instrs <N>           measured instructions per core   [default: 10000]
+  --warmup <N>           warmup instructions per core     [default: 2000]
+  --seed <N>             workload seed                    [default: 42]
+  --noc <MODEL>          mesh|analytic                    [default: mesh]
+  --list-workloads       print the workload catalog and exit
+  --help                 this text
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--workload" => args.workload = Some(value("--workload")?),
+            "--hetero-seed" => {
+                args.hetero_seed = Some(
+                    value("--hetero-seed")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--cores" => args.cores = value("--cores")?.parse().map_err(|e| format!("{e}"))?,
+            "--channels" => {
+                args.channels = value("--channels")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--prefetcher" => {
+                args.prefetcher = match value("--prefetcher")?.as_str() {
+                    "none" => PrefetcherKind::None,
+                    "berti" => PrefetcherKind::Berti,
+                    "ipcp" => PrefetcherKind::Ipcp,
+                    "bingo" => PrefetcherKind::Bingo,
+                    "spp-ppf" | "spp" => PrefetcherKind::SppPpf,
+                    "ip-stride" => PrefetcherKind::IpStride,
+                    "stream" => PrefetcherKind::Stream,
+                    "next-line" => PrefetcherKind::NextLine,
+                    other => return Err(format!("unknown prefetcher: {other}")),
+                }
+            }
+            "--clip" => args.clip = true,
+            "--dynclip" => args.dynclip = true,
+            "--throttler" => {
+                args.throttler = Some(match value("--throttler")?.as_str() {
+                    "fdp" => clip::throttle::ThrottlerKind::Fdp,
+                    "hpac" => clip::throttle::ThrottlerKind::Hpac,
+                    "spac" => clip::throttle::ThrottlerKind::Spac,
+                    "nst" => clip::throttle::ThrottlerKind::Nst,
+                    other => return Err(format!("unknown throttler: {other}")),
+                })
+            }
+            "--hermes" => args.hermes = true,
+            "--dspatch" => args.dspatch = true,
+            "--instrs" => args.instrs = value("--instrs")?.parse().map_err(|e| format!("{e}"))?,
+            "--warmup" => args.warmup = value("--warmup")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--noc" => {
+                args.noc = match value("--noc")?.as_str() {
+                    "mesh" => NocChoice::Mesh,
+                    "analytic" => NocChoice::Analytic,
+                    other => return Err(format!("unknown noc model: {other}")),
+                }
+            }
+            "--list-workloads" => args.list = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_scheme(args: &Args) -> Scheme {
+    let mut scheme = if args.dynclip {
+        Scheme::with_dynamic_clip()
+    } else if args.clip {
+        Scheme::with_clip()
+    } else {
+        Scheme::plain()
+    };
+    scheme.throttler = args.throttler;
+    scheme.hermes = args.hermes;
+    scheme.dspatch = args.dspatch;
+    scheme
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for w in clip::trace::catalog::all() {
+            println!(
+                "{:<28} {:>10} lines  [{}]",
+                w.name,
+                w.footprint_lines,
+                w.suite.name()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mix = if let Some(seed) = args.hetero_seed {
+        clip::trace::heterogeneous_mixes(1, args.cores, seed)
+            .pop()
+            .expect("one mix requested")
+    } else {
+        let name = args
+            .workload
+            .clone()
+            .unwrap_or_else(|| "605.mcf_s-1554B".to_string());
+        match clip::trace::catalog::by_name(&name) {
+            Some(w) => Mix::homogeneous(&w, args.cores),
+            None => {
+                eprintln!("error: unknown workload {name} (try --list-workloads)");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let platform = |pf: PrefetcherKind| {
+        let (l1, l2) = if pf.trains_at_l1() || pf == PrefetcherKind::None {
+            (pf, PrefetcherKind::None)
+        } else {
+            (PrefetcherKind::None, pf)
+        };
+        SimConfig::builder()
+            .cores(args.cores)
+            .dram_channels(args.channels)
+            .l1_prefetcher(l1)
+            .l2_prefetcher(l2)
+            .build()
+    };
+    let cfg_base = match platform(PrefetcherKind::None) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = platform(args.prefetcher).expect("same platform with prefetcher");
+
+    let opts = RunOptions {
+        warmup_instrs: args.warmup,
+        sim_instrs: args.instrs,
+        seed: args.seed,
+        noc: args.noc,
+        max_cycles: 0,
+        timeline_interval: 0,
+    };
+    let scheme = build_scheme(&args);
+
+    eprintln!(
+        "running {} on {} cores / {} channel(s), {} + baseline ...",
+        mix.name,
+        args.cores,
+        args.channels,
+        scheme.label(args.prefetcher)
+    );
+    let base = run_mix(&cfg_base, &Scheme::plain(), &mix, &opts);
+    let res = run_mix(&cfg, &scheme, &mix, &opts);
+
+    println!("mix                 : {} x {}", args.cores, mix.name);
+    println!(
+        "{}",
+        clip::sim::ComparisonReport::new(scheme.label(args.prefetcher), &res, &base)
+    );
+    ExitCode::SUCCESS
+}
