@@ -1,10 +1,13 @@
-//! Criterion micro-benchmarks for the simulator's hot components: cache
-//! lookups under each replacement policy, prefetcher training, CLIP's gate
-//! path, DRAM scheduling, and NoC forwarding.
+//! Micro-benchmarks for the simulator's hot components: cache lookups
+//! under each replacement policy, prefetcher training, CLIP's gate path,
+//! DRAM scheduling, and NoC forwarding.
 //!
 //! These benches keep the substrate honest (the cycle loop touches these
 //! paths millions of times per experiment); they are not paper artifacts.
+//! Plain `fn main()` + [`clip_bench::timing::bench`] — no criterion, so
+//! the workspace stays hermetic.
 
+use clip_bench::timing::bench;
 use clip_core::{Clip, ClipConfig};
 use clip_cpu::LoadOutcome;
 use clip_prefetch::{build, AccessInfo, PrefetcherKind};
@@ -12,10 +15,8 @@ use clip_types::{
     Addr, CacheLevelConfig, DramConfig, Ip, LineAddr, MemLevel, NocConfig, Priority,
     ReplacementKind, ReqId,
 };
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
+fn bench_cache() {
     for repl in [
         ReplacementKind::Lru,
         ReplacementKind::Srrip,
@@ -28,35 +29,33 @@ fn bench_cache(c: &mut Criterion) {
             mshrs: 32,
             replacement: repl,
         };
-        g.bench_function(format!("lookup_fill_{repl:?}"), |b| {
-            let mut cache = clip_cache::Cache::new(&cfg);
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                let line = LineAddr::new(clip_types::hash64(i) % (1 << 16));
-                if !cache.lookup(line, false, i).is_hit() {
-                    cache.fill(line, false, false, i);
-                }
-                black_box(cache.stats().demand_hits)
-            })
+        let mut cache = clip_cache::Cache::new(&cfg);
+        let mut i = 0u64;
+        bench(&format!("cache/lookup_fill_{repl:?}"), 100_000, || {
+            i += 1;
+            let line = LineAddr::new(clip_types::hash64(i) % (1 << 16));
+            if !cache.lookup(line, false, i).is_hit() {
+                cache.fill(line, false, false, i);
+            }
+            cache.stats().demand_hits
         });
     }
-    g.finish();
 }
 
-fn bench_prefetchers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prefetcher_on_access");
+fn bench_prefetchers() {
     for kind in [
         PrefetcherKind::Berti,
         PrefetcherKind::Ipcp,
         PrefetcherKind::Bingo,
         PrefetcherKind::SppPpf,
     ] {
-        g.bench_function(kind.name(), |b| {
-            let mut pf = build(kind);
-            let mut out = Vec::new();
-            let mut i = 0u64;
-            b.iter(|| {
+        let mut pf = build(kind);
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        bench(
+            &format!("prefetcher_on_access/{}", kind.name()),
+            50_000,
+            || {
                 i += 1;
                 out.clear();
                 pf.on_access(
@@ -69,102 +68,88 @@ fn bench_prefetchers(c: &mut Criterion) {
                     },
                     &mut out,
                 );
-                black_box(out.len())
-            })
-        });
+                out.len()
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_clip(c: &mut Criterion) {
-    let mut g = c.benchmark_group("clip");
-    g.bench_function("filter_prefetch", |b| {
-        let mut clip = Clip::new(ClipConfig::default());
-        // Train a few IPs critical.
-        for ip in 0..8u64 {
-            for i in 0..8 {
-                clip.on_load_complete(&LoadOutcome {
-                    ip: Ip::new(0x400 + ip * 8),
-                    addr: Addr::new(i * 64),
-                    level: MemLevel::Dram,
-                    stalled_head: true,
-                    stall_cycles: 60,
-                    rob_occupancy: 256,
-                    outstanding_loads: 2,
-                    done_cycle: 0,
-                    latency: 300,
-                });
-            }
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(
-                clip.filter_prefetch(LineAddr::new(i % (1 << 14)), Ip::new(0x400 + (i % 16) * 8)),
-            )
-        })
-    });
-    g.bench_function("on_load_complete", |b| {
-        let mut clip = Clip::new(ClipConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
+fn bench_clip() {
+    let mut clip = Clip::new(ClipConfig::default());
+    // Train a few IPs critical.
+    for ip in 0..8u64 {
+        for i in 0..8 {
             clip.on_load_complete(&LoadOutcome {
-                ip: Ip::new(0x400 + (i % 32) * 8),
+                ip: Ip::new(0x400 + ip * 8),
                 addr: Addr::new(i * 64),
-                level: if i.is_multiple_of(4) {
-                    MemLevel::Dram
-                } else {
-                    MemLevel::L1
-                },
-                stalled_head: i.is_multiple_of(4),
-                stall_cycles: 40,
-                rob_occupancy: 200,
-                outstanding_loads: 3,
-                done_cycle: i,
-                latency: 200,
+                level: MemLevel::Dram,
+                stalled_head: true,
+                stall_cycles: 60,
+                rob_occupancy: 256,
+                outstanding_loads: 2,
+                done_cycle: 0,
+                latency: 300,
             });
-            black_box(clip.critical_ip_count())
-        })
+        }
+    }
+    let mut i = 0u64;
+    bench("clip/filter_prefetch", 100_000, || {
+        i += 1;
+        clip.filter_prefetch(LineAddr::new(i % (1 << 14)), Ip::new(0x400 + (i % 16) * 8))
     });
-    g.finish();
+
+    let mut clip = Clip::new(ClipConfig::default());
+    let mut i = 0u64;
+    bench("clip/on_load_complete", 100_000, || {
+        i += 1;
+        clip.on_load_complete(&LoadOutcome {
+            ip: Ip::new(0x400 + (i % 32) * 8),
+            addr: Addr::new(i * 64),
+            level: if i.is_multiple_of(4) {
+                MemLevel::Dram
+            } else {
+                MemLevel::L1
+            },
+            stalled_head: i.is_multiple_of(4),
+            stall_cycles: 40,
+            rob_occupancy: 200,
+            outstanding_loads: 3,
+            done_cycle: i,
+            latency: 200,
+        });
+        clip.critical_ip_count()
+    });
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram_tick_loaded", |b| {
-        let mut dram = clip_dram::DramSystem::new(&DramConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let line = LineAddr::new(clip_types::hash64(i) >> 20);
-            let ch = dram.channel_for(line);
-            let _ = dram.enqueue_read(ch, ReqId(i), line, Priority::Demand, i);
-            black_box(dram.tick(i).len())
-        })
+fn bench_dram() {
+    let mut dram = clip_dram::DramSystem::new(&DramConfig::default());
+    let mut i = 0u64;
+    bench("dram_tick_loaded", 50_000, || {
+        i += 1;
+        let line = LineAddr::new(clip_types::hash64(i) >> 20);
+        let ch = dram.channel_for(line);
+        let _ = dram.enqueue_read(ch, ReqId(i), line, Priority::Demand, i);
+        dram.tick(i).len()
     });
 }
 
-fn bench_noc(c: &mut Criterion) {
+fn bench_noc() {
     use clip_noc::NocModel;
-    c.bench_function("mesh_tick_loaded", |b| {
-        let mut noc = clip_noc::MeshNoc::new(&NocConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let src = (clip_types::hash64(i) % 64) as usize;
-            let dst = (clip_types::hash64(i ^ 7) % 64) as usize;
-            let _ = noc.send(src, dst, 8, Priority::Demand, i, i);
-            black_box(noc.tick(i).len())
-        })
+    let mut noc = clip_noc::MeshNoc::new(&NocConfig::default());
+    let mut i = 0u64;
+    bench("mesh_tick_loaded", 50_000, || {
+        i += 1;
+        let src = (clip_types::hash64(i) % 64) as usize;
+        let dst = (clip_types::hash64(i ^ 7) % 64) as usize;
+        let _ = noc.send(src, dst, 8, Priority::Demand, i, i);
+        noc.tick(i).len()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_prefetchers,
-    bench_clip,
-    bench_dram,
-    bench_noc
-);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_prefetchers();
+    bench_clip();
+    bench_dram();
+    bench_noc();
+}

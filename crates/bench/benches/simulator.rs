@@ -1,12 +1,14 @@
-//! Criterion end-to-end simulator benchmarks: wall-clock cost of one
-//! small simulation per mechanism stack. These track the harness's own
+//! End-to-end simulator benchmarks: wall-clock cost of one small
+//! simulation per mechanism stack. These track the harness's own
 //! performance (simulated-instructions per host-second), so regressions
-//! in the cycle loop are caught.
+//! in the cycle loop are caught. Plain `fn main()` +
+//! [`clip_bench::timing::bench`] — no criterion, so the workspace stays
+//! hermetic.
 
+use clip_bench::timing::bench;
 use clip_sim::{run_mix, NocChoice, RunOptions, Scheme};
 use clip_trace::Mix;
 use clip_types::{PrefetcherKind, SimConfig};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn opts() -> RunOptions {
     RunOptions {
@@ -35,64 +37,35 @@ fn mix() -> Mix {
     )
 }
 
-fn bench_schemes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_4core_mcf");
-    g.sample_size(10);
-    g.bench_function("nopf", |b| {
-        let m = mix();
-        b.iter(|| {
-            black_box(run_mix(
-                &cfg(PrefetcherKind::None),
-                &Scheme::plain(),
-                &m,
-                &opts(),
-            ))
-        })
+fn bench_schemes() {
+    let m = mix();
+    bench("sim_4core_mcf/nopf", 10, || {
+        run_mix(&cfg(PrefetcherKind::None), &Scheme::plain(), &m, &opts())
     });
-    g.bench_function("berti", |b| {
-        let m = mix();
-        b.iter(|| {
-            black_box(run_mix(
-                &cfg(PrefetcherKind::Berti),
-                &Scheme::plain(),
-                &m,
-                &opts(),
-            ))
-        })
+    bench("sim_4core_mcf/berti", 10, || {
+        run_mix(&cfg(PrefetcherKind::Berti), &Scheme::plain(), &m, &opts())
     });
-    g.bench_function("berti_clip", |b| {
-        let m = mix();
-        b.iter(|| {
-            black_box(run_mix(
-                &cfg(PrefetcherKind::Berti),
-                &Scheme::with_clip(),
-                &m,
-                &opts(),
-            ))
-        })
+    bench("sim_4core_mcf/berti_clip", 10, || {
+        run_mix(
+            &cfg(PrefetcherKind::Berti),
+            &Scheme::with_clip(),
+            &m,
+            &opts(),
+        )
     });
-    g.finish();
 }
 
-fn bench_noc_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_noc_model");
-    g.sample_size(10);
+fn bench_noc_models() {
+    let m = mix();
     for (name, noc) in [("mesh", NocChoice::Mesh), ("analytic", NocChoice::Analytic)] {
-        g.bench_function(name, |b| {
-            let m = mix();
-            let o = RunOptions { noc, ..opts() };
-            b.iter(|| {
-                black_box(run_mix(
-                    &cfg(PrefetcherKind::Berti),
-                    &Scheme::plain(),
-                    &m,
-                    &o,
-                ))
-            })
+        let o = RunOptions { noc, ..opts() };
+        bench(&format!("sim_noc_model/{name}"), 10, || {
+            run_mix(&cfg(PrefetcherKind::Berti), &Scheme::plain(), &m, &o)
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_schemes, bench_noc_models);
-criterion_main!(benches);
+fn main() {
+    bench_schemes();
+    bench_noc_models();
+}

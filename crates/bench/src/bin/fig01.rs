@@ -5,7 +5,7 @@
 //! (Berti reaching ~1.35); channel counts here are scaled to preserve the
 //! channels-per-core ratio at the configured core count.
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_for, scaled_channels, Scale};
+use clip_bench::{fmt, header, mean_ws, normalized_ws_sweep, scaled_channels, Scale};
 use clip_sim::Scheme;
 use clip_types::PrefetcherKind;
 
@@ -35,10 +35,7 @@ fn main() {
         let ch = scaled_channels(paper_ch, scale.cores);
         let mut row = vec![paper_ch.to_string(), ch.to_string()];
         for kind in kinds {
-            let ws: Vec<f64> = mixes
-                .iter()
-                .map(|m| normalized_ws_for(&scale, ch, kind, &Scheme::plain(), m).0)
-                .collect();
+            let ws = normalized_ws_sweep(&scale, ch, kind, &Scheme::plain(), &mixes);
             row.push(fmt(mean_ws(&ws)));
         }
         println!("{}", row.join("\t"));

@@ -4,7 +4,7 @@
 //! Paper shape: CLIP's benefit holds across 8..128 cores, fading when
 //! there is at least one channel per 2-4 cores.
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_for, Scale};
+use clip_bench::{fmt, header, mean_ws, normalized_ws_sweep, Scale};
 use clip_sim::Scheme;
 use clip_types::PrefetcherKind;
 
@@ -19,25 +19,20 @@ fn main() {
         };
         let channels = (cores / 8).max(1);
         let mixes = scale.sample_homogeneous();
-        let plain: Vec<f64> = mixes
-            .iter()
-            .map(|m| {
-                normalized_ws_for(&scale, channels, PrefetcherKind::Berti, &Scheme::plain(), m).0
-            })
-            .collect();
-        let clip: Vec<f64> = mixes
-            .iter()
-            .map(|m| {
-                normalized_ws_for(
-                    &scale,
-                    channels,
-                    PrefetcherKind::Berti,
-                    &Scheme::with_clip(),
-                    m,
-                )
-                .0
-            })
-            .collect();
+        let plain = normalized_ws_sweep(
+            &scale,
+            channels,
+            PrefetcherKind::Berti,
+            &Scheme::plain(),
+            &mixes,
+        );
+        let clip = normalized_ws_sweep(
+            &scale,
+            channels,
+            PrefetcherKind::Berti,
+            &Scheme::with_clip(),
+            &mixes,
+        );
         println!(
             "{cores}\t{channels}\t{}\t{}",
             fmt(mean_ws(&plain)),

@@ -5,7 +5,7 @@
 //! CLIP keeps prefetching profitable at every capacity.
 
 use clip_bench::{fmt, header, mean_ws, scaled_channels, Scale};
-use clip_sim::{run_mix, Scheme};
+use clip_sim::{run_mixes_parallel, Scheme};
 use clip_stats::normalized_weighted_speedup;
 use clip_types::{PrefetcherKind, SimConfig};
 
@@ -28,21 +28,19 @@ fn main() {
         };
         let cfg_no = build(PrefetcherKind::None);
         let cfg_pf = build(PrefetcherKind::Berti);
-        let mut plain = Vec::new();
-        let mut clip = Vec::new();
-        for m in &mixes {
-            let base = run_mix(&cfg_no, &Scheme::plain(), m, &opts);
-            let b = run_mix(&cfg_pf, &Scheme::plain(), m, &opts);
-            let c = run_mix(&cfg_pf, &Scheme::with_clip(), m, &opts);
-            plain.push(normalized_weighted_speedup(
-                &b.per_core_ipc,
-                &base.per_core_ipc,
-            ));
-            clip.push(normalized_weighted_speedup(
-                &c.per_core_ipc,
-                &base.per_core_ipc,
-            ));
-        }
+        let bases = run_mixes_parallel(&cfg_no, &Scheme::plain(), &mixes, &opts);
+        let bertis = run_mixes_parallel(&cfg_pf, &Scheme::plain(), &mixes, &opts);
+        let clips = run_mixes_parallel(&cfg_pf, &Scheme::with_clip(), &mixes, &opts);
+        let plain: Vec<f64> = bertis
+            .iter()
+            .zip(&bases)
+            .map(|(b, base)| normalized_weighted_speedup(&b.per_core_ipc, &base.per_core_ipc))
+            .collect();
+        let clip: Vec<f64> = clips
+            .iter()
+            .zip(&bases)
+            .map(|(c, base)| normalized_weighted_speedup(&c.per_core_ipc, &base.per_core_ipc))
+            .collect();
         println!("{kb}\t{}\t{}", fmt(mean_ws(&plain)), fmt(mean_ws(&clip)));
     }
 }

@@ -13,7 +13,9 @@
 //!   (default 10 homogeneous / 8 heterogeneous).
 //! * `CLIP_NOC` — `mesh` or `analytic` (default analytic for sweeps).
 
-use clip_sim::{run_mix, NocChoice, RunOptions, Scheme, SimResult};
+pub mod timing;
+
+use clip_sim::{run_jobs_parallel, run_mix, NocChoice, RunOptions, Scheme, SimResult, SweepJob};
 use clip_stats::normalized_weighted_speedup;
 use clip_trace::Mix;
 use clip_types::{PrefetcherKind, SimConfig};
@@ -161,17 +163,37 @@ pub struct PerMixRow {
 }
 
 /// Runs the 45-homogeneous-mix sweep that feeds Figures 10-16 (sampled by
-/// the scale), at the given channel count.
+/// the scale), at the given channel count. The three runs per mix
+/// (baseline, Berti, Berti+CLIP) all go through the parallel driver.
 pub fn per_mix_sweep(scale: &Scale, channels: usize) -> Vec<PerMixRow> {
     let opts = scale.options();
+    let cfg_no = scale.config(channels, PrefetcherKind::None, PrefetcherKind::None);
     let cfg_pf = scale.config(channels, PrefetcherKind::Berti, PrefetcherKind::None);
-    scale
-        .sample_homogeneous()
+    let mixes = scale.sample_homogeneous();
+    let jobs: Vec<SweepJob> = mixes
         .iter()
-        .map(|mix| {
-            let base = baseline_for(scale, channels, mix);
-            let berti = run_mix(&cfg_pf, &Scheme::plain(), mix, &opts);
-            let clip = run_mix(&cfg_pf, &Scheme::with_clip(), mix, &opts);
+        .flat_map(|mix| {
+            [
+                (cfg_no.clone(), Scheme::plain()),
+                (cfg_pf.clone(), Scheme::plain()),
+                (cfg_pf.clone(), Scheme::with_clip()),
+            ]
+            .into_iter()
+            .map(|(cfg, scheme)| SweepJob {
+                cfg,
+                scheme,
+                mix: mix.clone(),
+            })
+        })
+        .collect();
+    let results = run_jobs_parallel(&jobs, &opts);
+    mixes
+        .iter()
+        .zip(results.chunks_exact(3))
+        .map(|(mix, runs)| {
+            let [base, berti, clip] = runs else {
+                unreachable!("chunks_exact(3)")
+            };
             let cr = clip.clip.expect("clip scheme has a report");
             PerMixRow {
                 mix: mix.name.clone(),
@@ -239,6 +261,66 @@ pub fn normalized_ws_for(
     (ws, res, base)
 }
 
+/// Runs `scheme` over all `mixes` through the parallel driver and returns
+/// each mix's normalized weighted speedup, in mix order.
+///
+/// Missing baselines are first filled in parallel too (and memoized, so
+/// schemes sweeping the same mixes at the same channel count share one
+/// baseline run). Results are identical to calling [`normalized_ws_for`]
+/// per mix serially.
+pub fn normalized_ws_sweep(
+    scale: &Scale,
+    channels: usize,
+    kind: PrefetcherKind,
+    scheme: &Scheme,
+    mixes: &[Mix],
+) -> Vec<f64> {
+    let bases = baselines_for(scale, channels, mixes);
+    let (l1, l2) = place(kind);
+    let cfg_pf = scale.config(channels, l1, l2);
+    let runs = clip_sim::run_mixes_parallel(&cfg_pf, scheme, mixes, &scale.options());
+    runs.iter()
+        .zip(&bases)
+        .map(|(r, b)| normalized_weighted_speedup(&r.per_core_ipc, &b.per_core_ipc))
+        .collect()
+}
+
+/// Returns the no-prefetch baselines for every mix, running any not yet
+/// memoized through the parallel driver.
+pub fn baselines_for(scale: &Scale, channels: usize, mixes: &[Mix]) -> Vec<SimResult> {
+    let missing: Vec<Mix> = mixes
+        .iter()
+        .filter(|m| {
+            let key = baseline_key(scale, channels, m);
+            BASELINE_CACHE.with(|c| !c.borrow().contains_key(&key))
+        })
+        .cloned()
+        .collect();
+    if !missing.is_empty() {
+        let cfg_no = scale.config(channels, PrefetcherKind::None, PrefetcherKind::None);
+        let runs =
+            clip_sim::run_mixes_parallel(&cfg_no, &Scheme::plain(), &missing, &scale.options());
+        for (m, r) in missing.iter().zip(runs) {
+            let key = baseline_key(scale, channels, m);
+            BASELINE_CACHE.with(|c| c.borrow_mut().insert(key, r));
+        }
+    }
+    mixes
+        .iter()
+        .map(|m| {
+            let key = baseline_key(scale, channels, m);
+            BASELINE_CACHE.with(|c| c.borrow().get(&key).cloned().expect("filled above"))
+        })
+        .collect()
+}
+
+fn baseline_key(scale: &Scale, channels: usize, mix: &Mix) -> String {
+    format!(
+        "{}|{}|{}|{}|{}",
+        channels, mix.name, scale.cores, scale.instrs, scale.warmup
+    )
+}
+
 thread_local! {
     static BASELINE_CACHE: std::cell::RefCell<std::collections::HashMap<String, SimResult>> =
         std::cell::RefCell::new(std::collections::HashMap::new());
@@ -246,10 +328,7 @@ thread_local! {
 
 /// Returns the memoized no-prefetch baseline for (scale, channels, mix).
 pub fn baseline_for(scale: &Scale, channels: usize, mix: &Mix) -> SimResult {
-    let key = format!(
-        "{}|{}|{}|{}|{}",
-        channels, mix.name, scale.cores, scale.instrs, scale.warmup
-    );
+    let key = baseline_key(scale, channels, mix);
     if let Some(hit) = BASELINE_CACHE.with(|c| c.borrow().get(&key).cloned()) {
         return hit;
     }

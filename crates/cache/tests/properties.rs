@@ -1,9 +1,9 @@
-//! Property-based tests: cache and MSHR invariants under arbitrary
-//! operation sequences.
+//! Randomized invariant tests: cache and MSHR invariants under arbitrary
+//! operation sequences drawn from the workspace's deterministic
+//! [`SimRng`].
 
 use clip_cache::{Cache, MshrFile};
-use clip_types::{CacheLevelConfig, LineAddr, ReplacementKind, ReqId};
-use proptest::prelude::*;
+use clip_types::{CacheLevelConfig, LineAddr, ReplacementKind, ReqId, SimRng};
 
 fn cfg(repl: ReplacementKind) -> CacheLevelConfig {
     CacheLevelConfig {
@@ -22,95 +22,115 @@ enum Op {
     Invalidate(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..512, any::<bool>()).prop_map(|(l, w)| Op::Lookup(l, w)),
-        (0u64..512, any::<bool>(), any::<bool>()).prop_map(|(l, d, p)| Op::Fill(l, d, p)),
-        (0u64..512).prop_map(Op::Invalidate),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    match rng.gen_range(0u32..3) {
+        0 => Op::Lookup(rng.gen_range(0u64..512), rng.gen_bool(0.5)),
+        1 => Op::Fill(
+            rng.gen_range(0u64..512),
+            rng.gen_bool(0.5),
+            rng.gen_bool(0.5),
+        ),
+        _ => Op::Invalidate(rng.gen_range(0u64..512)),
+    }
 }
 
-proptest! {
-    /// Occupancy never exceeds capacity; hits never exceed accesses; a
-    /// line just filled is present; an invalidated line is absent.
-    #[test]
-    fn cache_invariants(
-        repl_idx in 0usize..4,
-        ops in proptest::collection::vec(op_strategy(), 1..400),
-    ) {
+/// Occupancy never exceeds capacity; hits never exceed accesses; a line
+/// just filled is present; an invalidated line is absent.
+#[test]
+fn cache_invariants() {
+    let mut rng = SimRng::seed_from_u64(0xCAC1);
+    for case in 0..64 {
         let repl = [
             ReplacementKind::Lru,
             ReplacementKind::Srrip,
             ReplacementKind::Mockingjay,
             ReplacementKind::Nru,
-        ][repl_idx];
+        ][case % 4];
+        let n = rng.gen_range(1usize..400);
         let mut c = Cache::new(&cfg(repl));
-        for (t, op) in ops.into_iter().enumerate() {
-            match op {
+        for t in 0..n {
+            match random_op(&mut rng) {
                 Op::Lookup(l, w) => {
                     let _ = c.lookup(LineAddr::new(l), w, t as u64);
                 }
                 Op::Fill(l, d, p) => {
                     c.fill(LineAddr::new(l), d, p, t as u64);
-                    prop_assert!(c.contains(LineAddr::new(l)));
+                    assert!(c.contains(LineAddr::new(l)));
                 }
                 Op::Invalidate(l) => {
                     c.invalidate(LineAddr::new(l));
-                    prop_assert!(!c.contains(LineAddr::new(l)));
+                    assert!(!c.contains(LineAddr::new(l)));
                 }
             }
-            prop_assert!(c.occupancy() <= 64);
+            assert!(c.occupancy() <= 64);
             let s = c.stats();
-            prop_assert!(s.demand_hits <= s.demand_accesses);
-            prop_assert!(s.prefetch_hits <= s.prefetch_accesses);
+            assert!(s.demand_hits <= s.demand_accesses);
+            assert!(s.prefetch_hits <= s.prefetch_accesses);
         }
     }
+}
 
-    /// Eviction accounting: useless prefetches never exceed prefetch
-    /// fills.
-    #[test]
-    fn prefetch_accounting_bounded(lines in proptest::collection::vec(0u64..4096, 1..500)) {
+/// Eviction accounting: useless prefetches never exceed prefetch fills.
+#[test]
+fn prefetch_accounting_bounded() {
+    let mut rng = SimRng::seed_from_u64(0xCAC2);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..500);
         let mut c = Cache::new(&cfg(ReplacementKind::Lru));
-        for (t, l) in lines.iter().enumerate() {
-            c.fill(LineAddr::new(*l), false, t % 2 == 0, t as u64);
+        for t in 0..n {
+            let l = rng.gen_range(0u64..4096);
+            c.fill(LineAddr::new(l), false, t % 2 == 0, t as u64);
         }
         let s = c.stats();
-        prop_assert!(s.useless_prefetches + s.useful_prefetches <= s.prefetch_fills);
+        assert!(s.useless_prefetches + s.useful_prefetches <= s.prefetch_fills);
     }
+}
 
-    /// MSHR: length bounded by capacity; a completed line is gone; every
-    /// merged request appears exactly once among the waiters.
-    #[test]
-    fn mshr_invariants(ops in proptest::collection::vec((0u64..16, any::<bool>()), 1..200)) {
+/// MSHR: length bounded by capacity; a completed line is gone; every
+/// merged request appears exactly once among the waiters.
+#[test]
+fn mshr_invariants() {
+    let mut rng = SimRng::seed_from_u64(0xCAC3);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..200);
         let mut m = MshrFile::new(8);
         let mut next = 0u64;
-        for (line, complete) in ops {
-            if complete {
+        for _ in 0..n {
+            let line = rng.gen_range(0u64..16);
+            if rng.gen_bool(0.5) {
                 let _ = m.complete(LineAddr::new(line));
-                prop_assert!(!m.contains(LineAddr::new(line)));
+                assert!(!m.contains(LineAddr::new(line)));
             } else {
                 next += 1;
-                let _ = m.alloc(LineAddr::new(line), ReqId(next), next.is_multiple_of(3), next);
+                let _ = m.alloc(
+                    LineAddr::new(line),
+                    ReqId(next),
+                    next.is_multiple_of(3),
+                    next,
+                );
             }
-            prop_assert!(m.len() <= 8);
-            prop_assert_eq!(m.is_full(), m.len() == 8);
+            assert!(m.len() <= 8);
+            assert_eq!(m.is_full(), m.len() == 8);
         }
     }
+}
 
-    /// Merging preserves the primary and collects waiters in order.
-    #[test]
-    fn mshr_merge_collects_waiters(n in 1usize..20) {
+/// Merging preserves the primary and collects waiters in order.
+#[test]
+fn mshr_merge_collects_waiters() {
+    for n in 1usize..20 {
         let mut m = MshrFile::new(4);
         let line = LineAddr::new(7);
         m.alloc(line, ReqId(0), false, 0).expect("first alloc");
         for i in 1..=n as u64 {
-            m.alloc(line, ReqId(i), false, i).expect("merge always fits");
+            m.alloc(line, ReqId(i), false, i)
+                .expect("merge always fits");
         }
         let e = m.complete(line).expect("entry");
-        prop_assert_eq!(e.primary, ReqId(0));
-        prop_assert_eq!(e.waiters.len(), n);
+        assert_eq!(e.primary, ReqId(0));
+        assert_eq!(e.waiters.len(), n);
         for (i, w) in e.waiters.iter().enumerate() {
-            prop_assert_eq!(*w, ReqId(i as u64 + 1));
+            assert_eq!(*w, ReqId(i as u64 + 1));
         }
     }
 }

@@ -1,11 +1,11 @@
-//! Property-based tests for CLIP's structures: bounded state, total
-//! decision accounting, and reset completeness — under arbitrary event
-//! interleavings.
+//! Randomized invariant tests for CLIP's structures: bounded state,
+//! total decision accounting, and reset completeness — under arbitrary
+//! event interleavings drawn from the workspace's deterministic
+//! [`SimRng`].
 
 use clip_core::{Clip, ClipConfig, CriticalityFilter, CriticalityTable, UtilityBuffer};
 use clip_cpu::LoadOutcome;
-use clip_types::{Addr, Ip, LineAddr, MemLevel};
-use proptest::prelude::*;
+use clip_types::{Addr, Ip, LineAddr, MemLevel, SimRng};
 
 #[derive(Debug, Clone)]
 enum Event {
@@ -16,21 +16,23 @@ enum Event {
     Apc { accesses: u64 },
 }
 
-fn event_strategy() -> impl Strategy<Value = Event> {
-    prop_oneof![
-        (0u64..24, 0u64..(1 << 16), any::<bool>()).prop_map(|(ip, addr, critical)| Event::Load {
-            ip: 0x400 + ip * 8,
-            addr: addr * 64,
-            critical
-        }),
-        any::<bool>().prop_map(Event::Branch),
-        (0u64..24, 0u64..(1 << 16)).prop_map(|(ip, line)| Event::Prefetch {
-            ip: 0x400 + ip * 8,
-            line
-        }),
-        Just(Event::L1Miss),
-        (100u64..10_000).prop_map(|accesses| Event::Apc { accesses }),
-    ]
+fn random_event(rng: &mut SimRng) -> Event {
+    match rng.gen_range(0u32..5) {
+        0 => Event::Load {
+            ip: 0x400 + rng.gen_range(0u64..24) * 8,
+            addr: rng.gen_range(0u64..(1 << 16)) * 64,
+            critical: rng.gen_bool(0.5),
+        },
+        1 => Event::Branch(rng.gen_bool(0.5)),
+        2 => Event::Prefetch {
+            ip: 0x400 + rng.gen_range(0u64..24) * 8,
+            line: rng.gen_range(0u64..(1 << 16)),
+        },
+        3 => Event::L1Miss,
+        _ => Event::Apc {
+            accesses: rng.gen_range(100u64..10_000),
+        },
+    }
 }
 
 fn outcome(ip: u64, addr: u64, critical: bool) -> LoadOutcome {
@@ -51,17 +53,19 @@ fn outcome(ip: u64, addr: u64, critical: bool) -> LoadOutcome {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Under any event sequence, CLIP's statistics account for every
-    /// candidate and its structures stay within capacity.
-    #[test]
-    fn clip_total_accounting(events in proptest::collection::vec(event_strategy(), 1..600)) {
+/// Under any event sequence, CLIP's statistics account for every
+/// candidate and its structures stay within capacity.
+#[test]
+fn clip_total_accounting() {
+    let mut rng = SimRng::seed_from_u64(0xC11F1);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..600);
         let mut clip = Clip::new(ClipConfig::default());
-        for e in events {
-            match e {
-                Event::Load { ip, addr, critical } => clip.on_load_complete(&outcome(ip, addr, critical)),
+        for _ in 0..n {
+            match random_event(&mut rng) {
+                Event::Load { ip, addr, critical } => {
+                    clip.on_load_complete(&outcome(ip, addr, critical))
+                }
                 Event::Branch(t) => clip.on_branch(t),
                 Event::Prefetch { ip, line } => {
                     let _ = clip.filter_prefetch(LineAddr::new(line), Ip::new(ip));
@@ -73,58 +77,76 @@ proptest! {
             }
         }
         let s = *clip.stats();
-        prop_assert_eq!(
+        assert_eq!(
             s.candidates,
-            s.allowed_critical + s.allowed_explore + s.dropped_not_critical
-                + s.dropped_predicted + s.dropped_low_accuracy + s.dropped_phase
+            s.allowed_critical
+                + s.allowed_explore
+                + s.dropped_not_critical
+                + s.dropped_predicted
+                + s.dropped_low_accuracy
+                + s.dropped_phase
         );
-        prop_assert!(clip.critical_ip_count() <= 128);
-        prop_assert!(s.drop_rate() >= 0.0 && s.drop_rate() <= 1.0);
+        assert!(clip.critical_ip_count() <= 128);
+        assert!(s.drop_rate() >= 0.0 && s.drop_rate() <= 1.0);
     }
+}
 
-    /// The criticality filter holds at most sets x ways entries and its
-    /// counters never exceed their bit widths.
-    #[test]
-    fn filter_bounded(ips in proptest::collection::vec(0u64..10_000, 1..500)) {
+/// The criticality filter holds at most sets x ways entries and its
+/// counters never exceed their bit widths.
+#[test]
+fn filter_bounded() {
+    let mut rng = SimRng::seed_from_u64(0xC11F2);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..500);
         let mut f = CriticalityFilter::new(32, 4);
-        for ip in ips {
+        for _ in 0..n {
+            let ip = rng.gen_range(0u64..10_000);
             f.record_stall(Ip::new(ip));
             f.record_issue(Ip::new(ip));
             f.record_prefetch_hit(Ip::new(ip));
             if let Some(v) = f.lookup(Ip::new(ip)) {
-                prop_assert!(v.crit_count <= 3);
-                prop_assert!(v.hit_count <= 63);
-                prop_assert!(v.issue_count <= 63);
+                assert!(v.crit_count <= 3);
+                assert!(v.hit_count <= 63);
+                assert!(v.issue_count <= 63);
             }
         }
-        prop_assert!(f.occupancy() <= f.capacity());
+        assert!(f.occupancy() <= f.capacity());
         f.reset();
-        prop_assert_eq!(f.occupancy(), 0);
+        assert_eq!(f.occupancy(), 0);
     }
+}
 
-    /// The predictor table never exceeds capacity and training toward one
-    /// direction converges the prediction.
-    #[test]
-    fn predictor_bounded_and_converges(sigs in proptest::collection::vec(any::<u64>(), 1..300)) {
+/// The predictor table never exceeds capacity and training toward one
+/// direction converges the prediction.
+#[test]
+fn predictor_bounded_and_converges() {
+    let mut rng = SimRng::seed_from_u64(0xC11F3);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..300);
+        let sigs: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let mut t = CriticalityTable::new(128, 4, 3);
         for s in &sigs {
             t.train(*s, true);
         }
-        prop_assert!(t.occupancy() <= t.capacity());
+        assert!(t.occupancy() <= t.capacity());
         // Repeated positive training must predict critical for a signature
         // we keep training (entry may be evicted by aliases, so re-train).
         let sig = sigs[0];
         for _ in 0..8 {
             t.train(sig, true);
         }
-        prop_assert_eq!(t.predict(sig), Some(true));
+        assert_eq!(t.predict(sig), Some(true));
     }
+}
 
-    /// The utility buffer behaves like a 64-entry sliding window: probing
-    /// a pushed line within 63 subsequent pushes finds it; one probe
-    /// consumes the entry.
-    #[test]
-    fn utility_window_semantics(gap in 0usize..100, base in 0u64..(1 << 30)) {
+/// The utility buffer behaves like a 64-entry sliding window: probing a
+/// pushed line within 63 subsequent pushes finds it; one probe consumes
+/// the entry.
+#[test]
+fn utility_window_semantics() {
+    let mut rng = SimRng::seed_from_u64(0xC11F4);
+    for gap in 0usize..100 {
+        let base = rng.gen_range(0u64..(1 << 30));
         let mut b = UtilityBuffer::new(64);
         b.push(LineAddr::new(base), Ip::new(0x1234));
         for i in 0..gap {
@@ -132,10 +154,10 @@ proptest! {
         }
         let hit = b.probe(LineAddr::new(base));
         if gap < 63 {
-            prop_assert_eq!(hit, Some(Ip::new(0x1234)));
-            prop_assert_eq!(b.probe(LineAddr::new(base)), None, "consumed");
+            assert_eq!(hit, Some(Ip::new(0x1234)));
+            assert_eq!(b.probe(LineAddr::new(base)), None, "consumed");
         } else if gap >= 64 {
-            prop_assert_eq!(hit, None);
+            assert_eq!(hit, None);
         }
     }
 }

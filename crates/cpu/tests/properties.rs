@@ -1,10 +1,10 @@
-//! Property-based tests: ROB invariants under arbitrary instruction
-//! streams and memory-latency schedules.
+//! Randomized invariant tests: ROB invariants under arbitrary
+//! instruction streams and memory-latency schedules, driven by the
+//! workspace's deterministic [`SimRng`].
 
 use clip_cpu::{Core, MemIssuePort};
 use clip_trace::{Instr, InstrKind};
-use clip_types::{Addr, CoreConfig, Cycle, Ip, MemLevel, ReqId};
-use proptest::prelude::*;
+use clip_types::{Addr, CoreConfig, Cycle, Ip, MemLevel, ReqId, SimRng};
 use std::collections::VecDeque;
 
 /// A port that completes loads after a scripted latency.
@@ -33,46 +33,52 @@ impl MemIssuePort for DelayPort {
     }
 }
 
-fn instr_strategy() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (0u64..16, 0u64..(1 << 20), any::<bool>()).prop_map(|(ip, line, ser)| Instr {
-            ip: Ip::new(0x400 + ip * 8),
+fn random_instr(rng: &mut SimRng) -> Instr {
+    match rng.gen_range(0u32..4) {
+        0 => Instr {
+            ip: Ip::new(0x400 + rng.gen_range(0u64..16) * 8),
             kind: InstrKind::Load {
-                addr: Addr::new(line * 64),
-                serialized: ser
+                addr: Addr::new(rng.gen_range(0u64..(1 << 20)) * 64),
+                serialized: rng.gen_bool(0.5),
             },
-        }),
-        (0u64..8, 0u64..(1 << 20)).prop_map(|(ip, line)| Instr {
-            ip: Ip::new(0x800 + ip * 8),
+        },
+        1 => Instr {
+            ip: Ip::new(0x800 + rng.gen_range(0u64..8) * 8),
             kind: InstrKind::Store {
-                addr: Addr::new(line * 64)
+                addr: Addr::new(rng.gen_range(0u64..(1 << 20)) * 64),
             },
-        }),
-        (0u64..8, any::<bool>()).prop_map(|(ip, taken)| Instr {
-            ip: Ip::new(0xc00 + ip * 8),
-            kind: InstrKind::Branch { taken },
-        }),
-        (1u8..4).prop_map(|latency| Instr {
+        },
+        2 => Instr {
+            ip: Ip::new(0xc00 + rng.gen_range(0u64..8) * 8),
+            kind: InstrKind::Branch {
+                taken: rng.gen_bool(0.5),
+            },
+        },
+        _ => Instr {
             ip: Ip::new(0x100),
-            kind: InstrKind::Alu { latency },
-        }),
-    ]
+            kind: InstrKind::Alu {
+                latency: rng.gen_range(1u8..4),
+            },
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// For any instruction mix, latency, and back-pressure pattern: the
-    /// ROB never overflows, retirement never exceeds the machine width,
-    /// and every issued load eventually completes exactly once.
-    #[test]
-    fn rob_invariants(
-        instrs in proptest::collection::vec(instr_strategy(), 16..400),
-        latency in 1u64..300,
-        accept_every in 1u64..4,
-        rob_entries in 8usize..256,
-    ) {
-        let cfg = CoreConfig { rob_entries, ..CoreConfig::default() };
+/// For any instruction mix, latency, and back-pressure pattern: the ROB
+/// never overflows, retirement never exceeds the machine width, and
+/// every issued load eventually completes exactly once.
+#[test]
+fn rob_invariants() {
+    let mut rng = SimRng::seed_from_u64(0xC0DE1);
+    for _ in 0..48 {
+        let n = rng.gen_range(16usize..400);
+        let instrs: Vec<Instr> = (0..n).map(|_| random_instr(&mut rng)).collect();
+        let latency = rng.gen_range(1u64..300);
+        let accept_every = rng.gen_range(1u64..4);
+        let rob_entries = rng.gen_range(8usize..256);
+        let cfg = CoreConfig {
+            rob_entries,
+            ..CoreConfig::default()
+        };
         let mut core = Core::new(&cfg);
         let mut port = DelayPort {
             next: 0,
@@ -89,25 +95,29 @@ proptest! {
                 if due <= now {
                     port.inflight.pop_front();
                     let out = core.complete_load(id, MemLevel::L2, now);
-                    prop_assert!(out.is_some(), "every live request maps to a ROB entry");
+                    assert!(out.is_some(), "every live request maps to a ROB entry");
                 } else {
                     break;
                 }
             }
             let mut fetch = || *stream.next().expect("infinite stream");
             core.tick(now, &mut fetch, &mut port);
-            prop_assert!(core.rob_occupancy() <= rob_entries);
+            assert!(core.rob_occupancy() <= rob_entries);
         }
         let s = core.stats();
-        prop_assert!(s.retired <= cycles * cfg.retire_width as u64);
-        prop_assert!(s.ipc() <= cfg.retire_width as f64 + 1e-9);
+        assert!(s.retired <= cycles * cfg.retire_width as u64);
+        assert!(s.ipc() <= cfg.retire_width as f64 + 1e-9);
         // Conservation: issued loads = completed + still in flight + in ROB.
-        prop_assert!(s.loads >= port.inflight.len() as u64);
+        assert!(s.loads >= port.inflight.len() as u64);
     }
+}
 
-    /// Completing the same request twice is rejected.
-    #[test]
-    fn duplicate_completion_rejected(latency in 5u64..50) {
+/// Completing the same request twice is rejected.
+#[test]
+fn duplicate_completion_rejected() {
+    let mut rng = SimRng::seed_from_u64(0xC0DE2);
+    for _ in 0..16 {
+        let latency = rng.gen_range(5u64..50);
         let cfg = CoreConfig::default();
         let mut core = Core::new(&cfg);
         let mut port = DelayPort {
@@ -122,13 +132,16 @@ proptest! {
             n += 1;
             Instr {
                 ip: Ip::new(0x400),
-                kind: InstrKind::Load { addr: Addr::new(n * 64), serialized: false },
+                kind: InstrKind::Load {
+                    addr: Addr::new(n * 64),
+                    serialized: false,
+                },
             }
         };
         core.tick(0, &mut fetch, &mut port);
         let first = core.complete_load(ReqId(1), MemLevel::Dram, latency);
-        prop_assert!(first.is_some());
+        assert!(first.is_some());
         let second = core.complete_load(ReqId(1), MemLevel::Dram, latency + 1);
-        prop_assert!(second.is_none(), "double completion must be ignored");
+        assert!(second.is_none(), "double completion must be ignored");
     }
 }

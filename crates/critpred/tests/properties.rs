@@ -1,9 +1,9 @@
-//! Property-based tests over the baseline criticality predictors.
+//! Randomized invariant tests over the baseline criticality predictors,
+//! driven by the workspace's deterministic [`SimRng`].
 
 use clip_cpu::LoadOutcome;
 use clip_crit::{build, BaselineKind, PredictorEvaluator};
-use clip_types::{Addr, Ip, MemLevel};
-use proptest::prelude::*;
+use clip_types::{Addr, Ip, MemLevel, SimRng};
 
 fn outcome(seed: u64, i: u64) -> LoadOutcome {
     let h = clip_types::hash64(seed ^ i);
@@ -27,13 +27,14 @@ fn outcome(seed: u64, i: u64) -> LoadOutcome {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Predictions never panic and reset always clears every predictor,
-    /// for arbitrary training streams.
-    #[test]
-    fn predictors_are_total_and_resettable(seed in any::<u64>(), n in 1u64..500) {
+/// Predictions never panic and reset always clears every predictor, for
+/// arbitrary training streams.
+#[test]
+fn predictors_are_total_and_resettable() {
+    let mut rng = SimRng::seed_from_u64(0xC217);
+    for _ in 0..32 {
+        let seed = rng.next_u64();
+        let n = rng.gen_range(1u64..500);
         for kind in BaselineKind::all() {
             let mut p = build(kind);
             for i in 0..n {
@@ -43,7 +44,7 @@ proptest! {
             p.reset();
             // After reset, no IP may be predicted critical.
             for i in 0..24u64 {
-                prop_assert!(
+                assert!(
                     !p.predict(Ip::new(0x400 + i * 8), Addr::new(0)),
                     "{} predicts after reset",
                     p.name()
@@ -51,11 +52,16 @@ proptest! {
             }
         }
     }
+}
 
-    /// The evaluator's confusion counts always partition the scored events
-    /// and its metrics stay within [0, 1].
-    #[test]
-    fn evaluator_counts_partition(seed in any::<u64>(), n in 1u64..400) {
+/// The evaluator's confusion counts always partition the scored events
+/// and its metrics stay within [0, 1].
+#[test]
+fn evaluator_counts_partition() {
+    let mut rng = SimRng::seed_from_u64(0xC218);
+    for _ in 0..32 {
+        let seed = rng.next_u64();
+        let n = rng.gen_range(1u64..400);
         for kind in BaselineKind::all() {
             let mut ev = PredictorEvaluator::new(build(kind));
             let mut beyond = 0u64;
@@ -67,20 +73,29 @@ proptest! {
                 ev.observe(&o);
             }
             let c = ev.counts();
-            prop_assert_eq!(c.total(), beyond);
-            prop_assert!((0.0..=1.0).contains(&c.accuracy()));
-            prop_assert!((0.0..=1.0).contains(&c.coverage()));
+            assert_eq!(c.total(), beyond);
+            assert!((0.0..=1.0).contains(&c.accuracy()));
+            assert!((0.0..=1.0).contains(&c.coverage()));
             let ip = ev.ip_counts();
-            prop_assert!((0.0..=1.0).contains(&ip.accuracy()));
-            prop_assert!((0.0..=1.0).contains(&ip.coverage()));
+            assert!((0.0..=1.0).contains(&ip.accuracy()));
+            assert!((0.0..=1.0).contains(&ip.coverage()));
         }
     }
+}
 
-    /// Monotone training: an IP that stalls on every DRAM access must end
-    /// up predicted critical by every stall-driven baseline.
-    #[test]
-    fn persistent_staller_gets_flagged(ip_raw in 1u64..(1 << 40)) {
-        for kind in [BaselineKind::Fp, BaselineKind::Cbp, BaselineKind::Robo, BaselineKind::Fvp] {
+/// Monotone training: an IP that stalls on every DRAM access must end up
+/// predicted critical by every stall-driven baseline.
+#[test]
+fn persistent_staller_gets_flagged() {
+    let mut rng = SimRng::seed_from_u64(0xC219);
+    for _ in 0..32 {
+        let ip_raw = rng.gen_range(1u64..(1 << 40));
+        for kind in [
+            BaselineKind::Fp,
+            BaselineKind::Cbp,
+            BaselineKind::Robo,
+            BaselineKind::Fvp,
+        ] {
             let mut p = build(kind);
             for i in 0..64u64 {
                 p.on_load_complete(&LoadOutcome {
@@ -95,7 +110,7 @@ proptest! {
                     latency: 300,
                 });
             }
-            prop_assert!(
+            assert!(
                 p.predict(Ip::new(ip_raw), Addr::new(0)),
                 "{} must flag a persistent staller",
                 p.name()

@@ -1,34 +1,33 @@
-//! Property-based tests: the mesh delivers every accepted packet exactly
-//! once, to the right node, in bounded time — for arbitrary traffic.
+//! Randomized invariant tests: the mesh delivers every accepted packet
+//! exactly once, to the right node, in bounded time — for arbitrary
+//! traffic drawn from the workspace's deterministic [`SimRng`].
 
 use clip_noc::{AnalyticNoc, MeshNoc, NocModel};
-use clip_types::{NocConfig, Priority};
-use proptest::prelude::*;
+use clip_types::{NocConfig, Priority, SimRng};
 
-fn priorities() -> impl Strategy<Value = Priority> {
-    prop_oneof![
-        Just(Priority::Demand),
-        Just(Priority::Prefetch),
-        Just(Priority::Writeback),
-    ]
+fn random_priority(rng: &mut SimRng) -> Priority {
+    match rng.gen_range(0u32..3) {
+        0 => Priority::Demand,
+        1 => Priority::Prefetch,
+        _ => Priority::Writeback,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Exactly-once, right-destination delivery on the flit-level mesh.
-    #[test]
-    fn mesh_delivers_exactly_once(
-        packets in proptest::collection::vec(
-            (0usize..64, 0usize..64, 1usize..9, priorities()),
-            1..50
-        )
-    ) {
+/// Exactly-once, right-destination delivery on the flit-level mesh.
+#[test]
+fn mesh_delivers_exactly_once() {
+    let mut rng = SimRng::seed_from_u64(0x40C1);
+    for _ in 0..48 {
+        let n = rng.gen_range(1usize..50);
         let mut noc = MeshNoc::new(&NocConfig::default());
         let mut accepted = Vec::new();
-        for (i, (src, dst, flits, prio)) in packets.iter().enumerate() {
-            if noc.send(*src, *dst, *flits, *prio, i as u64, 0).is_ok() {
-                accepted.push((i as u64, *dst));
+        for i in 0..n {
+            let src = rng.gen_range(0usize..64);
+            let dst = rng.gen_range(0usize..64);
+            let flits = rng.gen_range(1usize..9);
+            let prio = random_priority(&mut rng);
+            if noc.send(src, dst, flits, prio, i as u64, 0).is_ok() {
+                accepted.push((i as u64, dst));
             }
         }
         let mut got = Vec::new();
@@ -40,43 +39,55 @@ proptest! {
         got.sort_unstable();
         let mut expect = accepted.clone();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// The analytic model delivers everything too, and both models agree
-    /// on the destination set.
-    #[test]
-    fn analytic_delivers_everything(
-        packets in proptest::collection::vec((0usize..64, 0usize..64, 1usize..9), 1..60)
-    ) {
+/// The analytic model delivers everything too, and both models agree on
+/// the destination set.
+#[test]
+fn analytic_delivers_everything() {
+    let mut rng = SimRng::seed_from_u64(0x40C2);
+    for _ in 0..48 {
+        let n = rng.gen_range(1usize..60);
         let mut noc = AnalyticNoc::new(&NocConfig::default());
-        for (i, (src, dst, flits)) in packets.iter().enumerate() {
-            noc.send(*src, *dst, *flits, Priority::Demand, i as u64, 0)
+        for i in 0..n {
+            let src = rng.gen_range(0usize..64);
+            let dst = rng.gen_range(0usize..64);
+            let flits = rng.gen_range(1usize..9);
+            noc.send(src, dst, flits, Priority::Demand, i as u64, 0)
                 .expect("small bursts stay within the backlog horizon");
         }
         let mut count = 0;
         for now in 0..30_000u64 {
             count += noc.tick(now).len();
         }
-        prop_assert_eq!(count, packets.len());
-        prop_assert_eq!(noc.delivered_count() as usize, packets.len());
+        assert_eq!(count, n);
+        assert_eq!(noc.delivered_count() as usize, n);
     }
+}
 
-    /// Flit-hop accounting is exact for the analytic model: manhattan
-    /// distance times flits, summed.
-    #[test]
-    fn analytic_flit_hops_exact(
-        packets in proptest::collection::vec((0usize..64, 0usize..64, 1usize..9), 1..30)
-    ) {
+/// Flit-hop accounting is exact for the analytic model: manhattan
+/// distance times flits, summed.
+#[test]
+fn analytic_flit_hops_exact() {
+    let mut rng = SimRng::seed_from_u64(0x40C3);
+    for _ in 0..48 {
+        let n = rng.gen_range(1usize..30);
         let mut noc = AnalyticNoc::new(&NocConfig::default());
         let mut expected = 0u64;
-        for (i, (src, dst, flits)) in packets.iter().enumerate() {
+        for i in 0..n {
+            let src = rng.gen_range(0usize..64);
+            let dst = rng.gen_range(0usize..64);
+            let flits = rng.gen_range(1usize..9);
             let (sx, sy) = (src % 8, src / 8);
             let (dx, dy) = (dst % 8, dst / 8);
             expected += ((sx as i64 - dx as i64).unsigned_abs()
-                + (sy as i64 - dy as i64).unsigned_abs()) * *flits as u64;
-            noc.send(*src, *dst, *flits, Priority::Demand, i as u64, 0).expect("send");
+                + (sy as i64 - dy as i64).unsigned_abs())
+                * flits as u64;
+            noc.send(src, dst, flits, Priority::Demand, i as u64, 0)
+                .expect("send");
         }
-        prop_assert_eq!(noc.flit_hops(), expected);
+        assert_eq!(noc.flit_hops(), expected);
     }
 }

@@ -1,9 +1,10 @@
-//! Property-based tests over the whole prefetcher bouquet: interface
-//! invariants every implementation must uphold for any access stream.
+//! Randomized invariant tests over the whole prefetcher bouquet:
+//! interface invariants every implementation must uphold for any access
+//! stream, with streams drawn from the workspace's deterministic
+//! [`SimRng`].
 
 use clip_prefetch::{build, AccessInfo, PrefetcherKind};
-use clip_types::{Addr, Ip};
-use proptest::prelude::*;
+use clip_types::{Addr, Ip, SimRng};
 
 const ALL_KINDS: [PrefetcherKind; 7] = [
     PrefetcherKind::Berti,
@@ -38,79 +39,95 @@ fn stream_of(seed: u64, n: usize) -> Vec<AccessInfo> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// No prefetcher may emit the line currently being accessed (a
-    /// self-prefetch is always wasted) and degree stays bounded.
-    #[test]
-    fn no_self_prefetch_and_bounded_degree(seed in any::<u64>(), kind_idx in 0usize..7) {
-        let kind = ALL_KINDS[kind_idx];
-        let mut pf = build(kind);
-        let mut out = Vec::new();
-        for a in stream_of(seed, 800) {
-            out.clear();
-            pf.on_access(&a, &mut out);
-            for c in &out {
-                prop_assert_ne!(c.line, a.addr.line(), "{} self-prefetched", pf.name());
-            }
-            prop_assert!(out.len() <= 64, "{} flooded: {}", pf.name(), out.len());
-        }
-    }
-
-    /// Determinism: identical access streams produce identical candidates.
-    #[test]
-    fn prefetchers_are_deterministic(seed in any::<u64>(), kind_idx in 0usize..7) {
-        let kind = ALL_KINDS[kind_idx];
-        let run = || {
+/// No prefetcher may emit the line currently being accessed (a
+/// self-prefetch is always wasted) and degree stays bounded.
+#[test]
+fn no_self_prefetch_and_bounded_degree() {
+    let mut rng = SimRng::seed_from_u64(0x9F1);
+    for _ in 0..24 {
+        let seed = rng.next_u64();
+        for kind in ALL_KINDS {
             let mut pf = build(kind);
-            let mut all = Vec::new();
             let mut out = Vec::new();
-            for a in stream_of(seed, 500) {
+            for a in stream_of(seed, 800) {
                 out.clear();
                 pf.on_access(&a, &mut out);
-                all.extend(out.iter().map(|c| (c.line, c.trigger_ip, c.fill_l1)));
-            }
-            all
-        };
-        prop_assert_eq!(run(), run());
-    }
-
-    /// Trigger attribution: every candidate carries the IP of the access
-    /// that produced it (CLIP's attribution requirement).
-    #[test]
-    fn candidates_attribute_their_trigger(seed in any::<u64>(), kind_idx in 0usize..7) {
-        let kind = ALL_KINDS[kind_idx];
-        let mut pf = build(kind);
-        let mut out = Vec::new();
-        for a in stream_of(seed, 600) {
-            out.clear();
-            pf.on_access(&a, &mut out);
-            for c in &out {
-                prop_assert_eq!(c.trigger_ip, a.ip, "{} mis-attributed", pf.name());
+                for c in &out {
+                    assert_ne!(c.line, a.addr.line(), "{} self-prefetched", pf.name());
+                }
+                assert!(out.len() <= 64, "{} flooded: {}", pf.name(), out.len());
             }
         }
     }
+}
 
-    /// Aggressiveness levels never panic and level 5 emits at least as
-    /// many candidates as level 1 over the same stream.
-    #[test]
-    fn levels_scale_monotonically(seed in any::<u64>(), kind_idx in 0usize..7) {
-        let kind = ALL_KINDS[kind_idx];
-        let volume = |level: u8| {
+/// Determinism: identical access streams produce identical candidates.
+#[test]
+fn prefetchers_are_deterministic() {
+    let mut rng = SimRng::seed_from_u64(0x9F2);
+    for _ in 0..24 {
+        let seed = rng.next_u64();
+        for kind in ALL_KINDS {
+            let run = || {
+                let mut pf = build(kind);
+                let mut all = Vec::new();
+                let mut out = Vec::new();
+                for a in stream_of(seed, 500) {
+                    out.clear();
+                    pf.on_access(&a, &mut out);
+                    all.extend(out.iter().map(|c| (c.line, c.trigger_ip, c.fill_l1)));
+                }
+                all
+            };
+            assert_eq!(run(), run());
+        }
+    }
+}
+
+/// Trigger attribution: every candidate carries the IP of the access
+/// that produced it (CLIP's attribution requirement).
+#[test]
+fn candidates_attribute_their_trigger() {
+    let mut rng = SimRng::seed_from_u64(0x9F3);
+    for _ in 0..24 {
+        let seed = rng.next_u64();
+        for kind in ALL_KINDS {
             let mut pf = build(kind);
-            pf.set_level(level);
             let mut out = Vec::new();
-            let mut total = 0usize;
             for a in stream_of(seed, 600) {
                 out.clear();
                 pf.on_access(&a, &mut out);
-                total += out.len();
+                for c in &out {
+                    assert_eq!(c.trigger_ip, a.ip, "{} mis-attributed", pf.name());
+                }
             }
-            total
-        };
-        let lo = volume(1);
-        let hi = volume(5);
-        prop_assert!(hi >= lo, "{kind:?}: level 5 ({hi}) below level 1 ({lo})");
+        }
+    }
+}
+
+/// Aggressiveness levels never panic and level 5 emits at least as many
+/// candidates as level 1 over the same stream.
+#[test]
+fn levels_scale_monotonically() {
+    let mut rng = SimRng::seed_from_u64(0x9F4);
+    for _ in 0..24 {
+        let seed = rng.next_u64();
+        for kind in ALL_KINDS {
+            let volume = |level: u8| {
+                let mut pf = build(kind);
+                pf.set_level(level);
+                let mut out = Vec::new();
+                let mut total = 0usize;
+                for a in stream_of(seed, 600) {
+                    out.clear();
+                    pf.on_access(&a, &mut out);
+                    total += out.len();
+                }
+                total
+            };
+            let lo = volume(1);
+            let hi = volume(5);
+            assert!(hi >= lo, "{kind:?}: level 5 ({hi}) below level 1 ({lo})");
+        }
     }
 }

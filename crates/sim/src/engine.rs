@@ -1,0 +1,571 @@
+//! The engine: transaction slab, event wheel, clock, and the clocked
+//! NoC/DRAM components, plus the uncore (LLC/memory-controller) message
+//! handlers.
+//!
+//! [`Engine`] owns everything that is *shared* between tiles — the NoC,
+//! the DRAM channels, the in-flight transaction slab, the event ring and
+//! the [`SimClock`] — so tile-side code can borrow one tile and the
+//! engine simultaneously (disjoint `System` fields). The NoC and DRAM
+//! are wrapped in [`ClockedNoc`] / [`ClockedDram`], which implement the
+//! [`Tick`] contract and emit their outputs into typed [`Channel`]s the
+//! cycle loop drains.
+
+use crate::ports::{NocPayload, OutMsg, TxnId};
+use crate::system::System;
+use clip_dram::{DramCompletion, DramSystem};
+use clip_noc::{AnalyticNoc, Delivered, MeshNoc, NocModel};
+use clip_types::{Channel, Cycle, Ip, LineAddr, MemLevel, Priority, ReqId, SimClock, Tick};
+use std::collections::HashMap;
+
+pub(crate) const EVENT_RING: usize = 1 << 15;
+pub(crate) const RETRY_DELAY: Cycle = 4;
+
+/// DRAM ReqId bit marking a Hermes probe.
+pub(crate) const PROBE_BIT: u64 = 1 << 62;
+
+/// Which NoC implementation a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NocChoice {
+    /// Flit-level wormhole mesh (default; the full substrate).
+    #[default]
+    Mesh,
+    /// Link-schedule analytic model (fast, for wide sweeps).
+    Analytic,
+}
+
+pub(crate) enum NocImpl {
+    Mesh(MeshNoc),
+    Analytic(AnalyticNoc),
+}
+
+impl NocImpl {
+    pub(crate) fn as_model(&mut self) -> &mut dyn NocModel {
+        match self {
+            NocImpl::Mesh(m) => m,
+            NocImpl::Analytic(a) => a,
+        }
+    }
+
+    pub(crate) fn flit_hops(&self) -> u64 {
+        match self {
+            NocImpl::Mesh(m) => m.flit_hops(),
+            NocImpl::Analytic(a) => a.flit_hops(),
+        }
+    }
+}
+
+/// The NoC as a clocked component: each [`Tick::tick`] advances the
+/// network one cycle and pushes completed deliveries into `delivered`.
+pub(crate) struct ClockedNoc {
+    pub(crate) model: NocImpl,
+    pub(crate) delivered: Channel<Delivered>,
+}
+
+impl Tick for ClockedNoc {
+    fn tick(&mut self, now: Cycle) {
+        for d in self.model.as_model().tick(now) {
+            self.delivered.push(d);
+        }
+    }
+}
+
+/// The DRAM channels as a clocked component: each [`Tick::tick`]
+/// advances every channel one cycle and pushes finished reads into
+/// `completed`.
+pub(crate) struct ClockedDram {
+    pub(crate) mem: DramSystem,
+    pub(crate) completed: Channel<DramCompletion>,
+}
+
+impl Tick for ClockedDram {
+    fn tick(&mut self, now: Cycle) {
+        for c in self.mem.tick(now) {
+            self.completed.push(c);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxnKind {
+    Demand,
+    Store,
+    Prefetch {
+        fill_l1: bool,
+        critical: bool,
+        trigger_ip: Ip,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProbeState {
+    None,
+    Pending,
+    Done,
+    /// The transaction reached the memory controller while the probe was
+    /// still in flight; respond as soon as the probe lands.
+    TxnWaiting,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Txn {
+    pub tile: u16,
+    pub ip: Ip,
+    pub line: LineAddr,
+    pub kind: TxnKind,
+    pub issue: Cycle,
+    pub level: MemLevel,
+    pub probe: ProbeState,
+    /// Unique id of this transaction's Hermes probe, if one is in flight.
+    pub probe_id: Option<u64>,
+    pub live: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Ev {
+    /// L1 hit: respond to the core.
+    L1Respond {
+        tile: u16,
+        req: ReqId,
+        issue: Cycle,
+    },
+    L2Lookup {
+        txn: TxnId,
+    },
+    LlcLookup {
+        txn: TxnId,
+    },
+    DramEnqueue {
+        txn: TxnId,
+    },
+    TileData {
+        txn: TxnId,
+    },
+    /// Retry a DRAM writeback that found the write queue full.
+    WbDram {
+        line: LineAddr,
+    },
+}
+
+/// Shared (non-tile) simulator state: clock, interconnect, memory,
+/// transactions, and the event wheel.
+pub(crate) struct Engine {
+    pub(crate) clock: SimClock,
+    pub(crate) noc: ClockedNoc,
+    pub(crate) dram: ClockedDram,
+    pub(crate) txns: Vec<Txn>,
+    free_txns: Vec<TxnId>,
+    ring: Vec<Vec<Ev>>,
+    /// Per-node injection outboxes (FIFO behind a refused packet).
+    outbox: Vec<Channel<OutMsg>>,
+    next_req: u64,
+    /// In-flight Hermes probes: unique probe id → owning transaction.
+    /// Probe ids must be generation-unique (not slot-derived): transaction
+    /// slots are recycled, and a stale completion keyed by slot would be
+    /// credited to the wrong transaction, eventually stranding one in
+    /// `ProbeState::TxnWaiting` forever.
+    pub(crate) probe_map: HashMap<u64, TxnId>,
+    pub(crate) next_probe: u64,
+}
+
+impl Engine {
+    pub(crate) fn new(noc: NocImpl, dram: DramSystem, nodes: usize) -> Self {
+        Engine {
+            clock: SimClock::new(),
+            noc: ClockedNoc {
+                model: noc,
+                delivered: Channel::new(),
+            },
+            dram: ClockedDram {
+                mem: dram,
+                completed: Channel::new(),
+            },
+            txns: Vec::with_capacity(4096),
+            free_txns: Vec::new(),
+            ring: (0..EVENT_RING).map(|_| Vec::new()).collect(),
+            outbox: (0..nodes).map(|_| Channel::new()).collect(),
+            next_req: 1,
+            probe_map: HashMap::new(),
+            next_probe: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn now(&self) -> Cycle {
+        self.clock.now()
+    }
+
+    #[inline]
+    pub(crate) fn fresh_req(&mut self) -> ReqId {
+        let r = ReqId(self.next_req);
+        self.next_req += 1;
+        r
+    }
+
+    pub(crate) fn alloc_txn(&mut self, txn: Txn) -> TxnId {
+        if let Some(i) = self.free_txns.pop() {
+            self.txns[i as usize] = txn;
+            i
+        } else {
+            self.txns.push(txn);
+            (self.txns.len() - 1) as TxnId
+        }
+    }
+
+    pub(crate) fn free_txn(&mut self, i: TxnId) {
+        if let Some(pid) = self.txns[i as usize].probe_id.take() {
+            // Orphan any in-flight probe so its completion is discarded
+            // instead of being credited to a future occupant of this slot.
+            self.probe_map.remove(&pid);
+        }
+        self.txns[i as usize].live = false;
+        self.free_txns.push(i);
+    }
+
+    pub(crate) fn live_txns(&self) -> usize {
+        self.txns.iter().filter(|t| t.live).count()
+    }
+
+    #[inline]
+    pub(crate) fn schedule(&mut self, at: Cycle, ev: Ev) {
+        let now = self.clock.now();
+        let at = at.max(now + 1);
+        debug_assert!(at - now < EVENT_RING as u64, "event beyond ring horizon");
+        self.ring[(at as usize) % EVENT_RING].push(ev);
+    }
+
+    /// Takes this cycle's scheduled events off the wheel.
+    pub(crate) fn take_events(&mut self) -> Vec<Ev> {
+        let now = self.clock.now();
+        std::mem::take(&mut self.ring[(now as usize) % EVENT_RING])
+    }
+
+    pub(crate) fn pending_events(&self) -> usize {
+        self.ring.iter().map(|r| r.len()).sum()
+    }
+
+    pub(crate) fn outbox_backlog(&self) -> usize {
+        self.outbox.iter().map(|o| o.len()).sum()
+    }
+
+    pub(crate) fn txn_priority(&self, t: TxnId) -> Priority {
+        match self.txns[t as usize].kind {
+            TxnKind::Demand | TxnKind::Store => Priority::Demand,
+            TxnKind::Prefetch { critical, .. } => {
+                if critical {
+                    Priority::Demand
+                } else {
+                    Priority::Prefetch
+                }
+            }
+        }
+    }
+
+    /// Injects a message, spilling to the node's outbox on back-pressure
+    /// (or when earlier spilled messages must keep FIFO order).
+    pub(crate) fn send_msg(
+        &mut self,
+        src: usize,
+        dst: usize,
+        flits: usize,
+        prio: Priority,
+        pl: NocPayload,
+    ) {
+        let now = self.clock.now();
+        if !self.outbox[src].is_empty() {
+            self.outbox[src].push(OutMsg {
+                dst,
+                flits,
+                priority: prio,
+                payload: pl,
+            });
+            return;
+        }
+        if self
+            .noc
+            .model
+            .as_model()
+            .send(src, dst, flits, prio, pl.encode(), now)
+            .is_err()
+        {
+            self.outbox[src].push(OutMsg {
+                dst,
+                flits,
+                priority: prio,
+                payload: pl,
+            });
+        }
+    }
+
+    pub(crate) fn drain_outboxes(&mut self) {
+        let now = self.clock.now();
+        // Rotate the starting node each cycle: a fixed order would let
+        // low-index tiles win saturated links every cycle and starve the
+        // memory controllers' response packets (livelock under flood).
+        let n = self.outbox.len();
+        for k in 0..n {
+            let node = (k + (now as usize % n.max(1))) % n;
+            while let Some(m) = self.outbox[node].front() {
+                let ok = self
+                    .noc
+                    .model
+                    .as_model()
+                    .send(node, m.dst, m.flits, m.priority, m.payload.encode(), now)
+                    .is_ok();
+                if ok {
+                    self.outbox[node].pop();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Uncore message flow: LLC slices and memory controllers.
+// ----------------------------------------------------------------------
+
+impl System {
+    pub(crate) fn handle_event(&mut self, ev: Ev) {
+        let now = self.engine.now();
+        match ev {
+            Ev::L1Respond { tile, req, issue } => {
+                self.respond_core(tile as usize, req, MemLevel::L1, issue, now);
+            }
+            Ev::L2Lookup { txn } => self.l2_lookup(txn, now),
+            Ev::LlcLookup { txn } => self.llc_lookup(txn, now),
+            Ev::DramEnqueue { txn } => self.dram_enqueue(txn, now),
+            Ev::TileData { txn } => self.tile_data(txn, now),
+            Ev::WbDram { line } => {
+                if self.engine.dram.mem.enqueue_write(line, now).is_err() {
+                    self.engine
+                        .schedule(now + RETRY_DELAY * 2, Ev::WbDram { line });
+                }
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn home_of(&self, line: LineAddr) -> usize {
+        (clip_types::hash64(line.raw() ^ 0x110C) as usize) % self.cfg.cores
+    }
+
+    #[inline]
+    pub(crate) fn mc_node(&self, channel: usize) -> usize {
+        let nodes = self.cfg.noc.mesh_cols * self.cfg.noc.mesh_rows;
+        (channel * nodes / self.cfg.dram.channels) % nodes
+    }
+
+    fn llc_lookup(&mut self, txn: TxnId, now: Cycle) {
+        let tx = self.engine.txns[txn as usize];
+        let home = self.home_of(tx.line);
+        let is_pf = matches!(tx.kind, TxnKind::Prefetch { .. });
+
+        if self.llc_mshr[home].is_full()
+            && !self.llc_mshr[home].contains(tx.line)
+            && !self.llc[home].contains(tx.line)
+        {
+            self.engine
+                .schedule(now + RETRY_DELAY, Ev::LlcLookup { txn });
+            return;
+        }
+
+        let outcome = if is_pf {
+            self.llc[home].lookup_prefetch(tx.line, now)
+        } else {
+            self.llc[home].lookup(tx.line, false, now)
+        };
+        match outcome {
+            clip_cache::LookupOutcome::Hit { .. } => {
+                self.engine.txns[txn as usize].level = MemLevel::Llc;
+                let prio = self.engine.txn_priority(txn);
+                self.engine.send_msg(
+                    home,
+                    tx.tile as usize,
+                    self.cfg.noc.data_packet_flits,
+                    prio,
+                    NocPayload::DataTile(txn),
+                );
+            }
+            clip_cache::LookupOutcome::Miss => {
+                let alloc = self.llc_mshr[home].alloc(tx.line, ReqId(txn as u64), is_pf, now);
+                match alloc {
+                    Ok(clip_cache::AllocOutcome::New) => {
+                        let channel = self.engine.dram.mem.channel_for(tx.line);
+                        let mc = self.mc_node(channel);
+                        let prio = self.engine.txn_priority(txn);
+                        self.engine.send_msg(
+                            home,
+                            mc,
+                            self.cfg.noc.addr_packet_flits,
+                            prio,
+                            NocPayload::ReqMc(txn),
+                        );
+                    }
+                    Ok(clip_cache::AllocOutcome::Merged { .. }) => {}
+                    Err(_) => self
+                        .engine
+                        .schedule(now + RETRY_DELAY, Ev::LlcLookup { txn }),
+                }
+            }
+        }
+    }
+
+    fn dram_enqueue(&mut self, txn: TxnId, now: Cycle) {
+        match self.engine.txns[txn as usize].probe {
+            ProbeState::Done => {
+                // Hermes probe already fetched the data at the controller.
+                self.engine.txns[txn as usize].level = MemLevel::Dram;
+                self.data_from_mc(txn);
+                return;
+            }
+            ProbeState::Pending => {
+                self.engine.txns[txn as usize].probe = ProbeState::TxnWaiting;
+                return;
+            }
+            _ => {}
+        }
+        let tx = self.engine.txns[txn as usize];
+        let channel = self.engine.dram.mem.channel_for(tx.line);
+        let prio = self.engine.txn_priority(txn);
+        if self
+            .engine
+            .dram
+            .mem
+            .enqueue_read(channel, ReqId(txn as u64), tx.line, prio, now)
+            .is_err()
+        {
+            self.engine
+                .schedule(now + RETRY_DELAY, Ev::DramEnqueue { txn });
+        }
+    }
+
+    /// Sends the DRAM response packet toward the LLC home slice.
+    fn data_from_mc(&mut self, txn: TxnId) {
+        let tx = self.engine.txns[txn as usize];
+        let channel = self.engine.dram.mem.channel_for(tx.line);
+        let mc = self.mc_node(channel);
+        let home = self.home_of(tx.line);
+        let prio = self.engine.txn_priority(txn);
+        self.engine.send_msg(
+            mc,
+            home,
+            self.cfg.noc.data_packet_flits,
+            prio,
+            NocPayload::DataLlc(txn),
+        );
+    }
+
+    pub(crate) fn handle_dram_completion(&mut self, id: ReqId) {
+        if id.0 & PROBE_BIT != 0 {
+            let pid = id.0 & !PROBE_BIT;
+            // Orphaned probes (owner already serviced on-chip) miss here.
+            let Some(txn) = self.engine.probe_map.remove(&pid) else {
+                return;
+            };
+            self.engine.txns[txn as usize].probe_id = None;
+            match self.engine.txns[txn as usize].probe {
+                ProbeState::TxnWaiting => {
+                    self.engine.txns[txn as usize].level = MemLevel::Dram;
+                    self.data_from_mc(txn);
+                }
+                ProbeState::Pending => self.engine.txns[txn as usize].probe = ProbeState::Done,
+                ProbeState::None | ProbeState::Done => {}
+            }
+            return;
+        }
+        let txn = id.0 as TxnId;
+        if !self.engine.txns[txn as usize].live {
+            return;
+        }
+        self.engine.txns[txn as usize].level = MemLevel::Dram;
+        self.data_from_mc(txn);
+    }
+
+    pub(crate) fn handle_delivery(&mut self, node: usize, pl: u64, now: Cycle) {
+        match NocPayload::decode(pl) {
+            NocPayload::ReqLlc(txn) => {
+                self.engine
+                    .schedule(now + self.cfg.llc_slice.latency, Ev::LlcLookup { txn });
+            }
+            NocPayload::ReqMc(txn) => {
+                self.engine.schedule(now + 1, Ev::DramEnqueue { txn });
+            }
+            NocPayload::DataLlc(txn) => {
+                self.llc_fill_and_forward(txn, now);
+            }
+            NocPayload::DataTile(txn) => {
+                self.engine.schedule(now + 1, Ev::TileData { txn });
+            }
+            NocPayload::WbLlc(line) => {
+                let home = self.home_of(line);
+                debug_assert_eq!(home, node);
+                if let Some(ev) = self.llc[home].fill(line, true, false, now) {
+                    if ev.dirty {
+                        self.writeback_to_dram(home, ev.line);
+                    }
+                }
+            }
+            NocPayload::WbMc(line) => {
+                if self.engine.dram.mem.enqueue_write(line, now).is_err() {
+                    self.engine
+                        .schedule(now + RETRY_DELAY * 2, Ev::WbDram { line });
+                }
+            }
+        }
+    }
+
+    pub(crate) fn writeback_to_dram(&mut self, from_node: usize, line: LineAddr) {
+        let channel = self.engine.dram.mem.channel_for(line);
+        let mc = self.mc_node(channel);
+        self.engine.send_msg(
+            from_node,
+            mc,
+            self.cfg.noc.data_packet_flits,
+            Priority::Writeback,
+            NocPayload::WbMc(line),
+        );
+    }
+
+    /// DRAM data arrived at the LLC home: fill the slice, complete the LLC
+    /// MSHR, and forward data packets to the requesting tile(s).
+    fn llc_fill_and_forward(&mut self, txn: TxnId, now: Cycle) {
+        let tx = self.engine.txns[txn as usize];
+        let home = self.home_of(tx.line);
+        let is_pf = matches!(tx.kind, TxnKind::Prefetch { .. });
+        if let Some(ev) = self.llc[home].fill(tx.line, false, is_pf, now) {
+            if ev.dirty {
+                self.writeback_to_dram(home, ev.line);
+            }
+        }
+        let mut to_send = vec![txn];
+        if let Some(entry) = self.llc_mshr[home].complete(tx.line) {
+            for w in entry.waiters {
+                let wt = w.0 as TxnId;
+                if wt != txn && self.engine.txns[wt as usize].live {
+                    self.engine.txns[wt as usize].level = tx.level;
+                    to_send.push(wt);
+                }
+            }
+            // `entry.primary` is this txn (or the first merged one).
+            let p = entry.primary.0 as TxnId;
+            if p != txn && self.engine.txns[p as usize].live {
+                self.engine.txns[p as usize].level = tx.level;
+                to_send.push(p);
+            }
+        }
+        to_send.sort_unstable();
+        to_send.dedup();
+        for t in to_send {
+            let dst = self.engine.txns[t as usize].tile as usize;
+            let prio = self.engine.txn_priority(t);
+            self.engine.send_msg(
+                home,
+                dst,
+                self.cfg.noc.data_packet_flits,
+                prio,
+                NocPayload::DataTile(t),
+            );
+        }
+    }
+}

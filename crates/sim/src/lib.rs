@@ -28,15 +28,20 @@
 //! assert!(result.mean_ipc() > 0.0);
 //! ```
 
+mod engine;
+mod ports;
 pub mod report;
 pub mod result;
 pub mod scheme;
+mod snapshot;
 pub mod system;
+mod tile;
 
+pub use engine::NocChoice;
 pub use report::ComparisonReport;
 pub use result::{ClipReport, LatencyReport, MissReport, PrefetchReport, SimResult, TimelinePoint};
 pub use scheme::Scheme;
-pub use system::{NocChoice, System};
+pub use system::System;
 
 use clip_trace::Mix;
 use clip_types::{Cycle, SimConfig};
@@ -100,6 +105,97 @@ pub fn run_mix(cfg: &SimConfig, scheme: &Scheme, mix: &Mix, opts: &RunOptions) -
     );
     r.label = format!("{}/{}", scheme.label(cfg.l1_prefetcher_label()), mix.name);
     r
+}
+
+/// One unit of sweep work: a (config, scheme, mix) triple to simulate.
+#[derive(Clone)]
+pub struct SweepJob {
+    pub cfg: SimConfig,
+    pub scheme: Scheme,
+    pub mix: Mix,
+}
+
+/// Runs a batch of independent jobs across threads and returns their
+/// results in job order.
+///
+/// Each simulation is single-threaded and fully deterministic, so the
+/// output is bit-identical to mapping [`run_mix`] over the jobs serially
+/// — threads only change wall-clock time, never results. Work is handed
+/// out through a shared atomic index (jobs vary wildly in cost, so static
+/// partitioning would leave threads idle), and each result lands in its
+/// job's dedicated slot.
+///
+/// Thread count defaults to the host's available parallelism, capped by
+/// the job count; `CLIP_THREADS` overrides it (`1` forces the serial
+/// path).
+pub fn run_jobs_parallel(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::env::var("CLIP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(jobs.len());
+    if threads <= 1 {
+        return jobs
+            .iter()
+            .map(|j| run_mix(&j.cfg, &j.scheme, &j.mix, opts))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SimResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let j = &jobs[i];
+                let r = run_mix(&j.cfg, &j.scheme, &j.mix, opts);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index was claimed and completed")
+        })
+        .collect()
+}
+
+/// Runs one scheme over many mixes in parallel; results follow mix order.
+///
+/// Identical output to a serial `mixes.iter().map(|m| run_mix(..))` loop
+/// (see [`run_jobs_parallel`]).
+pub fn run_mixes_parallel(
+    cfg: &SimConfig,
+    scheme: &Scheme,
+    mixes: &[Mix],
+    opts: &RunOptions,
+) -> Vec<SimResult> {
+    let jobs: Vec<SweepJob> = mixes
+        .iter()
+        .map(|mix| SweepJob {
+            cfg: cfg.clone(),
+            scheme: scheme.clone(),
+            mix: mix.clone(),
+        })
+        .collect();
+    run_jobs_parallel(&jobs, opts)
 }
 
 /// Convenience: label helper picking the active prefetcher.

@@ -1,0 +1,102 @@
+//! Typed message vocabulary for the on-chip network.
+//!
+//! Every packet the system injects carries a [`NocPayload`]; the NoC
+//! itself moves opaque `u64`s, so the payload round-trips through a
+//! 8-bit-tag / 56-bit-value encoding at the injection and delivery
+//! boundaries. Keeping the enum (rather than raw tag constants) at every
+//! call site means the compiler checks the message dataflow:
+//! tile → LLC home → memory controller → LLC home → tile.
+
+use clip_types::{LineAddr, Priority};
+
+/// Transaction slot index, the currency of the request/response flow.
+pub(crate) type TxnId = u32;
+
+/// One message travelling the NoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NocPayload {
+    /// Tile → LLC home slice: demand/prefetch request.
+    ReqLlc(TxnId),
+    /// LLC home → memory controller: LLC miss heading off-chip.
+    ReqMc(TxnId),
+    /// Memory controller → LLC home: DRAM data returning.
+    DataLlc(TxnId),
+    /// LLC home → tile: data for the requesting tile.
+    DataTile(TxnId),
+    /// Tile → LLC home: dirty L2 victim.
+    WbLlc(LineAddr),
+    /// LLC home → memory controller: dirty LLC victim.
+    WbMc(LineAddr),
+}
+
+const TAG_REQ_LLC: u64 = 0;
+const TAG_REQ_MC: u64 = 1;
+const TAG_DATA_LLC: u64 = 2;
+const TAG_DATA_TILE: u64 = 3;
+const TAG_WB_LLC: u64 = 4;
+const TAG_WB_MC: u64 = 5;
+
+impl NocPayload {
+    /// Packs into the NoC's opaque `u64`: tag in the top byte, value in
+    /// the low 56 bits.
+    pub(crate) fn encode(self) -> u64 {
+        let (tag, value) = match self {
+            NocPayload::ReqLlc(t) => (TAG_REQ_LLC, t as u64),
+            NocPayload::ReqMc(t) => (TAG_REQ_MC, t as u64),
+            NocPayload::DataLlc(t) => (TAG_DATA_LLC, t as u64),
+            NocPayload::DataTile(t) => (TAG_DATA_TILE, t as u64),
+            NocPayload::WbLlc(l) => (TAG_WB_LLC, l.raw()),
+            NocPayload::WbMc(l) => (TAG_WB_MC, l.raw()),
+        };
+        debug_assert!(value < (1 << 56));
+        (tag << 56) | value
+    }
+
+    /// Unpacks a delivered `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown tag — that would mean a corrupted packet.
+    pub(crate) fn decode(p: u64) -> Self {
+        let (tag, value) = (p >> 56, p & ((1 << 56) - 1));
+        match tag {
+            TAG_REQ_LLC => NocPayload::ReqLlc(value as TxnId),
+            TAG_REQ_MC => NocPayload::ReqMc(value as TxnId),
+            TAG_DATA_LLC => NocPayload::DataLlc(value as TxnId),
+            TAG_DATA_TILE => NocPayload::DataTile(value as TxnId),
+            TAG_WB_LLC => NocPayload::WbLlc(LineAddr::new(value)),
+            TAG_WB_MC => NocPayload::WbMc(LineAddr::new(value)),
+            _ => unreachable!("unknown message tag {tag}"),
+        }
+    }
+}
+
+/// A packet waiting in a node's injection outbox because the NoC
+/// refused it (injection queue full) or ordering demands FIFO behind an
+/// earlier refusal.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OutMsg {
+    pub dst: usize,
+    pub flits: usize,
+    pub priority: Priority,
+    pub payload: NocPayload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        for p in [
+            NocPayload::ReqLlc(0),
+            NocPayload::ReqMc(12345),
+            NocPayload::DataLlc(u32::MAX),
+            NocPayload::DataTile(7),
+            NocPayload::WbLlc(LineAddr::new((1 << 56) - 1)),
+            NocPayload::WbMc(LineAddr::new(42)),
+        ] {
+            assert_eq!(NocPayload::decode(p.encode()), p);
+        }
+    }
+}

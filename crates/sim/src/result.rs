@@ -3,8 +3,53 @@
 use clip_core::ClipStats;
 use clip_crit::EvalCounts;
 use clip_stats::energy::EnergyCounts;
-use clip_stats::LatencyStat;
+use clip_stats::{Json, LatencyStat};
 use clip_types::Cycle;
+
+fn lat_stat_json(s: &LatencyStat) -> Json {
+    Json::object([
+        ("count", Json::from(s.count)),
+        ("total", Json::from(s.total)),
+    ])
+}
+
+fn eval_counts_json(c: &EvalCounts) -> Json {
+    Json::object([
+        ("true_positive", Json::from(c.true_positive)),
+        ("false_positive", Json::from(c.false_positive)),
+        ("false_negative", Json::from(c.false_negative)),
+        ("true_negative", Json::from(c.true_negative)),
+    ])
+}
+
+fn clip_report_json(c: &ClipReport) -> Json {
+    Json::object([
+        (
+            "stats",
+            Json::object([
+                ("candidates", Json::from(c.stats.candidates)),
+                ("allowed_critical", Json::from(c.stats.allowed_critical)),
+                ("allowed_explore", Json::from(c.stats.allowed_explore)),
+                (
+                    "dropped_not_critical",
+                    Json::from(c.stats.dropped_not_critical),
+                ),
+                ("dropped_predicted", Json::from(c.stats.dropped_predicted)),
+                (
+                    "dropped_low_accuracy",
+                    Json::from(c.stats.dropped_low_accuracy),
+                ),
+                ("dropped_phase", Json::from(c.stats.dropped_phase)),
+                ("phase_changes", Json::from(c.stats.phase_changes)),
+                ("windows", Json::from(c.stats.windows)),
+            ]),
+        ),
+        ("eval", eval_counts_json(&c.eval)),
+        ("ip_eval", eval_counts_json(&c.ip_eval)),
+        ("critical_ips", Json::Float(c.critical_ips)),
+        ("dynamic_ips", Json::Float(c.dynamic_ips)),
+    ])
+}
 
 /// Per-level demand latency aggregation for one run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -156,6 +201,101 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// Serializes the result as a JSON object whose keys mirror the
+    /// struct fields exactly (what a derive-based serializer would emit),
+    /// so external consumers can rely on the Rust names.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("label", Json::from(self.label.as_str())),
+            (
+                "per_core_ipc",
+                Json::array(self.per_core_ipc.iter().map(|&x| Json::Float(x))),
+            ),
+            ("cycles", Json::from(self.cycles)),
+            (
+                "latency",
+                Json::object([
+                    ("l1_miss", lat_stat_json(&self.latency.l1_miss)),
+                    ("by_l2", lat_stat_json(&self.latency.by_l2)),
+                    ("by_llc", lat_stat_json(&self.latency.by_llc)),
+                    ("by_dram", lat_stat_json(&self.latency.by_dram)),
+                ]),
+            ),
+            (
+                "prefetch",
+                Json::object([
+                    ("candidates", Json::from(self.prefetch.candidates)),
+                    ("issued", Json::from(self.prefetch.issued)),
+                    ("useful", Json::from(self.prefetch.useful)),
+                    ("useless", Json::from(self.prefetch.useless)),
+                    ("late", Json::from(self.prefetch.late)),
+                ]),
+            ),
+            (
+                "misses",
+                Json::object([
+                    ("l1_accesses", Json::from(self.misses.l1_accesses)),
+                    ("l1_misses", Json::from(self.misses.l1_misses)),
+                    ("l2_accesses", Json::from(self.misses.l2_accesses)),
+                    ("l2_misses", Json::from(self.misses.l2_misses)),
+                    ("llc_accesses", Json::from(self.misses.llc_accesses)),
+                    ("llc_misses", Json::from(self.misses.llc_misses)),
+                ]),
+            ),
+            ("dram_transfers", Json::from(self.dram_transfers)),
+            ("dram_row_hits", Json::from(self.dram_row_hits)),
+            ("dram_bw_util", Json::Float(self.dram_bw_util)),
+            (
+                "dram_max_channel_util",
+                Json::Float(self.dram_max_channel_util),
+            ),
+            ("noc_flit_hops", Json::from(self.noc_flit_hops)),
+            (
+                "clip",
+                match &self.clip {
+                    Some(c) => clip_report_json(c),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "baseline_evals",
+                Json::array(self.baseline_evals.iter().map(|(name, counts)| {
+                    Json::object([
+                        ("name", Json::from(*name)),
+                        ("counts", eval_counts_json(counts)),
+                    ])
+                })),
+            ),
+            (
+                "energy",
+                Json::object([
+                    ("l1_reads", Json::from(self.energy.l1_reads)),
+                    ("l1_writes", Json::from(self.energy.l1_writes)),
+                    ("l2_reads", Json::from(self.energy.l2_reads)),
+                    ("l2_writes", Json::from(self.energy.l2_writes)),
+                    ("llc_reads", Json::from(self.energy.llc_reads)),
+                    ("llc_writes", Json::from(self.energy.llc_writes)),
+                    ("dram_row_hits", Json::from(self.energy.dram_row_hits)),
+                    ("dram_row_misses", Json::from(self.energy.dram_row_misses)),
+                    ("noc_flit_hops", Json::from(self.energy.noc_flit_hops)),
+                    ("clip_lookups", Json::from(self.energy.clip_lookups)),
+                ]),
+            ),
+            (
+                "timeline",
+                Json::array(self.timeline.iter().map(|p| {
+                    Json::object([
+                        ("cycle", Json::from(p.cycle)),
+                        ("retired", Json::from(p.retired)),
+                        ("dram_transfers", Json::from(p.dram_transfers)),
+                        ("bw_util", Json::Float(p.bw_util)),
+                        ("prefetches", Json::from(p.prefetches)),
+                    ])
+                })),
+            ),
+        ])
+    }
+
     /// Mean IPC across cores.
     pub fn mean_ipc(&self) -> f64 {
         if self.per_core_ipc.is_empty() {

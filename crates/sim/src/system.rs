@@ -1,278 +1,55 @@
-//! The many-core system: tiles (core + private L1D/L2 + prefetcher +
-//! optional CLIP / throttler / gates), sliced LLC, mesh NoC, and DRAM
-//! channels, advanced one cycle at a time.
+//! The many-core system: wiring and the cycle loop.
 //!
-//! Demand and prefetch requests flow L1D → L2 → (NoC) → LLC slice →
-//! (NoC) → DRAM channel and back, with MSHRs at every level providing
-//! merging and back-pressure. All the contention the paper depends on is
-//! modeled: finite MSHRs, NoC link/VC arbitration, DRAM queues, banks and
-//! the data bus.
+//! `System` composes the per-core tiles ([`crate::tile`]), the shared
+//! LLC slices, and the [`Engine`] (clock, NoC, DRAM, transactions, event
+//! wheel — [`crate::engine`]). Demand and prefetch requests flow
+//! L1D → L2 → (NoC) → LLC slice → (NoC) → DRAM channel and back, with
+//! MSHRs at every level providing merging and back-pressure. All the
+//! contention the paper depends on is modeled: finite MSHRs, NoC link/VC
+//! arbitration, DRAM queues, banks and the data bus.
+//!
+//! The subsystem logic lives next to its state: core-side paths in
+//! `tile.rs`, uncore message flow in `engine.rs`, delta reporting in
+//! `snapshot.rs`. This file only builds the parts and drives them
+//! through the [`Tick`] contract each cycle.
 
-use crate::result::{ClipReport, LatencyReport, MissReport, PrefetchReport, SimResult};
+use crate::engine::{Engine, NocChoice, NocImpl};
+use crate::result::SimResult;
 use crate::scheme::Scheme;
-use clip_cache::{Cache, LookupOutcome, MshrFile};
-use clip_core::{Decision, DynamicClip};
-use clip_cpu::{Core, MemIssuePort};
-use clip_crit::{CriticalityPredictor, EvalCounts, PredictorEvaluator};
+use crate::tile::{Tile, TileTick, PF_QUEUE_CAP};
+use clip_cache::{Cache, MshrFile};
+use clip_core::DynamicClip;
+use clip_cpu::Core;
+use clip_crit::{EvalCounts, PredictorEvaluator};
 use clip_dram::DramSystem;
-use clip_noc::{AnalyticNoc, MeshNoc, NocModel};
+use clip_noc::{AnalyticNoc, MeshNoc};
 use clip_offchip::{DsPatch, Hermes};
-use clip_prefetch::{AccessInfo, PrefetchCandidate, Prefetcher};
-use clip_stats::energy::EnergyCounts;
-use clip_throttle::{EpochFeedback, Throttler};
-use clip_trace::{InstrKind, Mix, TraceGenerator};
-use clip_types::{Addr, Cycle, Ip, LineAddr, MemLevel, PrefetcherKind, Priority, ReqId, SimConfig};
-use std::collections::{HashMap, VecDeque};
+use clip_prefetch::PrefetchCandidate;
+use clip_throttle::EpochFeedback;
+use clip_trace::Mix;
+use clip_types::{Cycle, Port, PrefetcherKind, SimConfig, Tick};
+use std::collections::HashMap;
 
-const EVENT_RING: usize = 1 << 15;
-const PF_QUEUE_CAP: usize = 32;
-const PF_ISSUE_PER_CYCLE: usize = 2;
-const RETRY_DELAY: Cycle = 4;
-/// L2 MSHR entries kept free for demand misses; prefetches beyond this
-/// occupancy are dropped.
-const L2_MSHR_PF_RESERVE: usize = 8;
 const THROTTLE_EPOCH: Cycle = 8192;
 const DSPATCH_EPOCH: Cycle = 2048;
 
-/// Which NoC implementation a run uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum NocChoice {
-    /// Flit-level wormhole mesh (default; the full substrate).
-    #[default]
-    Mesh,
-    /// Link-schedule analytic model (fast, for wide sweeps).
-    Analytic,
-}
-
-enum NocImpl {
-    Mesh(MeshNoc),
-    Analytic(AnalyticNoc),
-}
-
-impl NocImpl {
-    fn as_model(&mut self) -> &mut dyn NocModel {
-        match self {
-            NocImpl::Mesh(m) => m,
-            NocImpl::Analytic(a) => a,
-        }
-    }
-
-    fn flit_hops(&self) -> u64 {
-        match self {
-            NocImpl::Mesh(m) => m.flit_hops(),
-            NocImpl::Analytic(a) => a.flit_hops(),
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TxnKind {
-    Demand,
-    Store,
-    Prefetch {
-        fill_l1: bool,
-        critical: bool,
-        trigger_ip: Ip,
-    },
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ProbeState {
-    None,
-    Pending,
-    Done,
-    /// The transaction reached the memory controller while the probe was
-    /// still in flight; respond as soon as the probe lands.
-    TxnWaiting,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Txn {
-    tile: u16,
-    ip: Ip,
-    line: LineAddr,
-    kind: TxnKind,
-    issue: Cycle,
-    level: MemLevel,
-    probe: ProbeState,
-    /// Unique id of this transaction's Hermes probe, if one is in flight.
-    probe_id: Option<u64>,
-    live: bool,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    /// L1 hit: respond to the core.
-    L1Respond {
-        tile: u16,
-        req: ReqId,
-        issue: Cycle,
-    },
-    L2Lookup {
-        txn: u32,
-    },
-    LlcLookup {
-        txn: u32,
-    },
-    DramEnqueue {
-        txn: u32,
-    },
-    TileData {
-        txn: u32,
-    },
-    /// Retry a DRAM writeback that found the write queue full.
-    WbDram {
-        line: LineAddr,
-    },
-}
-
-// NoC payload tags.
-const MSG_REQ_LLC: u64 = 0;
-const MSG_REQ_MC: u64 = 1;
-const MSG_DATA_LLC: u64 = 2;
-const MSG_DATA_TILE: u64 = 3;
-const MSG_WB_LLC: u64 = 4;
-const MSG_WB_MC: u64 = 5;
-
-fn payload(tag: u64, value: u64) -> u64 {
-    debug_assert!(value < (1 << 56));
-    (tag << 56) | value
-}
-
-fn decode(p: u64) -> (u64, u64) {
-    (p >> 56, p & ((1 << 56) - 1))
-}
-
-/// DRAM ReqId bit marking a Hermes probe.
-const PROBE_BIT: u64 = 1 << 62;
-
-#[derive(Debug, Clone, Copy)]
-struct QueuedPrefetch {
-    line: LineAddr,
-    trigger_ip: Ip,
-    fill_l1: bool,
-    /// True when the candidate came from the L1-trained prefetcher.
-    from_l1: bool,
-}
-
-struct OutMsg {
-    dst: usize,
-    flits: usize,
-    priority: Priority,
-    payload: u64,
-}
-
-/// Everything private to one core's tile.
-pub(crate) struct Tile {
-    core: Option<Core>,
-    gen: Option<TraceGenerator>,
-    addr_base: u64,
-    l1d: Cache,
-    l1_mshr: MshrFile,
-    l2: Cache,
-    l2_mshr: MshrFile,
-    l1_pf: Option<Box<dyn Prefetcher>>,
-    l2_pf: Option<Box<dyn Prefetcher>>,
-    clip: Option<DynamicClip>,
-    /// True when CLIP is attached at the L1 (Berti/IPCP); false for the
-    /// L2 attachment (Bingo/SPP-PPF).
-    clip_at_l1: bool,
-    clip_eval: EvalCounts,
-    /// Observed criticality per IP: (head-stall count, non-critical
-    /// completions, predicted-critical at least once). Drives Figure 15's
-    /// static/dynamic split and the Figure 13/14 IP-set metrics.
-    ip_behavior: HashMap<u64, (u32, u32, bool)>,
-    crit_gate: Option<Box<dyn CriticalityPredictor>>,
-    throttler: Option<Box<dyn Throttler>>,
-    hermes: Option<Hermes>,
-    dspatch: Option<DsPatch>,
-    evaluators: Vec<PredictorEvaluator>,
-    pf_queue: VecDeque<QueuedPrefetch>,
-    lat: LatencyReport,
-    pf_candidates: u64,
-    pf_issued: u64,
-    l1_window_accesses: u64,
-    /// Cycle the current CLIP exploration window started (APC sampling).
-    window_start: Cycle,
-    // Throttler epoch snapshots.
-    epoch_useful: u64,
-    epoch_useless: u64,
-    epoch_late: u64,
-    // Measurement bookkeeping.
-    warmup_retired: u64,
-    finish_cycle: Option<Cycle>,
-}
-
-impl Tile {
-    fn useful(&self) -> u64 {
-        self.l1d.stats().useful_prefetches + self.l2.stats().useful_prefetches
-    }
-
-    fn useless(&self) -> u64 {
-        self.l1d.stats().useless_prefetches + self.l2.stats().useless_prefetches
-    }
-
-    fn late(&self) -> u64 {
-        self.l1_mshr.late_prefetch_merges() + self.l2_mshr.late_prefetch_merges()
-    }
-}
-
-/// Snapshot of counters at the end of warmup, for delta-based reporting.
-#[derive(Default, Clone)]
-struct Snapshot {
-    lat: Vec<LatencyReport>,
-    cand: Vec<u64>,
-    issued: Vec<u64>,
-    useful: Vec<u64>,
-    useless: Vec<u64>,
-    late: Vec<u64>,
-    l1_acc: Vec<u64>,
-    l1_miss: Vec<u64>,
-    l2_acc: Vec<u64>,
-    l2_miss: Vec<u64>,
-    llc_acc: u64,
-    llc_miss: u64,
-    dram_reads: u64,
-    dram_writes: u64,
-    dram_row_hits: u64,
-    noc_hops: u64,
-    cycle: Cycle,
-    clip_eval: Vec<EvalCounts>,
-    l1_fills: Vec<u64>,
-    l2_fills: Vec<u64>,
-    llc_fills: u64,
-}
-
 /// The simulated many-core system.
 pub struct System {
-    cfg: SimConfig,
-    scheme: Scheme,
-    tiles: Vec<Tile>,
-    llc: Vec<Cache>,
-    llc_mshr: Vec<MshrFile>,
-    noc: NocImpl,
-    dram: DramSystem,
-    txns: Vec<Txn>,
-    free_txns: Vec<u32>,
-    ring: Vec<Vec<Ev>>,
-    outbox: Vec<VecDeque<OutMsg>>,
-    cycle: Cycle,
-    next_req: u64,
-    cand_scratch: Vec<PrefetchCandidate>,
-    branch_scratch: Vec<bool>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) scheme: Scheme,
+    pub(crate) tiles: Vec<Tile>,
+    pub(crate) llc: Vec<Cache>,
+    pub(crate) llc_mshr: Vec<MshrFile>,
+    /// Shared non-tile state: clock, NoC, DRAM, transactions, events.
+    pub(crate) engine: Engine,
+    pub(crate) cand_scratch: Vec<PrefetchCandidate>,
+    pub(crate) branch_scratch: Vec<bool>,
     dspatch_prev_channel: Vec<u64>,
     /// Timeline sampling interval in cycles (0 = off).
-    timeline_interval: Cycle,
-    timeline: Vec<crate::result::TimelinePoint>,
-    tl_prev: (u64, u64, u64), // (retired, dram transfers, prefetches)
-    tl_start: Cycle,
-    /// In-flight Hermes probes: unique probe id → owning transaction.
-    /// Probe ids must be generation-unique (not slot-derived): transaction
-    /// slots are recycled, and a stale completion keyed by slot would be
-    /// credited to the wrong transaction, eventually stranding one in
-    /// `ProbeState::TxnWaiting` forever.
-    probe_map: HashMap<u64, u32>,
-    next_probe: u64,
+    pub(crate) timeline_interval: Cycle,
+    pub(crate) timeline: Vec<crate::result::TimelinePoint>,
+    pub(crate) tl_prev: (u64, u64, u64), // (retired, dram transfers, prefetches)
+    pub(crate) tl_start: Cycle,
 }
 
 impl System {
@@ -325,8 +102,8 @@ impl System {
                     } else {
                         Vec::new()
                     },
-                    pf_queue: VecDeque::with_capacity(PF_QUEUE_CAP),
-                    lat: LatencyReport::default(),
+                    pf_queue: Port::bounded(PF_QUEUE_CAP),
+                    lat: crate::result::LatencyReport::default(),
                     pf_candidates: 0,
                     pf_issued: 0,
                     l1_window_accesses: 0,
@@ -340,6 +117,11 @@ impl System {
             })
             .collect();
 
+        let noc = match noc {
+            NocChoice::Mesh => NocImpl::Mesh(MeshNoc::new(&cfg.noc)),
+            NocChoice::Analytic => NocImpl::Analytic(AnalyticNoc::new(&cfg.noc)),
+        };
+
         System {
             cfg: cfg.clone(),
             scheme: scheme.clone(),
@@ -348,17 +130,7 @@ impl System {
             llc_mshr: (0..cfg.cores)
                 .map(|_| MshrFile::new(cfg.llc_slice.mshrs))
                 .collect(),
-            noc: match noc {
-                NocChoice::Mesh => NocImpl::Mesh(MeshNoc::new(&cfg.noc)),
-                NocChoice::Analytic => NocImpl::Analytic(AnalyticNoc::new(&cfg.noc)),
-            },
-            dram: DramSystem::new(&cfg.dram),
-            txns: Vec::with_capacity(4096),
-            free_txns: Vec::new(),
-            ring: (0..EVENT_RING).map(|_| Vec::new()).collect(),
-            outbox: (0..nodes).map(|_| VecDeque::new()).collect(),
-            cycle: 0,
-            next_req: 1,
+            engine: Engine::new(noc, DramSystem::new(&cfg.dram), nodes),
             cand_scratch: Vec::with_capacity(32),
             branch_scratch: Vec::with_capacity(16),
             dspatch_prev_channel: vec![0; cfg.dram.channels],
@@ -366,1013 +138,47 @@ impl System {
             timeline: Vec::new(),
             tl_prev: (0, 0, 0),
             tl_start: 0,
-            probe_map: HashMap::new(),
-            next_probe: 0,
         }
-    }
-
-    /// Enables timeline sampling every `interval` cycles (0 disables).
-    pub fn set_timeline_interval(&mut self, interval: Cycle) {
-        self.timeline_interval = interval;
-    }
-
-    fn timeline_totals(&self) -> (u64, u64, u64) {
-        let retired: u64 = self
-            .tiles
-            .iter()
-            .map(|t| t.core.as_ref().expect("core present").retired())
-            .sum();
-        let ds = self.dram.total_stats();
-        let pf: u64 = self.tiles.iter().map(|t| t.pf_issued).sum();
-        (retired, ds.reads + ds.writes, pf)
-    }
-
-    fn sample_timeline(&mut self, now: Cycle) {
-        let (retired, transfers, prefetches) = self.timeline_totals();
-        let interval = self.timeline_interval;
-        let d_transfers = transfers - self.tl_prev.1;
-        let peak =
-            self.cfg.dram.channels as f64 * interval as f64 / self.cfg.dram.burst_cycles as f64;
-        self.timeline.push(crate::result::TimelinePoint {
-            cycle: now.saturating_sub(self.tl_start),
-            retired: retired - self.tl_prev.0,
-            dram_transfers: d_transfers,
-            bw_util: if peak > 0.0 {
-                (d_transfers as f64 / peak).min(1.0)
-            } else {
-                0.0
-            },
-            prefetches: prefetches - self.tl_prev.2,
-        });
-        self.tl_prev = (retired, transfers, prefetches);
     }
 
     /// Current cycle.
     pub fn cycle(&self) -> Cycle {
-        self.cycle
-    }
-
-    #[inline]
-    fn fresh_req(&mut self) -> ReqId {
-        let r = ReqId(self.next_req);
-        self.next_req += 1;
-        r
-    }
-
-    fn alloc_txn(&mut self, txn: Txn) -> u32 {
-        if let Some(i) = self.free_txns.pop() {
-            self.txns[i as usize] = txn;
-            i
-        } else {
-            self.txns.push(txn);
-            (self.txns.len() - 1) as u32
-        }
-    }
-
-    fn free_txn(&mut self, i: u32) {
-        if let Some(pid) = self.txns[i as usize].probe_id.take() {
-            // Orphan any in-flight probe so its completion is discarded
-            // instead of being credited to a future occupant of this slot.
-            self.probe_map.remove(&pid);
-        }
-        self.txns[i as usize].live = false;
-        self.free_txns.push(i);
-    }
-
-    #[inline]
-    fn schedule(&mut self, at: Cycle, ev: Ev) {
-        let at = at.max(self.cycle + 1);
-        debug_assert!(
-            at - self.cycle < EVENT_RING as u64,
-            "event beyond ring horizon"
-        );
-        self.ring[(at as usize) % EVENT_RING].push(ev);
-    }
-
-    #[inline]
-    fn home_of(&self, line: LineAddr) -> usize {
-        (clip_types::hash64(line.raw() ^ 0x110C) as usize) % self.cfg.cores
-    }
-
-    #[inline]
-    fn mc_node(&self, channel: usize) -> usize {
-        let nodes = self.cfg.noc.mesh_cols * self.cfg.noc.mesh_rows;
-        (channel * nodes / self.cfg.dram.channels) % nodes
-    }
-
-    fn send_msg(&mut self, src: usize, dst: usize, flits: usize, prio: Priority, pl: u64) {
-        let now = self.cycle;
-        if !self.outbox[src].is_empty() {
-            self.outbox[src].push_back(OutMsg {
-                dst,
-                flits,
-                priority: prio,
-                payload: pl,
-            });
-            return;
-        }
-        if self
-            .noc
-            .as_model()
-            .send(src, dst, flits, prio, pl, now)
-            .is_err()
-        {
-            self.outbox[src].push_back(OutMsg {
-                dst,
-                flits,
-                priority: prio,
-                payload: pl,
-            });
-        }
-    }
-
-    fn drain_outboxes(&mut self) {
-        let now = self.cycle;
-        // Rotate the starting node each cycle: a fixed order would let
-        // low-index tiles win saturated links every cycle and starve the
-        // memory controllers' response packets (livelock under flood).
-        let n = self.outbox.len();
-        for k in 0..n {
-            let node = (k + (now as usize % n.max(1))) % n;
-            while let Some(m) = self.outbox[node].front() {
-                let ok = self
-                    .noc
-                    .as_model()
-                    .send(node, m.dst, m.flits, m.priority, m.payload, now)
-                    .is_ok();
-                if ok {
-                    self.outbox[node].pop_front();
-                } else {
-                    break;
-                }
-            }
-        }
-    }
-
-    fn txn_priority(&self, t: u32) -> Priority {
-        match self.txns[t as usize].kind {
-            TxnKind::Demand | TxnKind::Store => Priority::Demand,
-            TxnKind::Prefetch { critical, .. } => {
-                if critical {
-                    Priority::Demand
-                } else {
-                    Priority::Prefetch
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Core-side issue paths (called through `CorePort`).
-    // ------------------------------------------------------------------
-
-    fn tile_issue_load(&mut self, t: usize, ip: Ip, addr: Addr, now: Cycle) -> Option<ReqId> {
-        let line = addr.line();
-        // Back-pressure check first so retried issues do not perturb
-        // statistics or prefetcher training.
-        {
-            let tile = &self.tiles[t];
-            if !tile.l1d.contains(line) && tile.l1_mshr.is_full() && !tile.l1_mshr.contains(line) {
-                return None;
-            }
-        }
-        {
-            let tile = &mut self.tiles[t];
-            tile.l1_window_accesses += 1;
-            if tile.clip_at_l1 {
-                if let Some(clip) = tile.clip.as_mut() {
-                    clip.on_demand_access(line);
-                }
-            }
-        }
-        let outcome = self.tiles[t].l1d.lookup(line, false, now);
-        match outcome {
-            LookupOutcome::Hit { first_prefetch_use } => {
-                if first_prefetch_use {
-                    if let Some(pf) = self.tiles[t].l1_pf.as_mut() {
-                        pf.on_prefetch_result(line, true);
-                    }
-                }
-                let req = self.fresh_req();
-                self.schedule(
-                    now + self.cfg.l1d.latency,
-                    Ev::L1Respond {
-                        tile: t as u16,
-                        req,
-                        issue: now,
-                    },
-                );
-                self.train_l1_prefetcher(t, ip, addr, true, false, now);
-                Some(req)
-            }
-            LookupOutcome::Miss => {
-                // Back-pressure check: merging is allowed even when full.
-                if self.tiles[t].l1_mshr.is_full() && !self.tiles[t].l1_mshr.contains(line) {
-                    return None;
-                }
-                let req = self.fresh_req();
-                let alloc = self.tiles[t]
-                    .l1_mshr
-                    .alloc(line, req, false, now)
-                    .expect("room checked above");
-                self.on_l1_miss_bookkeeping(t, now);
-                if matches!(alloc, clip_cache::AllocOutcome::New) {
-                    let txn = self.alloc_txn(Txn {
-                        tile: t as u16,
-                        ip,
-                        line,
-                        kind: TxnKind::Demand,
-                        issue: now,
-                        level: MemLevel::L1,
-                        probe: ProbeState::None,
-                        probe_id: None,
-                        live: true,
-                    });
-                    self.maybe_hermes_probe(t, txn, ip, line, now);
-                    self.schedule(now + self.cfg.l1d.latency, Ev::L2Lookup { txn });
-                }
-                self.train_l1_prefetcher(t, ip, addr, false, false, now);
-                Some(req)
-            }
-        }
-    }
-
-    fn tile_issue_store(&mut self, t: usize, ip: Ip, addr: Addr, now: Cycle) -> bool {
-        let line = addr.line();
-        {
-            let tile = &self.tiles[t];
-            if !tile.l1d.contains(line) && tile.l1_mshr.is_full() && !tile.l1_mshr.contains(line) {
-                return false;
-            }
-        }
-        self.tiles[t].l1_window_accesses += 1;
-        let outcome = self.tiles[t].l1d.lookup(line, true, now);
-        match outcome {
-            LookupOutcome::Hit { first_prefetch_use } => {
-                if first_prefetch_use {
-                    if let Some(pf) = self.tiles[t].l1_pf.as_mut() {
-                        pf.on_prefetch_result(line, true);
-                    }
-                }
-                self.train_l1_prefetcher(t, ip, addr, true, true, now);
-                true
-            }
-            LookupOutcome::Miss => {
-                if self.tiles[t].l1_mshr.is_full() && !self.tiles[t].l1_mshr.contains(line) {
-                    return false;
-                }
-                let req = self.fresh_req();
-                let alloc = self.tiles[t]
-                    .l1_mshr
-                    .alloc(line, req, false, now)
-                    .expect("room checked above");
-                self.on_l1_miss_bookkeeping(t, now);
-                if matches!(alloc, clip_cache::AllocOutcome::New) {
-                    let txn = self.alloc_txn(Txn {
-                        tile: t as u16,
-                        ip,
-                        line,
-                        kind: TxnKind::Store,
-                        issue: now,
-                        level: MemLevel::L1,
-                        probe: ProbeState::None,
-                        probe_id: None,
-                        live: true,
-                    });
-                    self.schedule(now + self.cfg.l1d.latency, Ev::L2Lookup { txn });
-                }
-                self.train_l1_prefetcher(t, ip, addr, false, true, now);
-                true
-            }
-        }
-    }
-
-    fn on_l1_miss_bookkeeping(&mut self, t: usize, now: Cycle) {
-        let tile = &mut self.tiles[t];
-        if tile.clip_at_l1 {
-            Self::clip_window_advance(tile, now);
-        }
-    }
-
-    /// Advances CLIP's exploration window on one training-level miss; at a
-    /// window boundary, feeds the APC sample of the elapsed window (the
-    /// paper averages APC over the last 16 exploration windows).
-    fn clip_window_advance(tile: &mut Tile, now: Cycle) {
-        let Some(clip) = tile.clip.as_mut() else {
-            return;
-        };
-        if clip.on_l1_miss() {
-            let accesses = tile.l1_window_accesses;
-            tile.l1_window_accesses = 0;
-            let cycles = now.saturating_sub(tile.window_start).max(1);
-            tile.window_start = now;
-            clip.on_apc_sample(accesses, cycles);
-        }
-    }
-
-    fn maybe_hermes_probe(&mut self, t: usize, txn: u32, ip: Ip, line: LineAddr, now: Cycle) {
-        let predicted = match self.tiles[t].hermes.as_mut() {
-            Some(h) => h.predict_offchip(ip, line),
-            None => return,
-        };
-        if !predicted {
-            return;
-        }
-        let channel = self.dram.channel_for(line);
-        self.next_probe += 1;
-        let pid = self.next_probe;
-        let id = ReqId(pid | PROBE_BIT);
-        if self
-            .dram
-            .enqueue_read(channel, id, line, Priority::Demand, now)
-            .is_ok()
-        {
-            self.txns[txn as usize].probe = ProbeState::Pending;
-            self.txns[txn as usize].probe_id = Some(pid);
-            self.probe_map.insert(pid, txn);
-        }
-    }
-
-    /// Trains the L1 prefetcher and runs its candidates through the gates.
-    fn train_l1_prefetcher(
-        &mut self,
-        t: usize,
-        ip: Ip,
-        addr: Addr,
-        hit: bool,
-        is_store: bool,
-        now: Cycle,
-    ) {
-        if self.tiles[t].l1_pf.is_none() {
-            return;
-        }
-        let mut cands = std::mem::take(&mut self.cand_scratch);
-        cands.clear();
-        {
-            let tile = &mut self.tiles[t];
-            let pf = tile.l1_pf.as_mut().expect("checked above");
-            pf.on_access(
-                &AccessInfo {
-                    ip,
-                    addr,
-                    hit,
-                    is_store,
-                    cycle: now,
-                },
-                &mut cands,
-            );
-        }
-        self.gate_and_queue(t, true, &mut cands);
-        self.cand_scratch = cands;
-    }
-
-    /// Applies DSPatch, a baseline criticality gate, and CLIP to a
-    /// candidate list, then queues the survivors.
-    fn gate_and_queue(&mut self, t: usize, at_l1: bool, cands: &mut Vec<PrefetchCandidate>) {
-        if cands.is_empty() {
-            return;
-        }
-        self.tiles[t].pf_candidates += cands.len() as u64;
-        // Dedup against caches / MSHRs / queue before gating so CLIP's
-        // issue accounting reflects prefetches that can actually go out.
-        {
-            let tile = &mut self.tiles[t];
-            let (l1d, l2, l1m, l2m, q) = (
-                &tile.l1d,
-                &tile.l2,
-                &tile.l1_mshr,
-                &tile.l2_mshr,
-                &tile.pf_queue,
-            );
-            cands.retain(|c| {
-                !l1d.contains(c.line)
-                    && !l2.contains(c.line)
-                    && !l1m.contains(c.line)
-                    && !l2m.contains(c.line)
-                    && !q.iter().any(|p| p.line == c.line)
-            });
-        }
-        if let Some(ds) = self.tiles[t].dspatch.as_mut() {
-            ds.modulate(cands);
-        }
-        if let Some(gate) = self.tiles[t].crit_gate.as_ref() {
-            cands.retain(|c| gate.predict(c.trigger_ip, c.line.byte_addr()));
-        }
-        for c in cands.drain(..) {
-            let tile = &mut self.tiles[t];
-            if tile.pf_queue.len() >= PF_QUEUE_CAP {
-                tile.pf_queue.pop_front();
-            }
-            tile.pf_queue.push_back(QueuedPrefetch {
-                line: c.line,
-                trigger_ip: c.trigger_ip,
-                fill_l1: c.fill_l1,
-                from_l1: at_l1,
-            });
-        }
-    }
-
-    /// Issues queued prefetches into the hierarchy.
-    fn issue_prefetches(&mut self, t: usize, now: Cycle) {
-        for _ in 0..PF_ISSUE_PER_CYCLE {
-            let Some(&q) = self.tiles[t].pf_queue.front() else {
-                return;
-            };
-            // Re-check dedup (state may have changed since queueing).
-            {
-                let tile = &self.tiles[t];
-                if tile.l1d.contains(q.line)
-                    || tile.l1_mshr.contains(q.line)
-                    || tile.l2_mshr.contains(q.line)
-                    || (!q.fill_l1 && tile.l2.contains(q.line))
-                {
-                    self.tiles[t].pf_queue.pop_front();
-                    continue;
-                }
-            }
-            self.tiles[t].pf_queue.pop_front();
-            // CLIP gates at the issue point so its per-IP issue accounting
-            // matches prefetches that actually enter the hierarchy.
-            let clip_here = self.tiles[t].clip_at_l1 == q.from_l1;
-            let mut fill_l1 = q.fill_l1;
-            let mut critical = false;
-            if let Some(clip) = self.tiles[t].clip.as_mut() {
-                if clip_here {
-                    match clip.filter_prefetch(q.line, q.trigger_ip) {
-                        Decision::AllowCritical => {
-                            critical = true;
-                            // CLIP fetches its survivors all the way to L1
-                            // (§4.2) when attached there.
-                            fill_l1 = fill_l1 || q.from_l1;
-                        }
-                        Decision::AllowExplore => {}
-                        _ => continue,
-                    }
-                }
-            }
-            // Prefetches do not hold L1 MSHRs: the L1 fill happens
-            // directly on arrival, and a concurrent demand for the same
-            // line merges at the L2 MSHR (where lateness is detected).
-            // Their in-flight parallelism is bounded at the L2 (with a
-            // reserve for demands) — the ChampSim PQ arrangement.
-            self.tiles[t].pf_issued += 1;
-            let txn = self.alloc_txn(Txn {
-                tile: t as u16,
-                ip: q.trigger_ip,
-                line: q.line,
-                kind: TxnKind::Prefetch {
-                    fill_l1,
-                    critical,
-                    trigger_ip: q.trigger_ip,
-                },
-                issue: now,
-                level: MemLevel::L1,
-                probe: ProbeState::None,
-                probe_id: None,
-                live: true,
-            });
-            self.schedule(now + 1, Ev::L2Lookup { txn });
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Event handlers.
-    // ------------------------------------------------------------------
-
-    fn handle_event(&mut self, ev: Ev) {
-        let now = self.cycle;
-        match ev {
-            Ev::L1Respond { tile, req, issue } => {
-                self.respond_core(tile as usize, req, MemLevel::L1, issue, now);
-            }
-            Ev::L2Lookup { txn } => self.l2_lookup(txn, now),
-            Ev::LlcLookup { txn } => self.llc_lookup(txn, now),
-            Ev::DramEnqueue { txn } => self.dram_enqueue(txn, now),
-            Ev::TileData { txn } => self.tile_data(txn, now),
-            Ev::WbDram { line } => {
-                if self.dram.enqueue_write(line, now).is_err() {
-                    self.schedule(now + RETRY_DELAY * 2, Ev::WbDram { line });
-                }
-            }
-        }
-    }
-
-    fn l2_lookup(&mut self, txn: u32, now: Cycle) {
-        let tx = self.txns[txn as usize];
-        let t = tx.tile as usize;
-        let is_pf = matches!(tx.kind, TxnKind::Prefetch { .. });
-
-        // Back-pressure before touching the cache so retries do not skew
-        // statistics.
-        if (!is_pf || !self.tiles[t].l2.contains(tx.line))
-            && self.tiles[t].l2_mshr.is_full()
-            && !self.tiles[t].l2_mshr.contains(tx.line)
-        {
-            // Only a miss would need the MSHR; a hit does not. Peek
-            // cheaply first.
-            if !self.tiles[t].l2.contains(tx.line) {
-                self.schedule(now + RETRY_DELAY, Ev::L2Lookup { txn });
-                return;
-            }
-        }
-
-        let outcome = if is_pf {
-            self.tiles[t].l2.lookup_prefetch(tx.line, now)
-        } else {
-            self.tiles[t].l2.lookup(tx.line, false, now)
-        };
-        // L2-trained prefetchers observe the demand stream at the L2.
-        if !is_pf {
-            self.train_l2_prefetcher(t, tx.ip, tx.line, outcome.is_hit(), now);
-        }
-        match outcome {
-            LookupOutcome::Hit { first_prefetch_use } => {
-                if first_prefetch_use {
-                    if let Some(pf) = self.tiles[t].l2_pf.as_mut() {
-                        pf.on_prefetch_result(tx.line, true);
-                    }
-                }
-                self.txns[txn as usize].level = MemLevel::L2;
-                self.schedule(now + self.cfg.l2.latency, Ev::TileData { txn });
-            }
-            LookupOutcome::Miss => {
-                // CLIP attached at the L2 counts L2 misses as its window.
-                if !self.tiles[t].clip_at_l1 {
-                    if !is_pf {
-                        if let Some(clip) = self.tiles[t].clip.as_mut() {
-                            clip.on_demand_access(tx.line);
-                        }
-                    }
-                    Self::clip_window_advance(&mut self.tiles[t], now);
-                }
-                // Prefetch admission control: keep a demand reserve at the
-                // L2 MSHRs; prefetches beyond it are dropped, not stalled.
-                if is_pf
-                    && !self.tiles[t].l2_mshr.contains(tx.line)
-                    && self.tiles[t].l2_mshr.len() + L2_MSHR_PF_RESERVE
-                        >= self.tiles[t].l2_mshr.capacity()
-                {
-                    if let TxnKind::Prefetch { trigger_ip, .. } = tx.kind {
-                        if let Some(clip) = self.tiles[t].clip.as_mut() {
-                            clip.cancel_prefetch(tx.line, trigger_ip);
-                        }
-                    }
-                    self.free_txn(txn);
-                    return;
-                }
-                let alloc = self.tiles[t]
-                    .l2_mshr
-                    .alloc(tx.line, ReqId(txn as u64), is_pf, now);
-                match alloc {
-                    Ok(clip_cache::AllocOutcome::New) => {
-                        let home = self.home_of(tx.line);
-                        let prio = self.txn_priority(txn);
-                        self.send_msg(
-                            t,
-                            home,
-                            self.cfg.noc.addr_packet_flits,
-                            prio,
-                            payload(MSG_REQ_LLC, txn as u64),
-                        );
-                    }
-                    Ok(clip_cache::AllocOutcome::Merged { .. }) => {}
-                    Err(_) => {
-                        self.schedule(now + RETRY_DELAY, Ev::L2Lookup { txn });
-                    }
-                }
-            }
-        }
-    }
-
-    fn train_l2_prefetcher(&mut self, t: usize, ip: Ip, line: LineAddr, hit: bool, now: Cycle) {
-        if self.tiles[t].l2_pf.is_none() {
-            return;
-        }
-        let mut cands = std::mem::take(&mut self.cand_scratch);
-        cands.clear();
-        {
-            let tile = &mut self.tiles[t];
-            let pf = tile.l2_pf.as_mut().expect("checked above");
-            pf.on_access(
-                &AccessInfo {
-                    ip,
-                    addr: line.byte_addr(),
-                    hit,
-                    is_store: false,
-                    cycle: now,
-                },
-                &mut cands,
-            );
-        }
-        self.gate_and_queue(t, false, &mut cands);
-        self.cand_scratch = cands;
-    }
-
-    fn llc_lookup(&mut self, txn: u32, now: Cycle) {
-        let tx = self.txns[txn as usize];
-        let home = self.home_of(tx.line);
-        let is_pf = matches!(tx.kind, TxnKind::Prefetch { .. });
-
-        if self.llc_mshr[home].is_full()
-            && !self.llc_mshr[home].contains(tx.line)
-            && !self.llc[home].contains(tx.line)
-        {
-            self.schedule(now + RETRY_DELAY, Ev::LlcLookup { txn });
-            return;
-        }
-
-        let outcome = if is_pf {
-            self.llc[home].lookup_prefetch(tx.line, now)
-        } else {
-            self.llc[home].lookup(tx.line, false, now)
-        };
-        match outcome {
-            LookupOutcome::Hit { .. } => {
-                self.txns[txn as usize].level = MemLevel::Llc;
-                let prio = self.txn_priority(txn);
-                self.send_msg(
-                    home,
-                    tx.tile as usize,
-                    self.cfg.noc.data_packet_flits,
-                    prio,
-                    payload(MSG_DATA_TILE, txn as u64),
-                );
-            }
-            LookupOutcome::Miss => {
-                let alloc = self.llc_mshr[home].alloc(tx.line, ReqId(txn as u64), is_pf, now);
-                match alloc {
-                    Ok(clip_cache::AllocOutcome::New) => {
-                        let channel = self.dram.channel_for(tx.line);
-                        let mc = self.mc_node(channel);
-                        let prio = self.txn_priority(txn);
-                        self.send_msg(
-                            home,
-                            mc,
-                            self.cfg.noc.addr_packet_flits,
-                            prio,
-                            payload(MSG_REQ_MC, txn as u64),
-                        );
-                    }
-                    Ok(clip_cache::AllocOutcome::Merged { .. }) => {}
-                    Err(_) => self.schedule(now + RETRY_DELAY, Ev::LlcLookup { txn }),
-                }
-            }
-        }
-    }
-
-    fn dram_enqueue(&mut self, txn: u32, now: Cycle) {
-        match self.txns[txn as usize].probe {
-            ProbeState::Done => {
-                // Hermes probe already fetched the data at the controller.
-                self.txns[txn as usize].level = MemLevel::Dram;
-                self.data_from_mc(txn);
-                return;
-            }
-            ProbeState::Pending => {
-                self.txns[txn as usize].probe = ProbeState::TxnWaiting;
-                return;
-            }
-            _ => {}
-        }
-        let tx = self.txns[txn as usize];
-        let channel = self.dram.channel_for(tx.line);
-        let prio = self.txn_priority(txn);
-        if self
-            .dram
-            .enqueue_read(channel, ReqId(txn as u64), tx.line, prio, now)
-            .is_err()
-        {
-            self.schedule(now + RETRY_DELAY, Ev::DramEnqueue { txn });
-        }
-    }
-
-    /// Sends the DRAM response packet toward the LLC home slice.
-    fn data_from_mc(&mut self, txn: u32) {
-        let tx = self.txns[txn as usize];
-        let channel = self.dram.channel_for(tx.line);
-        let mc = self.mc_node(channel);
-        let home = self.home_of(tx.line);
-        let prio = self.txn_priority(txn);
-        self.send_msg(
-            mc,
-            home,
-            self.cfg.noc.data_packet_flits,
-            prio,
-            payload(MSG_DATA_LLC, txn as u64),
-        );
-    }
-
-    fn handle_dram_completion(&mut self, id: ReqId) {
-        if id.0 & PROBE_BIT != 0 {
-            let pid = id.0 & !PROBE_BIT;
-            // Orphaned probes (owner already serviced on-chip) miss here.
-            let Some(txn) = self.probe_map.remove(&pid) else {
-                return;
-            };
-            self.txns[txn as usize].probe_id = None;
-            match self.txns[txn as usize].probe {
-                ProbeState::TxnWaiting => {
-                    self.txns[txn as usize].level = MemLevel::Dram;
-                    self.data_from_mc(txn);
-                }
-                ProbeState::Pending => self.txns[txn as usize].probe = ProbeState::Done,
-                ProbeState::None | ProbeState::Done => {}
-            }
-            return;
-        }
-        let txn = id.0 as u32;
-        if !self.txns[txn as usize].live {
-            return;
-        }
-        self.txns[txn as usize].level = MemLevel::Dram;
-        self.data_from_mc(txn);
-    }
-
-    fn handle_delivery(&mut self, node: usize, pl: u64, now: Cycle) {
-        let (tag, value) = decode(pl);
-        match tag {
-            MSG_REQ_LLC => {
-                let txn = value as u32;
-                self.schedule(now + self.cfg.llc_slice.latency, Ev::LlcLookup { txn });
-            }
-            MSG_REQ_MC => {
-                let txn = value as u32;
-                self.schedule(now + 1, Ev::DramEnqueue { txn });
-            }
-            MSG_DATA_LLC => {
-                let txn = value as u32;
-                self.llc_fill_and_forward(txn, now);
-            }
-            MSG_DATA_TILE => {
-                let txn = value as u32;
-                self.schedule(now + 1, Ev::TileData { txn });
-            }
-            MSG_WB_LLC => {
-                let line = LineAddr::new(value);
-                let home = self.home_of(line);
-                debug_assert_eq!(home, node);
-                if let Some(ev) = self.llc[home].fill(line, true, false, now) {
-                    if ev.dirty {
-                        self.writeback_to_dram(home, ev.line);
-                    }
-                }
-            }
-            MSG_WB_MC => {
-                let line = LineAddr::new(value);
-                if self.dram.enqueue_write(line, now).is_err() {
-                    self.schedule(now + RETRY_DELAY * 2, Ev::WbDram { line });
-                }
-            }
-            _ => unreachable!("unknown message tag {tag}"),
-        }
-    }
-
-    fn writeback_to_dram(&mut self, from_node: usize, line: LineAddr) {
-        let channel = self.dram.channel_for(line);
-        let mc = self.mc_node(channel);
-        self.send_msg(
-            from_node,
-            mc,
-            self.cfg.noc.data_packet_flits,
-            Priority::Writeback,
-            payload(MSG_WB_MC, line.raw()),
-        );
-    }
-
-    /// DRAM data arrived at the LLC home: fill the slice, complete the LLC
-    /// MSHR, and forward data packets to the requesting tile(s).
-    fn llc_fill_and_forward(&mut self, txn: u32, now: Cycle) {
-        let tx = self.txns[txn as usize];
-        let home = self.home_of(tx.line);
-        let is_pf = matches!(tx.kind, TxnKind::Prefetch { .. });
-        if let Some(ev) = self.llc[home].fill(tx.line, false, is_pf, now) {
-            if ev.dirty {
-                self.writeback_to_dram(home, ev.line);
-            }
-        }
-        let mut to_send = vec![txn];
-        if let Some(entry) = self.llc_mshr[home].complete(tx.line) {
-            for w in entry.waiters {
-                let wt = w.0 as u32;
-                if wt != txn && self.txns[wt as usize].live {
-                    self.txns[wt as usize].level = tx.level;
-                    to_send.push(wt);
-                }
-            }
-            // `entry.primary` is this txn (or the first merged one).
-            let p = entry.primary.0 as u32;
-            if p != txn && self.txns[p as usize].live {
-                self.txns[p as usize].level = tx.level;
-                to_send.push(p);
-            }
-        }
-        to_send.sort_unstable();
-        to_send.dedup();
-        for t in to_send {
-            let dst = self.txns[t as usize].tile as usize;
-            let prio = self.txn_priority(t);
-            self.send_msg(
-                home,
-                dst,
-                self.cfg.noc.data_packet_flits,
-                prio,
-                payload(MSG_DATA_TILE, t as u64),
-            );
-        }
-    }
-
-    /// Data arrived at the tile: fill L2/L1, complete MSHRs, respond.
-    fn tile_data(&mut self, txn: u32, now: Cycle) {
-        let tx = self.txns[txn as usize];
-        let t = tx.tile as usize;
-        let is_pf = matches!(tx.kind, TxnKind::Prefetch { .. });
-
-        let fills_l1_dest = match tx.kind {
-            TxnKind::Demand | TxnKind::Store => true,
-            TxnKind::Prefetch { fill_l1, .. } => fill_l1,
-        };
-        // Fill the L2 when data came from beyond it. A prefetch is marked
-        // as such only at its destination level, so one prefetch cannot be
-        // counted useful twice (once per level).
-        if matches!(tx.level, MemLevel::Llc | MemLevel::Dram) {
-            let mark_l2 = is_pf && !fills_l1_dest;
-            let ev = self.tiles[t].l2.fill(tx.line, false, mark_l2, now);
-            if let Some(e) = ev {
-                if e.dirty {
-                    let home = self.home_of(e.line);
-                    self.send_msg(
-                        t,
-                        home,
-                        self.cfg.noc.data_packet_flits,
-                        Priority::Writeback,
-                        payload(MSG_WB_LLC, e.line.raw()),
-                    );
-                }
-                if e.was_useless_prefetch {
-                    if let Some(pf) = self.tiles[t].l2_pf.as_mut() {
-                        pf.on_prefetch_result(e.line, false);
-                    }
-                }
-            }
-            // Wake L2-level waiters (same-tile txns merged at the L2 MSHR).
-            if let Some(entry) = self.tiles[t].l2_mshr.complete(tx.line) {
-                let mut wake = entry.waiters.clone();
-                wake.push(entry.primary);
-                for w in wake {
-                    let wt = w.0 as u32;
-                    if wt != txn && self.txns[wt as usize].live {
-                        self.txns[wt as usize].level = tx.level;
-                        self.schedule(now + 1, Ev::TileData { txn: wt });
-                    }
-                }
-            }
-        }
-
-        let fills_l1 = fills_l1_dest;
-        if fills_l1 {
-            let dirty = matches!(tx.kind, TxnKind::Store);
-            let ev = self.tiles[t].l1d.fill(tx.line, dirty, is_pf, now);
-            if let Some(e) = ev {
-                if e.was_useless_prefetch {
-                    if let Some(pf) = self.tiles[t].l1_pf.as_mut() {
-                        pf.on_prefetch_result(e.line, false);
-                    }
-                }
-                if e.dirty {
-                    // Victim goes to the L2 (non-inclusive hierarchy).
-                    let ev2 = self.tiles[t].l2.fill(e.line, true, false, now);
-                    if let Some(e2) = ev2 {
-                        if e2.dirty {
-                            let home = self.home_of(e2.line);
-                            self.send_msg(
-                                t,
-                                home,
-                                self.cfg.noc.data_packet_flits,
-                                Priority::Writeback,
-                                payload(MSG_WB_LLC, e2.line.raw()),
-                            );
-                        }
-                    }
-                }
-            }
-            if let Some(pf) = self.tiles[t].l1_pf.as_mut() {
-                pf.on_fill(tx.line, now);
-            }
-            if let Some(entry) = self.tiles[t].l1_mshr.complete(tx.line) {
-                let mut reqs = entry.waiters.clone();
-                reqs.push(entry.primary);
-                for r in reqs {
-                    self.respond_core(t, r, tx.level, tx.issue, now);
-                }
-            }
-        }
-        self.free_txn(txn);
-    }
-
-    /// Delivers a load response to the core and fans the resulting
-    /// [`clip_cpu::LoadOutcome`] out to every training consumer.
-    fn respond_core(&mut self, t: usize, req: ReqId, level: MemLevel, issue: Cycle, now: Cycle) {
-        let outcome = {
-            let core = self.tiles[t].core.as_mut().expect("core present");
-            core.complete_load(req, level, now)
-        };
-        let Some(mut o) = outcome else {
-            return; // store / prefetch pseudo-request
-        };
-        o.latency = now.saturating_sub(issue);
-        let tile = &mut self.tiles[t];
-        if level.is_beyond_l1() {
-            tile.lat.l1_miss.record(o.latency);
-            match level {
-                MemLevel::L2 => tile.lat.by_l2.record(o.latency),
-                MemLevel::Llc => tile.lat.by_llc.record(o.latency),
-                MemLevel::Dram => tile.lat.by_dram.record(o.latency),
-                MemLevel::L1 => {}
-            }
-        }
-
-        // CLIP: evaluate its criticality prediction, then train it.
-        if let Some(clip) = tile.clip.as_mut() {
-            // For the L2 attachment, criticality is defined on loads
-            // serviced beyond the L2; remap the outcome's level so the
-            // shared mechanism sees the right "miss level".
-            let adapted = if tile.clip_at_l1 {
-                o
-            } else {
-                let mut a = o;
-                a.level = match o.level {
-                    MemLevel::L1 | MemLevel::L2 => MemLevel::L1,
-                    deeper => deeper,
-                };
-                a
-            };
-            if adapted.level.is_beyond_l1() {
-                let predicted = clip.predict_critical(adapted.ip, adapted.addr.line());
-                let actual = adapted.stalled_head;
-                match (predicted, actual) {
-                    (true, true) => tile.clip_eval.true_positive += 1,
-                    (true, false) => tile.clip_eval.false_positive += 1,
-                    (false, true) => tile.clip_eval.false_negative += 1,
-                    (false, false) => tile.clip_eval.true_negative += 1,
-                }
-                let rec = tile
-                    .ip_behavior
-                    .entry(adapted.ip.raw())
-                    .or_insert((0, 0, false));
-                if actual {
-                    rec.0 += 1;
-                } else {
-                    rec.1 += 1;
-                }
-                if predicted {
-                    rec.2 = true;
-                }
-            }
-            clip.on_load_complete(&adapted);
-        }
-        for ev in tile.evaluators.iter_mut() {
-            ev.observe(&o);
-        }
-        if let Some(gate) = tile.crit_gate.as_mut() {
-            gate.on_load_complete(&o);
-        }
-        if let Some(h) = tile.hermes.as_mut() {
-            h.train(o.ip, o.addr.line(), level == MemLevel::Dram);
-        }
+        self.engine.now()
     }
 
     // ------------------------------------------------------------------
     // The cycle loop.
     // ------------------------------------------------------------------
 
-    /// Advances the whole system one cycle.
+    /// Advances the whole system one cycle: spilled packets re-inject,
+    /// the clocked NoC and DRAM components tick and their output channels
+    /// drain into the uncore handlers, the event wheel fires, and every
+    /// tile ticks (prefetch issue + core).
     pub fn tick(&mut self) {
-        let now = self.cycle;
+        let now = self.engine.now();
 
-        self.drain_outboxes();
+        self.engine.drain_outboxes();
 
-        // NoC deliveries.
-        let delivered = self.noc.as_model().tick(now);
-        for d in delivered {
+        // Clocked components produce into their output channels...
+        self.engine.noc.tick(now);
+        self.engine.dram.tick(now);
+
+        // ...which drain into the uncore handlers.
+        while let Some(d) = self.engine.noc.delivered.pop() {
             self.handle_delivery(d.node, d.payload, now);
         }
-
-        // DRAM completions.
-        let completions = self.dram.tick(now);
-        for c in completions {
+        while let Some(c) = self.engine.dram.completed.pop() {
             self.handle_dram_completion(c.id);
         }
 
         // Local scheduled events.
-        let evs = std::mem::take(&mut self.ring[(now as usize) % EVENT_RING]);
-        for ev in evs {
+        for ev in self.engine.take_events() {
             self.handle_event(ev);
         }
 
-        // Per-tile prefetch issue + core tick.
+        // Tiles: prefetch issue + core tick.
         for t in 0..self.tiles.len() {
-            self.issue_prefetches(t, now);
-            self.tick_core(t, now);
+            TileTick { sys: self, t }.tick(now);
         }
 
         // Periodic controllers.
@@ -1383,7 +189,7 @@ impl System {
             self.dspatch_epoch();
             // Dynamic CLIP samples *overall* utilization (not the myopic
             // per-controller view).
-            let bw = self.dram.bandwidth_utilization(self.cycle.max(1));
+            let bw = self.engine.dram.mem.bandwidth_utilization(now.max(1));
             for tile in self.tiles.iter_mut() {
                 if let Some(clip) = tile.clip.as_mut() {
                     clip.on_bandwidth_sample(bw);
@@ -1391,45 +197,17 @@ impl System {
             }
         }
 
-        self.cycle += 1;
+        self.engine.clock.advance();
     }
 
-    fn tick_core(&mut self, t: usize, now: Cycle) {
-        let mut core = self.tiles[t].core.take().expect("core present");
-        let mut gen = self.tiles[t].gen.take().expect("generator present");
-        let base = self.tiles[t].addr_base;
-        let mut branches = std::mem::take(&mut self.branch_scratch);
-        branches.clear();
-        {
-            let mut port = CorePort { sys: self, tile: t };
-            let mut fetch = || {
-                let mut i = gen.next_instr();
-                match &mut i.kind {
-                    InstrKind::Load { addr, .. } => *addr = Addr::new(addr.raw() | base),
-                    InstrKind::Store { addr } => *addr = Addr::new(addr.raw() | base),
-                    InstrKind::Branch { taken } => branches.push(*taken),
-                    InstrKind::Alu { .. } => {}
-                }
-                i
-            };
-            core.tick(now, &mut fetch, &mut port);
-        }
-        if let Some(clip) = self.tiles[t].clip.as_mut() {
-            for &b in &branches {
-                clip.on_branch(b);
-            }
-        }
-        self.branch_scratch = branches;
-        self.tiles[t].core = Some(core);
-        self.tiles[t].gen = Some(gen);
-    }
-
-    fn throttle_epoch(&mut self, _now: Cycle) {
+    fn throttle_epoch(&mut self, now: Cycle) {
         let bw = self
+            .engine
             .dram
-            .bandwidth_utilization(THROTTLE_EPOCH.max(self.cycle));
+            .mem
+            .bandwidth_utilization(THROTTLE_EPOCH.max(now));
         let total_transfers: u64 = {
-            let s = self.dram.total_stats();
+            let s = self.engine.dram.mem.total_stats();
             s.reads + s.writes
         };
         let cores = self.cfg.cores as f64;
@@ -1496,7 +274,7 @@ impl System {
         // signal DSPatch uses.
         let mut max_util = 0.0f64;
         for ch in 0..self.cfg.dram.channels {
-            let s = self.dram.stats(ch);
+            let s = self.engine.dram.mem.stats(ch);
             let transfers = s.reads + s.writes;
             let delta = transfers - self.dspatch_prev_channel[ch];
             self.dspatch_prev_channel[ch] = transfers;
@@ -1511,50 +289,8 @@ impl System {
     }
 
     // ------------------------------------------------------------------
-    // Run driver + reporting.
+    // Run driver.
     // ------------------------------------------------------------------
-
-    fn snapshot(&self) -> Snapshot {
-        Snapshot {
-            lat: self.tiles.iter().map(|t| t.lat).collect(),
-            cand: self.tiles.iter().map(|t| t.pf_candidates).collect(),
-            issued: self.tiles.iter().map(|t| t.pf_issued).collect(),
-            useful: self.tiles.iter().map(|t| t.useful()).collect(),
-            useless: self.tiles.iter().map(|t| t.useless()).collect(),
-            late: self.tiles.iter().map(|t| t.late()).collect(),
-            l1_acc: self
-                .tiles
-                .iter()
-                .map(|t| t.l1d.stats().demand_accesses)
-                .collect(),
-            l1_miss: self
-                .tiles
-                .iter()
-                .map(|t| t.l1d.stats().demand_misses())
-                .collect(),
-            l2_acc: self
-                .tiles
-                .iter()
-                .map(|t| t.l2.stats().demand_accesses)
-                .collect(),
-            l2_miss: self
-                .tiles
-                .iter()
-                .map(|t| t.l2.stats().demand_misses())
-                .collect(),
-            llc_acc: self.llc.iter().map(|c| c.stats().demand_accesses).sum(),
-            llc_miss: self.llc.iter().map(|c| c.stats().demand_misses()).sum(),
-            dram_reads: self.dram.total_stats().reads,
-            dram_writes: self.dram.total_stats().writes,
-            dram_row_hits: self.dram.total_stats().row_hits,
-            noc_hops: self.noc.flit_hops(),
-            cycle: self.cycle,
-            clip_eval: self.tiles.iter().map(|t| t.clip_eval).collect(),
-            l1_fills: self.tiles.iter().map(|t| t.l1d.stats().fills).collect(),
-            l2_fills: self.tiles.iter().map(|t| t.l2.stats().fills).collect(),
-            llc_fills: self.llc.iter().map(|c| c.stats().fills).sum(),
-        }
-    }
 
     /// Runs warmup + measurement and assembles the result.
     ///
@@ -1564,7 +300,7 @@ impl System {
     pub fn run(&mut self, warmup: u64, measure: u64, max_cycles: Cycle) -> SimResult {
         // Warmup phase.
         let debug_stall = std::env::var("CLIP_DEBUG_STALL").is_ok();
-        while self.cycle < max_cycles {
+        while self.cycle() < max_cycles {
             if self
                 .tiles
                 .iter()
@@ -1573,7 +309,7 @@ impl System {
                 break;
             }
             self.tick();
-            if debug_stall && self.cycle.is_multiple_of(100_000) {
+            if debug_stall && self.cycle().is_multiple_of(100_000) {
                 self.dump_state();
             }
         }
@@ -1582,11 +318,11 @@ impl System {
             t.finish_cycle = None;
         }
         let snap = self.snapshot();
-        self.tl_start = self.cycle;
+        self.tl_start = self.cycle();
         self.tl_prev = self.timeline_totals();
 
         // Measurement phase.
-        while self.cycle < max_cycles {
+        while self.cycle() < max_cycles {
             let mut all_done = true;
             for t in self.tiles.iter_mut() {
                 if t.finish_cycle.is_none() {
@@ -1599,7 +335,7 @@ impl System {
                 }
             }
             // Record the actual finish cycle for cores that just finished.
-            let now = self.cycle;
+            let now = self.cycle();
             for t in self.tiles.iter_mut() {
                 if t.finish_cycle == Some(0) {
                     t.finish_cycle = Some(now.max(snap.cycle + 1));
@@ -1610,273 +346,12 @@ impl System {
             }
             self.tick();
             if self.timeline_interval > 0
-                && (self.cycle - self.tl_start).is_multiple_of(self.timeline_interval)
+                && (self.cycle() - self.tl_start).is_multiple_of(self.timeline_interval)
             {
-                self.sample_timeline(self.cycle);
+                self.sample_timeline(self.cycle());
             }
         }
 
         self.assemble(snap, measure)
-    }
-
-    /// Prints a one-line stall diagnostic (enabled by `CLIP_DEBUG_STALL`).
-    fn dump_state(&self) {
-        let retired: u64 = self
-            .tiles
-            .iter()
-            .map(|t| t.core.as_ref().expect("core present").retired())
-            .sum();
-        let l1m: usize = self.tiles.iter().map(|t| t.l1_mshr.len()).sum();
-        let l2m: usize = self.tiles.iter().map(|t| t.l2_mshr.len()).sum();
-        let llcm: usize = self.llc_mshr.iter().map(|m| m.len()).sum();
-        let outbox: usize = self.outbox.iter().map(|o| o.len()).sum();
-        let pfq: usize = self.tiles.iter().map(|t| t.pf_queue.len()).sum();
-        let live = self.txns.iter().filter(|t| t.live).count();
-        let rq: usize = (0..self.cfg.dram.channels)
-            .map(|c| self.dram.read_queue_len(c))
-            .sum();
-        let ring: usize = self.ring.iter().map(|r| r.len()).sum();
-        eprintln!(
-            "[stall] cyc={} retired={retired} l1m={l1m} l2m={l2m} llcm={llcm} outbox={outbox} pfq={pfq} txn={live} dram_rq={rq} ring_ev={ring}",
-            self.cycle
-        );
-    }
-
-    fn assemble(&mut self, snap: Snapshot, measure: u64) -> SimResult {
-        let end_cycle = self.cycle;
-        let elapsed = end_cycle.saturating_sub(snap.cycle).max(1);
-        let per_core_ipc: Vec<f64> = self
-            .tiles
-            .iter()
-            .map(|t| {
-                match t.finish_cycle {
-                    Some(f) if f > snap.cycle => measure as f64 / (f - snap.cycle) as f64,
-                    _ => {
-                        // Unfinished: partial progress.
-                        let retired = t.core.as_ref().expect("core present").retired();
-                        (retired - t.warmup_retired) as f64 / elapsed as f64
-                    }
-                }
-            })
-            .collect();
-
-        let mut lat = LatencyReport::default();
-        for (i, t) in self.tiles.iter().enumerate() {
-            let mut d = t.lat;
-            sub_lat(&mut d, &snap.lat[i]);
-            lat.l1_miss.merge(&d.l1_miss);
-            lat.by_l2.merge(&d.by_l2);
-            lat.by_llc.merge(&d.by_llc);
-            lat.by_dram.merge(&d.by_dram);
-        }
-
-        let sum = |f: &dyn Fn(&Tile) -> u64, s: &[u64]| -> u64 {
-            self.tiles
-                .iter()
-                .zip(s)
-                .map(|(t, &b)| f(t).saturating_sub(b))
-                .sum()
-        };
-        let prefetch = PrefetchReport {
-            candidates: sum(&|t| t.pf_candidates, &snap.cand),
-            issued: sum(&|t| t.pf_issued, &snap.issued),
-            useful: sum(&|t: &Tile| t.useful(), &snap.useful),
-            useless: sum(&|t: &Tile| t.useless(), &snap.useless),
-            late: sum(&|t: &Tile| t.late(), &snap.late),
-        };
-        let misses = MissReport {
-            l1_accesses: sum(&|t| t.l1d.stats().demand_accesses, &snap.l1_acc),
-            l1_misses: sum(&|t| t.l1d.stats().demand_misses(), &snap.l1_miss),
-            l2_accesses: sum(&|t| t.l2.stats().demand_accesses, &snap.l2_acc),
-            l2_misses: sum(&|t| t.l2.stats().demand_misses(), &snap.l2_miss),
-            llc_accesses: self
-                .llc
-                .iter()
-                .map(|c| c.stats().demand_accesses)
-                .sum::<u64>()
-                .saturating_sub(snap.llc_acc),
-            llc_misses: self
-                .llc
-                .iter()
-                .map(|c| c.stats().demand_misses())
-                .sum::<u64>()
-                .saturating_sub(snap.llc_miss),
-        };
-
-        let ds = self.dram.total_stats();
-        let dram_transfers = (ds.reads + ds.writes) - (snap.dram_reads + snap.dram_writes);
-        let dram_row_hits = ds.row_hits - snap.dram_row_hits;
-        let peak_transfers =
-            self.cfg.dram.channels as f64 * elapsed as f64 / self.cfg.dram.burst_cycles as f64;
-        let mut max_ch = 0.0f64;
-        for ch in 0..self.cfg.dram.channels {
-            let s = self.dram.stats(ch);
-            let u =
-                (s.reads + s.writes) as f64 / (elapsed as f64 / self.cfg.dram.burst_cycles as f64);
-            max_ch = max_ch.max(u);
-        }
-
-        let clip = if self.scheme.clip.is_some() {
-            let mut eval = EvalCounts::default();
-            let mut crit_ips = 0usize;
-            let mut dynamic = 0usize;
-            let mut with_crit = 0usize;
-            for (i, t) in self.tiles.iter().enumerate() {
-                let mut e = t.clip_eval;
-                sub_eval(&mut e, &snap.clip_eval[i]);
-                eval.true_positive += e.true_positive;
-                eval.false_positive += e.false_positive;
-                eval.false_negative += e.false_negative;
-                eval.true_negative += e.true_negative;
-                crit_ips += t.clip.as_ref().expect("clip present").critical_ip_count();
-                for &(stalls, nonstalls, _) in t.ip_behavior.values() {
-                    if stalls > 0 {
-                        with_crit += 1;
-                        if nonstalls > 0 {
-                            dynamic += 1;
-                        }
-                    }
-                }
-            }
-            let n = self.tiles.len() as f64;
-            let dyn_frac = if with_crit == 0 {
-                0.0
-            } else {
-                dynamic as f64 / with_crit as f64
-            };
-            // IP-set granularity (Figure 13/14): predicted vs actual
-            // critical IP sets.
-            let mut ip_eval = EvalCounts::default();
-            for t in &self.tiles {
-                for &(stalls, _, predicted) in t.ip_behavior.values() {
-                    let actually = stalls >= clip_crit::evaluate::IP_CRITICAL_STALLS;
-                    match (predicted, actually) {
-                        (true, true) => ip_eval.true_positive += 1,
-                        (true, false) => ip_eval.false_positive += 1,
-                        (false, true) => ip_eval.false_negative += 1,
-                        (false, false) => ip_eval.true_negative += 1,
-                    }
-                }
-            }
-            Some(ClipReport {
-                stats: {
-                    let mut s = clip_core::ClipStats::default();
-                    for t in &self.tiles {
-                        let cs = t.clip.as_ref().expect("clip present").stats();
-                        s.candidates += cs.candidates;
-                        s.allowed_critical += cs.allowed_critical;
-                        s.allowed_explore += cs.allowed_explore;
-                        s.dropped_not_critical += cs.dropped_not_critical;
-                        s.dropped_predicted += cs.dropped_predicted;
-                        s.dropped_low_accuracy += cs.dropped_low_accuracy;
-                        s.dropped_phase += cs.dropped_phase;
-                        s.phase_changes += cs.phase_changes;
-                        s.windows += cs.windows;
-                    }
-                    s
-                },
-                eval,
-                ip_eval,
-                critical_ips: crit_ips as f64 / n,
-                dynamic_ips: crit_ips as f64 * dyn_frac / n,
-            })
-        } else {
-            None
-        };
-
-        let baseline_evals = if self.scheme.evaluate_baselines {
-            let mut out: Vec<(&'static str, EvalCounts)> = Vec::new();
-            for t in &self.tiles {
-                for ev in &t.evaluators {
-                    let c = ev.ip_counts();
-                    if let Some(slot) = out.iter_mut().find(|(n, _)| *n == ev.name()) {
-                        slot.1.true_positive += c.true_positive;
-                        slot.1.false_positive += c.false_positive;
-                        slot.1.false_negative += c.false_negative;
-                        slot.1.true_negative += c.true_negative;
-                    } else {
-                        out.push((ev.name(), c));
-                    }
-                }
-            }
-            out
-        } else {
-            Vec::new()
-        };
-
-        let energy = EnergyCounts {
-            l1_reads: misses.l1_accesses,
-            l1_writes: self
-                .tiles
-                .iter()
-                .zip(&snap.l1_fills)
-                .map(|(t, &b)| t.l1d.stats().fills - b)
-                .sum(),
-            l2_reads: misses.l2_accesses,
-            l2_writes: self
-                .tiles
-                .iter()
-                .zip(&snap.l2_fills)
-                .map(|(t, &b)| t.l2.stats().fills - b)
-                .sum(),
-            llc_reads: misses.llc_accesses,
-            llc_writes: self.llc.iter().map(|c| c.stats().fills).sum::<u64>() - snap.llc_fills,
-            dram_row_hits,
-            dram_row_misses: dram_transfers - dram_row_hits,
-            noc_flit_hops: self.noc.flit_hops() - snap.noc_hops,
-            clip_lookups: clip.map(|c| c.stats.candidates).unwrap_or(0),
-        };
-
-        let timeline = std::mem::take(&mut self.timeline);
-        SimResult {
-            label: String::new(),
-            per_core_ipc,
-            cycles: elapsed,
-            latency: lat,
-            prefetch,
-            misses,
-            dram_transfers,
-            dram_row_hits,
-            dram_bw_util: (dram_transfers as f64 / peak_transfers).min(1.0),
-            dram_max_channel_util: max_ch.min(1.0),
-            noc_flit_hops: energy.noc_flit_hops,
-            clip,
-            baseline_evals,
-            energy,
-            timeline,
-        }
-    }
-}
-
-fn sub_lat(a: &mut LatencyReport, b: &LatencyReport) {
-    a.l1_miss.count -= b.l1_miss.count;
-    a.l1_miss.total -= b.l1_miss.total;
-    a.by_l2.count -= b.by_l2.count;
-    a.by_l2.total -= b.by_l2.total;
-    a.by_llc.count -= b.by_llc.count;
-    a.by_llc.total -= b.by_llc.total;
-    a.by_dram.count -= b.by_dram.count;
-    a.by_dram.total -= b.by_dram.total;
-}
-
-fn sub_eval(a: &mut EvalCounts, b: &EvalCounts) {
-    a.true_positive -= b.true_positive;
-    a.false_positive -= b.false_positive;
-    a.false_negative -= b.false_negative;
-    a.true_negative -= b.true_negative;
-}
-
-struct CorePort<'a> {
-    sys: &'a mut System,
-    tile: usize,
-}
-
-impl MemIssuePort for CorePort<'_> {
-    fn issue_load(&mut self, ip: Ip, addr: Addr, now: Cycle) -> Option<ReqId> {
-        self.sys.tile_issue_load(self.tile, ip, addr, now)
-    }
-
-    fn issue_store(&mut self, ip: Ip, addr: Addr, now: Cycle) -> bool {
-        self.sys.tile_issue_store(self.tile, ip, addr, now)
     }
 }

@@ -1,61 +1,81 @@
-//! Property-based tests for the metrics and energy model.
+//! Randomized invariant tests for the metrics and energy model, driven
+//! by the workspace's deterministic [`SimRng`].
 
 use clip_stats::energy::{EnergyCounts, EnergyModel};
 use clip_stats::{geomean, normalized_weighted_speedup, weighted_speedup, SampleSummary};
-use proptest::prelude::*;
+use clip_types::SimRng;
 
-fn positive_vec(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.01f64..100.0, n)
+fn positive_vec(rng: &mut SimRng, n: std::ops::Range<usize>) -> Vec<f64> {
+    let len = rng.gen_range(n);
+    (0..len).map(|_| rng.gen_range(0.01f64..100.0)).collect()
 }
 
-proptest! {
-    /// Weighted speedup of a system against itself is the core count.
-    #[test]
-    fn ws_identity(ipc in positive_vec(1..32)) {
+/// Weighted speedup of a system against itself is the core count.
+#[test]
+fn ws_identity() {
+    let mut rng = SimRng::seed_from_u64(0x51);
+    for _ in 0..256 {
+        let ipc = positive_vec(&mut rng, 1..32);
         let ws = weighted_speedup(&ipc, &ipc);
-        prop_assert!((ws - ipc.len() as f64).abs() < 1e-6);
-        prop_assert!((normalized_weighted_speedup(&ipc, &ipc) - 1.0).abs() < 1e-9);
+        assert!((ws - ipc.len() as f64).abs() < 1e-6);
+        assert!((normalized_weighted_speedup(&ipc, &ipc) - 1.0).abs() < 1e-9);
     }
+}
 
-    /// Scaling every core's IPC by k scales the normalized WS by k.
-    #[test]
-    fn ws_linearity(base in positive_vec(1..32), k in 0.1f64..10.0) {
+/// Scaling every core's IPC by k scales the normalized WS by k.
+#[test]
+fn ws_linearity() {
+    let mut rng = SimRng::seed_from_u64(0x52);
+    for _ in 0..256 {
+        let base = positive_vec(&mut rng, 1..32);
+        let k = rng.gen_range(0.1f64..10.0);
         let scaled: Vec<f64> = base.iter().map(|&x| x * k).collect();
         let ws = normalized_weighted_speedup(&scaled, &base);
-        prop_assert!((ws - k).abs() < 1e-6, "ws {ws} vs k {k}");
+        assert!((ws - k).abs() < 1e-6, "ws {ws} vs k {k}");
     }
+}
 
-    /// The geometric mean lies between min and max and is monotone under
-    /// uniform scaling.
-    #[test]
-    fn geomean_bounds(xs in positive_vec(1..64), k in 0.1f64..10.0) {
+/// The geometric mean lies between min and max and is monotone under
+/// uniform scaling.
+#[test]
+fn geomean_bounds() {
+    let mut rng = SimRng::seed_from_u64(0x53);
+    for _ in 0..256 {
+        let xs = positive_vec(&mut rng, 1..64);
+        let k = rng.gen_range(0.1f64..10.0);
         let g = geomean(&xs);
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(0.0f64, f64::max);
-        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+        assert!(g >= min - 1e-9 && g <= max + 1e-9);
         let scaled: Vec<f64> = xs.iter().map(|&x| x * k).collect();
-        prop_assert!((geomean(&scaled) - g * k).abs() < 1e-6 * g.max(1.0) * k.max(1.0));
+        assert!((geomean(&scaled) - g * k).abs() < 1e-6 * g.max(1.0) * k.max(1.0));
     }
+}
 
-    /// Sample summaries are internally consistent.
-    #[test]
-    fn summary_consistency(xs in positive_vec(1..64)) {
+/// Sample summaries are internally consistent.
+#[test]
+fn summary_consistency() {
+    let mut rng = SimRng::seed_from_u64(0x54);
+    for _ in 0..256 {
+        let xs = positive_vec(&mut rng, 1..64);
         let s = SampleSummary::of(&xs).expect("non-empty");
-        prop_assert_eq!(s.count, xs.len());
-        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
-        prop_assert!(s.geomean <= s.mean + 1e-9, "AM-GM inequality");
-        prop_assert!(s.stddev >= 0.0);
+        assert_eq!(s.count, xs.len());
+        assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        assert!(s.geomean <= s.mean + 1e-9, "AM-GM inequality");
+        assert!(s.stddev >= 0.0);
     }
+}
 
-    /// Energy is additive and monotone in every counter.
-    #[test]
-    fn energy_monotone(
-        l1 in 0u64..10_000,
-        dramh in 0u64..10_000,
-        dramm in 0u64..10_000,
-        noc in 0u64..10_000,
-    ) {
-        let m = EnergyModel::new();
+/// Energy is additive and monotone in every counter.
+#[test]
+fn energy_monotone() {
+    let mut rng = SimRng::seed_from_u64(0x55);
+    let m = EnergyModel::new();
+    for _ in 0..256 {
+        let l1 = rng.gen_range(0u64..10_000);
+        let dramh = rng.gen_range(0u64..10_000);
+        let dramm = rng.gen_range(0u64..10_000);
+        let noc = rng.gen_range(0u64..10_000);
         let base = EnergyCounts {
             l1_reads: l1,
             dram_row_hits: dramh,
@@ -72,10 +92,16 @@ proptest! {
         };
         let e0 = m.evaluate(&base).total_nj();
         let e1 = m.evaluate(&more).total_nj();
-        prop_assert!(e1 > e0);
-        // Row misses always cost at least as much as row hits.
-        let hit_heavy = m.evaluate(&EnergyCounts { dram_row_hits: 100, ..Default::default() });
-        let miss_heavy = m.evaluate(&EnergyCounts { dram_row_misses: 100, ..Default::default() });
-        prop_assert!(miss_heavy.total_nj() >= hit_heavy.total_nj());
+        assert!(e1 > e0);
     }
+    // Row misses always cost at least as much as row hits.
+    let hit_heavy = m.evaluate(&EnergyCounts {
+        dram_row_hits: 100,
+        ..Default::default()
+    });
+    let miss_heavy = m.evaluate(&EnergyCounts {
+        dram_row_misses: 100,
+        ..Default::default()
+    });
+    assert!(miss_heavy.total_nj() >= hit_heavy.total_nj());
 }

@@ -33,12 +33,11 @@ pub use mix::{heterogeneous_mixes, homogeneous_mixes, Mix};
 pub use record::TraceFile;
 pub use spec::{PatternMix, Suite, WorkloadSpec};
 
+use clip_types::SimRng;
 use clip_types::{Addr, Ip, LINE_SHIFT};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// One instruction of a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Instr {
     /// Instruction pointer (static identity of the instruction).
     pub ip: Ip,
@@ -47,7 +46,7 @@ pub struct Instr {
 }
 
 /// The operation performed by an [`Instr`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InstrKind {
     /// A load from `addr`. `serialized` marks pointer-chase loads whose
     /// address depends on the previous serialized load (low MLP).
@@ -148,7 +147,7 @@ enum Slot {
 /// (the SPEC RATE replay loop of the paper falls out naturally).
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
-    rng: SmallRng,
+    rng: SimRng,
     body: Vec<Slot>,
     body_pos: usize,
     load_ips: Vec<Ip>,
@@ -165,7 +164,7 @@ pub struct TraceGenerator {
 
 impl TraceGenerator {
     pub(crate) fn new(spec: &WorkloadSpec, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed ^ clip_types::hash64(spec.name_hash()));
+        let mut rng = SimRng::seed_from_u64(seed ^ clip_types::hash64(spec.name_hash()));
         let fp = spec.footprint_lines.max(1024);
 
         // Build static load IPs with behaviours drawn from the pattern mix.
@@ -196,12 +195,12 @@ impl TraceGenerator {
             branch_agents.push(if predictable {
                 if rng.gen_bool(0.5) {
                     BranchAgent::Periodic {
-                        period: rng.gen_range(2..12),
+                        period: rng.gen_range(2u32..12),
                         count: 0,
                     }
                 } else {
                     BranchAgent::Runs {
-                        run: rng.gen_range(2..8),
+                        run: rng.gen_range(2u32..8),
                         count: 0,
                         taken: false,
                     }
@@ -229,7 +228,7 @@ impl TraceGenerator {
             body.push(Slot::Branch(rng.gen_range(0..n_branches)));
         }
         while body.len() < body_len {
-            body.push(Slot::Alu(rng.gen_range(1..=3)));
+            body.push(Slot::Alu(rng.gen_range(1u8..=3)));
         }
         // Fisher-Yates shuffle for a realistic interleaving.
         for i in (1..body.len()).rev() {
@@ -254,10 +253,10 @@ impl TraceGenerator {
         }
     }
 
-    fn make_agent(spec: &WorkloadSpec, rng: &mut SmallRng, fp: u64, i: usize) -> LoadAgent {
+    fn make_agent(spec: &WorkloadSpec, rng: &mut SimRng, fp: u64, i: usize) -> LoadAgent {
         let w = &spec.pattern;
         let total = w.stream + w.stride + w.chase + w.hot + w.ctx_dual;
-        let mut x = rng.gen::<f64>() * total;
+        let mut x = rng.gen_f64() * total;
         let start = rng.gen_range(0..fp);
         if x < w.stream {
             let region = (fp / 8).max(4096);
@@ -361,7 +360,7 @@ impl TraceGenerator {
         }
     }
 
-    fn branch_outcome(agent: &mut BranchAgent, rng: &mut SmallRng) -> bool {
+    fn branch_outcome(agent: &mut BranchAgent, rng: &mut SimRng) -> bool {
         match agent {
             BranchAgent::Periodic { period, count } => {
                 *count += 1;
@@ -385,7 +384,7 @@ impl TraceGenerator {
     }
 
     /// Advances an agent and returns `(line, serialized)`.
-    fn agent_next(agent: &mut LoadAgent, ctx: bool, fp: u64, rng: &mut SmallRng) -> (u64, bool) {
+    fn agent_next(agent: &mut LoadAgent, ctx: bool, fp: u64, rng: &mut SimRng) -> (u64, bool) {
         match agent {
             LoadAgent::Stream {
                 pos,

@@ -4,8 +4,7 @@
 
 use crate::catalog;
 use crate::spec::WorkloadSpec;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use clip_types::SimRng;
 
 /// A many-core workload mix: one workload per core.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +49,7 @@ pub fn heterogeneous_mixes(n: usize, cores: usize, seed: u64) -> Vec<Mix> {
         .into_iter()
         .chain(catalog::gap())
         .collect();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     (0..n)
         .map(|i| {
             let workloads = (0..cores)

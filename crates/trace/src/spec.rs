@@ -1,10 +1,9 @@
 //! Workload specifications: the tunable statistics of a synthetic workload.
 
 use crate::TraceGenerator;
-use serde::{Deserialize, Serialize};
 
 /// Benchmark suite a workload belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SPEC CPU2017 (rate-mode simpoints).
     SpecCpu2017,
@@ -30,7 +29,7 @@ impl Suite {
 
 /// Relative weights of the spatial access-pattern classes assigned to a
 /// workload's load IPs. Weights need not sum to one; they are normalised.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PatternMix {
     /// Sequential streaming (prefetch-friendly, wide footprint).
     pub stream: f64,
@@ -104,7 +103,7 @@ impl PatternMix {
 /// Full description of a synthetic workload. Public fields by design: this
 /// is a passive parameter record (C-STRUCT-PRIVATE exception for plain
 /// data).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Trace name as it appears in the paper's figures.
     pub name: String,

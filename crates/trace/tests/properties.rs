@@ -1,48 +1,65 @@
-//! Property-based tests over the synthetic workload generators.
+//! Randomized invariant tests over the synthetic workload generators,
+//! driven by the workspace's deterministic [`SimRng`].
 
 use clip_trace::{catalog, InstrKind};
-use proptest::prelude::*;
+use clip_types::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Any catalog workload with any seed is deterministic and respects
-    /// its footprint.
-    #[test]
-    fn any_workload_any_seed_wellformed(idx in 0usize..45, seed in any::<u64>()) {
+/// Any catalog workload with any seed is deterministic and respects its
+/// footprint.
+#[test]
+fn any_workload_any_seed_wellformed() {
+    let mut rng = SimRng::seed_from_u64(0x72ACE);
+    for case in 0..32 {
+        let idx = rng.gen_range(0usize..45);
+        let seed = rng.next_u64();
         let spec = &catalog::spec_cpu2017()[idx];
         let a = spec.generator(seed).record(2_000);
         let b = spec.generator(seed).record(2_000);
-        prop_assert_eq!(&a, &b, "determinism");
+        assert_eq!(&a, &b, "determinism (case {case})");
         for i in &a {
             if let InstrKind::Load { addr, .. } | InstrKind::Store { addr } = i.kind {
-                prop_assert!(addr.line().raw() <= spec.footprint_lines);
+                assert!(addr.line().raw() <= spec.footprint_lines);
             }
         }
     }
+}
 
-    /// Instruction mixes track the spec's fractions within tolerance for
-    /// all suites.
-    #[test]
-    fn mix_fractions_hold(idx in 0usize..45, seed in 0u64..1000) {
+/// Instruction mixes track the spec's fractions within tolerance for all
+/// suites.
+#[test]
+fn mix_fractions_hold() {
+    let mut rng = SimRng::seed_from_u64(0xF2AC);
+    for _ in 0..32 {
+        let idx = rng.gen_range(0usize..45);
+        let seed = rng.gen_range(0u64..1000);
         let spec = &catalog::spec_cpu2017()[idx];
         let v = spec.generator(seed).record(30_000);
         let loads = v.iter().filter(|i| i.kind.is_load()).count() as f64 / v.len() as f64;
         let branches = v.iter().filter(|i| i.kind.is_branch()).count() as f64 / v.len() as f64;
-        prop_assert!((loads - spec.load_frac).abs() < 0.12, "loads {loads} vs {}", spec.load_frac);
-        prop_assert!((branches - spec.branch_frac).abs() < 0.12);
+        assert!(
+            (loads - spec.load_frac).abs() < 0.12,
+            "loads {loads} vs {}",
+            spec.load_frac
+        );
+        assert!((branches - spec.branch_frac).abs() < 0.12);
     }
+}
 
-    /// Heterogeneous mixes are deterministic in the seed and have the
-    /// requested shape.
-    #[test]
-    fn hetero_mixes_shape(n in 1usize..8, cores in 1usize..16, seed in any::<u64>()) {
+/// Heterogeneous mixes are deterministic in the seed and have the
+/// requested shape.
+#[test]
+fn hetero_mixes_shape() {
+    let mut rng = SimRng::seed_from_u64(0x4E7);
+    for _ in 0..32 {
+        let n = rng.gen_range(1usize..8);
+        let cores = rng.gen_range(1usize..16);
+        let seed = rng.next_u64();
         let a = clip_trace::heterogeneous_mixes(n, cores, seed);
         let b = clip_trace::heterogeneous_mixes(n, cores, seed);
-        prop_assert_eq!(a.len(), n);
+        assert_eq!(a.len(), n);
         for (x, y) in a.iter().zip(&b) {
-            prop_assert_eq!(x.cores(), cores);
-            prop_assert_eq!(&x.workloads, &y.workloads);
+            assert_eq!(x.cores(), cores);
+            assert_eq!(&x.workloads, &y.workloads);
         }
     }
 }

@@ -5,10 +5,8 @@
 //! 8x8 mesh, and eight DDR4-3200 channels. [`SimConfigBuilder`] supports the
 //! sensitivity sweeps (channels, cores, LLC capacity).
 
-use serde::{Deserialize, Serialize};
-
 /// Which hardware prefetcher drives a cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrefetcherKind {
     /// No prefetching.
     None,
@@ -58,7 +56,7 @@ impl PrefetcherKind {
 }
 
 /// Cache replacement policy selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplacementKind {
     /// Least-recently-used.
     Lru,
@@ -74,7 +72,7 @@ pub enum ReplacementKind {
 }
 
 /// Parameters of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheLevelConfig {
     /// Total capacity in bytes (per slice for the LLC).
     pub capacity_bytes: usize,
@@ -101,7 +99,7 @@ impl CacheLevelConfig {
 }
 
 /// Out-of-order core parameters (Sunny-Cove-like, Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Reorder buffer entries.
     pub rob_entries: usize,
@@ -128,7 +126,7 @@ impl Default for CoreConfig {
 }
 
 /// DRAM subsystem parameters (DDR4-3200, Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Number of independent channels.
     pub channels: usize,
@@ -186,7 +184,7 @@ impl Default for DramConfig {
 /// Network-on-chip parameters (Table 3: 8x8 mesh, 2-stage wormhole routers,
 /// six VCs/port, five-flit buffers, 8-flit data packets, 1-flit address
 /// packets).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NocConfig {
     /// Mesh width (nodes per row).
     pub mesh_cols: usize,
@@ -223,7 +221,7 @@ impl Default for NocConfig {
 }
 
 /// Complete system configuration (Table 3 defaults).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Number of cores (and LLC slices / mesh tiles).
     pub cores: usize,

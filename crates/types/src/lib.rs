@@ -16,13 +16,17 @@
 //! ```
 
 pub mod config;
+pub mod engine;
 pub mod request;
+pub mod rng;
 
 pub use config::{
     CacheLevelConfig, CoreConfig, DramConfig, NocConfig, PrefetcherKind, ReplacementKind,
     SimConfig, SimConfigBuilder,
 };
+pub use engine::{Channel, Port, SimClock, Tick};
 pub use request::{AccessKind, MemLevel, MemRequest, MemResponse, Priority, ReqId};
+pub use rng::SimRng;
 
 use std::fmt;
 
@@ -46,19 +50,7 @@ pub type Cycle = u64;
 /// The simulator does not model paging faults; virtual addresses are used
 /// directly for cache indexing (physically-indexed behaviour is emulated by
 /// the per-core address-space offset applied in `clip-sim`).
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -113,19 +105,7 @@ impl fmt::LowerHex for Addr {
 
 /// A cache-line-granular address (byte address shifted right by
 /// [`LINE_SHIFT`]).
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -180,19 +160,7 @@ impl fmt::Display for LineAddr {
 }
 
 /// An instruction pointer (program counter) identifying a static instruction.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ip(u64);
 
 impl Ip {
@@ -232,19 +200,7 @@ impl fmt::Display for Ip {
 }
 
 /// Identifies one core (and its tile) in the many-core system.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CoreId(pub u16);
 
 impl CoreId {
@@ -275,7 +231,7 @@ impl fmt::Display for CoreId {
 /// assert_eq!(c.value(), 0);
 /// assert!(!c.msb_set());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SatCounter {
     value: u8,
     bits: u8,
@@ -372,9 +328,7 @@ impl Default for SatCounter {
 /// h.push(true);
 /// assert_eq!(h.bits() & 0b111, 0b101);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct BitHistory {
     bits: u64,
     len: u8,

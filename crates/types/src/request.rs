@@ -4,19 +4,7 @@ use crate::{Addr, CoreId, Cycle, Ip, LineAddr};
 use std::fmt;
 
 /// Unique identifier of an in-flight memory transaction.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ReqId(pub u64);
 
 impl fmt::Display for ReqId {
@@ -29,9 +17,7 @@ impl fmt::Display for ReqId {
 ///
 /// This is the paper's *miss-level flag* generalised to an enum: `L1` means
 /// the ROB's miss-level flag stays zero; anything deeper sets it.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemLevel {
     /// Serviced by the L1 data cache (or load-store queue forwarding).
     L1,
@@ -65,7 +51,7 @@ impl fmt::Display for MemLevel {
 }
 
 /// What kind of access a memory request is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A demand load issued by the core.
     Load,
@@ -110,9 +96,7 @@ impl AccessKind {
 /// With CLIP, critical-and-accurate prefetches are promoted to
 /// [`Priority::Demand`]; plain prefetches stay at [`Priority::Prefetch`]
 /// (the PADC / prefetch-aware NoC behaviour of the baseline).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Priority {
     /// Lowest: speculative traffic (plain prefetches).
     Prefetch,
@@ -123,7 +107,7 @@ pub enum Priority {
 }
 
 /// A memory request travelling down the hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRequest {
     /// Transaction id, unique within a simulation.
     pub id: ReqId,
@@ -164,7 +148,7 @@ impl MemRequest {
 }
 
 /// A response returning up the hierarchy to the core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemResponse {
     /// The transaction this responds to.
     pub id: ReqId,

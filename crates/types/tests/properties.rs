@@ -1,60 +1,86 @@
-//! Property-based tests for the foundational types.
+//! Randomized invariant tests for the foundational types, driven by the
+//! workspace's own deterministic [`SimRng`] so they run hermetically.
 
-use clip_types::{Addr, BitHistory, Ip, LineAddr, SatCounter};
-use proptest::prelude::*;
+use clip_types::{Addr, BitHistory, Ip, LineAddr, SatCounter, SimRng};
 
-proptest! {
-    /// Line/byte address conversions are consistent for any address.
-    #[test]
-    fn addr_line_roundtrip(raw in 0u64..(1 << 58)) {
+/// Line/byte address conversions are consistent for any address.
+#[test]
+fn addr_line_roundtrip() {
+    let mut rng = SimRng::seed_from_u64(0xA11C);
+    for _ in 0..10_000 {
+        let raw = rng.gen_range(0u64..(1 << 58));
         let a = Addr::new(raw);
         let l = a.line();
-        prop_assert_eq!(l.byte_addr().raw(), raw & !63);
-        prop_assert_eq!(l.byte_addr().raw() + a.line_offset(), raw);
-        prop_assert_eq!(l.page(), a.page());
+        assert_eq!(l.byte_addr().raw(), raw & !63);
+        assert_eq!(l.byte_addr().raw() + a.line_offset(), raw);
+        assert_eq!(l.page(), a.page());
     }
+}
 
-    /// Page offsets always fit a 4 KiB page.
-    #[test]
-    fn line_page_offset_bounded(raw in any::<u64>()) {
-        prop_assert!(LineAddr::new(raw).page_offset() < 64);
+/// Page offsets always fit a 4 KiB page.
+#[test]
+fn line_page_offset_bounded() {
+    let mut rng = SimRng::seed_from_u64(0xBEEF);
+    for _ in 0..10_000 {
+        let raw = rng.next_u64();
+        assert!(LineAddr::new(raw).page_offset() < 64);
     }
+}
 
-    /// A saturating counter never leaves its range, and msb_set agrees
-    /// with the numeric value, under any operation sequence.
-    #[test]
-    fn sat_counter_invariants(bits in 1u8..=7, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+/// A saturating counter never leaves its range, and msb_set agrees with
+/// the numeric value, under any operation sequence.
+#[test]
+fn sat_counter_invariants() {
+    let mut rng = SimRng::seed_from_u64(0x5A7);
+    for bits in 1u8..=7 {
         let mut c = SatCounter::new(bits);
-        for up in ops {
-            if up { c.inc() } else { c.dec() }
-            prop_assert!(c.value() <= c.max());
-            prop_assert_eq!(c.msb_set(), c.value() >= (1 << (bits - 1)));
+        for _ in 0..200 {
+            if rng.gen_bool(0.5) {
+                c.inc()
+            } else {
+                c.dec()
+            }
+            assert!(c.value() <= c.max());
+            assert_eq!(c.msb_set(), c.value() >= (1 << (bits - 1)));
         }
     }
+}
 
-    /// Bit history never holds more than `len` bits and the newest
-    /// outcome always lands at bit zero.
-    #[test]
-    fn bit_history_invariants(len in 1u8..=64, outcomes in proptest::collection::vec(any::<bool>(), 1..100)) {
+/// Bit history never holds more than `len` bits and the newest outcome
+/// always lands at bit zero.
+#[test]
+fn bit_history_invariants() {
+    let mut rng = SimRng::seed_from_u64(0xB17);
+    for len in 1u8..=64 {
         let mut h = BitHistory::new(len);
-        for &o in &outcomes {
+        for _ in 0..100 {
+            let o = rng.gen_bool(0.5);
             h.push(o);
-            prop_assert_eq!(h.bits() & 1, o as u64);
+            assert_eq!(h.bits() & 1, o as u64);
             if len < 64 {
-                prop_assert!(h.bits() < (1u64 << len));
+                assert!(h.bits() < (1u64 << len));
             }
         }
     }
+}
 
-    /// IP tags stay within their configured width.
-    #[test]
-    fn ip_tag_bounded(raw in any::<u64>(), bits in 1u32..=32) {
-        prop_assert!(Ip::new(raw).tag(bits) < (1u64 << bits));
+/// IP tags stay within their configured width.
+#[test]
+fn ip_tag_bounded() {
+    let mut rng = SimRng::seed_from_u64(0x1B);
+    for _ in 0..4_096 {
+        let raw = rng.next_u64();
+        let bits = rng.gen_range(1u32..=32);
+        assert!(Ip::new(raw).tag(bits) < (1u64 << bits));
     }
+}
 
-    /// hash64 is deterministic.
-    #[test]
-    fn hash64_deterministic(x in any::<u64>()) {
-        prop_assert_eq!(clip_types::hash64(x), clip_types::hash64(x));
+/// hash64 is deterministic.
+#[test]
+fn hash64_deterministic() {
+    let mut rng = SimRng::seed_from_u64(0xDE7);
+    for _ in 0..4_096 {
+        let x = rng.next_u64();
+        assert_eq!(clip_types::hash64(x), clip_types::hash64(x));
     }
 }
