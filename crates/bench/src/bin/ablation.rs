@@ -6,65 +6,6 @@
 //! prediction, the rest from accuracy filtering; criticality-conscious
 //! NoC/DRAM contributes 2.8 points of the 24%.
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_for, scaled_channels, Scale};
-use clip_core::ClipConfig;
-use clip_sim::Scheme;
-use clip_types::PrefetcherKind;
-
 fn main() {
-    let scale = Scale::from_env();
-    let ch = scaled_channels(8, scale.cores);
-    let mixes = scale.sample_homogeneous();
-    println!("# CLIP ablations ({ch} channels, {} mixes)", mixes.len());
-    header(&["variant", "normalized-WS"]);
-    let variants: Vec<(&str, Option<ClipConfig>)> = vec![
-        ("Berti (no CLIP)", None),
-        ("full CLIP", Some(ClipConfig::default())),
-        (
-            "criticality-only (no accuracy stage)",
-            Some(ClipConfig {
-                use_accuracy_stage: false,
-                ..ClipConfig::default()
-            }),
-        ),
-        (
-            "accuracy-only (no criticality stage)",
-            Some(ClipConfig {
-                use_criticality_stage: false,
-                ..ClipConfig::default()
-            }),
-        ),
-        (
-            "no branch history in signature",
-            Some(ClipConfig {
-                use_branch_history: false,
-                ..ClipConfig::default()
-            }),
-        ),
-        (
-            "no criticality history in signature",
-            Some(ClipConfig {
-                use_crit_history: false,
-                ..ClipConfig::default()
-            }),
-        ),
-        (
-            "no criticality flag at NoC/DRAM",
-            Some(ClipConfig {
-                criticality_flag_to_fabric: false,
-                ..ClipConfig::default()
-            }),
-        ),
-    ];
-    for (name, clip) in variants {
-        let scheme = Scheme {
-            clip,
-            ..Scheme::plain()
-        };
-        let ws: Vec<f64> = mixes
-            .iter()
-            .map(|m| normalized_ws_for(&scale, ch, PrefetcherKind::Berti, &scheme, m).0)
-            .collect();
-        println!("{name}\t{}", fmt(mean_ws(&ws)));
-    }
+    clip_bench::figures::run_bin("ablation");
 }

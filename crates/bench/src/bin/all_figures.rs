@@ -1,49 +1,46 @@
-//! Runs every figure/table binary's logic in sequence — the one-shot
+//! Runs every figure/table spec in sequence, in-process — the one-shot
 //! regeneration entry point used to produce EXPERIMENTS.md.
+//!
+//! Iterates the spec registry ([`clip_bench::figures::registry`]) rather
+//! than shelling out to the per-figure binaries, so the in-process result
+//! cache is shared across all figures (every no-prefetch baseline and
+//! every repeated (config, scheme, mix) cell runs exactly once). Besides
+//! the tables on stdout, each experiment writes its JSON artifact under
+//! `target/experiments/`, plus an `index.json` mapping binaries to their
+//! artifacts.
 //!
 //! Usage: `cargo run -p clip-bench --release --bin all_figures`, with the
 //! `CLIP_*` environment variables controlling scale.
 
-use std::process::Command;
+use clip_bench::experiment::{artifact_dir, run_experiment};
+use clip_bench::figures::registry;
+use clip_bench::Scale;
+use clip_stats::Json;
 
 fn main() {
-    let bins = [
-        "table3",
-        "table2",
-        "fig01",
-        "fig02",
-        "fig03",
-        "fig04",
-        "fig05",
-        "fig06",
-        "fig09",
-        "fig10",
-        "fig11",
-        "fig12",
-        "fig13",
-        "fig14",
-        "fig15",
-        "fig16",
-        "fig17",
-        "fig18",
-        "fig19",
-        "fig20",
-        "fig21",
-        "energy",
-        "sens_cores",
-        "sens_llc",
-        "ablation",
-        "dynclip",
-    ];
-    let exe = std::env::current_exe().expect("current exe path");
-    let dir = exe.parent().expect("target dir");
-    for bin in bins {
-        println!("\n===================== {bin} =====================");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            eprintln!("{bin} exited with {status}");
+    let scale = Scale::from_env();
+    let mut index = Vec::new();
+    for entry in registry() {
+        if !entry.in_all {
+            continue;
         }
+        println!(
+            "\n===================== {} =====================",
+            entry.name
+        );
+        let mut artifacts = Vec::new();
+        for exp in (entry.build)(&scale) {
+            let name = exp.name.clone();
+            run_experiment(&exp);
+            artifacts.push(Json::from(name));
+        }
+        index.push(Json::object([
+            ("bin", Json::from(entry.name)),
+            ("artifacts", Json::array(artifacts)),
+        ]));
+    }
+    let dir = artifact_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join("index.json"), Json::array(index).render());
     }
 }

@@ -5,33 +5,6 @@
 //! stays in filtering mode), and recovering the plain prefetcher's upside
 //! when bandwidth is plentiful (the governor bypasses CLIP).
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_for, scaled_channels, Scale};
-use clip_sim::Scheme;
-use clip_types::PrefetcherKind;
-
 fn main() {
-    let scale = Scale::from_env();
-    let mixes = scale.sample_homogeneous();
-    println!(
-        "# Dynamic CLIP: plain Berti vs CLIP vs DynCLIP ({} cores, {} mixes)",
-        scale.cores,
-        mixes.len()
-    );
-    header(&["channels(paper)", "Berti", "Berti+CLIP", "Berti+DynCLIP"]);
-    for paper_ch in [4usize, 8, 16, 64] {
-        let ch = scaled_channels(paper_ch, scale.cores);
-        let mut row = vec![paper_ch.to_string()];
-        for scheme in [
-            Scheme::plain(),
-            Scheme::with_clip(),
-            Scheme::with_dynamic_clip(),
-        ] {
-            let ws: Vec<f64> = mixes
-                .iter()
-                .map(|m| normalized_ws_for(&scale, ch, PrefetcherKind::Berti, &scheme, m).0)
-                .collect();
-            row.push(fmt(mean_ws(&ws)));
-        }
-        println!("{}", row.join("\t"));
-    }
+    clip_bench::figures::run_bin("dynclip");
 }

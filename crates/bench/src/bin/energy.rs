@@ -5,33 +5,6 @@
 //! homogeneous mixes (<7% for heterogeneous), driven by the ~50% prefetch
 //! traffic reduction. CLIP's own structures are included.
 
-use clip_bench::{per_mix_sweep, scaled_channels, Scale};
-use clip_stats::EnergyModel;
-
 fn main() {
-    let scale = Scale::from_env();
-    let ch = scaled_channels(8, scale.cores);
-    let rows = per_mix_sweep(&scale, ch);
-    let model = EnergyModel::new();
-    let mut totals = [0.0f64; 3];
-    for r in &rows {
-        for (i, c) in r.energy.iter().enumerate() {
-            totals[i] += model.evaluate(c).total_nj();
-        }
-    }
-    println!("# Energy: memory-hierarchy dynamic energy ({ch} channels, homogeneous)");
-    println!("scheme\ttotal-nJ\tvs-NoPF\tvs-Berti");
-    let labels = ["NoPF", "Berti", "Berti+CLIP"];
-    for (i, l) in labels.iter().enumerate() {
-        println!(
-            "{l}\t{:.0}\t{:.3}\t{:.3}",
-            totals[i],
-            totals[i] / totals[0],
-            totals[i] / totals[1]
-        );
-    }
-    println!(
-        "CLIP vs Berti dynamic-energy improvement: {:.1}%",
-        (1.0 - totals[2] / totals[1]) * 100.0
-    );
+    clip_bench::figures::run_bin("energy");
 }

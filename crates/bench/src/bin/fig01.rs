@@ -5,39 +5,6 @@
 //! (Berti reaching ~1.35); channel counts here are scaled to preserve the
 //! channels-per-core ratio at the configured core count.
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_sweep, scaled_channels, Scale};
-use clip_sim::Scheme;
-use clip_types::PrefetcherKind;
-
 fn main() {
-    let scale = Scale::from_env();
-    let mixes = scale.sample_homogeneous();
-    let kinds = [
-        PrefetcherKind::Berti,
-        PrefetcherKind::Ipcp,
-        PrefetcherKind::Bingo,
-        PrefetcherKind::SppPpf,
-    ];
-    println!(
-        "# Figure 1: prefetcher WS vs DRAM channels (homogeneous, {} cores, {} mixes)",
-        scale.cores,
-        mixes.len()
-    );
-    header(&[
-        "channels(paper)",
-        "channels(run)",
-        "Berti",
-        "IPCP",
-        "Bingo",
-        "SPP-PPF",
-    ]);
-    for paper_ch in [4usize, 8, 16, 32, 64] {
-        let ch = scaled_channels(paper_ch, scale.cores);
-        let mut row = vec![paper_ch.to_string(), ch.to_string()];
-        for kind in kinds {
-            let ws = normalized_ws_sweep(&scale, ch, kind, &Scheme::plain(), &mixes);
-            row.push(fmt(mean_ws(&ws)));
-        }
-        println!("{}", row.join("\t"));
-    }
+    clip_bench::figures::run_bin("fig01");
 }

@@ -1,42 +1,6 @@
 //! Figure 2: normalized weighted speedup of the four prefetchers vs DRAM
 //! channel count, heterogeneous SPEC CPU2017 + GAP mixes.
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_for, scaled_channels, Scale};
-use clip_sim::Scheme;
-use clip_types::PrefetcherKind;
-
 fn main() {
-    let scale = Scale::from_env();
-    let mixes = scale.sample_heterogeneous();
-    let kinds = [
-        PrefetcherKind::Berti,
-        PrefetcherKind::Ipcp,
-        PrefetcherKind::Bingo,
-        PrefetcherKind::SppPpf,
-    ];
-    println!(
-        "# Figure 2: prefetcher WS vs DRAM channels (heterogeneous, {} cores, {} mixes)",
-        scale.cores,
-        mixes.len()
-    );
-    header(&[
-        "channels(paper)",
-        "channels(run)",
-        "Berti",
-        "IPCP",
-        "Bingo",
-        "SPP-PPF",
-    ]);
-    for paper_ch in [4usize, 8, 16, 32, 64] {
-        let ch = scaled_channels(paper_ch, scale.cores);
-        let mut row = vec![paper_ch.to_string(), ch.to_string()];
-        for kind in kinds {
-            let ws: Vec<f64> = mixes
-                .iter()
-                .map(|m| normalized_ws_for(&scale, ch, kind, &Scheme::plain(), m).0)
-                .collect();
-            row.push(fmt(mean_ws(&ws)));
-        }
-        println!("{}", row.join("\t"));
-    }
+    clip_bench::figures::run_bin("fig02");
 }

@@ -4,60 +4,6 @@
 //! Paper shape: >1.9x inflation of L2/L3-serviced latencies at 4-8
 //! channels, converging toward 1.0 at 64.
 
-use clip_bench::{fmt, header, normalized_ws_for, scaled_channels, Scale};
-use clip_sim::Scheme;
-use clip_types::PrefetcherKind;
-
 fn main() {
-    let scale = Scale::from_env();
-    let mut mixes = scale.sample_homogeneous();
-    mixes.extend(scale.sample_heterogeneous());
-    println!(
-        "# Figure 3: demand miss latency with Berti normalized to NoPF ({} cores, {} mixes)",
-        scale.cores,
-        mixes.len()
-    );
-    header(&[
-        "channels(paper)",
-        "channels(run)",
-        "L2-serviced",
-        "LLC-serviced",
-        "DRAM-serviced",
-        "L1-miss(all)",
-    ]);
-    for paper_ch in [4usize, 8, 16, 32, 64] {
-        let ch = scaled_channels(paper_ch, scale.cores);
-        let mut ratios = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-        for m in &mixes {
-            let (_, pf, base) =
-                normalized_ws_for(&scale, ch, PrefetcherKind::Berti, &Scheme::plain(), m);
-            let pairs = [
-                (pf.latency.by_l2.avg(), base.latency.by_l2.avg()),
-                (pf.latency.by_llc.avg(), base.latency.by_llc.avg()),
-                (pf.latency.by_dram.avg(), base.latency.by_dram.avg()),
-                (pf.latency.l1_miss.avg(), base.latency.l1_miss.avg()),
-            ];
-            for (i, (p, b)) in pairs.into_iter().enumerate() {
-                if b > 0.0 && p > 0.0 {
-                    ratios[i].push(p / b);
-                }
-            }
-        }
-        let cell = |v: &Vec<f64>| {
-            if v.is_empty() {
-                // No load of this class was serviced at this level in the
-                // sampled window (e.g. every L2 lookup missed).
-                "-".to_string()
-            } else {
-                fmt(clip_stats::geomean(v))
-            }
-        };
-        println!(
-            "{paper_ch}\t{ch}\t{}\t{}\t{}\t{}",
-            cell(&ratios[0]),
-            cell(&ratios[1]),
-            cell(&ratios[2]),
-            cell(&ratios[3]),
-        );
-    }
+    clip_bench::figures::run_bin("fig03");
 }

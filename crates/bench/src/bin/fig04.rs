@@ -5,44 +5,6 @@
 //! Paper shape: CATCH/FVP near-100% coverage with poor accuracy; the best
 //! accuracy is ~41%.
 
-use clip_bench::{fmt, header, place, Scale};
-use clip_crit::EvalCounts;
-use clip_sim::{run_mix, Scheme};
-use clip_types::PrefetcherKind;
-use std::collections::HashMap;
-
 fn main() {
-    let scale = Scale::from_env();
-    let mut mixes = scale.sample_homogeneous();
-    mixes.extend(scale.sample_heterogeneous());
-    let (l1, l2) = place(PrefetcherKind::Berti);
-    let cfg = scale.config(clip_bench::scaled_channels(8, scale.cores), l1, l2);
-    let scheme = Scheme {
-        evaluate_baselines: true,
-        ..Scheme::plain()
-    };
-    let opts = scale.options();
-
-    let mut agg: HashMap<&'static str, EvalCounts> = HashMap::new();
-    for m in &mixes {
-        let r = run_mix(&cfg, &scheme, m, &opts);
-        for (name, c) in r.baseline_evals {
-            let e = agg.entry(name).or_default();
-            e.true_positive += c.true_positive;
-            e.false_positive += c.false_positive;
-            e.false_negative += c.false_negative;
-            e.true_negative += c.true_negative;
-        }
-    }
-
-    println!(
-        "# Figure 4: baseline criticality predictor accuracy/coverage ({} cores, {} mixes, IP-set granularity)",
-        scale.cores,
-        mixes.len()
-    );
-    header(&["predictor", "accuracy", "coverage"]);
-    for name in ["CRISP", "CATCH", "FP", "FVP", "CBP", "ROBO"] {
-        let c = agg.get(name).copied().unwrap_or_default();
-        println!("{name}\t{}\t{}", fmt(c.accuracy()), fmt(c.coverage()));
-    }
+    clip_bench::figures::run_bin("fig04");
 }

@@ -6,54 +6,6 @@
 //! Paper shape: none of the baselines rescues Berti under constrained
 //! bandwidth.
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_for, scaled_channels, Scale};
-use clip_crit::BaselineKind;
-use clip_sim::Scheme;
-use clip_trace::Mix;
-use clip_types::PrefetcherKind;
-
-fn run_set(scale: &Scale, mixes: &[Mix], label: &str) {
-    println!("# Figure 5 ({label}): Berti + baseline criticality gates");
-    header(&[
-        "channels(paper)",
-        "Berti",
-        "+CRISP",
-        "+CATCH",
-        "+FP",
-        "+FVP",
-        "+CBP",
-        "+ROBO",
-    ]);
-    for paper_ch in [4usize, 8, 16] {
-        let ch = scaled_channels(paper_ch, scale.cores);
-        let mut row = vec![paper_ch.to_string()];
-        let plain: Vec<f64> = mixes
-            .iter()
-            .map(|m| normalized_ws_for(scale, ch, PrefetcherKind::Berti, &Scheme::plain(), m).0)
-            .collect();
-        row.push(fmt(mean_ws(&plain)));
-        for kind in BaselineKind::all() {
-            let ws: Vec<f64> = mixes
-                .iter()
-                .map(|m| {
-                    normalized_ws_for(
-                        scale,
-                        ch,
-                        PrefetcherKind::Berti,
-                        &Scheme::with_crit_gate(kind),
-                        m,
-                    )
-                    .0
-                })
-                .collect();
-            row.push(fmt(mean_ws(&ws)));
-        }
-        println!("{}", row.join("\t"));
-    }
-}
-
 fn main() {
-    let scale = Scale::from_env();
-    run_set(&scale, &scale.sample_homogeneous(), "homogeneous");
-    run_set(&scale, &scale.sample_heterogeneous(), "heterogeneous");
+    clip_bench::figures::run_bin("fig05");
 }

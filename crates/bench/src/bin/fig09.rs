@@ -4,40 +4,6 @@
 //! Paper shape: CLIP lifts every prefetcher; Berti+CLIP gains 24%
 //! (homogeneous) and 9% (heterogeneous) over Berti.
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_for, scaled_channels, Scale};
-use clip_sim::Scheme;
-use clip_trace::Mix;
-use clip_types::PrefetcherKind;
-
-fn run_set(scale: &Scale, mixes: &[Mix], label: &str) {
-    let ch = scaled_channels(8, scale.cores);
-    println!("# Figure 9 ({label}): CLIP with each prefetcher, {ch} channels");
-    header(&["prefetcher", "plain", "+CLIP"]);
-    for kind in [
-        PrefetcherKind::Berti,
-        PrefetcherKind::Ipcp,
-        PrefetcherKind::Bingo,
-        PrefetcherKind::SppPpf,
-    ] {
-        let plain: Vec<f64> = mixes
-            .iter()
-            .map(|m| normalized_ws_for(scale, ch, kind, &Scheme::plain(), m).0)
-            .collect();
-        let clip: Vec<f64> = mixes
-            .iter()
-            .map(|m| normalized_ws_for(scale, ch, kind, &Scheme::with_clip(), m).0)
-            .collect();
-        println!(
-            "{}\t{}\t{}",
-            kind.name(),
-            fmt(mean_ws(&plain)),
-            fmt(mean_ws(&clip))
-        );
-    }
-}
-
 fn main() {
-    let scale = Scale::from_env();
-    run_set(&scale, &scale.sample_homogeneous(), "homogeneous");
-    run_set(&scale, &scale.sample_heterogeneous(), "heterogeneous");
+    clip_bench::figures::run_bin("fig09");
 }

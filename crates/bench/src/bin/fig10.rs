@@ -5,22 +5,6 @@
 //! turns that into an 8% average improvement, leaving only a few mixes
 //! below 1.0.
 
-use clip_bench::{fmt, header, per_mix_sweep, scaled_channels, Scale};
-
 fn main() {
-    let scale = Scale::from_env();
-    let ch = scaled_channels(8, scale.cores);
-    let rows = per_mix_sweep(&scale, ch);
-    println!("# Figure 10: per-mix WS, Berti vs Berti+CLIP ({ch} channels)");
-    header(&["mix", "Berti", "Berti+CLIP"]);
-    for r in &rows {
-        println!("{}\t{}\t{}", r.mix, fmt(r.ws_berti), fmt(r.ws_clip));
-    }
-    let b: Vec<f64> = rows.iter().map(|r| r.ws_berti).collect();
-    let c: Vec<f64> = rows.iter().map(|r| r.ws_clip).collect();
-    println!(
-        "GEOMEAN\t{}\t{}",
-        fmt(clip_stats::geomean(&b)),
-        fmt(clip_stats::geomean(&c))
-    );
+    clip_bench::figures::run_bin("fig10");
 }

@@ -4,22 +4,6 @@
 //! Paper shape: CLIP reduces the average from 168 to 132 cycles at the
 //! paper's scale; the per-mix ordering (lbm worst) should hold.
 
-use clip_bench::{header, per_mix_sweep, scaled_channels, Scale};
-
 fn main() {
-    let scale = Scale::from_env();
-    let ch = scaled_channels(8, scale.cores);
-    let rows = per_mix_sweep(&scale, ch);
-    println!("# Figure 11: per-mix avg L1 miss latency ({ch} channels)");
-    header(&["mix", "Berti", "Berti+CLIP"]);
-    for r in &rows {
-        println!("{}\t{:.0}\t{:.0}", r.mix, r.lat_berti, r.lat_clip);
-    }
-    let b: Vec<f64> = rows.iter().map(|r| r.lat_berti).collect();
-    let c: Vec<f64> = rows.iter().map(|r| r.lat_clip).collect();
-    println!(
-        "MEAN\t{:.0}\t{:.0}",
-        b.iter().sum::<f64>() / b.len().max(1) as f64,
-        c.iter().sum::<f64>() / c.len().max(1) as f64
-    );
+    clip_bench::figures::run_bin("fig11");
 }

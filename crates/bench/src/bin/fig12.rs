@@ -3,25 +3,6 @@
 //!
 //! Paper shape: CLIP costs ~7% coverage at L1 and 2-3% at L2/LLC.
 
-use clip_bench::{header, per_mix_sweep, scaled_channels, Scale};
-
 fn main() {
-    let scale = Scale::from_env();
-    let ch = scaled_channels(8, scale.cores);
-    let rows = per_mix_sweep(&scale, ch);
-    println!("# Figure 12: demand miss coverage (%) ({ch} channels)");
-    header(&["level", "Berti", "Berti+CLIP"]);
-    for (i, level) in ["L1", "L2", "LLC"].iter().enumerate() {
-        let base: u64 = rows.iter().map(|r| r.base_misses[i]).sum();
-        let berti: u64 = rows.iter().map(|r| r.berti_misses[i]).sum();
-        let clip: u64 = rows.iter().map(|r| r.clip_misses[i]).sum();
-        let cov = |x: u64| {
-            if base == 0 {
-                0.0
-            } else {
-                (1.0 - x as f64 / base as f64).max(0.0) * 100.0
-            }
-        };
-        println!("{level}\t{:.1}\t{:.1}", cov(berti), cov(clip));
-    }
+    clip_bench::figures::run_bin("fig12");
 }

@@ -4,44 +4,6 @@
 //! Paper shape: CLIP averages 93% (up to 100%); the best prior predictor
 //! averages 41%.
 
-use clip_bench::{fmt, header, per_mix_sweep, place, scaled_channels, Scale};
-use clip_sim::{run_mix, Scheme};
-use clip_types::PrefetcherKind;
-
 fn main() {
-    let scale = Scale::from_env();
-    let ch = scaled_channels(8, scale.cores);
-    let rows = per_mix_sweep(&scale, ch);
-    // Best prior predictor accuracy per mix (max over the six baselines).
-    let (l1, l2) = place(PrefetcherKind::Berti);
-    let cfg = scale.config(ch, l1, l2);
-    let scheme = Scheme {
-        evaluate_baselines: true,
-        ..Scheme::plain()
-    };
-    let opts = scale.options();
-    println!("# Figure 13: critical-load prediction accuracy per mix ({ch} channels)");
-    header(&["mix", "CLIP(critical-signature)", "best-prior"]);
-    let mut clip_all = Vec::new();
-    let mut prior_all = Vec::new();
-    for r in &rows {
-        let mix = clip_trace::Mix::homogeneous(
-            &clip_trace::catalog::by_name(&r.mix).expect("known mix"),
-            scale.cores,
-        );
-        let res = run_mix(&cfg, &scheme, &mix, &opts);
-        let best = res
-            .baseline_evals
-            .iter()
-            .map(|(_, c)| c.accuracy())
-            .fold(0.0f64, f64::max);
-        println!("{}\t{}\t{}", r.mix, fmt(r.clip_pred_accuracy), fmt(best));
-        clip_all.push(r.clip_pred_accuracy);
-        prior_all.push(best);
-    }
-    println!(
-        "MEAN\t{}\t{}",
-        fmt(clip_stats::geomean(&clip_all)),
-        fmt(clip_stats::geomean(&prior_all))
-    );
+    clip_bench::figures::run_bin("fig13");
 }

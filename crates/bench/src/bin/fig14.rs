@@ -3,18 +3,6 @@
 //!
 //! Paper shape: 76% average coverage.
 
-use clip_bench::{fmt, header, per_mix_sweep, scaled_channels, Scale};
-
 fn main() {
-    let scale = Scale::from_env();
-    let ch = scaled_channels(8, scale.cores);
-    let rows = per_mix_sweep(&scale, ch);
-    println!("# Figure 14: critical-load prediction coverage per mix ({ch} channels)");
-    header(&["mix", "coverage"]);
-    let mut all = Vec::new();
-    for r in &rows {
-        println!("{}\t{}", r.mix, fmt(r.clip_pred_coverage));
-        all.push(r.clip_pred_coverage);
-    }
-    println!("MEAN\t{}", fmt(clip_stats::geomean(&all)));
+    clip_bench::figures::run_bin("fig14");
 }

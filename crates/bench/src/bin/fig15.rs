@@ -3,19 +3,6 @@
 //!
 //! Paper shape: tens of IPs per mix; ~50% are dynamic-critical.
 
-use clip_bench::{header, per_mix_sweep, scaled_channels, Scale};
-
 fn main() {
-    let scale = Scale::from_env();
-    let ch = scaled_channels(8, scale.cores);
-    let rows = per_mix_sweep(&scale, ch);
-    println!("# Figure 15: critical IPs per core (static vs dynamic) ({ch} channels)");
-    header(&["mix", "static", "dynamic", "total"]);
-    for r in &rows {
-        let stat = (r.critical_ips - r.dynamic_ips).max(0.0);
-        println!(
-            "{}\t{:.1}\t{:.1}\t{:.1}",
-            r.mix, stat, r.dynamic_ips, r.critical_ips
-        );
-    }
+    clip_bench::figures::run_bin("fig15");
 }

@@ -4,38 +4,6 @@
 //! Paper shape: ~50% average traffic reduction (up to 90% for cactuBSSN);
 //! Berti's accuracy improves from 82.9% to 94.2%.
 
-use clip_bench::{fmt, header, per_mix_sweep, scaled_channels, Scale};
-
 fn main() {
-    let scale = Scale::from_env();
-    let ch = scaled_channels(8, scale.cores);
-    let rows = per_mix_sweep(&scale, ch);
-    println!("# Figure 16: prefetch traffic with CLIP normalized to Berti ({ch} channels)");
-    header(&["mix", "traffic-ratio", "acc(Berti)", "acc(Berti+CLIP)"]);
-    let mut ratios = Vec::new();
-    let mut acc_b = Vec::new();
-    let mut acc_c = Vec::new();
-    for r in &rows {
-        let ratio = if r.pf_berti == 0 {
-            1.0
-        } else {
-            r.pf_clip as f64 / r.pf_berti as f64
-        };
-        println!(
-            "{}\t{}\t{}\t{}",
-            r.mix,
-            fmt(ratio),
-            fmt(r.acc_berti),
-            fmt(r.acc_clip)
-        );
-        ratios.push(ratio);
-        acc_b.push(r.acc_berti);
-        acc_c.push(r.acc_clip);
-    }
-    println!(
-        "MEAN\t{}\t{}\t{}",
-        fmt(clip_stats::geomean(&ratios)),
-        fmt(clip_stats::geomean(&acc_b)),
-        fmt(clip_stats::geomean(&acc_c))
-    );
+    clip_bench::figures::run_bin("fig16");
 }

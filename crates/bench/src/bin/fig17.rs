@@ -5,35 +5,6 @@
 //! to-predict access streams), so the constrained-bandwidth problem — and
 //! CLIP's upside — is smaller than for SPEC.
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_for, scaled_channels, Scale};
-use clip_sim::Scheme;
-use clip_types::PrefetcherKind;
-
 fn main() {
-    let scale = Scale::from_env();
-    let mixes = clip_trace::mix::cloud_cvp_mixes(scale.cores);
-    println!(
-        "# Figure 17: CloudSuite + CVP homogeneous workloads ({} cores, {} mixes)",
-        scale.cores,
-        mixes.len()
-    );
-    header(&["channels(paper)", "Berti", "Berti+CLIP"]);
-    for paper_ch in [4usize, 8, 16, 32, 64] {
-        let ch = scaled_channels(paper_ch, scale.cores);
-        let plain: Vec<f64> = mixes
-            .iter()
-            .map(|m| normalized_ws_for(&scale, ch, PrefetcherKind::Berti, &Scheme::plain(), m).0)
-            .collect();
-        let clip: Vec<f64> = mixes
-            .iter()
-            .map(|m| {
-                normalized_ws_for(&scale, ch, PrefetcherKind::Berti, &Scheme::with_clip(), m).0
-            })
-            .collect();
-        println!(
-            "{paper_ch}\t{}\t{}",
-            fmt(mean_ws(&plain)),
-            fmt(mean_ws(&clip))
-        );
-    }
+    clip_bench::figures::run_bin("fig17");
 }

@@ -3,32 +3,6 @@
 //!
 //! Paper shape: 2x/4x give marginal gains; 0.5x/0.25x lose >7%.
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_for, scaled_channels, Scale};
-use clip_core::ClipConfig;
-use clip_sim::Scheme;
-use clip_types::PrefetcherKind;
-
 fn main() {
-    let scale = Scale::from_env();
-    let ch = scaled_channels(8, scale.cores);
-    let mut mixes = scale.sample_homogeneous();
-    mixes.extend(scale.sample_heterogeneous());
-    println!(
-        "# Figure 18: CLIP table-size sensitivity ({ch} channels, {} mixes)",
-        mixes.len()
-    );
-    header(&["scale", "normalized-WS", "storage-KB/core"]);
-    for factor in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
-        let cfg = ClipConfig::default().scaled(factor);
-        let storage = clip_core::StorageReport::for_config(&cfg).total_kib();
-        let scheme = Scheme {
-            clip: Some(cfg),
-            ..Scheme::plain()
-        };
-        let ws: Vec<f64> = mixes
-            .iter()
-            .map(|m| normalized_ws_for(&scale, ch, PrefetcherKind::Berti, &scheme, m).0)
-            .collect();
-        println!("{factor}x\t{}\t{storage:.2}", fmt(mean_ws(&ws)));
-    }
+    clip_bench::figures::run_bin("fig18");
 }

@@ -3,45 +3,6 @@
 //!
 //! Paper shape: large CLIP gains at 4-8 channels, marginal at 16.
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_for, scaled_channels, Scale};
-use clip_sim::Scheme;
-use clip_types::PrefetcherKind;
-
 fn main() {
-    let scale = Scale::from_env();
-    let mixes = scale.sample_homogeneous();
-    println!(
-        "# Figure 19: CLIP x prefetchers x channels (homogeneous, {} mixes)",
-        mixes.len()
-    );
-    header(&[
-        "channels(paper)",
-        "Berti",
-        "Berti+CLIP",
-        "IPCP",
-        "IPCP+CLIP",
-        "Bingo",
-        "Bingo+CLIP",
-        "SPP-PPF",
-        "SPP-PPF+CLIP",
-    ]);
-    for paper_ch in [4usize, 8, 16] {
-        let ch = scaled_channels(paper_ch, scale.cores);
-        let mut row = vec![paper_ch.to_string()];
-        for kind in [
-            PrefetcherKind::Berti,
-            PrefetcherKind::Ipcp,
-            PrefetcherKind::Bingo,
-            PrefetcherKind::SppPpf,
-        ] {
-            for scheme in [Scheme::plain(), Scheme::with_clip()] {
-                let ws: Vec<f64> = mixes
-                    .iter()
-                    .map(|m| normalized_ws_for(&scale, ch, kind, &scheme, m).0)
-                    .collect();
-                row.push(fmt(mean_ws(&ws)));
-            }
-        }
-        println!("{}", row.join("\t"));
-    }
+    clip_bench::figures::run_bin("fig19");
 }

@@ -1,45 +1,6 @@
 //! Figure 20: CLIP with each prefetcher across channel counts,
 //! heterogeneous mixes.
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_for, scaled_channels, Scale};
-use clip_sim::Scheme;
-use clip_types::PrefetcherKind;
-
 fn main() {
-    let scale = Scale::from_env();
-    let mixes = scale.sample_heterogeneous();
-    println!(
-        "# Figure 20: CLIP x prefetchers x channels (heterogeneous, {} mixes)",
-        mixes.len()
-    );
-    header(&[
-        "channels(paper)",
-        "Berti",
-        "Berti+CLIP",
-        "IPCP",
-        "IPCP+CLIP",
-        "Bingo",
-        "Bingo+CLIP",
-        "SPP-PPF",
-        "SPP-PPF+CLIP",
-    ]);
-    for paper_ch in [4usize, 8, 16] {
-        let ch = scaled_channels(paper_ch, scale.cores);
-        let mut row = vec![paper_ch.to_string()];
-        for kind in [
-            PrefetcherKind::Berti,
-            PrefetcherKind::Ipcp,
-            PrefetcherKind::Bingo,
-            PrefetcherKind::SppPpf,
-        ] {
-            for scheme in [Scheme::plain(), Scheme::with_clip()] {
-                let ws: Vec<f64> = mixes
-                    .iter()
-                    .map(|m| normalized_ws_for(&scale, ch, kind, &scheme, m).0)
-                    .collect();
-                row.push(fmt(mean_ws(&ws)));
-            }
-        }
-        println!("{}", row.join("\t"));
-    }
+    clip_bench::figures::run_bin("fig20");
 }

@@ -5,35 +5,6 @@
 //! bandwidth); DSPatch performs poorly under constrained bandwidth
 //! (coverage mode).
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_for, scaled_channels, Scale};
-use clip_sim::Scheme;
-use clip_trace::Mix;
-use clip_types::PrefetcherKind;
-
-fn run_set(scale: &Scale, mixes: &[Mix], label: &str) {
-    println!("# Figure 21 ({label}): Hermes / DSPatch / CLIP with Berti");
-    header(&["channels(paper)", "Berti", "+Hermes", "+DSPatch", "+CLIP"]);
-    for paper_ch in [4usize, 8, 16] {
-        let ch = scaled_channels(paper_ch, scale.cores);
-        let mut row = vec![paper_ch.to_string()];
-        for scheme in [
-            Scheme::plain(),
-            Scheme::with_hermes(),
-            Scheme::with_dspatch(),
-            Scheme::with_clip(),
-        ] {
-            let ws: Vec<f64> = mixes
-                .iter()
-                .map(|m| normalized_ws_for(scale, ch, PrefetcherKind::Berti, &scheme, m).0)
-                .collect();
-            row.push(fmt(mean_ws(&ws)));
-        }
-        println!("{}", row.join("\t"));
-    }
-}
-
 fn main() {
-    let scale = Scale::from_env();
-    run_set(&scale, &scale.sample_homogeneous(), "homogeneous");
-    run_set(&scale, &scale.sample_heterogeneous(), "heterogeneous");
+    clip_bench::figures::run_bin("fig21");
 }

@@ -2,101 +2,6 @@
 //! channel counts, wins with abundant bandwidth, and CLIP recovers the
 //! constrained case. Not a paper figure; a development sanity harness.
 
-use clip_bench::{normalized_ws_for, Scale};
-use clip_sim::Scheme;
-use clip_types::PrefetcherKind;
-
 fn main() {
-    let scale = Scale::from_env();
-    let mixes = scale.sample_homogeneous();
-    println!(
-        "probe: {} cores, {} instrs, {} mixes",
-        scale.cores,
-        scale.instrs,
-        mixes.len()
-    );
-    for channels in [1usize, 2, 8] {
-        let mut ws_berti = Vec::new();
-        let mut ws_clip = Vec::new();
-        let mut drop_rates = Vec::new();
-        let mut acc = Vec::new();
-        let mut lat_base = Vec::new();
-        let mut lat_pf = Vec::new();
-        for mix in &mixes {
-            let (w, r, b) = normalized_ws_for(
-                &scale,
-                channels,
-                PrefetcherKind::Berti,
-                &Scheme::plain(),
-                mix,
-            );
-            ws_berti.push(w);
-            acc.push(r.prefetch.accuracy());
-            lat_pf.push(r.latency.l1_miss.avg());
-            lat_base.push(b.latency.l1_miss.avg());
-            let (w2, r2, _) = normalized_ws_for(
-                &scale,
-                channels,
-                PrefetcherKind::Berti,
-                &Scheme::with_clip(),
-                mix,
-            );
-            ws_clip.push(w2);
-            if let Some(c) = r2.clip {
-                drop_rates.push(c.stats.drop_rate());
-                if std::env::var("CLIP_VERBOSE").is_ok() {
-                    println!(
-                        "    {}: cand={} critical={} explore={} d_notcrit={} d_pred={} d_acc={} d_phase={} | eval acc={:.2} cov={:.2} critIPs={:.1}",
-                        mix.name,
-                        c.stats.candidates,
-                        c.stats.allowed_critical,
-                        c.stats.allowed_explore,
-                        c.stats.dropped_not_critical,
-                        c.stats.dropped_predicted,
-                        c.stats.dropped_low_accuracy,
-                        c.stats.dropped_phase,
-                        c.ip_eval.accuracy(),
-                        c.ip_eval.coverage(),
-                        c.critical_ips,
-                    );
-                }
-            }
-        }
-        let g = |v: &[f64]| clip_stats::geomean(v);
-        println!(
-            "ch={channels}: Berti WS={:.3} CLIP WS={:.3} | acc={:.2} drop={:.2} | lat base={:.0} berti={:.0}",
-            g(&ws_berti),
-            g(&ws_clip),
-            g(&acc),
-            g(&drop_rates),
-            g(&lat_base),
-            g(&lat_pf),
-        );
-        // Detailed diagnostics on one streaming mix.
-        let mix = clip_trace::Mix::homogeneous(
-            &clip_trace::catalog::by_name("619.lbm_s-4268B").expect("known"),
-            scale.cores,
-        );
-        let (w, r, b) = normalized_ws_for(
-            &scale,
-            channels,
-            PrefetcherKind::Berti,
-            &Scheme::plain(),
-            &mix,
-        );
-        println!(
-            "  lbm: ws={:.3} cand={} issued={} useful={} useless={} late={} | l1miss pf={} base={} | bw={:.2} lat pf={:.0} base={:.0}",
-            w,
-            r.prefetch.candidates,
-            r.prefetch.issued,
-            r.prefetch.useful,
-            r.prefetch.useless,
-            r.prefetch.late,
-            r.misses.l1_misses,
-            b.misses.l1_misses,
-            r.dram_bw_util,
-            r.latency.l1_miss.avg(),
-            b.latency.l1_miss.avg(),
-        );
-    }
+    clip_bench::figures::run_bin("probe");
 }

@@ -4,39 +4,6 @@
 //! Paper shape: CLIP's benefit holds across 8..128 cores, fading when
 //! there is at least one channel per 2-4 cores.
 
-use clip_bench::{fmt, header, mean_ws, normalized_ws_sweep, Scale};
-use clip_sim::Scheme;
-use clip_types::PrefetcherKind;
-
 fn main() {
-    let base = Scale::from_env();
-    println!("# Core-count sensitivity (1 channel per 8 cores)");
-    header(&["cores", "channels", "Berti", "Berti+CLIP"]);
-    for cores in [8usize, 16, 32] {
-        let scale = Scale {
-            cores,
-            ..base.clone()
-        };
-        let channels = (cores / 8).max(1);
-        let mixes = scale.sample_homogeneous();
-        let plain = normalized_ws_sweep(
-            &scale,
-            channels,
-            PrefetcherKind::Berti,
-            &Scheme::plain(),
-            &mixes,
-        );
-        let clip = normalized_ws_sweep(
-            &scale,
-            channels,
-            PrefetcherKind::Berti,
-            &Scheme::with_clip(),
-            &mixes,
-        );
-        println!(
-            "{cores}\t{channels}\t{}\t{}",
-            fmt(mean_ws(&plain)),
-            fmt(mean_ws(&clip))
-        );
-    }
+    clip_bench::figures::run_bin("sens_cores");
 }

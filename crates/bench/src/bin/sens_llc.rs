@@ -4,43 +4,6 @@
 //! Paper shape: smaller LLCs worsen Berti's slowdown (29% at 512 KB/core);
 //! CLIP keeps prefetching profitable at every capacity.
 
-use clip_bench::{fmt, header, mean_ws, scaled_channels, Scale};
-use clip_sim::{run_mixes_parallel, Scheme};
-use clip_stats::normalized_weighted_speedup;
-use clip_types::{PrefetcherKind, SimConfig};
-
 fn main() {
-    let scale = Scale::from_env();
-    let ch = scaled_channels(8, scale.cores);
-    let mixes = scale.sample_homogeneous();
-    let opts = scale.options();
-    println!("# LLC-capacity sensitivity ({ch} channels)");
-    header(&["LLC-KB/core", "Berti", "Berti+CLIP"]);
-    for kb in [512usize, 1024, 2048, 4096] {
-        let build = |pf: PrefetcherKind| -> SimConfig {
-            SimConfig::builder()
-                .cores(scale.cores)
-                .dram_channels(ch)
-                .llc_slice_bytes(kb * 1024)
-                .l1_prefetcher(pf)
-                .build()
-                .expect("valid config")
-        };
-        let cfg_no = build(PrefetcherKind::None);
-        let cfg_pf = build(PrefetcherKind::Berti);
-        let bases = run_mixes_parallel(&cfg_no, &Scheme::plain(), &mixes, &opts);
-        let bertis = run_mixes_parallel(&cfg_pf, &Scheme::plain(), &mixes, &opts);
-        let clips = run_mixes_parallel(&cfg_pf, &Scheme::with_clip(), &mixes, &opts);
-        let plain: Vec<f64> = bertis
-            .iter()
-            .zip(&bases)
-            .map(|(b, base)| normalized_weighted_speedup(&b.per_core_ipc, &base.per_core_ipc))
-            .collect();
-        let clip: Vec<f64> = clips
-            .iter()
-            .zip(&bases)
-            .map(|(c, base)| normalized_weighted_speedup(&c.per_core_ipc, &base.per_core_ipc))
-            .collect();
-        println!("{kb}\t{}\t{}", fmt(mean_ws(&plain)), fmt(mean_ws(&clip)));
-    }
+    clip_bench::figures::run_bin("sens_llc");
 }

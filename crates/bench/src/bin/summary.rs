@@ -2,106 +2,6 @@
 //! checked live and marked reproduced / not. A fast smoke covering the
 //! whole stack — run this first.
 
-use clip_bench::{baseline_for, mean_ws, normalized_ws_for, scaled_channels, Scale};
-use clip_sim::Scheme;
-use clip_types::PrefetcherKind;
-
-fn verdict(ok: bool) -> &'static str {
-    if ok {
-        "REPRODUCED"
-    } else {
-        "NOT REPRODUCED"
-    }
-}
-
 fn main() {
-    let scale = Scale::from_env();
-    let mixes = scale.sample_homogeneous();
-    let ch_low = scaled_channels(8, scale.cores);
-    let ch_high = scaled_channels(64, scale.cores);
-    println!(
-        "# Reproduction summary ({} cores, {} mixes, {}/{} channels for the 8/64-channel points)",
-        scale.cores,
-        mixes.len(),
-        ch_low,
-        ch_high
-    );
-    println!();
-
-    // Claim 1: Berti slows a bandwidth-constrained many-core system down.
-    let mut ws_low = Vec::new();
-    let mut ws_high = Vec::new();
-    let mut ws_clip = Vec::new();
-    let mut traffic_ratio = Vec::new();
-    let mut lat_ratio = Vec::new();
-    let mut clip_acc = Vec::new();
-    let mut clip_cov = Vec::new();
-    for m in &mixes {
-        let (wl, rl, _) =
-            normalized_ws_for(&scale, ch_low, PrefetcherKind::Berti, &Scheme::plain(), m);
-        let (wh, _, _) =
-            normalized_ws_for(&scale, ch_high, PrefetcherKind::Berti, &Scheme::plain(), m);
-        let (wc, rc, _) = normalized_ws_for(
-            &scale,
-            ch_low,
-            PrefetcherKind::Berti,
-            &Scheme::with_clip(),
-            m,
-        );
-        let base = baseline_for(&scale, ch_low, m);
-        ws_low.push(wl);
-        ws_high.push(wh);
-        ws_clip.push(wc);
-        if rl.prefetch.issued > 0 {
-            traffic_ratio.push(rc.prefetch.issued as f64 / rl.prefetch.issued as f64);
-        }
-        if base.latency.l1_miss.avg() > 0.0 {
-            lat_ratio.push(rl.latency.l1_miss.avg() / base.latency.l1_miss.avg());
-        }
-        if let Some(c) = rc.clip {
-            clip_acc.push(c.ip_eval.accuracy());
-            clip_cov.push(c.ip_eval.coverage());
-        }
-    }
-    let g = mean_ws;
-
-    let berti_low = g(&ws_low);
-    let berti_high = g(&ws_high);
-    let clip_low = g(&ws_clip);
-    let traffic = g(&traffic_ratio);
-    let lat = g(&lat_ratio);
-    let acc = g(&clip_acc);
-    let cov = g(&clip_cov);
-
-    println!(
-        "1. Berti loses under constrained bandwidth (paper: 0.84 at 8ch) : WS {:.3}  [{}]",
-        berti_low,
-        verdict(berti_low < 1.0)
-    );
-    println!(
-        "2. Berti wins with ample bandwidth (paper: ~1.35 at 64ch)       : WS {:.3}  [{}]",
-        berti_high,
-        verdict(berti_high > 1.0)
-    );
-    println!(
-        "3. CLIP recovers the constrained case (paper: 0.84 -> 1.08)     : WS {:.3}  [{}]",
-        clip_low,
-        verdict(clip_low > berti_low)
-    );
-    println!(
-        "4. CLIP halves prefetch traffic (paper: ~0.50x)                 : {:.2}x  [{}]",
-        traffic,
-        verdict(traffic < 0.7)
-    );
-    println!(
-        "5. Prefetching inflates miss latency when constrained (Fig. 3)  : {:.2}x  [{}]",
-        lat,
-        verdict(lat > 1.2)
-    );
-    println!(
-        "6. CLIP's critical-IP prediction (paper: 93% acc / 76% cov)     : {:.0}% / {:.0}%  [{}]",
-        acc * 100.0,
-        cov * 100.0,
-        verdict(acc > 0.8 && cov > 0.5)
-    );
+    clip_bench::figures::run_bin("summary");
 }

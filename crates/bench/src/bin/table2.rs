@@ -1,16 +1,6 @@
 //! Table 2: storage overhead of CLIP (1.56 KB per core), derived from the
 //! live configuration.
 
-use clip_core::{ClipConfig, StorageReport};
-
 fn main() {
-    let cfg = ClipConfig::default();
-    let r = StorageReport::for_config(&cfg);
-    println!("# Table 2: CLIP storage overhead");
-    println!("{r}");
-    println!();
-    println!(
-        "paper reports 1.56 KB/core; this configuration: {:.2} KB/core",
-        r.total_kib()
-    );
+    clip_bench::figures::run_bin("table2");
 }

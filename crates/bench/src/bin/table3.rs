@@ -1,53 +1,5 @@
 //! Table 3: simulation parameters of the baseline system.
 
-use clip_types::SimConfig;
-
 fn main() {
-    let c = SimConfig::baseline_64core();
-    println!("# Table 3: baseline system parameters");
-    println!(
-        "cores\t{} OoO, {}-issue, {}-retire, {}-entry ROB",
-        c.cores, c.core.issue_width, c.core.retire_width, c.core.rob_entries
-    );
-    println!(
-        "L1D\t{} KB, {}-way, {} cycles, {} MSHRs",
-        c.l1d.capacity_bytes / 1024,
-        c.l1d.ways,
-        c.l1d.latency,
-        c.l1d.mshrs
-    );
-    println!(
-        "L2\t{} KB, {}-way, {} cycles, {} MSHRs, {:?}",
-        c.l2.capacity_bytes / 1024,
-        c.l2.ways,
-        c.l2.latency,
-        c.l2.mshrs,
-        c.l2.replacement
-    );
-    println!(
-        "LLC\t{} MB/core, {}-way, {} cycles, {} MSHRs, {:?}",
-        c.llc_slice.capacity_bytes / (1024 * 1024),
-        c.llc_slice.ways,
-        c.llc_slice.latency,
-        c.llc_slice.mshrs,
-        c.llc_slice.replacement
-    );
-    println!(
-        "NoC\t{}x{} mesh, {} VCs, {}-flit buffers, {}-flit data packets, {}-stage routers",
-        c.noc.mesh_cols,
-        c.noc.mesh_rows,
-        c.noc.virtual_channels,
-        c.noc.vc_buffer_flits,
-        c.noc.data_packet_flits,
-        c.noc.router_stages
-    );
-    println!("DRAM\t{} channels, {} banks/ch, {} B rows, tRP/tRCD/CAS {}/{}/{} cycles, {}-cycle bursts, RQ/WQ {}/{}, watermark {}/{}",
-        c.dram.channels, c.dram.banks_per_channel, c.dram.row_bytes, c.dram.t_rp, c.dram.t_rcd,
-        c.dram.t_cas, c.dram.burst_cycles, c.dram.read_queue, c.dram.write_queue,
-        c.dram.write_watermark.0, c.dram.write_watermark.1);
-    println!(
-        "peak DRAM bandwidth\t{:.1} B/cycle ({:.1} GB/s at 4 GHz)",
-        c.dram_peak_bytes_per_cycle(),
-        c.dram_peak_bytes_per_cycle() * 4.0
-    );
+    clip_bench::figures::run_bin("table3");
 }

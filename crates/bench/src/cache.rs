@@ -1,0 +1,99 @@
+//! On-disk cache for no-prefetch baseline runs.
+//!
+//! Every experiment normalizes against the same no-prefetch baselines,
+//! so separate figure binaries re-simulate identical (config, mix) pairs.
+//! This cache persists those results as JSON under `target/clip-cache/`,
+//! keyed by a hash of the full job identity (config, scheme, mix, run
+//! options — their `Debug` forms) plus [`CACHE_VERSION`].
+//!
+//! * `CLIP_CACHE=0` disables the cache entirely.
+//! * `CLIP_CACHE_DIR` overrides the directory.
+//! * Unparseable or stale entries are treated as misses.
+//!
+//! Bump [`CACHE_VERSION`] whenever a change alters simulation results;
+//! the job key only captures configuration, not simulator behavior.
+
+use clip_sim::SimResult;
+use clip_stats::Json;
+use std::path::PathBuf;
+
+/// Invalidates all previously cached baselines when bumped.
+pub(crate) const CACHE_VERSION: u32 = 1;
+
+fn enabled() -> bool {
+    std::env::var("CLIP_CACHE")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
+/// The workspace `target/` directory: the nearest ancestor of the
+/// running binary named `target`, falling back to a relative `target`.
+pub(crate) fn target_dir() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|p| p.file_name().is_some_and(|n| n == "target"))
+                .map(PathBuf::from)
+        })
+        .unwrap_or_else(|| PathBuf::from("target"))
+}
+
+fn cache_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("CLIP_CACHE_DIR") {
+        return PathBuf::from(d);
+    }
+    target_dir().join("clip-cache")
+}
+
+/// FNV-1a over the job key; the mix name in the file name keeps entries
+/// human-attributable and makes hash collisions across mixes harmless.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn entry_path(key: &str, mix_name: &str) -> PathBuf {
+    let sane: String = mix_name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let h = fnv64(&format!("{CACHE_VERSION}|{key}"));
+    cache_dir().join(format!("{sane}-{h:016x}.json"))
+}
+
+/// Loads a cached baseline, if present and parseable.
+pub(crate) fn lookup(key: &str, mix_name: &str) -> Option<SimResult> {
+    if !enabled() {
+        return None;
+    }
+    let text = std::fs::read_to_string(entry_path(key, mix_name)).ok()?;
+    SimResult::from_json(&Json::parse(&text).ok()?)
+}
+
+/// Persists a baseline result (best effort; write-then-rename so a
+/// concurrent reader never sees a torn file).
+pub(crate) fn store(key: &str, mix_name: &str, result: &SimResult) {
+    if !enabled() {
+        return;
+    }
+    let path = entry_path(key, mix_name);
+    let dir = cache_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, result.to_json().render()).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}

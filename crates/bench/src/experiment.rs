@@ -1,0 +1,382 @@
+//! Declarative experiment layer: every figure/table binary is a spec.
+//!
+//! An [`Experiment`] names a grid of simulation cells — rows carry mixes
+//! and per-row label/config variations, cells carry a `(SimConfig,
+//! Scheme)` pair — plus how to normalize and render the results. One
+//! executor, [`run_experiment`], expands the spec into [`SweepJob`]s,
+//! runs everything missing through [`clip_sim::run_jobs_parallel`]
+//! (deduplicated and memoized, with no-prefetch baselines additionally
+//! cached on disk, see [`crate::cache`]), and renders both the
+//! plain-text table the binaries have always printed and a JSON artifact
+//! under `target/experiments/<name>.json`.
+
+use clip_sim::{run_jobs_parallel, RunOptions, Scheme, SimResult, SweepJob};
+use clip_stats::{normalized_weighted_speedup, Json};
+use clip_trace::Mix;
+use clip_types::SimConfig;
+use std::collections::{HashMap, HashSet};
+
+/// A declarative figure/table: a grid of simulations plus rendering.
+pub struct Experiment {
+    /// Artifact name (`target/experiments/<name>.json`).
+    pub name: String,
+    /// Title line printed verbatim above the table.
+    pub title: String,
+    /// Header columns; empty suppresses the header line.
+    pub columns: Vec<String>,
+    /// The simulation grid, row by row.
+    pub rows: Vec<RowSpec>,
+    /// Run options shared by every cell.
+    pub opts: RunOptions,
+    /// How per-mix results are normalized.
+    pub normalization: Normalization,
+    /// How the grid becomes table rows.
+    pub render: Render,
+}
+
+/// One row of the grid: its label cells, mixes, and simulation cells.
+pub struct RowSpec {
+    /// Leading label cells (e.g. channel counts).
+    pub labels: Vec<String>,
+    /// Trailing static cells (e.g. storage KB computed at build time).
+    pub extra: Vec<String>,
+    /// Mixes every cell in this row runs over.
+    pub mixes: Vec<Mix>,
+    /// Simulation cells, one table column each.
+    pub cells: Vec<CellSpec>,
+}
+
+/// One simulated configuration within a row.
+#[derive(Clone)]
+pub struct CellSpec {
+    pub cfg: SimConfig,
+    pub scheme: Scheme,
+}
+
+/// Per-mix normalization mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Normalization {
+    /// Normalize against a no-prefetch run of the same config and mix.
+    NoPrefetch,
+    /// Raw results only; no baseline runs.
+    None,
+}
+
+/// How the executed grid is rendered into table rows.
+pub enum Render {
+    /// One row per [`RowSpec`]: labels, then the geometric-mean
+    /// normalized weighted speedup of each cell, then `extra`.
+    GeomeanWs,
+    /// Custom: derive the body from the collected results.
+    Table(fn(&ExperimentData) -> TableBody),
+}
+
+/// Rendered table body: rows of tab-joined cells plus free-form notes.
+#[derive(Default)]
+pub struct TableBody {
+    pub rows: Vec<Vec<String>>,
+    pub notes: Vec<String>,
+}
+
+/// All results of an executed experiment, indexed `[row][cell][mix]`.
+pub struct ExperimentData<'a> {
+    pub spec: &'a Experiment,
+    results: Vec<Vec<Vec<SimResult>>>,
+    baselines: Vec<Vec<Vec<SimResult>>>,
+}
+
+impl ExperimentData<'_> {
+    pub fn rows(&self) -> usize {
+        self.results.len()
+    }
+
+    pub fn cells(&self, row: usize) -> usize {
+        self.results[row].len()
+    }
+
+    pub fn mixes(&self, row: usize) -> usize {
+        self.spec.rows[row].mixes.len()
+    }
+
+    /// The result of `(row, cell)` on the row's `mix`-th mix.
+    pub fn result(&self, row: usize, cell: usize, mix: usize) -> &SimResult {
+        &self.results[row][cell][mix]
+    }
+
+    /// The matching no-prefetch baseline ([`Normalization::NoPrefetch`]).
+    pub fn baseline(&self, row: usize, cell: usize, mix: usize) -> &SimResult {
+        &self.baselines[row][cell][mix]
+    }
+
+    /// Normalized weighted speedup of one cell on one mix.
+    pub fn ws(&self, row: usize, cell: usize, mix: usize) -> f64 {
+        normalized_weighted_speedup(
+            &self.result(row, cell, mix).per_core_ipc,
+            &self.baseline(row, cell, mix).per_core_ipc,
+        )
+    }
+
+    /// Per-mix normalized weighted speedups of one cell.
+    pub fn cell_ws(&self, row: usize, cell: usize) -> Vec<f64> {
+        (0..self.mixes(row))
+            .map(|m| self.ws(row, cell, m))
+            .collect()
+    }
+
+    /// Geometric-mean normalized weighted speedup of one cell.
+    pub fn geomean_ws(&self, row: usize, cell: usize) -> f64 {
+        crate::mean_ws(&self.cell_ws(row, cell))
+    }
+}
+
+/// Executes a spec: runs the grid, prints the table, writes the JSON
+/// artifact, and returns the artifact value.
+pub fn run_experiment(exp: &Experiment) -> Json {
+    let (text, artifact) = execute_experiment(exp);
+    print!("{text}");
+    write_artifact(&exp.name, &artifact);
+    artifact
+}
+
+/// Executes a spec without printing or writing: returns the rendered
+/// table text (as `run_experiment` prints it) and the JSON artifact.
+pub fn execute_experiment(exp: &Experiment) -> (String, Json) {
+    let data = collect(exp);
+    let body = match exp.render {
+        Render::GeomeanWs => geomean_body(&data),
+        Render::Table(f) => f(&data),
+    };
+    let mut text = format!("{}\n", exp.title);
+    if !exp.columns.is_empty() {
+        text.push_str(&exp.columns.join("\t"));
+        text.push('\n');
+    }
+    for row in &body.rows {
+        text.push_str(&row.join("\t"));
+        text.push('\n');
+    }
+    for note in &body.notes {
+        text.push_str(note);
+        text.push('\n');
+    }
+    let artifact = artifact_json(exp, &body);
+    (text, artifact)
+}
+
+fn geomean_body(d: &ExperimentData) -> TableBody {
+    let mut rows = Vec::new();
+    for r in 0..d.rows() {
+        let spec_row = &d.spec.rows[r];
+        let mut cells = spec_row.labels.clone();
+        for c in 0..d.cells(r) {
+            cells.push(crate::fmt(d.geomean_ws(r, c)));
+        }
+        cells.extend(spec_row.extra.iter().cloned());
+        rows.push(cells);
+    }
+    TableBody {
+        rows,
+        notes: Vec::new(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Execution: job expansion, dedup, memoization.
+// ----------------------------------------------------------------------
+
+fn collect<'a>(exp: &'a Experiment) -> ExperimentData<'a> {
+    let mut jobs = Vec::new();
+    for row in &exp.rows {
+        for cell in &row.cells {
+            for mix in &row.mixes {
+                jobs.push(SweepJob {
+                    cfg: cell.cfg.clone(),
+                    scheme: cell.scheme.clone(),
+                    mix: mix.clone(),
+                });
+            }
+        }
+    }
+
+    let mut base_jobs = Vec::new();
+    if exp.normalization == Normalization::NoPrefetch {
+        base_jobs = jobs
+            .iter()
+            .map(|j| SweepJob {
+                cfg: crate::strip_prefetchers(&j.cfg),
+                scheme: Scheme::plain(),
+                mix: j.mix.clone(),
+            })
+            .collect();
+        // Pre-fill the baselines through the one shared entry point,
+        // one parallel batch per distinct stripped config.
+        for (cfg, mixes) in group_by_cfg(&base_jobs) {
+            crate::baselines_for(&cfg, &exp.opts, &mixes);
+        }
+    }
+
+    let flat = run_cached(&jobs, &exp.opts);
+    let base_flat = run_cached(&base_jobs, &exp.opts);
+
+    let mut results = Vec::new();
+    let mut baselines = Vec::new();
+    let mut i = 0;
+    for row in &exp.rows {
+        let mut rrow = Vec::new();
+        let mut brow = Vec::new();
+        for _ in &row.cells {
+            let n = row.mixes.len();
+            rrow.push(flat[i..i + n].to_vec());
+            if exp.normalization == Normalization::NoPrefetch {
+                brow.push(base_flat[i..i + n].to_vec());
+            }
+            i += n;
+        }
+        results.push(rrow);
+        baselines.push(brow);
+    }
+    ExperimentData {
+        spec: exp,
+        results,
+        baselines,
+    }
+}
+
+/// Groups baseline jobs by config, preserving first-seen order and
+/// deduplicating mixes within a group.
+fn group_by_cfg(jobs: &[SweepJob]) -> Vec<(SimConfig, Vec<Mix>)> {
+    let mut order: Vec<(SimConfig, Vec<Mix>)> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut seen: Vec<HashSet<String>> = Vec::new();
+    for j in jobs {
+        let key = format!("{:?}", j.cfg);
+        let gi = *index.entry(key).or_insert_with(|| {
+            order.push((j.cfg.clone(), Vec::new()));
+            seen.push(HashSet::new());
+            order.len() - 1
+        });
+        if seen[gi].insert(format!("{:?}", j.mix)) {
+            order[gi].1.push(j.mix.clone());
+        }
+    }
+    order
+}
+
+thread_local! {
+    static RESULT_CACHE: std::cell::RefCell<HashMap<String, SimResult>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+/// Drops every memoized result on this thread, forcing the next
+/// [`run_experiment`] to re-simulate (determinism tests).
+pub fn clear_result_cache() {
+    RESULT_CACHE.with(|c| c.borrow_mut().clear());
+}
+
+fn job_key(job: &SweepJob, opts: &RunOptions) -> String {
+    format!(
+        "{:?}\u{1}{:?}\u{1}{:?}\u{1}{:?}",
+        job.cfg, job.scheme, job.mix, opts
+    )
+}
+
+/// A job whose result the disk cache may hold: a plain-scheme run with
+/// no prefetcher — exactly the no-prefetch normalization baselines.
+fn disk_cacheable(job: &SweepJob) -> bool {
+    job.cfg.l1_prefetcher == clip_types::PrefetcherKind::None
+        && job.cfg.l2_prefetcher == clip_types::PrefetcherKind::None
+        && format!("{:?}", job.scheme) == format!("{:?}", Scheme::plain())
+}
+
+/// Runs jobs through the memoized parallel driver: results come from the
+/// in-process cache, then the on-disk baseline cache, and only the
+/// remainder is simulated (deduplicated, one `run_jobs_parallel` batch).
+/// Returns results in job order, identical to a serial `run_mix` map.
+pub(crate) fn run_cached(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult> {
+    let keys: Vec<String> = jobs.iter().map(|j| job_key(j, opts)).collect();
+    let cached = |k: &str| RESULT_CACHE.with(|c| c.borrow().get(k).cloned());
+    let put = |k: String, r: SimResult| {
+        RESULT_CACHE.with(|c| c.borrow_mut().insert(k, r));
+    };
+
+    let mut missing: Vec<usize> = Vec::new();
+    let mut queued: HashSet<&str> = HashSet::new();
+    for (i, key) in keys.iter().enumerate() {
+        if cached(key).is_some() || !queued.insert(key) {
+            continue;
+        }
+        if disk_cacheable(&jobs[i]) {
+            if let Some(r) = crate::cache::lookup(key, &jobs[i].mix.name) {
+                put(key.clone(), r);
+                continue;
+            }
+        }
+        missing.push(i);
+    }
+
+    if !missing.is_empty() {
+        let batch: Vec<SweepJob> = missing.iter().map(|&i| jobs[i].clone()).collect();
+        let results = run_jobs_parallel(&batch, opts);
+        for (&i, r) in missing.iter().zip(results) {
+            if disk_cacheable(&jobs[i]) {
+                crate::cache::store(&keys[i], &jobs[i].mix.name, &r);
+            }
+            put(keys[i].clone(), r);
+        }
+    }
+
+    keys.iter()
+        .map(|k| cached(k).expect("every job key was filled above"))
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// JSON artifact.
+// ----------------------------------------------------------------------
+
+fn artifact_json(exp: &Experiment, body: &TableBody) -> Json {
+    let str_array = |v: &[String]| Json::array(v.iter().map(|s| Json::from(s.clone())));
+    Json::object([
+        ("name", Json::from(exp.name.clone())),
+        ("title", Json::from(exp.title.clone())),
+        (
+            "params",
+            Json::object([
+                ("warmup_instrs", Json::from(exp.opts.warmup_instrs)),
+                ("sim_instrs", Json::from(exp.opts.sim_instrs)),
+                ("seed", Json::from(exp.opts.seed)),
+                ("noc", Json::from(format!("{:?}", exp.opts.noc))),
+                (
+                    "normalization",
+                    Json::from(format!("{:?}", exp.normalization)),
+                ),
+            ]),
+        ),
+        ("columns", str_array(&exp.columns)),
+        ("rows", Json::array(body.rows.iter().map(|r| str_array(r)))),
+        ("notes", str_array(&body.notes)),
+    ])
+}
+
+/// The directory JSON artifacts land in: `CLIP_ARTIFACT_DIR` when set,
+/// otherwise `<target>/experiments` next to the running binary.
+pub fn artifact_dir() -> std::path::PathBuf {
+    if let Ok(d) = std::env::var("CLIP_ARTIFACT_DIR") {
+        return std::path::PathBuf::from(d);
+    }
+    crate::cache::target_dir().join("experiments")
+}
+
+/// Writes an artifact (best effort — rendering must not fail a figure
+/// run on read-only filesystems).
+pub(crate) fn write_artifact(name: &str, value: &Json) {
+    let dir = artifact_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    let tmp = dir.join(format!("{name}.json.tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, value.render()).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}

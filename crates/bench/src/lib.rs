@@ -1,7 +1,13 @@
-//! Experiment harness: shared helpers for the figure/table binaries that
-//! regenerate the paper's evaluation artifacts.
+//! Experiment harness: the declarative spec layer behind the figure and
+//! table binaries that regenerate the paper's evaluation artifacts.
 //!
-//! Each binary in `src/bin/` reproduces one table or figure; run them with
+//! Each binary in `src/bin/` declares one or more [`experiment::Experiment`]
+//! specs (see [`figures`] for the registry) and hands them to
+//! [`experiment::run_experiment`], which expands the spec into jobs, runs
+//! them through `clip_sim::run_jobs_parallel` (memoized in-process, with
+//! no-prefetch baselines also cached on disk under `target/clip-cache/`),
+//! prints the table, and writes a JSON artifact under
+//! `target/experiments/`. Run them with
 //! `cargo run -p clip-bench --release --bin <figXX>`. Scale knobs come
 //! from environment variables so the same binaries serve quick smoke runs
 //! and long reproductions:
@@ -12,11 +18,15 @@
 //! * `CLIP_MIXES` — how many mixes to sample for per-figure averages
 //!   (default 10 homogeneous / 8 heterogeneous).
 //! * `CLIP_NOC` — `mesh` or `analytic` (default analytic for sweeps).
+//! * `CLIP_CACHE` — `0` disables the on-disk baseline cache.
+//! * `CLIP_ARTIFACT_DIR` — overrides the JSON artifact directory.
 
+mod cache;
+pub mod experiment;
+pub mod figures;
 pub mod timing;
 
-use clip_sim::{run_jobs_parallel, run_mix, NocChoice, RunOptions, Scheme, SimResult, SweepJob};
-use clip_stats::normalized_weighted_speedup;
+use clip_sim::{NocChoice, RunOptions, Scheme, SimResult, SweepJob};
 use clip_trace::Mix;
 use clip_types::{PrefetcherKind, SimConfig};
 
@@ -123,113 +133,6 @@ pub fn scaled_channels(paper_channels: usize, cores: usize) -> usize {
     ((paper_channels * cores) / 64).max(1).next_power_of_two()
 }
 
-/// Everything the per-mix figures (10-16) need from one homogeneous mix.
-#[derive(Debug, Clone)]
-pub struct PerMixRow {
-    /// Mix (trace) name.
-    pub mix: String,
-    /// Normalized weighted speedup of Berti.
-    pub ws_berti: f64,
-    /// Normalized weighted speedup of Berti+CLIP.
-    pub ws_clip: f64,
-    /// Average L1 miss latency, Berti (cycles).
-    pub lat_berti: f64,
-    /// Average L1 miss latency, Berti+CLIP (cycles).
-    pub lat_clip: f64,
-    /// No-prefetch L1/L2/LLC demand misses (coverage baselines).
-    pub base_misses: [u64; 3],
-    /// Berti L1/L2/LLC demand misses.
-    pub berti_misses: [u64; 3],
-    /// Berti+CLIP L1/L2/LLC demand misses.
-    pub clip_misses: [u64; 3],
-    /// CLIP critical-IP prediction accuracy (IP-set granularity).
-    pub clip_pred_accuracy: f64,
-    /// CLIP critical-IP prediction coverage.
-    pub clip_pred_coverage: f64,
-    /// Critical-and-accurate IPs per core (static + dynamic).
-    pub critical_ips: f64,
-    /// Dynamic-critical IPs per core.
-    pub dynamic_ips: f64,
-    /// Prefetch requests issued by Berti alone.
-    pub pf_berti: u64,
-    /// Prefetch requests issued under CLIP.
-    pub pf_clip: u64,
-    /// Berti prefetch accuracy without CLIP.
-    pub acc_berti: f64,
-    /// Berti prefetch accuracy with CLIP.
-    pub acc_clip: f64,
-    /// Energy counts for the energy figure (no-PF, Berti, Berti+CLIP).
-    pub energy: [clip_stats::energy::EnergyCounts; 3],
-}
-
-/// Runs the 45-homogeneous-mix sweep that feeds Figures 10-16 (sampled by
-/// the scale), at the given channel count. The three runs per mix
-/// (baseline, Berti, Berti+CLIP) all go through the parallel driver.
-pub fn per_mix_sweep(scale: &Scale, channels: usize) -> Vec<PerMixRow> {
-    let opts = scale.options();
-    let cfg_no = scale.config(channels, PrefetcherKind::None, PrefetcherKind::None);
-    let cfg_pf = scale.config(channels, PrefetcherKind::Berti, PrefetcherKind::None);
-    let mixes = scale.sample_homogeneous();
-    let jobs: Vec<SweepJob> = mixes
-        .iter()
-        .flat_map(|mix| {
-            [
-                (cfg_no.clone(), Scheme::plain()),
-                (cfg_pf.clone(), Scheme::plain()),
-                (cfg_pf.clone(), Scheme::with_clip()),
-            ]
-            .into_iter()
-            .map(|(cfg, scheme)| SweepJob {
-                cfg,
-                scheme,
-                mix: mix.clone(),
-            })
-        })
-        .collect();
-    let results = run_jobs_parallel(&jobs, &opts);
-    mixes
-        .iter()
-        .zip(results.chunks_exact(3))
-        .map(|(mix, runs)| {
-            let [base, berti, clip] = runs else {
-                unreachable!("chunks_exact(3)")
-            };
-            let cr = clip.clip.expect("clip scheme has a report");
-            PerMixRow {
-                mix: mix.name.clone(),
-                ws_berti: normalized_weighted_speedup(&berti.per_core_ipc, &base.per_core_ipc),
-                ws_clip: normalized_weighted_speedup(&clip.per_core_ipc, &base.per_core_ipc),
-                lat_berti: berti.latency.l1_miss.avg(),
-                lat_clip: clip.latency.l1_miss.avg(),
-                base_misses: [
-                    base.misses.l1_misses,
-                    base.misses.l2_misses,
-                    base.misses.llc_misses,
-                ],
-                berti_misses: [
-                    berti.misses.l1_misses,
-                    berti.misses.l2_misses,
-                    berti.misses.llc_misses,
-                ],
-                clip_misses: [
-                    clip.misses.l1_misses,
-                    clip.misses.l2_misses,
-                    clip.misses.llc_misses,
-                ],
-                clip_pred_accuracy: cr.ip_eval.accuracy(),
-                clip_pred_coverage: cr.ip_eval.coverage(),
-                critical_ips: cr.critical_ips,
-                dynamic_ips: cr.dynamic_ips,
-                pf_berti: berti.prefetch.issued,
-                pf_clip: clip.prefetch.issued,
-                acc_berti: berti.prefetch.accuracy(),
-                acc_clip: clip.prefetch.accuracy(),
-                energy: [base.energy, berti.energy, clip.energy],
-            }
-        })
-        .collect()
-}
-
 /// Picks the prefetcher placement: L1-trained kinds go to the L1 slot,
 /// L2-trained kinds to the L2 slot.
 pub fn place(kind: PrefetcherKind) -> (PrefetcherKind, PrefetcherKind) {
@@ -240,112 +143,38 @@ pub fn place(kind: PrefetcherKind) -> (PrefetcherKind, PrefetcherKind) {
     }
 }
 
-/// Runs `scheme` and the no-prefetch baseline on a mix; returns the
-/// normalized weighted speedup plus both results.
-///
-/// Baseline runs are memoized per (scale, channels, mix): the simulator is
-/// deterministic, so schemes sharing a baseline reuse one run.
-pub fn normalized_ws_for(
-    scale: &Scale,
-    channels: usize,
-    kind: PrefetcherKind,
-    scheme: &Scheme,
-    mix: &Mix,
-) -> (f64, SimResult, SimResult) {
-    let (l1, l2) = place(kind);
-    let cfg_pf = scale.config(channels, l1, l2);
-    let opts = scale.options();
-    let base = baseline_for(scale, channels, mix);
-    let res = run_mix(&cfg_pf, scheme, mix, &opts);
-    let ws = normalized_weighted_speedup(&res.per_core_ipc, &base.per_core_ipc);
-    (ws, res, base)
-}
-
-/// Runs `scheme` over all `mixes` through the parallel driver and returns
-/// each mix's normalized weighted speedup, in mix order.
-///
-/// Missing baselines are first filled in parallel too (and memoized, so
-/// schemes sweeping the same mixes at the same channel count share one
-/// baseline run). Results are identical to calling [`normalized_ws_for`]
-/// per mix serially.
-pub fn normalized_ws_sweep(
-    scale: &Scale,
-    channels: usize,
-    kind: PrefetcherKind,
-    scheme: &Scheme,
-    mixes: &[Mix],
-) -> Vec<f64> {
-    let bases = baselines_for(scale, channels, mixes);
-    let (l1, l2) = place(kind);
-    let cfg_pf = scale.config(channels, l1, l2);
-    let runs = clip_sim::run_mixes_parallel(&cfg_pf, scheme, mixes, &scale.options());
-    runs.iter()
-        .zip(&bases)
-        .map(|(r, b)| normalized_weighted_speedup(&r.per_core_ipc, &b.per_core_ipc))
-        .collect()
-}
-
-/// Returns the no-prefetch baselines for every mix, running any not yet
-/// memoized through the parallel driver.
-pub fn baselines_for(scale: &Scale, channels: usize, mixes: &[Mix]) -> Vec<SimResult> {
-    let missing: Vec<Mix> = mixes
-        .iter()
-        .filter(|m| {
-            let key = baseline_key(scale, channels, m);
-            BASELINE_CACHE.with(|c| !c.borrow().contains_key(&key))
-        })
-        .cloned()
-        .collect();
-    if !missing.is_empty() {
-        let cfg_no = scale.config(channels, PrefetcherKind::None, PrefetcherKind::None);
-        let runs =
-            clip_sim::run_mixes_parallel(&cfg_no, &Scheme::plain(), &missing, &scale.options());
-        for (m, r) in missing.iter().zip(runs) {
-            let key = baseline_key(scale, channels, m);
-            BASELINE_CACHE.with(|c| c.borrow_mut().insert(key, r));
-        }
-    }
-    mixes
-        .iter()
-        .map(|m| {
-            let key = baseline_key(scale, channels, m);
-            BASELINE_CACHE.with(|c| c.borrow().get(&key).cloned().expect("filled above"))
-        })
-        .collect()
-}
-
-fn baseline_key(scale: &Scale, channels: usize, mix: &Mix) -> String {
-    format!(
-        "{}|{}|{}|{}|{}",
-        channels, mix.name, scale.cores, scale.instrs, scale.warmup
-    )
-}
-
-thread_local! {
-    static BASELINE_CACHE: std::cell::RefCell<std::collections::HashMap<String, SimResult>> =
-        std::cell::RefCell::new(std::collections::HashMap::new());
-}
-
-/// Returns the memoized no-prefetch baseline for (scale, channels, mix).
-pub fn baseline_for(scale: &Scale, channels: usize, mix: &Mix) -> SimResult {
-    let key = baseline_key(scale, channels, mix);
-    if let Some(hit) = BASELINE_CACHE.with(|c| c.borrow().get(&key).cloned()) {
-        return hit;
-    }
-    let cfg_no = scale.config(channels, PrefetcherKind::None, PrefetcherKind::None);
-    let base = run_mix(&cfg_no, &Scheme::plain(), mix, &scale.options());
-    BASELINE_CACHE.with(|c| c.borrow_mut().insert(key, base.clone()));
+/// `cfg` with both prefetchers removed — the normalization baseline
+/// platform for that config.
+pub fn strip_prefetchers(cfg: &SimConfig) -> SimConfig {
+    let mut base = cfg.clone();
+    base.l1_prefetcher = PrefetcherKind::None;
+    base.l2_prefetcher = PrefetcherKind::None;
     base
+}
+
+/// Returns the no-prefetch baselines for every mix on `cfg`'s platform
+/// (prefetchers stripped), in mix order.
+///
+/// This is the one baseline entry point: the experiment executor
+/// pre-fills normalization baselines through it, and results are
+/// memoized in-process and on disk (see [`cache`]), so every figure
+/// sharing a platform shares one baseline run per mix.
+pub fn baselines_for(cfg: &SimConfig, opts: &RunOptions, mixes: &[Mix]) -> Vec<SimResult> {
+    let base = strip_prefetchers(cfg);
+    let jobs: Vec<SweepJob> = mixes
+        .iter()
+        .map(|m| SweepJob {
+            cfg: base.clone(),
+            scheme: Scheme::plain(),
+            mix: m.clone(),
+        })
+        .collect();
+    experiment::run_cached(&jobs, opts)
 }
 
 /// Geometric-mean aggregation of normalized weighted speedups over mixes.
 pub fn mean_ws(values: &[f64]) -> f64 {
     clip_stats::geomean(values)
-}
-
-/// Prints a table header row.
-pub fn header(cols: &[&str]) {
-    println!("{}", cols.join("\t"));
 }
 
 /// Formats a float column.
@@ -392,5 +221,20 @@ mod tests {
             place(PrefetcherKind::SppPpf),
             (PrefetcherKind::None, PrefetcherKind::SppPpf)
         );
+    }
+
+    #[test]
+    fn strip_prefetchers_clears_both_slots() {
+        let cfg = SimConfig::builder()
+            .cores(2)
+            .dram_channels(1)
+            .l1_prefetcher(PrefetcherKind::Berti)
+            .l2_prefetcher(PrefetcherKind::SppPpf)
+            .build()
+            .expect("valid config");
+        let base = strip_prefetchers(&cfg);
+        assert_eq!(base.l1_prefetcher, PrefetcherKind::None);
+        assert_eq!(base.l2_prefetcher, PrefetcherKind::None);
+        assert_eq!(base.cores, cfg.cores);
     }
 }

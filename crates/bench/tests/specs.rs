@@ -1,0 +1,148 @@
+//! Spec-expansion tests: the declarative figure registry produces the
+//! grids the historical binaries ran, without simulating anything.
+
+use clip_bench::experiment::{execute_experiment, Experiment, Normalization};
+use clip_bench::figures::registry;
+use clip_bench::Scale;
+use clip_sim::NocChoice;
+
+fn scale() -> Scale {
+    Scale {
+        cores: 4,
+        instrs: 200,
+        warmup: 50,
+        homo_mixes: 3,
+        hetero_mixes: 2,
+        noc: NocChoice::Analytic,
+    }
+}
+
+fn build(name: &str) -> Vec<Experiment> {
+    let entry = registry()
+        .into_iter()
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| panic!("{name} not registered"));
+    (entry.build)(&scale())
+}
+
+#[test]
+fn registry_covers_every_binary_in_sweep_order() {
+    let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+    assert_eq!(
+        names,
+        [
+            "table3",
+            "table2",
+            "fig01",
+            "fig02",
+            "fig03",
+            "fig04",
+            "fig05",
+            "fig06",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "fig20",
+            "fig21",
+            "energy",
+            "sens_cores",
+            "sens_llc",
+            "ablation",
+            "dynclip",
+            "summary",
+            "probe",
+        ]
+    );
+    for e in registry() {
+        let dev_harness = e.name == "summary" || e.name == "probe";
+        assert_eq!(e.in_all, !dev_harness, "{} sweep membership", e.name);
+    }
+}
+
+#[test]
+fn fig01_expands_the_channel_by_prefetcher_grid() {
+    let exps = build("fig01");
+    assert_eq!(exps.len(), 1);
+    let e = &exps[0];
+    assert_eq!(e.normalization, Normalization::NoPrefetch);
+    assert_eq!(e.columns.len(), 6);
+    assert_eq!(e.rows.len(), 5, "one row per paper channel count");
+    let first: Vec<&str> = e.rows.iter().map(|r| r.labels[0].as_str()).collect();
+    assert_eq!(first, ["4", "8", "16", "32", "64"], "label order");
+    for row in &e.rows {
+        assert_eq!(row.labels.len(), 2, "paper + run channel labels");
+        assert_eq!(row.cells.len(), 4, "one cell per prefetcher");
+        assert_eq!(row.mixes.len(), 3, "sampled homogeneous mixes");
+    }
+}
+
+#[test]
+fn fig05_expands_homogeneous_and_heterogeneous_sets() {
+    let exps = build("fig05");
+    let names: Vec<&str> = exps.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, ["fig05_homo", "fig05_hetero"]);
+    for e in &exps {
+        assert_eq!(e.rows.len(), 3);
+        for row in &e.rows {
+            assert_eq!(row.cells.len(), 7, "Berti + six criticality gates");
+        }
+    }
+    assert_eq!(exps[0].rows[0].mixes.len(), 3);
+    assert_eq!(exps[1].rows[0].mixes.len(), 2);
+}
+
+#[test]
+fn fig18_rows_carry_the_static_storage_column() {
+    let exps = build("fig18");
+    let e = &exps[0];
+    let labels: Vec<&str> = e.rows.iter().map(|r| r.labels[0].as_str()).collect();
+    assert_eq!(labels, ["0.25x", "0.5x", "1x", "2x", "4x"]);
+    for row in &e.rows {
+        assert_eq!(row.extra.len(), 1, "storage KB/core column");
+        assert!(row.extra[0].parse::<f64>().unwrap() > 0.0);
+        assert_eq!(row.cells.len(), 1);
+    }
+}
+
+#[test]
+fn per_mix_figures_keep_mix_order_in_row_labels() {
+    let s = scale();
+    let mixes = s.sample_homogeneous();
+    let exps = build("fig10");
+    let labels: Vec<&str> = exps[0].rows.iter().map(|r| r.labels[0].as_str()).collect();
+    let expected: Vec<&str> = mixes.iter().map(|m| m.name.as_str()).collect();
+    assert_eq!(labels, expected);
+    for row in &exps[0].rows {
+        assert_eq!(row.mixes.len(), 1, "one mix per row");
+        assert_eq!(row.cells.len(), 2, "Berti and Berti+CLIP");
+    }
+}
+
+#[test]
+fn static_tables_execute_without_simulation_and_render_artifacts() {
+    for name in ["table2", "table3"] {
+        let exps = build(name);
+        let (text, artifact) = execute_experiment(&exps[0]);
+        assert!(text.starts_with("# Table"), "{name} title line");
+        assert_eq!(artifact.get("name").and_then(|v| v.as_str()), Some(name));
+        let notes_or_rows = artifact
+            .get("rows")
+            .and_then(|v| v.as_array())
+            .map(|a| a.len())
+            .unwrap_or(0)
+            + artifact
+                .get("notes")
+                .and_then(|v| v.as_array())
+                .map(|a| a.len())
+                .unwrap_or(0);
+        assert!(notes_or_rows > 0, "{name} artifact has content");
+    }
+}

@@ -1,15 +1,15 @@
 //! The engine: transaction slab, event wheel, clock, and the clocked
-//! NoC/DRAM components, plus the uncore (LLC/memory-controller) message
-//! handlers.
+//! NoC/DRAM components, plus the memory-controller message handlers.
 //!
 //! [`Engine`] owns everything that is *shared* between tiles — the NoC,
-//! the DRAM channels, the in-flight transaction slab, the event ring and
-//! the [`SimClock`] — so tile-side code can borrow one tile and the
-//! engine simultaneously (disjoint `System` fields). The NoC and DRAM
-//! are wrapped in [`ClockedNoc`] / [`ClockedDram`], which implement the
-//! [`Tick`] contract and emit their outputs into typed [`Channel`]s the
-//! cycle loop drains.
+//! the DRAM channels, the LLC, the in-flight transaction slab, the event
+//! ring and the [`SimClock`] — so tile-side code can borrow one tile and
+//! the engine simultaneously (disjoint `System` fields). The NoC, DRAM
+//! and LLC are wrapped in [`ClockedNoc`] / [`ClockedDram`] /
+//! [`crate::llc::ClockedLlc`], which implement the [`Tick`] contract and
+//! emit their outputs into typed [`Channel`]s the cycle loop drains.
 
+use crate::llc::ClockedLlc;
 use crate::ports::{NocPayload, OutMsg, TxnId};
 use crate::system::System;
 use clip_dram::{DramCompletion, DramSystem};
@@ -131,9 +131,6 @@ pub(crate) enum Ev {
     L2Lookup {
         txn: TxnId,
     },
-    LlcLookup {
-        txn: TxnId,
-    },
     DramEnqueue {
         txn: TxnId,
     },
@@ -152,6 +149,7 @@ pub(crate) struct Engine {
     pub(crate) clock: SimClock,
     pub(crate) noc: ClockedNoc,
     pub(crate) dram: ClockedDram,
+    pub(crate) llc: ClockedLlc,
     pub(crate) txns: Vec<Txn>,
     free_txns: Vec<TxnId>,
     ring: Vec<Vec<Ev>>,
@@ -168,7 +166,7 @@ pub(crate) struct Engine {
 }
 
 impl Engine {
-    pub(crate) fn new(noc: NocImpl, dram: DramSystem, nodes: usize) -> Self {
+    pub(crate) fn new(noc: NocImpl, dram: DramSystem, llc: ClockedLlc, nodes: usize) -> Self {
         Engine {
             clock: SimClock::new(),
             noc: ClockedNoc {
@@ -179,6 +177,7 @@ impl Engine {
                 mem: dram,
                 completed: Channel::new(),
             },
+            llc,
             txns: Vec::with_capacity(4096),
             free_txns: Vec::new(),
             ring: (0..EVENT_RING).map(|_| Vec::new()).collect(),
@@ -333,7 +332,6 @@ impl System {
                 self.respond_core(tile as usize, req, MemLevel::L1, issue, now);
             }
             Ev::L2Lookup { txn } => self.l2_lookup(txn, now),
-            Ev::LlcLookup { txn } => self.llc_lookup(txn, now),
             Ev::DramEnqueue { txn } => self.dram_enqueue(txn, now),
             Ev::TileData { txn } => self.tile_data(txn, now),
             Ev::WbDram { line } => {
@@ -354,61 +352,6 @@ impl System {
     pub(crate) fn mc_node(&self, channel: usize) -> usize {
         let nodes = self.cfg.noc.mesh_cols * self.cfg.noc.mesh_rows;
         (channel * nodes / self.cfg.dram.channels) % nodes
-    }
-
-    fn llc_lookup(&mut self, txn: TxnId, now: Cycle) {
-        let tx = self.engine.txns[txn as usize];
-        let home = self.home_of(tx.line);
-        let is_pf = matches!(tx.kind, TxnKind::Prefetch { .. });
-
-        if self.llc_mshr[home].is_full()
-            && !self.llc_mshr[home].contains(tx.line)
-            && !self.llc[home].contains(tx.line)
-        {
-            self.engine
-                .schedule(now + RETRY_DELAY, Ev::LlcLookup { txn });
-            return;
-        }
-
-        let outcome = if is_pf {
-            self.llc[home].lookup_prefetch(tx.line, now)
-        } else {
-            self.llc[home].lookup(tx.line, false, now)
-        };
-        match outcome {
-            clip_cache::LookupOutcome::Hit { .. } => {
-                self.engine.txns[txn as usize].level = MemLevel::Llc;
-                let prio = self.engine.txn_priority(txn);
-                self.engine.send_msg(
-                    home,
-                    tx.tile as usize,
-                    self.cfg.noc.data_packet_flits,
-                    prio,
-                    NocPayload::DataTile(txn),
-                );
-            }
-            clip_cache::LookupOutcome::Miss => {
-                let alloc = self.llc_mshr[home].alloc(tx.line, ReqId(txn as u64), is_pf, now);
-                match alloc {
-                    Ok(clip_cache::AllocOutcome::New) => {
-                        let channel = self.engine.dram.mem.channel_for(tx.line);
-                        let mc = self.mc_node(channel);
-                        let prio = self.engine.txn_priority(txn);
-                        self.engine.send_msg(
-                            home,
-                            mc,
-                            self.cfg.noc.addr_packet_flits,
-                            prio,
-                            NocPayload::ReqMc(txn),
-                        );
-                    }
-                    Ok(clip_cache::AllocOutcome::Merged { .. }) => {}
-                    Err(_) => self
-                        .engine
-                        .schedule(now + RETRY_DELAY, Ev::LlcLookup { txn }),
-                }
-            }
-        }
     }
 
     fn dram_enqueue(&mut self, txn: TxnId, now: Cycle) {
@@ -485,8 +428,8 @@ impl System {
     pub(crate) fn handle_delivery(&mut self, node: usize, pl: u64, now: Cycle) {
         match NocPayload::decode(pl) {
             NocPayload::ReqLlc(txn) => {
-                self.engine
-                    .schedule(now + self.cfg.llc_slice.latency, Ev::LlcLookup { txn });
+                let delay = self.cfg.llc_slice.latency;
+                self.engine.llc.schedule_lookup(txn, now, delay);
             }
             NocPayload::ReqMc(txn) => {
                 self.engine.schedule(now + 1, Ev::DramEnqueue { txn });
@@ -497,15 +440,7 @@ impl System {
             NocPayload::DataTile(txn) => {
                 self.engine.schedule(now + 1, Ev::TileData { txn });
             }
-            NocPayload::WbLlc(line) => {
-                let home = self.home_of(line);
-                debug_assert_eq!(home, node);
-                if let Some(ev) = self.llc[home].fill(line, true, false, now) {
-                    if ev.dirty {
-                        self.writeback_to_dram(home, ev.line);
-                    }
-                }
-            }
+            NocPayload::WbLlc(line) => self.llc_writeback(node, line, now),
             NocPayload::WbMc(line) => {
                 if self.engine.dram.mem.enqueue_write(line, now).is_err() {
                     self.engine
@@ -525,47 +460,5 @@ impl System {
             Priority::Writeback,
             NocPayload::WbMc(line),
         );
-    }
-
-    /// DRAM data arrived at the LLC home: fill the slice, complete the LLC
-    /// MSHR, and forward data packets to the requesting tile(s).
-    fn llc_fill_and_forward(&mut self, txn: TxnId, now: Cycle) {
-        let tx = self.engine.txns[txn as usize];
-        let home = self.home_of(tx.line);
-        let is_pf = matches!(tx.kind, TxnKind::Prefetch { .. });
-        if let Some(ev) = self.llc[home].fill(tx.line, false, is_pf, now) {
-            if ev.dirty {
-                self.writeback_to_dram(home, ev.line);
-            }
-        }
-        let mut to_send = vec![txn];
-        if let Some(entry) = self.llc_mshr[home].complete(tx.line) {
-            for w in entry.waiters {
-                let wt = w.0 as TxnId;
-                if wt != txn && self.engine.txns[wt as usize].live {
-                    self.engine.txns[wt as usize].level = tx.level;
-                    to_send.push(wt);
-                }
-            }
-            // `entry.primary` is this txn (or the first merged one).
-            let p = entry.primary.0 as TxnId;
-            if p != txn && self.engine.txns[p as usize].live {
-                self.engine.txns[p as usize].level = tx.level;
-                to_send.push(p);
-            }
-        }
-        to_send.sort_unstable();
-        to_send.dedup();
-        for t in to_send {
-            let dst = self.engine.txns[t as usize].tile as usize;
-            let prio = self.engine.txn_priority(t);
-            self.engine.send_msg(
-                home,
-                dst,
-                self.cfg.noc.data_packet_flits,
-                prio,
-                NocPayload::DataTile(t),
-            );
-        }
     }
 }

@@ -29,6 +29,7 @@
 //! ```
 
 mod engine;
+mod llc;
 mod ports;
 pub mod report;
 pub mod result;

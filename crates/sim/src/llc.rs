@@ -1,0 +1,225 @@
+//! The shared LLC as a clocked component.
+//!
+//! [`ClockedLlc`] owns the address-interleaved LLC slices and their MSHR
+//! files, mirroring [`crate::engine::ClockedNoc`] / `ClockedDram`: each
+//! [`Tick::tick`] moves lookups whose slice-access latency has elapsed
+//! into the `ready` channel, which the cycle loop drains into
+//! [`System::llc_lookup`]. Slice state is only reachable through this
+//! component's API — `tile.rs` and `system.rs` never see a `Cache` or
+//! `MshrFile` of the LLC directly.
+
+use crate::engine::{Txn, TxnKind, RETRY_DELAY};
+use crate::ports::{NocPayload, TxnId};
+use crate::system::System;
+use clip_cache::{AllocOutcome, Cache, Evicted, LookupOutcome, MshrFile};
+use clip_types::{Channel, Cycle, LineAddr, MemLevel, ReqId, SimConfig, Tick};
+
+/// Ring horizon for pending slice lookups. Slice latency (default 20)
+/// plus retry delays stay far below this.
+const LLC_RING: usize = 256;
+
+/// The LLC slices + MSHRs as a clocked component.
+pub(crate) struct ClockedLlc {
+    slices: Vec<Cache>,
+    mshrs: Vec<MshrFile>,
+    /// Lookup wheel: slot `c % LLC_RING` holds transactions whose slice
+    /// access completes at cycle `c`.
+    ring: Vec<Vec<TxnId>>,
+    /// Lookups whose slice latency elapsed this cycle.
+    pub(crate) ready: Channel<TxnId>,
+}
+
+impl ClockedLlc {
+    pub(crate) fn new(cfg: &SimConfig) -> Self {
+        ClockedLlc {
+            slices: (0..cfg.cores).map(|_| Cache::new(&cfg.llc_slice)).collect(),
+            mshrs: (0..cfg.cores)
+                .map(|_| MshrFile::new(cfg.llc_slice.mshrs))
+                .collect(),
+            ring: (0..LLC_RING).map(|_| Vec::new()).collect(),
+            ready: Channel::new(),
+        }
+    }
+
+    /// Schedules a slice lookup to complete `delay` cycles from `now`
+    /// (at least one cycle out, like the engine's event wheel).
+    pub(crate) fn schedule_lookup(&mut self, txn: TxnId, now: Cycle, delay: Cycle) {
+        let at = (now + delay).max(now + 1);
+        debug_assert!(at - now < LLC_RING as u64, "lookup beyond LLC ring horizon");
+        self.ring[(at as usize) % LLC_RING].push(txn);
+    }
+
+    /// A slice refuses a miss when its MSHR file is full and the line can
+    /// neither merge into an existing entry nor hit in the slice.
+    fn blocked(&self, home: usize, line: LineAddr) -> bool {
+        self.mshrs[home].is_full()
+            && !self.mshrs[home].contains(line)
+            && !self.slices[home].contains(line)
+    }
+
+    fn lookup(&mut self, home: usize, line: LineAddr, is_pf: bool, now: Cycle) -> LookupOutcome {
+        if is_pf {
+            self.slices[home].lookup_prefetch(line, now)
+        } else {
+            self.slices[home].lookup(line, false, now)
+        }
+    }
+
+    fn mshr_alloc(
+        &mut self,
+        home: usize,
+        line: LineAddr,
+        req: ReqId,
+        is_pf: bool,
+        now: Cycle,
+    ) -> Result<AllocOutcome, clip_cache::MshrFullError> {
+        self.mshrs[home].alloc(line, req, is_pf, now)
+    }
+
+    /// Fills `line` into its home slice; returns the eviction, if any.
+    pub(crate) fn fill(
+        &mut self,
+        home: usize,
+        line: LineAddr,
+        dirty: bool,
+        is_pf: bool,
+        now: Cycle,
+    ) -> Option<Evicted> {
+        self.slices[home].fill(line, dirty, is_pf, now)
+    }
+
+    pub(crate) fn mshr_complete(
+        &mut self,
+        home: usize,
+        line: LineAddr,
+    ) -> Option<clip_cache::MshrEntry> {
+        self.mshrs[home].complete(line)
+    }
+
+    /// Total outstanding LLC MSHR entries (stall diagnostics).
+    pub(crate) fn mshr_occupancy(&self) -> usize {
+        self.mshrs.iter().map(|m| m.len()).sum()
+    }
+
+    /// Read-only view of the slices (delta-based reporting).
+    pub(crate) fn slices(&self) -> &[Cache] {
+        &self.slices
+    }
+}
+
+impl Tick for ClockedLlc {
+    fn tick(&mut self, now: Cycle) {
+        for txn in std::mem::take(&mut self.ring[(now as usize) % LLC_RING]) {
+            self.ready.push(txn);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Slice-side message flow (moved out of engine.rs behind ClockedLlc).
+// ----------------------------------------------------------------------
+
+impl System {
+    /// A slice lookup whose access latency elapsed: hit → respond to the
+    /// tile; miss → allocate an MSHR and request the line from DRAM,
+    /// retrying through the LLC's own wheel under MSHR back-pressure.
+    pub(crate) fn llc_lookup(&mut self, txn: TxnId, now: Cycle) {
+        let tx: Txn = self.engine.txns[txn as usize];
+        let home = self.home_of(tx.line);
+        let is_pf = matches!(tx.kind, TxnKind::Prefetch { .. });
+
+        if self.engine.llc.blocked(home, tx.line) {
+            self.engine.llc.schedule_lookup(txn, now, RETRY_DELAY);
+            return;
+        }
+
+        match self.engine.llc.lookup(home, tx.line, is_pf, now) {
+            LookupOutcome::Hit { .. } => {
+                self.engine.txns[txn as usize].level = MemLevel::Llc;
+                let prio = self.engine.txn_priority(txn);
+                self.engine.send_msg(
+                    home,
+                    tx.tile as usize,
+                    self.cfg.noc.data_packet_flits,
+                    prio,
+                    NocPayload::DataTile(txn),
+                );
+            }
+            LookupOutcome::Miss => {
+                match self
+                    .engine
+                    .llc
+                    .mshr_alloc(home, tx.line, ReqId(txn as u64), is_pf, now)
+                {
+                    Ok(AllocOutcome::New) => {
+                        let channel = self.engine.dram.mem.channel_for(tx.line);
+                        let mc = self.mc_node(channel);
+                        let prio = self.engine.txn_priority(txn);
+                        self.engine.send_msg(
+                            home,
+                            mc,
+                            self.cfg.noc.addr_packet_flits,
+                            prio,
+                            NocPayload::ReqMc(txn),
+                        );
+                    }
+                    Ok(AllocOutcome::Merged { .. }) => {}
+                    Err(_) => self.engine.llc.schedule_lookup(txn, now, RETRY_DELAY),
+                }
+            }
+        }
+    }
+
+    /// An L2 victim arrived at its home slice (`WbLlc`).
+    pub(crate) fn llc_writeback(&mut self, node: usize, line: LineAddr, now: Cycle) {
+        let home = self.home_of(line);
+        debug_assert_eq!(home, node);
+        if let Some(ev) = self.engine.llc.fill(home, line, true, false, now) {
+            if ev.dirty {
+                self.writeback_to_dram(home, ev.line);
+            }
+        }
+    }
+
+    /// DRAM data arrived at the LLC home: fill the slice, complete the LLC
+    /// MSHR, and forward data packets to the requesting tile(s).
+    pub(crate) fn llc_fill_and_forward(&mut self, txn: TxnId, now: Cycle) {
+        let tx: Txn = self.engine.txns[txn as usize];
+        let home = self.home_of(tx.line);
+        let is_pf = matches!(tx.kind, TxnKind::Prefetch { .. });
+        if let Some(ev) = self.engine.llc.fill(home, tx.line, false, is_pf, now) {
+            if ev.dirty {
+                self.writeback_to_dram(home, ev.line);
+            }
+        }
+        let mut to_send = vec![txn];
+        if let Some(entry) = self.engine.llc.mshr_complete(home, tx.line) {
+            for w in entry.waiters {
+                let wt = w.0 as TxnId;
+                if wt != txn && self.engine.txns[wt as usize].live {
+                    self.engine.txns[wt as usize].level = tx.level;
+                    to_send.push(wt);
+                }
+            }
+            // `entry.primary` is this txn (or the first merged one).
+            let p = entry.primary.0 as TxnId;
+            if p != txn && self.engine.txns[p as usize].live {
+                self.engine.txns[p as usize].level = tx.level;
+                to_send.push(p);
+            }
+        }
+        to_send.sort_unstable();
+        to_send.dedup();
+        for t in to_send {
+            let dst = self.engine.txns[t as usize].tile as usize;
+            let prio = self.engine.txn_priority(t);
+            self.engine.send_msg(
+                home,
+                dst,
+                self.cfg.noc.data_packet_flits,
+                prio,
+                NocPayload::DataTile(t),
+            );
+        }
+    }
+}

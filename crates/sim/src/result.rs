@@ -296,6 +296,132 @@ impl SimResult {
         ])
     }
 
+    /// Parses a result back from the [`SimResult::to_json`] schema.
+    ///
+    /// Returns `None` on any shape mismatch — callers (the on-disk
+    /// baseline cache) treat that as a cache miss and recompute. Finite
+    /// floats round-trip exactly; a result containing non-finite floats
+    /// (rendered as `null`) does not parse back.
+    pub fn from_json(v: &Json) -> Option<SimResult> {
+        let f = |node: &Json, key: &str| node.get(key)?.as_f64();
+        let u = |node: &Json, key: &str| node.get(key)?.as_u64();
+        let lat = |node: &Json, key: &str| -> Option<LatencyStat> {
+            let s = node.get(key)?;
+            Some(LatencyStat {
+                count: u(s, "count")?,
+                total: u(s, "total")?,
+            })
+        };
+        let eval = |node: &Json| -> Option<EvalCounts> {
+            Some(EvalCounts {
+                true_positive: u(node, "true_positive")?,
+                false_positive: u(node, "false_positive")?,
+                false_negative: u(node, "false_negative")?,
+                true_negative: u(node, "true_negative")?,
+            })
+        };
+
+        let latency = v.get("latency")?;
+        let prefetch = v.get("prefetch")?;
+        let misses = v.get("misses")?;
+        let energy = v.get("energy")?;
+
+        let clip = match v.get("clip")? {
+            Json::Null => None,
+            c => {
+                let s = c.get("stats")?;
+                Some(ClipReport {
+                    stats: ClipStats {
+                        candidates: u(s, "candidates")?,
+                        allowed_critical: u(s, "allowed_critical")?,
+                        allowed_explore: u(s, "allowed_explore")?,
+                        dropped_not_critical: u(s, "dropped_not_critical")?,
+                        dropped_predicted: u(s, "dropped_predicted")?,
+                        dropped_low_accuracy: u(s, "dropped_low_accuracy")?,
+                        dropped_phase: u(s, "dropped_phase")?,
+                        phase_changes: u(s, "phase_changes")?,
+                        windows: u(s, "windows")?,
+                    },
+                    eval: eval(c.get("eval")?)?,
+                    ip_eval: eval(c.get("ip_eval")?)?,
+                    critical_ips: f(c, "critical_ips")?,
+                    dynamic_ips: f(c, "dynamic_ips")?,
+                })
+            }
+        };
+
+        let mut baseline_evals = Vec::new();
+        for entry in v.get("baseline_evals")?.as_array()? {
+            // Names are interned against the known predictor set: the
+            // field is `&'static str` in the live struct.
+            let name = intern_predictor_name(entry.get("name")?.as_str()?)?;
+            baseline_evals.push((name, eval(entry.get("counts")?)?));
+        }
+
+        let mut timeline = Vec::new();
+        for p in v.get("timeline")?.as_array()? {
+            timeline.push(TimelinePoint {
+                cycle: u(p, "cycle")?,
+                retired: u(p, "retired")?,
+                dram_transfers: u(p, "dram_transfers")?,
+                bw_util: f(p, "bw_util")?,
+                prefetches: u(p, "prefetches")?,
+            });
+        }
+
+        Some(SimResult {
+            label: v.get("label")?.as_str()?.to_owned(),
+            per_core_ipc: v
+                .get("per_core_ipc")?
+                .as_array()?
+                .iter()
+                .map(|x| x.as_f64())
+                .collect::<Option<Vec<f64>>>()?,
+            cycles: u(v, "cycles")?,
+            latency: LatencyReport {
+                l1_miss: lat(latency, "l1_miss")?,
+                by_l2: lat(latency, "by_l2")?,
+                by_llc: lat(latency, "by_llc")?,
+                by_dram: lat(latency, "by_dram")?,
+            },
+            prefetch: PrefetchReport {
+                candidates: u(prefetch, "candidates")?,
+                issued: u(prefetch, "issued")?,
+                useful: u(prefetch, "useful")?,
+                useless: u(prefetch, "useless")?,
+                late: u(prefetch, "late")?,
+            },
+            misses: MissReport {
+                l1_accesses: u(misses, "l1_accesses")?,
+                l1_misses: u(misses, "l1_misses")?,
+                l2_accesses: u(misses, "l2_accesses")?,
+                l2_misses: u(misses, "l2_misses")?,
+                llc_accesses: u(misses, "llc_accesses")?,
+                llc_misses: u(misses, "llc_misses")?,
+            },
+            dram_transfers: u(v, "dram_transfers")?,
+            dram_row_hits: u(v, "dram_row_hits")?,
+            dram_bw_util: f(v, "dram_bw_util")?,
+            dram_max_channel_util: f(v, "dram_max_channel_util")?,
+            noc_flit_hops: u(v, "noc_flit_hops")?,
+            clip,
+            baseline_evals,
+            energy: EnergyCounts {
+                l1_reads: u(energy, "l1_reads")?,
+                l1_writes: u(energy, "l1_writes")?,
+                l2_reads: u(energy, "l2_reads")?,
+                l2_writes: u(energy, "l2_writes")?,
+                llc_reads: u(energy, "llc_reads")?,
+                llc_writes: u(energy, "llc_writes")?,
+                dram_row_hits: u(energy, "dram_row_hits")?,
+                dram_row_misses: u(energy, "dram_row_misses")?,
+                noc_flit_hops: u(energy, "noc_flit_hops")?,
+                clip_lookups: u(energy, "clip_lookups")?,
+            },
+            timeline,
+        })
+    }
+
     /// Mean IPC across cores.
     pub fn mean_ipc(&self) -> f64 {
         if self.per_core_ipc.is_empty() {
@@ -313,6 +439,15 @@ impl SimResult {
             1.0 - (own_misses as f64 / baseline_misses as f64).min(1.0)
         }
     }
+}
+
+/// Maps a parsed predictor name back to its `&'static str` (the live
+/// struct stores static names). Unknown names fail the whole parse.
+fn intern_predictor_name(name: &str) -> Option<&'static str> {
+    clip_crit::BaselineKind::all()
+        .into_iter()
+        .map(|k| clip_crit::build(k).name())
+        .find(|&n| n == name)
 }
 
 #[cfg(test)]
@@ -345,6 +480,59 @@ mod tests {
         assert!((r.coverage_vs(100, 40) - 0.6).abs() < 1e-12);
         assert_eq!(r.coverage_vs(0, 40), 0.0);
         assert_eq!(r.coverage_vs(100, 150), 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = SimResult {
+            label: "berti/mix0".into(),
+            per_core_ipc: vec![1.25, 0.5],
+            cycles: 1234,
+            latency: LatencyReport {
+                l1_miss: LatencyStat {
+                    count: 3,
+                    total: 99,
+                },
+                ..LatencyReport::default()
+            },
+            prefetch: PrefetchReport {
+                candidates: 10,
+                issued: 8,
+                useful: 5,
+                useless: 2,
+                late: 1,
+            },
+            dram_transfers: 77,
+            dram_bw_util: 0.375,
+            clip: Some(ClipReport {
+                critical_ips: 4.5,
+                ..ClipReport::default()
+            }),
+            baseline_evals: vec![(
+                "FVP",
+                EvalCounts {
+                    true_positive: 7,
+                    ..EvalCounts::default()
+                },
+            )],
+            timeline: vec![TimelinePoint {
+                cycle: 100,
+                retired: 50,
+                dram_transfers: 5,
+                bw_util: 0.25,
+                prefetches: 2,
+            }],
+            ..SimResult::default()
+        };
+        let text = r.to_json().render();
+        let back = SimResult::from_json(&Json::parse(&text).expect("parses")).expect("roundtrips");
+        assert_eq!(back.to_json().render(), text);
+        assert_eq!(back.per_core_ipc, r.per_core_ipc);
+        assert_eq!(back.baseline_evals[0].0, "FVP");
+
+        // Unknown predictor names must fail the parse, not alias.
+        let bad = text.replace("\"FVP\"", "\"NOPE\"");
+        assert!(SimResult::from_json(&Json::parse(&bad).expect("parses")).is_none());
     }
 
     #[test]

@@ -100,8 +100,20 @@ impl System {
                 .iter()
                 .map(|t| t.l2.stats().demand_misses())
                 .collect(),
-            llc_acc: self.llc.iter().map(|c| c.stats().demand_accesses).sum(),
-            llc_miss: self.llc.iter().map(|c| c.stats().demand_misses()).sum(),
+            llc_acc: self
+                .engine
+                .llc
+                .slices()
+                .iter()
+                .map(|c| c.stats().demand_accesses)
+                .sum(),
+            llc_miss: self
+                .engine
+                .llc
+                .slices()
+                .iter()
+                .map(|c| c.stats().demand_misses())
+                .sum(),
             dram_reads: self.engine.dram.mem.total_stats().reads,
             dram_writes: self.engine.dram.mem.total_stats().writes,
             dram_row_hits: self.engine.dram.mem.total_stats().row_hits,
@@ -110,7 +122,13 @@ impl System {
             clip_eval: self.tiles.iter().map(|t| t.clip_eval).collect(),
             l1_fills: self.tiles.iter().map(|t| t.l1d.stats().fills).collect(),
             l2_fills: self.tiles.iter().map(|t| t.l2.stats().fills).collect(),
-            llc_fills: self.llc.iter().map(|c| c.stats().fills).sum(),
+            llc_fills: self
+                .engine
+                .llc
+                .slices()
+                .iter()
+                .map(|c| c.stats().fills)
+                .sum(),
         }
     }
 
@@ -123,7 +141,7 @@ impl System {
             .sum();
         let l1m: usize = self.tiles.iter().map(|t| t.l1_mshr.len()).sum();
         let l2m: usize = self.tiles.iter().map(|t| t.l2_mshr.len()).sum();
-        let llcm: usize = self.llc_mshr.iter().map(|m| m.len()).sum();
+        let llcm: usize = self.engine.llc.mshr_occupancy();
         let outbox = self.engine.outbox_backlog();
         let pfq: usize = self.tiles.iter().map(|t| t.pf_queue.len()).sum();
         let live = self.engine.live_txns();
@@ -185,13 +203,17 @@ impl System {
             l2_accesses: sum(&|t| t.l2.stats().demand_accesses, &snap.l2_acc),
             l2_misses: sum(&|t| t.l2.stats().demand_misses(), &snap.l2_miss),
             llc_accesses: self
+                .engine
                 .llc
+                .slices()
                 .iter()
                 .map(|c| c.stats().demand_accesses)
                 .sum::<u64>()
                 .saturating_sub(snap.llc_acc),
             llc_misses: self
+                .engine
                 .llc
+                .slices()
                 .iter()
                 .map(|c| c.stats().demand_misses())
                 .sum::<u64>()
@@ -315,7 +337,14 @@ impl System {
                 .map(|(t, &b)| t.l2.stats().fills - b)
                 .sum(),
             llc_reads: misses.llc_accesses,
-            llc_writes: self.llc.iter().map(|c| c.stats().fills).sum::<u64>() - snap.llc_fills,
+            llc_writes: self
+                .engine
+                .llc
+                .slices()
+                .iter()
+                .map(|c| c.stats().fills)
+                .sum::<u64>()
+                - snap.llc_fills,
             dram_row_hits,
             dram_row_misses: dram_transfers - dram_row_hits,
             noc_flit_hops: self.engine.noc.model.flit_hops() - snap.noc_hops,

@@ -1,8 +1,8 @@
 //! The many-core system: wiring and the cycle loop.
 //!
-//! `System` composes the per-core tiles ([`crate::tile`]), the shared
-//! LLC slices, and the [`Engine`] (clock, NoC, DRAM, transactions, event
-//! wheel — [`crate::engine`]). Demand and prefetch requests flow
+//! `System` composes the per-core tiles ([`crate::tile`]) and the
+//! [`Engine`] (clock, NoC, DRAM, the clocked LLC — [`crate::llc`] —
+//! transactions, event wheel). Demand and prefetch requests flow
 //! L1D → L2 → (NoC) → LLC slice → (NoC) → DRAM channel and back, with
 //! MSHRs at every level providing merging and back-pressure. All the
 //! contention the paper depends on is modeled: finite MSHRs, NoC link/VC
@@ -38,9 +38,7 @@ pub struct System {
     pub(crate) cfg: SimConfig,
     pub(crate) scheme: Scheme,
     pub(crate) tiles: Vec<Tile>,
-    pub(crate) llc: Vec<Cache>,
-    pub(crate) llc_mshr: Vec<MshrFile>,
-    /// Shared non-tile state: clock, NoC, DRAM, transactions, events.
+    /// Shared non-tile state: clock, NoC, DRAM, LLC, transactions, events.
     pub(crate) engine: Engine,
     pub(crate) cand_scratch: Vec<PrefetchCandidate>,
     pub(crate) branch_scratch: Vec<bool>,
@@ -126,11 +124,12 @@ impl System {
             cfg: cfg.clone(),
             scheme: scheme.clone(),
             tiles,
-            llc: (0..cfg.cores).map(|_| Cache::new(&cfg.llc_slice)).collect(),
-            llc_mshr: (0..cfg.cores)
-                .map(|_| MshrFile::new(cfg.llc_slice.mshrs))
-                .collect(),
-            engine: Engine::new(noc, DramSystem::new(&cfg.dram), nodes),
+            engine: Engine::new(
+                noc,
+                DramSystem::new(&cfg.dram),
+                crate::llc::ClockedLlc::new(cfg),
+                nodes,
+            ),
             cand_scratch: Vec::with_capacity(32),
             branch_scratch: Vec::with_capacity(16),
             dspatch_prev_channel: vec![0; cfg.dram.channels],
@@ -151,9 +150,9 @@ impl System {
     // ------------------------------------------------------------------
 
     /// Advances the whole system one cycle: spilled packets re-inject,
-    /// the clocked NoC and DRAM components tick and their output channels
-    /// drain into the uncore handlers, the event wheel fires, and every
-    /// tile ticks (prefetch issue + core).
+    /// the clocked NoC, DRAM and LLC components tick and their output
+    /// channels drain into the uncore handlers, the event wheel fires,
+    /// and every tile ticks (prefetch issue + core).
     pub fn tick(&mut self) {
         let now = self.engine.now();
 
@@ -162,6 +161,7 @@ impl System {
         // Clocked components produce into their output channels...
         self.engine.noc.tick(now);
         self.engine.dram.tick(now);
+        self.engine.llc.tick(now);
 
         // ...which drain into the uncore handlers.
         while let Some(d) = self.engine.noc.delivered.pop() {
@@ -169,6 +169,9 @@ impl System {
         }
         while let Some(c) = self.engine.dram.completed.pop() {
             self.handle_dram_completion(c.id);
+        }
+        while let Some(txn) = self.engine.llc.ready.pop() {
+            self.llc_lookup(txn, now);
         }
 
         // Local scheduled events.

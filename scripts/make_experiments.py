@@ -1,14 +1,28 @@
 #!/usr/bin/env python3
-"""Assemble EXPERIMENTS.md from the all_figures output.
+"""Assemble EXPERIMENTS.md from the JSON artifacts under target/experiments.
 
 Usage:
-    cargo run --release -p clip-bench --bin all_figures > experiments_raw.txt
-    python3 scripts/make_experiments.py experiments_raw.txt > EXPERIMENTS.md
+    cargo run --release -p clip-bench --bin all_figures > /dev/null
+    cargo run --release -p clip-bench --bin summary > /dev/null   # optional
+    python3 scripts/make_experiments.py [artifact_dir] > EXPERIMENTS.md
 
-Each section of the raw output is paired with the paper's reported numbers
-so paper-vs-measured is visible side by side.
+`all_figures` writes one JSON artifact per experiment plus `index.json`
+(the bin -> artifacts map) under `target/experiments/` (override with
+`CLIP_ARTIFACT_DIR`). This script renders each artifact back into the
+table text the binaries print and pairs it with the paper's reported
+numbers so paper-vs-measured is visible side by side.
+
+Each artifact is an object:
+    name        experiment name (artifact file stem)
+    title       table title line
+    params      {warmup_instrs, sim_instrs, seed, noc, normalization}
+    columns     header cells ([] = no header line)
+    rows        table rows, each a list of already-formatted cell strings
+    notes       free-form trailing lines
 """
 
+import json
+import os
 import sys
 
 # What the paper reports for each artifact (shape targets, not absolute
@@ -96,7 +110,9 @@ HEADER = """# EXPERIMENTS — paper vs. measured
 
 Every table and figure of the paper's evaluation, regenerated by
 `cargo run --release -p clip-bench --bin all_figures` (per-figure binaries
-exist too; see DESIGN.md §4 for the experiment index).
+exist too; see DESIGN.md §4 for the experiment index). Each experiment
+also writes a JSON artifact under `target/experiments/`; this file is
+assembled from those artifacts by `scripts/make_experiments.py`.
 
 **Scale.** The paper simulates 64 cores x 200M instructions on proprietary
 simpoint traces; this run uses the scaled configuration printed in each
@@ -109,47 +125,73 @@ cores). Absolute numbers therefore differ; the reproduction target is the
 **Workloads.** Synthetic models of the paper's SPEC CPU2017 / GAP /
 CloudSuite / CVP traces (DESIGN.md §3 item 1).
 
+**Artifact schema.** Each experiment writes
+`target/experiments/<name>.json` (`CLIP_ARTIFACT_DIR` overrides the
+directory): an object with `name` (experiment id, = file stem), `title`
+(the table's `#` header line), `params` (`warmup_instrs`, `sim_instrs`,
+`seed` as integers; `noc` and `normalization` as strings), `columns`
+(header cells; empty for tables without a header row), `rows` (the
+rendered table — a list of rows, each a list of already-formatted cell
+strings, tab-joined in the text output), and `notes` (free-form
+trailing lines). `all_figures` also writes `index.json`: the sweep
+order as a list of `{"bin", "artifacts"}` objects, where multi-set
+figures (e.g. fig05) list one artifact per set. Values are normalized
+weighted speedups unless the title says otherwise; every run is
+deterministic, so artifacts diff cleanly (CI pins fig02 at smoke scale
+against `crates/bench/tests/golden/fig02.json`).
+
 ---
 """
 
 
+def render(artifact: dict) -> str:
+    """Renders an artifact back into the text its binary prints."""
+    lines = [artifact["title"]]
+    if artifact.get("columns"):
+        lines.append("\t".join(artifact["columns"]))
+    for row in artifact.get("rows", []):
+        lines.append("\t".join(row))
+    lines.extend(artifact.get("notes", []))
+    return "\n".join(lines)
+
+
+def load(directory: str, name: str) -> dict:
+    with open(os.path.join(directory, f"{name}.json"), encoding="utf-8") as fh:
+        return json.load(fh)
+
+
 def main() -> None:
-    path = sys.argv[1] if len(sys.argv) > 1 else "experiments_raw.txt"
-    with open(path, encoding="utf-8") as fh:
-        raw = fh.read()
+    directory = sys.argv[1] if len(sys.argv) > 1 else os.environ.get(
+        "CLIP_ARTIFACT_DIR", "target/experiments"
+    )
+    with open(os.path.join(directory, "index.json"), encoding="utf-8") as fh:
+        index = json.load(fh)
 
     print(HEADER)
 
-    # Optional second argument: output of the `summary` binary, shown first.
-    if len(sys.argv) > 2:
-        with open(sys.argv[2], encoding="utf-8") as fh:
-            print("## Headline summary\n")
-            print("```text")
-            print(fh.read().rstrip())
-            print("```\n")
-    sections = raw.split("=====================")
-    # sections alternate: [prefix, " name ", body, " name ", body, ...]
-    i = 1
-    while i + 1 < len(sections):
-        name = sections[i].strip()
-        body = sections[i + 1]
-        # Trim the leading newline block up to the next separator marker.
-        body = body.strip("\n")
-        # Remove trailing '=' debris from the split.
-        body = body.rstrip("=").rstrip()
+    # The summary harness's artifact, if it was run, leads the document.
+    if os.path.exists(os.path.join(directory, "summary.json")):
+        print("## Headline summary\n")
+        print("```text")
+        print(render(load(directory, "summary")).rstrip())
+        print("```\n")
+
+    for entry in index:
+        name = entry["bin"]
+        body = "\n\n".join(
+            render(load(directory, artifact)).rstrip()
+            for artifact in entry["artifacts"]
+        )
         print(f"## {name}\n")
         note = PAPER_NOTES.get(name)
         if note:
             if note.startswith("Paper: "):
                 note = note[len("Paper: "):]
-            elif note.startswith("Paper ("):
-                pass
             print(f"**Paper:** {note}\n")
         print("**Measured:**\n")
         print("```text")
         print(body)
         print("```\n")
-        i += 2
 
 
 if __name__ == "__main__":
