@@ -16,8 +16,7 @@ fn opts() -> RunOptions {
         sim_instrs: 1_500,
         seed: 21,
         noc: NocChoice::Mesh,
-        max_cycles: 0,
-        timeline_interval: 0,
+        ..RunOptions::default()
     }
 }
 

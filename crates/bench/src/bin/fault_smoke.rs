@@ -1,0 +1,50 @@
+//! CI smoke test for the integrity layer: injects a delivery-losing
+//! fault that wedges the system and checks the forward-progress watchdog
+//! reports it. Exits 2 with the diagnostic on stderr when the hang is
+//! detected (the expected outcome), 0 when the fault goes unnoticed —
+//! CI asserts on a nonzero exit, so an undetected hang fails the build.
+
+use clip_sim::{run_mix_checked, CheckLevel, FaultKind, FaultSpec, NocChoice, RunOptions, Scheme};
+use clip_trace::Mix;
+use clip_types::{PrefetcherKind, SimConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cfg = SimConfig::builder()
+        .cores(4)
+        .dram_channels(1)
+        .l1_prefetcher(PrefetcherKind::None)
+        .build()
+        .expect("valid config");
+    let mix = Mix::homogeneous(
+        &clip_trace::catalog::by_name("605.mcf_s-1554B").expect("known workload"),
+        4,
+    );
+    // From cycle 2000 on, every NoC delivery is discarded after the
+    // network accounts for it — invisible to the conservation audits,
+    // so only the watchdog can catch the resulting hang.
+    let opts = RunOptions {
+        warmup_instrs: 500,
+        sim_instrs: 3_000,
+        seed: 7,
+        noc: NocChoice::Analytic,
+        check: Some(CheckLevel::Cheap),
+        check_cadence: 64,
+        watchdog_window: 2_000,
+        fault: Some(FaultSpec {
+            kind: FaultKind::LoseDelivery,
+            at: 2_000,
+        }),
+        ..RunOptions::default()
+    };
+    match run_mix_checked(&cfg, &Scheme::plain(), &mix, &opts) {
+        Err(e) => {
+            eprintln!("fault_smoke: watchdog caught the injected hang: {e}");
+            ExitCode::from(2)
+        }
+        Ok(_) => {
+            eprintln!("fault_smoke: the injected hang went UNDETECTED");
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -6,19 +6,28 @@
 //! keyed by a hash of the full job identity (config, scheme, mix, run
 //! options — their `Debug` forms) plus [`CACHE_VERSION`].
 //!
+//! Each entry wraps the result payload with an FNV-1a checksum of its
+//! rendered form: `{"checksum":"<16 hex>","result":{...}}`. An entry
+//! that fails to parse, lacks the wrapper, or whose checksum does not
+//! match the payload (truncated write, disk corruption, manual edit) is
+//! treated as a miss and quarantined — renamed to `<entry>.corrupt`, or
+//! deleted if the rename fails — so one bad file can never poison every
+//! later figure run.
+//!
 //! * `CLIP_CACHE=0` disables the cache entirely.
 //! * `CLIP_CACHE_DIR` overrides the directory.
-//! * Unparseable or stale entries are treated as misses.
+//! * Unparseable, corrupt, or stale entries are treated as misses.
 //!
 //! Bump [`CACHE_VERSION`] whenever a change alters simulation results;
 //! the job key only captures configuration, not simulator behavior.
 
 use clip_sim::SimResult;
 use clip_stats::Json;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Invalidates all previously cached baselines when bumped.
-pub(crate) const CACHE_VERSION: u32 = 1;
+/// Version 2: entries gained the checksum wrapper.
+pub(crate) const CACHE_VERSION: u32 = 2;
 
 fn enabled() -> bool {
     std::env::var("CLIP_CACHE")
@@ -57,7 +66,7 @@ fn fnv64(s: &str) -> u64 {
     h
 }
 
-fn entry_path(key: &str, mix_name: &str) -> PathBuf {
+fn entry_path(dir: &Path, key: &str, mix_name: &str) -> PathBuf {
     let sane: String = mix_name
         .chars()
         .map(|c| {
@@ -69,16 +78,15 @@ fn entry_path(key: &str, mix_name: &str) -> PathBuf {
         })
         .collect();
     let h = fnv64(&format!("{CACHE_VERSION}|{key}"));
-    cache_dir().join(format!("{sane}-{h:016x}.json"))
+    dir.join(format!("{sane}-{h:016x}.json"))
 }
 
-/// Loads a cached baseline, if present and parseable.
+/// Loads a cached baseline, if present and intact.
 pub(crate) fn lookup(key: &str, mix_name: &str) -> Option<SimResult> {
     if !enabled() {
         return None;
     }
-    let text = std::fs::read_to_string(entry_path(key, mix_name)).ok()?;
-    SimResult::from_json(&Json::parse(&text).ok()?)
+    lookup_in(&cache_dir(), key, mix_name)
 }
 
 /// Persists a baseline result (best effort; write-then-rename so a
@@ -87,13 +95,151 @@ pub(crate) fn store(key: &str, mix_name: &str, result: &SimResult) {
     if !enabled() {
         return;
     }
-    let path = entry_path(key, mix_name);
-    let dir = cache_dir();
-    if std::fs::create_dir_all(&dir).is_err() {
+    store_in(&cache_dir(), key, mix_name, result);
+}
+
+/// [`lookup`] against an explicit directory. A present-but-damaged entry
+/// is quarantined and reported as a miss.
+pub(crate) fn lookup_in(dir: &Path, key: &str, mix_name: &str) -> Option<SimResult> {
+    let path = entry_path(dir, key, mix_name);
+    let text = std::fs::read_to_string(&path).ok()?;
+    match verified_payload(&text) {
+        Some(r) => Some(r),
+        None => {
+            quarantine(&path);
+            None
+        }
+    }
+}
+
+/// [`store`] against an explicit directory.
+pub(crate) fn store_in(dir: &Path, key: &str, mix_name: &str, result: &SimResult) {
+    let path = entry_path(dir, key, mix_name);
+    if std::fs::create_dir_all(dir).is_err() {
         return;
     }
+    let payload = result.to_json().render();
+    let entry = Json::object([
+        ("checksum", Json::from(format!("{:016x}", fnv64(&payload)))),
+        ("result", result.to_json()),
+    ]);
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, result.to_json().render()).is_ok() {
+    if std::fs::write(&tmp, entry.render()).is_ok() {
         let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
+/// Parses an entry and returns its result only when the stored checksum
+/// matches the payload as re-rendered.
+fn verified_payload(text: &str) -> Option<SimResult> {
+    let entry = Json::parse(text).ok()?;
+    let stored = match entry.get("checksum") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => return None,
+    };
+    let payload = entry.get("result")?;
+    if format!("{:016x}", fnv64(&payload.render())) != stored {
+        return None;
+    }
+    SimResult::from_json(payload)
+}
+
+/// Moves a damaged entry aside as `<entry>.corrupt` so the miss is
+/// diagnosable; deletes it if even the rename fails.
+fn quarantine(path: &Path) {
+    let mut aside = path.as_os_str().to_owned();
+    aside.push(".corrupt");
+    if std::fs::rename(path, PathBuf::from(aside)).is_err() {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_sim::{run_mix, NocChoice, RunOptions, Scheme};
+    use clip_trace::Mix;
+    use clip_types::{PrefetcherKind, SimConfig};
+
+    fn small_result() -> SimResult {
+        let cfg = SimConfig::builder()
+            .cores(2)
+            .dram_channels(1)
+            .l1_prefetcher(PrefetcherKind::None)
+            .build()
+            .expect("valid config");
+        let mix = Mix::homogeneous(
+            &clip_trace::catalog::by_name("605.mcf_s-1554B").expect("known workload"),
+            2,
+        );
+        let opts = RunOptions {
+            warmup_instrs: 100,
+            sim_instrs: 500,
+            seed: 3,
+            noc: NocChoice::Analytic,
+            ..RunOptions::default()
+        };
+        run_mix(&cfg, &Scheme::plain(), &mix, &opts)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("clip-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("temp dir");
+        d
+    }
+
+    #[test]
+    fn roundtrip_survives_the_checksum() {
+        let dir = temp_dir("roundtrip");
+        let r = small_result();
+        store_in(&dir, "key-a", "mixname", &r);
+        let back = lookup_in(&dir, "key-a", "mixname").expect("intact entry hits");
+        assert_eq!(back.to_json().render(), r.to_json().render());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_misses_and_is_quarantined() {
+        let dir = temp_dir("truncate");
+        let r = small_result();
+        store_in(&dir, "key-b", "mixname", &r);
+        let path = entry_path(&dir, "key-b", "mixname");
+        let text = std::fs::read_to_string(&path).expect("entry exists");
+        // Hand-truncate the entry mid-payload, as a torn write would.
+        std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+
+        assert!(
+            lookup_in(&dir, "key-b", "mixname").is_none(),
+            "a truncated entry must read as a miss"
+        );
+        assert!(!path.exists(), "the damaged entry must be moved aside");
+        let mut aside = path.as_os_str().to_owned();
+        aside.push(".corrupt");
+        assert!(
+            PathBuf::from(aside).exists(),
+            "the damaged entry must be quarantined as .corrupt"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_payload_fails_the_checksum() {
+        let dir = temp_dir("tamper");
+        let r = small_result();
+        store_in(&dir, "key-c", "mixname", &r);
+        let path = entry_path(&dir, "key-c", "mixname");
+        let text = std::fs::read_to_string(&path).expect("entry exists");
+        // Prepend a digit to the cycle count; the JSON still parses.
+        let tampered = text.replacen("\"cycles\":", "\"cycles\":9", 1);
+        assert_ne!(text, tampered, "the tamper must hit something");
+        std::fs::write(&path, tampered).expect("tamper");
+
+        assert!(
+            lookup_in(&dir, "key-c", "mixname").is_none(),
+            "a checksum mismatch must read as a miss"
+        );
+        assert!(!path.exists(), "the tampered entry must be quarantined");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -4,13 +4,18 @@
 //! and per-row label/config variations, cells carry a `(SimConfig,
 //! Scheme)` pair — plus how to normalize and render the results. One
 //! executor, [`run_experiment`], expands the spec into [`SweepJob`]s,
-//! runs everything missing through [`clip_sim::run_jobs_parallel`]
+//! runs everything missing through [`clip_sim::run_jobs_checked`]
 //! (deduplicated and memoized, with no-prefetch baselines additionally
 //! cached on disk, see [`crate::cache`]), and renders both the
 //! plain-text table the binaries have always printed and a JSON artifact
 //! under `target/experiments/<name>.json`.
+//!
+//! Failures are isolated per cell: a job that panics or trips an
+//! integrity audit renders as `ERR` in the text table, and the artifact
+//! gains an `errors` array of structured records — the remaining cells
+//! are unaffected and byte-identical to a clean run.
 
-use clip_sim::{run_jobs_parallel, RunOptions, Scheme, SimResult, SweepJob};
+use clip_sim::{run_jobs_checked, RunOptions, Scheme, SimError, SimResult, SweepJob};
 use clip_stats::{normalized_weighted_speedup, Json};
 use clip_trace::Mix;
 use clip_types::SimConfig;
@@ -81,8 +86,18 @@ pub struct TableBody {
 /// All results of an executed experiment, indexed `[row][cell][mix]`.
 pub struct ExperimentData<'a> {
     pub spec: &'a Experiment,
-    results: Vec<Vec<Vec<SimResult>>>,
-    baselines: Vec<Vec<Vec<SimResult>>>,
+    results: Vec<Vec<Vec<Result<SimResult, SimError>>>>,
+    baselines: Vec<Vec<Vec<Result<SimResult, SimError>>>>,
+}
+
+/// One failed simulation within an executed grid.
+pub struct CellError<'a> {
+    pub row: usize,
+    pub cell: usize,
+    pub mix: usize,
+    /// True when the failing run was the no-prefetch baseline.
+    pub baseline: bool,
+    pub error: &'a SimError,
 }
 
 impl ExperimentData<'_> {
@@ -99,13 +114,70 @@ impl ExperimentData<'_> {
     }
 
     /// The result of `(row, cell)` on the row's `mix`-th mix.
+    ///
+    /// Panics if that simulation failed — custom renderers only run when
+    /// [`ExperimentData::has_errors`] is false, so they may call this
+    /// freely; anything else should guard with [`ExperimentData::cell_ok`].
     pub fn result(&self, row: usize, cell: usize, mix: usize) -> &SimResult {
-        &self.results[row][cell][mix]
+        match &self.results[row][cell][mix] {
+            Ok(r) => r,
+            Err(e) => panic!("result({row},{cell},{mix}) failed: {e}"),
+        }
     }
 
     /// The matching no-prefetch baseline ([`Normalization::NoPrefetch`]).
+    ///
+    /// Panics if the baseline simulation failed (see [`ExperimentData::result`]).
     pub fn baseline(&self, row: usize, cell: usize, mix: usize) -> &SimResult {
-        &self.baselines[row][cell][mix]
+        match &self.baselines[row][cell][mix] {
+            Ok(r) => r,
+            Err(e) => panic!("baseline({row},{cell},{mix}) failed: {e}"),
+        }
+    }
+
+    /// True when every mix of `(row, cell)` — and its baselines, if any —
+    /// simulated successfully.
+    pub fn cell_ok(&self, row: usize, cell: usize) -> bool {
+        let base_ok = match self.baselines[row].get(cell) {
+            Some(b) => b.iter().all(|r| r.is_ok()),
+            None => true,
+        };
+        base_ok && self.results[row][cell].iter().all(|r| r.is_ok())
+    }
+
+    /// True when any simulation in the grid failed.
+    pub fn has_errors(&self) -> bool {
+        !self.errors().is_empty()
+    }
+
+    /// Every failure in the grid, in row/cell/mix order.
+    pub fn errors(&self) -> Vec<CellError<'_>> {
+        let mut out = Vec::new();
+        for r in 0..self.rows() {
+            for c in 0..self.cells(r) {
+                for m in 0..self.mixes(r) {
+                    if let Err(e) = &self.results[r][c][m] {
+                        out.push(CellError {
+                            row: r,
+                            cell: c,
+                            mix: m,
+                            baseline: false,
+                            error: e,
+                        });
+                    }
+                    if let Some(Err(e)) = self.baselines[r].get(c).map(|v| &v[m]) {
+                        out.push(CellError {
+                            row: r,
+                            cell: c,
+                            mix: m,
+                            baseline: true,
+                            error: e,
+                        });
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Normalized weighted speedup of one cell on one mix.
@@ -142,10 +214,28 @@ pub fn run_experiment(exp: &Experiment) -> Json {
 /// table text (as `run_experiment` prints it) and the JSON artifact.
 pub fn execute_experiment(exp: &Experiment) -> (String, Json) {
     let data = collect(exp);
-    let body = match exp.render {
+    let errors = data.errors();
+    let mut body = match exp.render {
         Render::GeomeanWs => geomean_body(&data),
+        // Custom renderers assume complete data; when cells failed, render
+        // only the error notes below instead of calling into them.
+        Render::Table(_) if !errors.is_empty() => TableBody::default(),
         Render::Table(f) => f(&data),
     };
+    if !errors.is_empty() {
+        body.notes
+            .push(format!("{} simulation(s) failed:", errors.len()));
+        for e in &errors {
+            body.notes.push(format!(
+                "  row {} cell {} mix {}{}: {}",
+                e.row,
+                e.cell,
+                e.mix,
+                if e.baseline { " (baseline)" } else { "" },
+                e.error
+            ));
+        }
+    }
     let mut text = format!("{}\n", exp.title);
     if !exp.columns.is_empty() {
         text.push_str(&exp.columns.join("\t"));
@@ -159,7 +249,7 @@ pub fn execute_experiment(exp: &Experiment) -> (String, Json) {
         text.push_str(note);
         text.push('\n');
     }
-    let artifact = artifact_json(exp, &body);
+    let artifact = artifact_json(exp, &body, &errors);
     (text, artifact)
 }
 
@@ -169,7 +259,11 @@ fn geomean_body(d: &ExperimentData) -> TableBody {
         let spec_row = &d.spec.rows[r];
         let mut cells = spec_row.labels.clone();
         for c in 0..d.cells(r) {
-            cells.push(crate::fmt(d.geomean_ws(r, c)));
+            cells.push(if d.cell_ok(r, c) {
+                crate::fmt(d.geomean_ws(r, c))
+            } else {
+                "ERR".to_string()
+            });
         }
         cells.extend(spec_row.extra.iter().cloned());
         rows.push(cells);
@@ -208,15 +302,12 @@ fn collect<'a>(exp: &'a Experiment) -> ExperimentData<'a> {
                 mix: j.mix.clone(),
             })
             .collect();
-        // Pre-fill the baselines through the one shared entry point,
-        // one parallel batch per distinct stripped config.
-        for (cfg, mixes) in group_by_cfg(&base_jobs) {
-            crate::baselines_for(&cfg, &exp.opts, &mixes);
-        }
     }
 
-    let flat = run_cached(&jobs, &exp.opts);
-    let base_flat = run_cached(&base_jobs, &exp.opts);
+    // Baseline jobs share memo keys with [`crate::baselines_for`], so a
+    // figure sharing a platform still shares one baseline run per mix.
+    let flat = run_cached_checked(&jobs, &exp.opts);
+    let base_flat = run_cached_checked(&base_jobs, &exp.opts);
 
     let mut results = Vec::new();
     let mut baselines = Vec::new();
@@ -242,28 +333,8 @@ fn collect<'a>(exp: &'a Experiment) -> ExperimentData<'a> {
     }
 }
 
-/// Groups baseline jobs by config, preserving first-seen order and
-/// deduplicating mixes within a group.
-fn group_by_cfg(jobs: &[SweepJob]) -> Vec<(SimConfig, Vec<Mix>)> {
-    let mut order: Vec<(SimConfig, Vec<Mix>)> = Vec::new();
-    let mut index: HashMap<String, usize> = HashMap::new();
-    let mut seen: Vec<HashSet<String>> = Vec::new();
-    for j in jobs {
-        let key = format!("{:?}", j.cfg);
-        let gi = *index.entry(key).or_insert_with(|| {
-            order.push((j.cfg.clone(), Vec::new()));
-            seen.push(HashSet::new());
-            order.len() - 1
-        });
-        if seen[gi].insert(format!("{:?}", j.mix)) {
-            order[gi].1.push(j.mix.clone());
-        }
-    }
-    order
-}
-
 thread_local! {
-    static RESULT_CACHE: std::cell::RefCell<HashMap<String, SimResult>> =
+    static RESULT_CACHE: std::cell::RefCell<HashMap<String, Result<SimResult, SimError>>> =
         std::cell::RefCell::new(HashMap::new());
 }
 
@@ -288,14 +359,28 @@ fn disk_cacheable(job: &SweepJob) -> bool {
         && format!("{:?}", job.scheme) == format!("{:?}", Scheme::plain())
 }
 
-/// Runs jobs through the memoized parallel driver: results come from the
-/// in-process cache, then the on-disk baseline cache, and only the
-/// remainder is simulated (deduplicated, one `run_jobs_parallel` batch).
-/// Returns results in job order, identical to a serial `run_mix` map.
+/// Like [`run_cached_checked`], but panics on the first failed job —
+/// the legacy entry point for callers that predate error isolation.
 pub(crate) fn run_cached(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult> {
+    run_cached_checked(jobs, opts)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("simulation integrity failure: {e}")))
+        .collect()
+}
+
+/// Runs jobs through the memoized parallel driver: outcomes come from the
+/// in-process cache, then the on-disk baseline cache, and only the
+/// remainder is simulated (deduplicated, one `run_jobs_checked` batch).
+/// Returns outcomes in job order, identical to a serial `run_mix_checked`
+/// map. Failures are memoized too (they are deterministic), but never
+/// written to the disk cache.
+pub(crate) fn run_cached_checked(
+    jobs: &[SweepJob],
+    opts: &RunOptions,
+) -> Vec<Result<SimResult, SimError>> {
     let keys: Vec<String> = jobs.iter().map(|j| job_key(j, opts)).collect();
     let cached = |k: &str| RESULT_CACHE.with(|c| c.borrow().get(k).cloned());
-    let put = |k: String, r: SimResult| {
+    let put = |k: String, r: Result<SimResult, SimError>| {
         RESULT_CACHE.with(|c| c.borrow_mut().insert(k, r));
     };
 
@@ -307,7 +392,7 @@ pub(crate) fn run_cached(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult>
         }
         if disk_cacheable(&jobs[i]) {
             if let Some(r) = crate::cache::lookup(key, &jobs[i].mix.name) {
-                put(key.clone(), r);
+                put(key.clone(), Ok(r));
                 continue;
             }
         }
@@ -316,10 +401,12 @@ pub(crate) fn run_cached(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult>
 
     if !missing.is_empty() {
         let batch: Vec<SweepJob> = missing.iter().map(|&i| jobs[i].clone()).collect();
-        let results = run_jobs_parallel(&batch, opts);
-        for (&i, r) in missing.iter().zip(results) {
-            if disk_cacheable(&jobs[i]) {
-                crate::cache::store(&keys[i], &jobs[i].mix.name, &r);
+        let outcomes = run_jobs_checked(&batch, opts);
+        for (&i, r) in missing.iter().zip(outcomes) {
+            if let Ok(res) = &r {
+                if disk_cacheable(&jobs[i]) {
+                    crate::cache::store(&keys[i], &jobs[i].mix.name, res);
+                }
             }
             put(keys[i].clone(), r);
         }
@@ -334,9 +421,9 @@ pub(crate) fn run_cached(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult>
 // JSON artifact.
 // ----------------------------------------------------------------------
 
-fn artifact_json(exp: &Experiment, body: &TableBody) -> Json {
+fn artifact_json(exp: &Experiment, body: &TableBody, errors: &[CellError]) -> Json {
     let str_array = |v: &[String]| Json::array(v.iter().map(|s| Json::from(s.clone())));
-    Json::object([
+    let mut fields = vec![
         ("name", Json::from(exp.name.clone())),
         ("title", Json::from(exp.title.clone())),
         (
@@ -355,7 +442,27 @@ fn artifact_json(exp: &Experiment, body: &TableBody) -> Json {
         ("columns", str_array(&exp.columns)),
         ("rows", Json::array(body.rows.iter().map(|r| str_array(r)))),
         ("notes", str_array(&body.notes)),
-    ])
+    ];
+    // Only present when something failed, so clean artifacts stay
+    // byte-identical across harness versions.
+    if !errors.is_empty() {
+        fields.push((
+            "errors",
+            Json::array(errors.iter().map(|e| {
+                Json::object([
+                    ("row", Json::from(e.row)),
+                    ("cell", Json::from(e.cell)),
+                    ("mix", Json::from(e.mix)),
+                    ("baseline", Json::from(e.baseline)),
+                    ("cycle", Json::from(e.error.cycle)),
+                    ("component", Json::from(e.error.component.clone())),
+                    ("kind", Json::from(e.error.kind.to_string())),
+                    ("detail", Json::from(e.error.detail.clone())),
+                ])
+            })),
+        ));
+    }
+    Json::object(fields)
 }
 
 /// The directory JSON artifacts land in: `CLIP_ARTIFACT_DIR` when set,

@@ -4,10 +4,11 @@
 //! Each binary in `src/bin/` declares one or more [`experiment::Experiment`]
 //! specs (see [`figures`] for the registry) and hands them to
 //! [`experiment::run_experiment`], which expands the spec into jobs, runs
-//! them through `clip_sim::run_jobs_parallel` (memoized in-process, with
+//! them through `clip_sim::run_jobs_checked` (memoized in-process, with
 //! no-prefetch baselines also cached on disk under `target/clip-cache/`),
 //! prints the table, and writes a JSON artifact under
-//! `target/experiments/`. Run them with
+//! `target/experiments/`. Failed cells render as `ERR` instead of
+//! aborting the sweep. Run them with
 //! `cargo run -p clip-bench --release --bin <figXX>`. Scale knobs come
 //! from environment variables so the same binaries serve quick smoke runs
 //! and long reproductions:
@@ -20,6 +21,12 @@
 //! * `CLIP_NOC` — `mesh` or `analytic` (default analytic for sweeps).
 //! * `CLIP_CACHE` — `0` disables the on-disk baseline cache.
 //! * `CLIP_ARTIFACT_DIR` — overrides the JSON artifact directory.
+//! * `CLIP_THREADS` — worker threads for job batches (accepted range
+//!   1..=1024; anything else warns once on stderr and falls back to the
+//!   host parallelism). Never affects results.
+//! * `CLIP_CHECK` — integrity checking level: `off`, `cheap` (default),
+//!   or `full`; see the `clip-sim` integrity layer. Audits are
+//!   read-only, so results are identical at every level.
 
 mod cache;
 pub mod experiment;
@@ -83,8 +90,7 @@ impl Scale {
             sim_instrs: self.instrs,
             seed: 42,
             noc: self.noc,
-            max_cycles: 0,
-            timeline_interval: 0,
+            ..RunOptions::default()
         }
     }
 
@@ -155,10 +161,10 @@ pub fn strip_prefetchers(cfg: &SimConfig) -> SimConfig {
 /// Returns the no-prefetch baselines for every mix on `cfg`'s platform
 /// (prefetchers stripped), in mix order.
 ///
-/// This is the one baseline entry point: the experiment executor
-/// pre-fills normalization baselines through it, and results are
-/// memoized in-process and on disk (see [`cache`]), so every figure
-/// sharing a platform shares one baseline run per mix.
+/// Results are memoized in-process and on disk (see [`cache`]) under
+/// the same keys the experiment executor uses for its normalization
+/// baselines, so every figure sharing a platform shares one baseline
+/// run per mix. Panics if a baseline run fails an integrity check.
 pub fn baselines_for(cfg: &SimConfig, opts: &RunOptions, mixes: &[Mix]) -> Vec<SimResult> {
     let base = strip_prefetchers(cfg);
     let jobs: Vec<SweepJob> = mixes

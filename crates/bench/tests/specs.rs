@@ -1,10 +1,14 @@
 //! Spec-expansion tests: the declarative figure registry produces the
 //! grids the historical binaries ran, without simulating anything.
 
-use clip_bench::experiment::{execute_experiment, Experiment, Normalization};
+use clip_bench::experiment::{
+    execute_experiment, CellSpec, Experiment, Normalization, Render, RowSpec,
+};
 use clip_bench::figures::registry;
 use clip_bench::Scale;
-use clip_sim::NocChoice;
+use clip_sim::{NocChoice, RunOptions, Scheme};
+use clip_trace::Mix;
+use clip_types::{PrefetcherKind, SimConfig};
 
 fn scale() -> Scale {
     Scale {
@@ -145,4 +149,73 @@ fn static_tables_execute_without_simulation_and_render_artifacts() {
                 .unwrap_or(0);
         assert!(notes_or_rows > 0, "{name} artifact has content");
     }
+}
+
+/// One failing cell must not abort the sweep: it renders as `ERR`, the
+/// artifact gains structured error objects, and healthy cells still
+/// render their numbers. Clean experiments must not grow an `errors`
+/// key at all (golden artifacts diff byte-for-byte).
+#[test]
+fn failing_cell_renders_err_and_structured_error_objects() {
+    let cfg = SimConfig::builder()
+        .cores(2)
+        .dram_channels(1)
+        .l1_prefetcher(PrefetcherKind::None)
+        .build()
+        .expect("valid config");
+    let workload = clip_trace::catalog::by_name("605.mcf_s-1554B").expect("known workload");
+    let row = |label: &str, mix_cores: usize| RowSpec {
+        labels: vec![label.to_string()],
+        extra: Vec::new(),
+        mixes: vec![Mix::homogeneous(&workload, mix_cores)],
+        cells: vec![CellSpec {
+            cfg: cfg.clone(),
+            scheme: Scheme::plain(),
+        }],
+    };
+    let exp = |rows: Vec<RowSpec>| Experiment {
+        name: "err-isolation".to_string(),
+        title: "# ERR isolation".to_string(),
+        columns: vec!["mix".to_string(), "ws".to_string()],
+        rows,
+        opts: RunOptions {
+            warmup_instrs: 100,
+            sim_instrs: 500,
+            seed: 5,
+            noc: NocChoice::Analytic,
+            ..RunOptions::default()
+        },
+        normalization: Normalization::NoPrefetch,
+        render: Render::GeomeanWs,
+    };
+
+    // The 4-core mix cannot run on the 2-core platform: that row's job
+    // (and its baseline) panic inside the simulator.
+    let (text, artifact) = execute_experiment(&exp(vec![row("good", 2), row("bad", 4)]));
+    assert!(text.contains("good\t1.000"), "healthy cell renders: {text}");
+    assert!(text.contains("bad\tERR"), "failed cell renders ERR: {text}");
+    assert!(
+        text.contains("simulation(s) failed"),
+        "notes list errors: {text}"
+    );
+
+    let errors = artifact
+        .get("errors")
+        .and_then(|v| v.as_array())
+        .expect("artifact carries an errors array");
+    assert_eq!(errors.len(), 2, "result + baseline failure records");
+    for e in errors {
+        assert_eq!(e.get("row").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(e.get("cell").and_then(|v| v.as_f64()), Some(0.0));
+        assert_eq!(e.get("kind").and_then(|v| v.as_str()), Some("panic"));
+        assert_eq!(e.get("component").and_then(|v| v.as_str()), Some("job"));
+        let detail = e.get("detail").and_then(|v| v.as_str()).unwrap_or("");
+        assert!(detail.contains("mix must match core count"), "{detail}");
+    }
+
+    let (_, clean) = execute_experiment(&exp(vec![row("good", 2)]));
+    assert!(
+        clean.get("errors").is_none(),
+        "clean artifacts must not grow an errors key"
+    );
 }

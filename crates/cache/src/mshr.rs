@@ -80,6 +80,10 @@ pub struct MshrFile {
     entries: HashMap<LineAddr, MshrEntry>,
     /// Count of demand-into-prefetch merges (late prefetches).
     late_prefetch_merges: u64,
+    /// Entries ever allocated (conservation audit).
+    allocated: u64,
+    /// Entries ever completed (conservation audit).
+    completed: u64,
 }
 
 impl MshrFile {
@@ -89,6 +93,8 @@ impl MshrFile {
             capacity,
             entries: HashMap::with_capacity(capacity),
             late_prefetch_merges: 0,
+            allocated: 0,
+            completed: 0,
         }
     }
 
@@ -158,18 +164,79 @@ impl MshrFile {
                 alloc_cycle: now,
             },
         );
+        self.allocated += 1;
         Ok(AllocOutcome::New)
     }
 
     /// Completes the miss on `line`, removing and returning its entry.
     /// Returns `None` if the line was not in flight.
     pub fn complete(&mut self, line: LineAddr) -> Option<MshrEntry> {
-        self.entries.remove(&line)
+        let e = self.entries.remove(&line);
+        if e.is_some() {
+            self.completed += 1;
+        }
+        e
     }
 
     /// Iterates over outstanding entries (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = &MshrEntry> {
         self.entries.values()
+    }
+
+    /// Conservation + legality audit: every allocation must either still
+    /// be outstanding or have completed, and occupancy must respect the
+    /// capacity. With `full`, also scans entry timestamps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn audit(&self, now: Cycle, full: bool) -> Result<(), String> {
+        let len = self.entries.len() as u64;
+        if self.allocated - self.completed != len {
+            return Err(format!(
+                "mshr balance broken: allocated={} completed={} but {} outstanding (leaked {})",
+                self.allocated,
+                self.completed,
+                len,
+                (self.allocated - self.completed) as i64 - len as i64
+            ));
+        }
+        if self.entries.len() > self.capacity {
+            return Err(format!(
+                "mshr over capacity: {} entries in a {}-entry file",
+                self.entries.len(),
+                self.capacity
+            ));
+        }
+        if full {
+            for e in self.entries.values() {
+                if e.alloc_cycle > now {
+                    return Err(format!(
+                        "mshr entry for line {:#x} allocated in the future (cycle {} > now {})",
+                        e.line.raw(),
+                        e.alloc_cycle,
+                        now
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault injection: silently discards one outstanding entry *without*
+    /// counting a completion, as a hardware release-path bug would. The
+    /// victim is the `selector % len`-th entry in line-address order
+    /// (deterministic regardless of hash order). Returns the leaked line,
+    /// or `None` when the file is empty.
+    pub fn leak_one(&mut self, selector: u64) -> Option<LineAddr> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut lines: Vec<LineAddr> = self.entries.keys().copied().collect();
+        lines.sort_unstable_by_key(|l| l.raw());
+        let victim = lines[(selector % lines.len() as u64) as usize];
+        self.entries.remove(&victim);
+        Some(victim)
     }
 }
 
@@ -259,5 +326,33 @@ mod tests {
     fn complete_unknown_line_is_none() {
         let mut m = MshrFile::new(1);
         assert!(m.complete(LineAddr::new(42)).is_none());
+    }
+
+    #[test]
+    fn audit_passes_through_normal_traffic() {
+        let mut m = MshrFile::new(4);
+        for i in 0..4u64 {
+            m.alloc(LineAddr::new(i), ReqId(i), false, i).unwrap();
+        }
+        m.complete(LineAddr::new(1));
+        assert_eq!(m.audit(10, true), Ok(()));
+    }
+
+    #[test]
+    fn leak_breaks_the_balance_audit() {
+        let mut m = MshrFile::new(4);
+        m.alloc(LineAddr::new(7), ReqId(1), false, 0).unwrap();
+        m.alloc(LineAddr::new(3), ReqId(2), false, 0).unwrap();
+        // selector 0 picks the lowest line address.
+        assert_eq!(m.leak_one(0), Some(LineAddr::new(3)));
+        let err = m.audit(5, false).unwrap_err();
+        assert!(err.contains("balance broken"), "{err}");
+    }
+
+    #[test]
+    fn leak_on_empty_file_is_none() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.leak_one(9), None);
+        assert_eq!(m.audit(0, true), Ok(()));
     }
 }

@@ -105,6 +105,10 @@ struct Channel {
     inflight: Vec<DramCompletion>,
     /// Cycle of the next scheduled all-bank refresh (refresh modeling).
     next_refresh: Cycle,
+    /// Reads accepted into the queue (conservation audit).
+    reads_enqueued: u64,
+    /// Read completions handed back from `tick` (conservation audit).
+    reads_delivered: u64,
     stats: ChannelStats,
 }
 
@@ -135,6 +139,8 @@ impl DramSystem {
             draining: false,
             inflight: Vec::new(),
             next_refresh: cfg.t_refi,
+            reads_enqueued: 0,
+            reads_delivered: 0,
             stats: ChannelStats::default(),
         };
         DramSystem {
@@ -192,6 +198,7 @@ impl DramSystem {
             priority,
             arrive: now,
         });
+        ch.reads_enqueued += 1;
         Ok(())
     }
 
@@ -230,6 +237,7 @@ impl DramSystem {
         while i < ch.inflight.len() {
             if ch.inflight[i].done_cycle <= now {
                 done.push(ch.inflight.swap_remove(i));
+                ch.reads_delivered += 1;
             } else {
                 i += 1;
             }
@@ -366,6 +374,92 @@ impl DramSystem {
             t.refreshes += ch.stats.refreshes;
         }
         t
+    }
+
+    /// Command legality + conservation audit across all channels: every
+    /// accepted read must be queued, in flight, or delivered, and queue
+    /// occupancies must respect their configured capacities. With `full`,
+    /// also scans per-entry timestamps (an in-flight completion dated
+    /// before `now` would mean `tick` failed to deliver it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant, naming the
+    /// channel.
+    pub fn audit(&self, now: Cycle, full: bool) -> Result<(), String> {
+        for (ci, ch) in self.channels.iter().enumerate() {
+            let outstanding = (ch.read_q.len() + ch.inflight.len()) as u64;
+            if ch.reads_enqueued != ch.reads_delivered + outstanding {
+                return Err(format!(
+                    "channel {ci} read conservation broken: {} enqueued but {} delivered + \
+                     {} queued + {} in flight (lost {})",
+                    ch.reads_enqueued,
+                    ch.reads_delivered,
+                    ch.read_q.len(),
+                    ch.inflight.len(),
+                    ch.reads_enqueued as i64 - (ch.reads_delivered + outstanding) as i64
+                ));
+            }
+            if ch.read_q.len() > self.cfg.read_queue {
+                return Err(format!(
+                    "channel {ci} read queue over capacity: {} in a {}-entry queue",
+                    ch.read_q.len(),
+                    self.cfg.read_queue
+                ));
+            }
+            if ch.write_q.len() > self.cfg.write_queue {
+                return Err(format!(
+                    "channel {ci} write queue over capacity: {} in a {}-entry queue",
+                    ch.write_q.len(),
+                    self.cfg.write_queue
+                ));
+            }
+            if full {
+                for c in &ch.inflight {
+                    if c.done_cycle < now {
+                        return Err(format!(
+                            "channel {ci} holds a stale completion for line {:#x} \
+                             (done at {} but now is {now})",
+                            c.line.raw(),
+                            c.done_cycle
+                        ));
+                    }
+                }
+                for r in &ch.read_q {
+                    if r.arrive > now {
+                        return Err(format!(
+                            "channel {ci} queued read for line {:#x} arrived in the future \
+                             (cycle {} > now {now})",
+                            r.line.raw(),
+                            r.arrive
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault injection: silently discards one in-flight completion, as a
+    /// controller that loses a response would — the requesting MSHR never
+    /// fills and the read is never counted delivered, so [`DramSystem::audit`]
+    /// reports the loss. The victim is picked by `selector` over all
+    /// channels' in-flight entries in (channel, queue-position) order.
+    /// Returns false when nothing is in flight.
+    pub fn inject_swallow_completion(&mut self, selector: u64) -> bool {
+        let total: usize = self.channels.iter().map(|c| c.inflight.len()).sum();
+        if total == 0 {
+            return false;
+        }
+        let mut idx = (selector % total as u64) as usize;
+        for ch in self.channels.iter_mut() {
+            if idx < ch.inflight.len() {
+                ch.inflight.remove(idx);
+                return true;
+            }
+            idx -= ch.inflight.len();
+        }
+        unreachable!("index bounded by total in-flight count")
     }
 
     /// Fraction of peak bandwidth used so far, given the elapsed cycles.
@@ -581,6 +675,47 @@ mod tests {
         let mut d = sys(1);
         let _ = run(&mut d, 100_000);
         assert_eq!(d.total_stats().refreshes, 0);
+    }
+
+    #[test]
+    fn audit_passes_through_normal_traffic() {
+        let mut d = sys(2);
+        for i in 0..16u64 {
+            let line = LineAddr::new(i * 997);
+            let ch = d.channel_for(line);
+            let _ = d.enqueue_read(ch, ReqId(i), line, Priority::Demand, 0);
+        }
+        for now in 0..1000 {
+            d.tick(now);
+            assert_eq!(d.audit(now, true), Ok(()), "cycle {now}");
+        }
+    }
+
+    #[test]
+    fn swallowed_completion_breaks_audit() {
+        let mut d = sys(1);
+        d.enqueue_read(0, ReqId(1), LineAddr::new(7), Priority::Demand, 0)
+            .unwrap();
+        // Tick until the read is issued (in flight), then swallow it.
+        let mut swallowed = false;
+        for now in 0..200 {
+            d.tick(now);
+            if d.inject_swallow_completion(5) {
+                swallowed = true;
+                break;
+            }
+        }
+        assert!(swallowed, "the read should have been in flight");
+        let err = d.audit(200, false).unwrap_err();
+        assert!(err.contains("conservation broken"), "{err}");
+        assert!(err.contains("channel 0"), "{err}");
+    }
+
+    #[test]
+    fn swallow_on_idle_dram_is_noop() {
+        let mut d = sys(2);
+        assert!(!d.inject_swallow_completion(3));
+        assert_eq!(d.audit(0, true), Ok(()));
     }
 
     #[test]

@@ -89,6 +89,22 @@ pub trait NocModel {
 
     /// Total flit-hops traversed (link crossings), for energy accounting.
     fn flit_hops(&self) -> u64;
+
+    /// Flit/credit conservation audit: everything injected into the
+    /// network must be buffered somewhere or delivered. With `full`, also
+    /// scans per-buffer occupancy against the credit limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    fn audit(&self, full: bool) -> Result<(), String>;
+
+    /// Fault injection: silently discards one in-flight flit (mesh) or
+    /// pending delivery (analytic), as a corrupted link would — without
+    /// touching the injection accounting, so [`NocModel::audit`] reports
+    /// the loss. `selector` picks deterministically among the candidates.
+    /// Returns false when nothing is in flight to drop.
+    fn inject_drop_flit(&mut self, selector: u64) -> bool;
 }
 
 const PORTS: usize = 5; // N, S, E, W, Local
@@ -138,6 +154,11 @@ pub struct MeshNoc {
     delivered_count: u64,
     total_latency: u64,
     flit_hops: u64,
+    /// Flits that entered the network fabric (conservation audit).
+    flits_injected: u64,
+    /// Flits that reached their destination's local port (conservation
+    /// audit).
+    flits_delivered: u64,
     /// Delivered packets per priority class [prefetch, writeback, demand].
     delivered_by_class: [u64; 3],
     /// Latency sums per priority class, same order.
@@ -169,6 +190,8 @@ impl MeshNoc {
             delivered_count: 0,
             total_latency: 0,
             flit_hops: 0,
+            flits_injected: 0,
+            flits_delivered: 0,
             delivered_by_class: [0; 3],
             latency_by_class: [0; 3],
             arriving: Vec::new(),
@@ -290,6 +313,7 @@ impl NocModel for MeshNoc {
                         ready_at: now + self.cfg.router_stages,
                     });
                     self.routers[node].buffered += 1;
+                    self.flits_injected += 1;
                     if is_tail {
                         self.inject[node].pop_front();
                     } else {
@@ -398,6 +422,7 @@ impl NocModel for MeshNoc {
                 // Arrived at destination.
                 let pid = flit.packet as usize;
                 self.arriving[flit.packet as usize] += 1;
+                self.flits_delivered += 1;
                 if flit.is_tail {
                     let info = &self.packets[pid];
                     self.delivered_count += 1;
@@ -444,6 +469,77 @@ impl NocModel for MeshNoc {
 
     fn flit_hops(&self) -> u64 {
         self.flit_hops
+    }
+
+    fn audit(&self, full: bool) -> Result<(), String> {
+        let buffered: u64 = self.routers.iter().map(|r| r.buffered as u64).sum();
+        if self.flits_injected != self.flits_delivered + buffered {
+            return Err(format!(
+                "flit conservation broken: {} injected but {} delivered + {} buffered (lost {})",
+                self.flits_injected,
+                self.flits_delivered,
+                buffered,
+                self.flits_injected as i64 - (self.flits_delivered + buffered) as i64
+            ));
+        }
+        if self.delivered_count as usize > self.packets.len() {
+            return Err(format!(
+                "delivered {} packets but only {} were ever sent",
+                self.delivered_count,
+                self.packets.len()
+            ));
+        }
+        if full {
+            for (node, r) in self.routers.iter().enumerate() {
+                let mut actual = 0usize;
+                for (port, vcs) in r.inputs.iter().enumerate() {
+                    for (vc, buf) in vcs.iter().enumerate() {
+                        if buf.q.len() > self.cfg.vc_buffer_flits {
+                            return Err(format!(
+                                "credit overrun at router {node} port {port} vc {vc}: \
+                                 {} flits in a {}-flit buffer",
+                                buf.q.len(),
+                                self.cfg.vc_buffer_flits
+                            ));
+                        }
+                        actual += buf.q.len();
+                    }
+                }
+                if actual != r.buffered {
+                    return Err(format!(
+                        "router {node} occupancy counter drifted: cached {} vs actual {actual}",
+                        r.buffered
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn inject_drop_flit(&mut self, selector: u64) -> bool {
+        let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+        for (node, r) in self.routers.iter().enumerate() {
+            if r.buffered == 0 {
+                continue;
+            }
+            for (port, vcs) in r.inputs.iter().enumerate() {
+                for (vc, buf) in vcs.iter().enumerate() {
+                    if !buf.q.is_empty() {
+                        candidates.push((node, port, vc));
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return false;
+        }
+        let (node, port, vc) = candidates[(selector % candidates.len() as u64) as usize];
+        self.routers[node].inputs[port][vc]
+            .q
+            .pop_front()
+            .expect("candidate buffer non-empty");
+        self.routers[node].buffered -= 1;
+        true
     }
 }
 
@@ -495,6 +591,8 @@ pub struct AnalyticNoc {
     delivered_count: u64,
     total_latency: u64,
     flit_hops: u64,
+    /// Packets accepted for delivery (conservation audit).
+    injected: u64,
 }
 
 impl AnalyticNoc {
@@ -508,6 +606,7 @@ impl AnalyticNoc {
             delivered_count: 0,
             total_latency: 0,
             flit_hops: 0,
+            injected: 0,
         }
     }
 
@@ -579,6 +678,7 @@ impl NocModel for AnalyticNoc {
             + (self.coords(src).1 as i64 - self.coords(dst).1 as i64).unsigned_abs();
         self.flit_hops += hops * flits as u64;
         let done = t + flits as u64; // tail serialization
+        self.injected += 1;
         self.pending.push((
             done,
             Delivered {
@@ -620,6 +720,29 @@ impl NocModel for AnalyticNoc {
 
     fn flit_hops(&self) -> u64 {
         self.flit_hops
+    }
+
+    fn audit(&self, _full: bool) -> Result<(), String> {
+        let outstanding = self.pending.len() as u64;
+        if self.injected != self.delivered_count + outstanding {
+            return Err(format!(
+                "packet conservation broken: {} injected but {} delivered + {} pending (lost {})",
+                self.injected,
+                self.delivered_count,
+                outstanding,
+                self.injected as i64 - (self.delivered_count + outstanding) as i64
+            ));
+        }
+        Ok(())
+    }
+
+    fn inject_drop_flit(&mut self, selector: u64) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        let victim = (selector % self.pending.len() as u64) as usize;
+        self.pending.remove(victim);
+        true
     }
 }
 
@@ -799,6 +922,58 @@ mod tests {
             "prefetch-aware arbitration must favour demands: {demand:.0} vs {prefetch:.0}"
         );
         assert!(noc.delivered_for(Priority::Demand) > 0);
+    }
+
+    #[test]
+    fn audit_passes_through_normal_traffic() {
+        let mut mesh = MeshNoc::new(&cfg());
+        let mut ana = AnalyticNoc::new(&cfg());
+        for i in 0..10u64 {
+            mesh.send(0, 63, 4, Priority::Demand, i, 0).unwrap();
+            ana.send(0, 63, 4, Priority::Demand, i, 0).unwrap();
+        }
+        for now in 0..500 {
+            mesh.tick(now);
+            ana.tick(now);
+            assert_eq!(mesh.audit(true), Ok(()), "cycle {now}");
+            assert_eq!(ana.audit(true), Ok(()), "cycle {now}");
+        }
+    }
+
+    #[test]
+    fn dropped_flit_breaks_mesh_audit() {
+        let mut mesh = MeshNoc::new(&cfg());
+        mesh.send(0, 63, 4, Priority::Demand, 1, 0).unwrap();
+        // Tick until a flit is in the fabric, then lose it.
+        let mut dropped = false;
+        for now in 0..50 {
+            mesh.tick(now);
+            if mesh.inject_drop_flit(3) {
+                dropped = true;
+                break;
+            }
+        }
+        assert!(dropped, "a flit should have been in flight");
+        let err = mesh.audit(false).unwrap_err();
+        assert!(err.contains("conservation broken"), "{err}");
+    }
+
+    #[test]
+    fn dropped_delivery_breaks_analytic_audit() {
+        let mut ana = AnalyticNoc::new(&cfg());
+        ana.send(0, 63, 4, Priority::Demand, 1, 0).unwrap();
+        assert!(ana.inject_drop_flit(0));
+        let err = ana.audit(false).unwrap_err();
+        assert!(err.contains("conservation broken"), "{err}");
+        // Nothing left to drop.
+        assert!(!ana.inject_drop_flit(0));
+    }
+
+    #[test]
+    fn drop_on_idle_mesh_is_noop() {
+        let mut mesh = MeshNoc::new(&cfg());
+        assert!(!mesh.inject_drop_flit(7));
+        assert_eq!(mesh.audit(true), Ok(()));
     }
 
     #[test]

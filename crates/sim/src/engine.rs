@@ -46,6 +46,13 @@ impl NocImpl {
         }
     }
 
+    pub(crate) fn as_model_ref(&self) -> &dyn NocModel {
+        match self {
+            NocImpl::Mesh(m) => m,
+            NocImpl::Analytic(a) => a,
+        }
+    }
+
     pub(crate) fn flit_hops(&self) -> u64 {
         match self {
             NocImpl::Mesh(m) => m.flit_hops(),

@@ -1,0 +1,70 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultSpec`] in [`crate::RunOptions`] arms one fault that the cycle
+//! loop triggers at a chosen cycle: drop an in-flight NoC flit, swallow a
+//! DRAM completion, leak an LLC MSHR entry, or discard every NoC delivery
+//! from that cycle on. The first three each violate exactly one
+//! conservation invariant, so tests can prove the matching auditor fires;
+//! the last is invisible to every conservation audit and wedges the whole
+//! system, exercising the forward-progress watchdog.
+//!
+//! Victim selection draws from a [`SimRng`] seeded from the run seed, so
+//! a given `(options, config, scheme, mix)` always kills the same flit or
+//! entry — the resulting [`clip_types::SimError`] is bit-identical across
+//! serial and parallel runs.
+
+use clip_types::rng::SimRng;
+use clip_types::Cycle;
+
+/// The fault classes the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Discard one flit buffered inside the NoC fabric. Caught by the
+    /// NoC flit-conservation audit.
+    DropFlit,
+    /// Discard one in-flight DRAM read completion. Caught by the DRAM
+    /// read-conservation audit.
+    SwallowDramCompletion,
+    /// Remove one outstanding LLC MSHR entry without completing it.
+    /// Caught by the MSHR allocation/release balance audit.
+    LeakLlcMshr,
+    /// From the trigger cycle on, discard every NoC delivery after the
+    /// network has accounted for it. No conservation audit can see this;
+    /// only the forward-progress watchdog reports the hang.
+    LoseDelivery,
+}
+
+/// One armed fault: what to break and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Cycle at which to trigger. If the target structure is empty at
+    /// that cycle, the harness retries each cycle until a victim exists.
+    pub at: Cycle,
+}
+
+/// Run-time state of an armed fault.
+pub(crate) struct FaultHarness {
+    pub(crate) spec: FaultSpec,
+    /// Cycle the fault actually landed, once it has.
+    pub(crate) fired: Option<Cycle>,
+    rng: SimRng,
+}
+
+impl FaultHarness {
+    pub(crate) fn new(spec: FaultSpec, seed: u64) -> Self {
+        FaultHarness {
+            spec,
+            fired: None,
+            // Decorrelate from the workload generators, which derive
+            // their streams from the same run seed.
+            rng: SimRng::seed_from_u64(seed ^ 0xFA01_7AB1E),
+        }
+    }
+
+    /// Draws the next victim selector.
+    pub(crate) fn selector(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}

@@ -29,6 +29,8 @@
 //! ```
 
 mod engine;
+pub mod fault;
+mod integrity;
 mod llc;
 mod ports;
 pub mod report;
@@ -38,7 +40,9 @@ mod snapshot;
 pub mod system;
 mod tile;
 
+pub use clip_types::{CheckLevel, SimError, SimErrorKind};
 pub use engine::NocChoice;
+pub use fault::{FaultKind, FaultSpec};
 pub use report::ComparisonReport;
 pub use result::{ClipReport, LatencyReport, MissReport, PrefetchReport, SimResult, TimelinePoint};
 pub use scheme::Scheme;
@@ -64,6 +68,17 @@ pub struct RunOptions {
     /// When non-zero, sample a [`TimelinePoint`] every this many cycles
     /// during the measurement phase.
     pub timeline_interval: Cycle,
+    /// Integrity check level. `None` (the default) reads `CLIP_CHECK` at
+    /// run time — keeping the `Debug` form (and thus sweep cache keys)
+    /// identical across environments.
+    pub check: Option<CheckLevel>,
+    /// Audit cadence in cycles (`0` picks the default, 2048).
+    pub check_cadence: Cycle,
+    /// Forward-progress watchdog window in cycles (`0` picks the
+    /// default, 50 000).
+    pub watchdog_window: Cycle,
+    /// Deterministic fault to inject, if any (see [`fault`]).
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for RunOptions {
@@ -75,6 +90,10 @@ impl Default for RunOptions {
             noc: NocChoice::Mesh,
             max_cycles: 0,
             timeline_interval: 0,
+            check: None,
+            check_cadence: 0,
+            watchdog_window: 0,
+            fault: None,
         }
     }
 }
@@ -94,18 +113,50 @@ impl RunOptions {
 ///
 /// # Panics
 ///
-/// Panics when the configuration is invalid or the mix does not match the
-/// configured core count.
+/// Panics when the configuration is invalid, the mix does not match the
+/// configured core count, or an integrity auditor fires (use
+/// [`run_mix_checked`] to surface that as an error instead).
 pub fn run_mix(cfg: &SimConfig, scheme: &Scheme, mix: &Mix, opts: &RunOptions) -> SimResult {
+    run_mix_checked(cfg, scheme, mix, opts)
+        .unwrap_or_else(|e| panic!("simulation integrity failure: {e}"))
+}
+
+/// Simulates one mix under one scheme, surfacing integrity failures.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] when the forward-progress watchdog or a
+/// conservation auditor fires — always, when `opts.fault` is armed and
+/// checks are enabled. Completed runs are bit-identical across check
+/// levels (audits are read-only).
+///
+/// # Panics
+///
+/// Panics when the configuration is invalid or the mix does not match the
+/// configured core count (construction errors, not run-time failures).
+pub fn run_mix_checked(
+    cfg: &SimConfig,
+    scheme: &Scheme,
+    mix: &Mix,
+    opts: &RunOptions,
+) -> Result<SimResult, SimError> {
     let mut sys = System::new(cfg, scheme, mix, opts.seed, opts.noc);
     sys.set_timeline_interval(opts.timeline_interval);
-    let mut r = sys.run(
+    sys.set_integrity(
+        opts.check.unwrap_or_else(CheckLevel::from_env),
+        opts.check_cadence,
+        opts.watchdog_window,
+    );
+    if let Some(spec) = opts.fault {
+        sys.set_fault(spec, opts.seed);
+    }
+    let mut r = sys.run_checked(
         opts.warmup_instrs,
         opts.sim_instrs,
         opts.resolved_max_cycles(),
-    );
+    )?;
     r.label = format!("{}/{}", scheme.label(cfg.l1_prefetcher_label()), mix.name);
-    r
+    Ok(r)
 }
 
 /// One unit of sweep work: a (config, scheme, mix) triple to simulate.
@@ -116,45 +167,82 @@ pub struct SweepJob {
     pub mix: Mix,
 }
 
-/// Runs a batch of independent jobs across threads and returns their
-/// results in job order.
+/// Resolves the worker thread count for a batch of `job_count` jobs.
+///
+/// `CLIP_THREADS` accepts integers in `1..=1024` (`1` forces the serial
+/// path). `0`, out-of-range, or unparsable values are rejected with a
+/// single stderr warning and the default — the host's available
+/// parallelism — is used instead.
+fn thread_count(job_count: usize) -> usize {
+    use std::sync::Once;
+    static WARN_ONCE: Once = Once::new();
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = match std::env::var("CLIP_THREADS") {
+        Err(_) => default,
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if (1..=1024).contains(&n) => n,
+            _ => {
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "clip-sim: ignoring invalid CLIP_THREADS={v:?} \
+                         (accepted range: 1..=1024); using {default}"
+                    );
+                });
+                default
+            }
+        },
+    };
+    threads.min(job_count)
+}
+
+/// Runs a batch of independent jobs across threads, returning each job's
+/// outcome in job order — panic- and error-isolated.
 ///
 /// Each simulation is single-threaded and fully deterministic, so the
-/// output is bit-identical to mapping [`run_mix`] over the jobs serially
-/// — threads only change wall-clock time, never results. Work is handed
-/// out through a shared atomic index (jobs vary wildly in cost, so static
-/// partitioning would leave threads idle), and each result lands in its
-/// job's dedicated slot.
+/// output is bit-identical to mapping [`run_mix_checked`] over the jobs
+/// serially — threads only change wall-clock time, never results. Work is
+/// handed out through a shared atomic index (jobs vary wildly in cost, so
+/// static partitioning would leave threads idle), and each outcome lands
+/// in its job's dedicated slot.
 ///
-/// Thread count defaults to the host's available parallelism, capped by
-/// the job count; `CLIP_THREADS` overrides it (`1` forces the serial
-/// path).
-pub fn run_jobs_parallel(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult> {
+/// A job that fails an integrity check yields its [`SimError`]; a job
+/// that panics is caught per-thread and yields a
+/// [`SimErrorKind::Panic`] error carrying the payload. Either way, every
+/// other job's result is unaffected. Thread count is resolved as
+/// documented on `CLIP_THREADS` (see the crate docs): host parallelism by
+/// default, overridable within `1..=1024`.
+pub fn run_jobs_checked(jobs: &[SweepJob], opts: &RunOptions) -> Vec<Result<SimResult, SimError>> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     if jobs.is_empty() {
         return Vec::new();
     }
-    let threads = std::env::var("CLIP_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+    let run_one = |j: &SweepJob| -> Result<SimResult, SimError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            run_mix_checked(&j.cfg, &j.scheme, &j.mix, opts)
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(SimError::new(0, "job", SimErrorKind::Panic, msg))
         })
-        .min(jobs.len());
+    };
+
+    let threads = thread_count(jobs.len());
     if threads <= 1 {
-        return jobs
-            .iter()
-            .map(|j| run_mix(&j.cfg, &j.scheme, &j.mix, opts))
-            .collect();
+        return jobs.iter().map(run_one).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SimResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<SimResult, SimError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -162,9 +250,9 @@ pub fn run_jobs_parallel(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult>
                 if i >= jobs.len() {
                     break;
                 }
-                let j = &jobs[i];
-                let r = run_mix(&j.cfg, &j.scheme, &j.mix, opts);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
+                // A poisoned slot is recoverable: the panic that poisoned
+                // it was already converted into this job's outcome.
+                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(run_one(&jobs[i]));
             });
         }
     });
@@ -172,9 +260,32 @@ pub fn run_jobs_parallel(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult>
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job index was claimed and completed")
+                .unwrap_or_else(|p| p.into_inner())
+                .unwrap_or_else(|| {
+                    Err(SimError::new(
+                        0,
+                        "driver",
+                        SimErrorKind::Internal,
+                        "a claimed job never filled its result slot",
+                    ))
+                })
         })
+        .collect()
+}
+
+/// Runs a batch of independent jobs across threads and returns their
+/// results in job order, panicking on the first failed job.
+///
+/// See [`run_jobs_checked`] for the isolation-preserving variant and the
+/// `CLIP_THREADS` contract.
+///
+/// # Panics
+///
+/// Panics when any job fails an integrity check or panics itself.
+pub fn run_jobs_parallel(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult> {
+    run_jobs_checked(jobs, opts)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("simulation integrity failure: {e}")))
         .collect()
 }
 
@@ -238,9 +349,7 @@ mod tests {
             warmup_instrs: 500,
             sim_instrs: 3_000,
             seed: 7,
-            noc: NocChoice::Mesh,
-            max_cycles: 0,
-            timeline_interval: 0,
+            ..RunOptions::default()
         }
     }
 
@@ -378,8 +487,7 @@ mod tests {
             sim_instrs: 2_000,
             seed: 42,
             noc: NocChoice::Analytic,
-            max_cycles: 0,
-            timeline_interval: 0,
+            ..RunOptions::default()
         };
         let r = run_mix(&cfg, &Scheme::with_hermes(), &mix, &opts);
         assert!(

@@ -27,6 +27,10 @@ pub(crate) struct ClockedLlc {
     ring: Vec<Vec<TxnId>>,
     /// Lookups whose slice latency elapsed this cycle.
     pub(crate) ready: Channel<TxnId>,
+    /// Lookups ever placed on the ring (conservation audit).
+    scheduled: u64,
+    /// Lookups ever moved off the ring into `ready` (conservation audit).
+    fired: u64,
 }
 
 impl ClockedLlc {
@@ -38,6 +42,8 @@ impl ClockedLlc {
                 .collect(),
             ring: (0..LLC_RING).map(|_| Vec::new()).collect(),
             ready: Channel::new(),
+            scheduled: 0,
+            fired: 0,
         }
     }
 
@@ -47,6 +53,7 @@ impl ClockedLlc {
         let at = (now + delay).max(now + 1);
         debug_assert!(at - now < LLC_RING as u64, "lookup beyond LLC ring horizon");
         self.ring[(at as usize) % LLC_RING].push(txn);
+        self.scheduled += 1;
     }
 
     /// A slice refuses a miss when its MSHR file is full and the line can
@@ -96,6 +103,11 @@ impl ClockedLlc {
         self.mshrs[home].complete(line)
     }
 
+    /// Lookups fired so far (forward-progress signature).
+    pub(crate) fn fired(&self) -> u64 {
+        self.fired
+    }
+
     /// Total outstanding LLC MSHR entries (stall diagnostics).
     pub(crate) fn mshr_occupancy(&self) -> usize {
         self.mshrs.iter().map(|m| m.len()).sum()
@@ -105,12 +117,58 @@ impl ClockedLlc {
     pub(crate) fn slices(&self) -> &[Cache] {
         &self.slices
     }
+
+    /// Lookup-ring + MSHR audit: every scheduled lookup must either still
+    /// sit on the ring or have fired, and every slice's MSHR file must
+    /// pass its own balance check. The `ready` channel is expected to be
+    /// empty between cycles (the loop drains it each tick).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub(crate) fn audit(&self, now: Cycle, full: bool) -> Result<(), String> {
+        let on_ring: u64 = self.ring.iter().map(|s| s.len() as u64).sum();
+        if self.scheduled != self.fired + on_ring {
+            return Err(format!(
+                "lookup-ring occupancy broken: {} scheduled but {} fired + {} on ring (lost {})",
+                self.scheduled,
+                self.fired,
+                on_ring,
+                self.scheduled as i64 - (self.fired + on_ring) as i64
+            ));
+        }
+        if !self.ready.is_empty() {
+            return Err(format!(
+                "{} ready lookups left undrained between cycles",
+                self.ready.len()
+            ));
+        }
+        for (slice, m) in self.mshrs.iter().enumerate() {
+            m.audit(now, full)
+                .map_err(|e| format!("slice {slice}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Fault injection: leaks one outstanding MSHR entry from the first
+    /// occupied slice (slices scanned in index order, victim within the
+    /// slice picked by `selector`). Returns false when every file is
+    /// empty.
+    pub(crate) fn inject_mshr_leak(&mut self, selector: u64) -> bool {
+        for m in self.mshrs.iter_mut() {
+            if !m.is_empty() {
+                return m.leak_one(selector).is_some();
+            }
+        }
+        false
+    }
 }
 
 impl Tick for ClockedLlc {
     fn tick(&mut self, now: Cycle) {
         for txn in std::mem::take(&mut self.ring[(now as usize) % LLC_RING]) {
             self.ready.push(txn);
+            self.fired += 1;
         }
     }
 }

@@ -14,6 +14,8 @@
 //! through the [`Tick`] contract each cycle.
 
 use crate::engine::{Engine, NocChoice, NocImpl};
+use crate::fault::{FaultHarness, FaultKind, FaultSpec};
+use crate::integrity::{Integrity, DEFAULT_CHECK_CADENCE, DEFAULT_WATCHDOG_WINDOW};
 use crate::result::SimResult;
 use crate::scheme::Scheme;
 use crate::tile::{Tile, TileTick, PF_QUEUE_CAP};
@@ -27,7 +29,7 @@ use clip_offchip::{DsPatch, Hermes};
 use clip_prefetch::PrefetchCandidate;
 use clip_throttle::EpochFeedback;
 use clip_trace::Mix;
-use clip_types::{Cycle, Port, PrefetcherKind, SimConfig, Tick};
+use clip_types::{CheckLevel, Cycle, Port, PrefetcherKind, SimConfig, SimError, Tick};
 use std::collections::HashMap;
 
 const THROTTLE_EPOCH: Cycle = 8192;
@@ -48,6 +50,10 @@ pub struct System {
     pub(crate) timeline: Vec<crate::result::TimelinePoint>,
     pub(crate) tl_prev: (u64, u64, u64), // (retired, dram transfers, prefetches)
     pub(crate) tl_start: Cycle,
+    /// Watchdog + auditor state (see [`crate::integrity`]).
+    pub(crate) integrity: Integrity,
+    /// Armed fault, if any (see [`crate::fault`]).
+    pub(crate) fault: Option<FaultHarness>,
 }
 
 impl System {
@@ -137,7 +143,35 @@ impl System {
             timeline: Vec::new(),
             tl_prev: (0, 0, 0),
             tl_start: 0,
+            integrity: Integrity::new(
+                CheckLevel::from_env(),
+                DEFAULT_CHECK_CADENCE,
+                DEFAULT_WATCHDOG_WINDOW,
+            ),
+            fault: None,
         }
+    }
+
+    /// Overrides the auditor configuration (`0` keeps a default).
+    pub(crate) fn set_integrity(&mut self, level: CheckLevel, cadence: Cycle, window: Cycle) {
+        self.integrity = Integrity::new(
+            level,
+            if cadence == 0 {
+                DEFAULT_CHECK_CADENCE
+            } else {
+                cadence
+            },
+            if window == 0 {
+                DEFAULT_WATCHDOG_WINDOW
+            } else {
+                window
+            },
+        );
+    }
+
+    /// Arms a fault for this run.
+    pub(crate) fn set_fault(&mut self, spec: FaultSpec, seed: u64) {
+        self.fault = Some(FaultHarness::new(spec, seed));
     }
 
     /// Current cycle.
@@ -156,6 +190,7 @@ impl System {
     pub fn tick(&mut self) {
         let now = self.engine.now();
 
+        self.apply_faults(now);
         self.engine.drain_outboxes();
 
         // Clocked components produce into their output channels...
@@ -164,7 +199,14 @@ impl System {
         self.engine.llc.tick(now);
 
         // ...which drain into the uncore handlers.
+        let lose_deliveries = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.spec.kind == FaultKind::LoseDelivery && now >= f.spec.at);
         while let Some(d) = self.engine.noc.delivered.pop() {
+            if lose_deliveries {
+                continue;
+            }
             self.handle_delivery(d.node, d.payload, now);
         }
         while let Some(c) = self.engine.dram.completed.pop() {
@@ -201,6 +243,31 @@ impl System {
         }
 
         self.engine.clock.advance();
+    }
+
+    /// Triggers the armed one-shot fault once `now` reaches its cycle,
+    /// retrying each cycle until a victim exists. `LoseDelivery` only
+    /// records its start here; the delivery-drain loop does the damage.
+    fn apply_faults(&mut self, now: Cycle) {
+        let Some(f) = self.fault.as_ref() else { return };
+        if f.fired.is_some() || now < f.spec.at {
+            return;
+        }
+        let kind = f.spec.kind;
+        let sel = self
+            .fault
+            .as_mut()
+            .expect("checked present above")
+            .selector();
+        let landed = match kind {
+            FaultKind::DropFlit => self.engine.noc.model.as_model().inject_drop_flit(sel),
+            FaultKind::SwallowDramCompletion => self.engine.dram.mem.inject_swallow_completion(sel),
+            FaultKind::LeakLlcMshr => self.engine.llc.inject_mshr_leak(sel),
+            FaultKind::LoseDelivery => true,
+        };
+        if landed {
+            self.fault.as_mut().expect("checked present above").fired = Some(now);
+        }
     }
 
     fn throttle_epoch(&mut self, now: Cycle) {
@@ -295,12 +362,36 @@ impl System {
     // Run driver.
     // ------------------------------------------------------------------
 
+    /// Runs warmup + measurement and assembles the result, panicking on
+    /// an integrity failure. Prefer [`System::run_checked`] where the
+    /// caller can surface errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the watchdog or an auditor reports a [`SimError`].
+    pub fn run(&mut self, warmup: u64, measure: u64, max_cycles: Cycle) -> SimResult {
+        self.run_checked(warmup, measure, max_cycles)
+            .unwrap_or_else(|e| panic!("simulation integrity failure: {e}"))
+    }
+
     /// Runs warmup + measurement and assembles the result.
     ///
     /// Cores that reach `measure` retired instructions keep executing (the
     /// paper's replay rule) until every core is done. `max_cycles` bounds
     /// pathological runs; unfinished cores report their partial IPC.
-    pub fn run(&mut self, warmup: u64, measure: u64, max_cycles: Cycle) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the forward-progress watchdog or a
+    /// conservation auditor fires (see [`crate::integrity`]). Audits are
+    /// read-only: a run that completes returns bit-identical results at
+    /// every [`CheckLevel`].
+    pub fn run_checked(
+        &mut self,
+        warmup: u64,
+        measure: u64,
+        max_cycles: Cycle,
+    ) -> Result<SimResult, SimError> {
         // Warmup phase.
         let debug_stall = std::env::var("CLIP_DEBUG_STALL").is_ok();
         while self.cycle() < max_cycles {
@@ -312,6 +403,7 @@ impl System {
                 break;
             }
             self.tick();
+            self.integrity_tick(self.cycle())?;
             if debug_stall && self.cycle().is_multiple_of(100_000) {
                 self.dump_state();
             }
@@ -348,6 +440,7 @@ impl System {
                 break;
             }
             self.tick();
+            self.integrity_tick(self.cycle())?;
             if self.timeline_interval > 0
                 && (self.cycle() - self.tl_start).is_multiple_of(self.timeline_interval)
             {
@@ -355,6 +448,6 @@ impl System {
             }
         }
 
-        self.assemble(snap, measure)
+        Ok(self.assemble(snap, measure))
     }
 }

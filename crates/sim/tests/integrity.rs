@@ -1,0 +1,168 @@
+//! Integrity-layer end-to-end tests: every injected fault class is caught
+//! by its auditor with a `SimError` naming the component and cycle, fault
+//! injection is deterministic (serial vs parallel), and a failing job in
+//! a batch leaves the other jobs' results byte-identical to a clean run.
+
+use clip_sim::{
+    run_jobs_checked, run_mix_checked, CheckLevel, FaultKind, FaultSpec, NocChoice, RunOptions,
+    Scheme, SimErrorKind, SweepJob,
+};
+use clip_trace::{catalog, Mix};
+use clip_types::{PrefetcherKind, SimConfig};
+
+fn cfg(cores: usize) -> SimConfig {
+    SimConfig::builder()
+        .cores(cores)
+        .dram_channels(1)
+        .l1_prefetcher(PrefetcherKind::None)
+        .build()
+        .expect("valid config")
+}
+
+fn mix(cores: usize) -> Mix {
+    Mix::homogeneous(
+        &catalog::by_name("605.mcf_s-1554B").expect("known workload"),
+        cores,
+    )
+}
+
+fn faulted(kind: FaultKind, at: u64, noc: NocChoice) -> RunOptions {
+    RunOptions {
+        warmup_instrs: 500,
+        sim_instrs: 3_000,
+        seed: 7,
+        noc,
+        check: Some(CheckLevel::Cheap),
+        check_cadence: 64,
+        fault: Some(FaultSpec { kind, at }),
+        ..RunOptions::default()
+    }
+}
+
+#[test]
+fn dropped_flit_is_caught_by_noc_auditor() {
+    let opts = faulted(FaultKind::DropFlit, 1_000, NocChoice::Mesh);
+    let err = run_mix_checked(&cfg(4), &Scheme::plain(), &mix(4), &opts)
+        .expect_err("a lost flit must fail the run");
+    assert_eq!(err.component, "noc");
+    assert_eq!(err.kind, SimErrorKind::Conservation);
+    assert!(err.cycle >= 1_000, "detected at cycle {}", err.cycle);
+    assert!(err.detail.contains("conservation broken"), "{err}");
+}
+
+#[test]
+fn swallowed_dram_completion_is_caught_by_dram_auditor() {
+    let opts = faulted(FaultKind::SwallowDramCompletion, 1_000, NocChoice::Analytic);
+    let err = run_mix_checked(&cfg(4), &Scheme::plain(), &mix(4), &opts)
+        .expect_err("a swallowed completion must fail the run");
+    assert_eq!(err.component, "dram");
+    assert_eq!(err.kind, SimErrorKind::Conservation);
+    assert!(err.cycle >= 1_000, "detected at cycle {}", err.cycle);
+    assert!(err.detail.contains("conservation broken"), "{err}");
+}
+
+#[test]
+fn leaked_llc_mshr_is_caught_by_mshr_auditor() {
+    let opts = faulted(FaultKind::LeakLlcMshr, 1_000, NocChoice::Analytic);
+    let err = run_mix_checked(&cfg(4), &Scheme::plain(), &mix(4), &opts)
+        .expect_err("a leaked MSHR must fail the run");
+    assert_eq!(err.component, "llc");
+    assert_eq!(err.kind, SimErrorKind::Conservation);
+    assert!(err.cycle >= 1_000, "detected at cycle {}", err.cycle);
+    assert!(err.detail.contains("balance broken"), "{err}");
+}
+
+#[test]
+fn lost_deliveries_trip_the_forward_progress_watchdog() {
+    // LoseDelivery is invisible to every conservation audit (the network
+    // accounts for each delivery before the fault discards it), so only
+    // the watchdog can report the resulting hang.
+    let opts = RunOptions {
+        watchdog_window: 2_000,
+        ..faulted(FaultKind::LoseDelivery, 2_000, NocChoice::Analytic)
+    };
+    let err = run_mix_checked(&cfg(4), &Scheme::plain(), &mix(4), &opts)
+        .expect_err("losing every delivery must wedge the system");
+    assert_eq!(err.component, "watchdog");
+    assert_eq!(err.kind, SimErrorKind::Deadlock);
+    assert!(err.cycle >= 2_000, "detected at cycle {}", err.cycle);
+    assert!(err.detail.contains("live txns"), "{err}");
+    assert!(err.detail.contains("oldest"), "{err}");
+}
+
+#[test]
+fn fault_injection_is_deterministic_serial_vs_parallel() {
+    let opts = faulted(FaultKind::SwallowDramCompletion, 1_000, NocChoice::Analytic);
+    let c = cfg(4);
+    let m = mix(4);
+
+    let serial_a = run_mix_checked(&c, &Scheme::plain(), &m, &opts).unwrap_err();
+    let serial_b = run_mix_checked(&c, &Scheme::plain(), &m, &opts).unwrap_err();
+    assert_eq!(serial_a, serial_b, "same seed must kill the same victim");
+
+    std::env::set_var("CLIP_THREADS", "2");
+    let jobs: Vec<SweepJob> = (0..2)
+        .map(|_| SweepJob {
+            cfg: c.clone(),
+            scheme: Scheme::plain(),
+            mix: m.clone(),
+        })
+        .collect();
+    for outcome in run_jobs_checked(&jobs, &opts) {
+        assert_eq!(outcome.unwrap_err(), serial_a, "parallel must match serial");
+    }
+}
+
+#[test]
+fn failing_job_leaves_other_jobs_byte_identical() {
+    let good_cfg = cfg(4);
+    let good_mix = mix(4);
+    let opts = RunOptions {
+        warmup_instrs: 500,
+        sim_instrs: 3_000,
+        seed: 7,
+        noc: NocChoice::Analytic,
+        check: Some(CheckLevel::Cheap),
+        ..RunOptions::default()
+    };
+
+    // The clean reference: each good job run serially on its own.
+    let reference = run_mix_checked(&good_cfg, &Scheme::plain(), &good_mix, &opts)
+        .expect("clean run succeeds")
+        .to_json()
+        .render();
+
+    // Middle job panics in System::new (mix does not match core count).
+    let jobs = vec![
+        SweepJob {
+            cfg: good_cfg.clone(),
+            scheme: Scheme::plain(),
+            mix: good_mix.clone(),
+        },
+        SweepJob {
+            cfg: good_cfg.clone(),
+            scheme: Scheme::plain(),
+            mix: mix(2),
+        },
+        SweepJob {
+            cfg: good_cfg.clone(),
+            scheme: Scheme::plain(),
+            mix: good_mix.clone(),
+        },
+    ];
+    let outcomes = run_jobs_checked(&jobs, &opts);
+    assert_eq!(outcomes.len(), 3);
+
+    let bad = outcomes[1].as_ref().expect_err("mismatched mix must fail");
+    assert_eq!(bad.kind, SimErrorKind::Panic);
+    assert!(bad.detail.contains("mix must match core count"), "{bad}");
+
+    for i in [0usize, 2] {
+        let r = outcomes[i].as_ref().expect("good job survives");
+        assert_eq!(
+            r.to_json().render(),
+            reference,
+            "job {i} must be byte-identical to the clean serial run"
+        );
+    }
+}

@@ -11,8 +11,7 @@ fn opts() -> RunOptions {
         sim_instrs: 2_500,
         seed: 17,
         noc: NocChoice::Mesh,
-        max_cycles: 0,
-        timeline_interval: 0,
+        ..RunOptions::default()
     }
 }
 

@@ -15,11 +15,13 @@
 //! assert_eq!(a.line_offset(), 0x78 % 64);
 //! ```
 
+pub mod check;
 pub mod config;
 pub mod engine;
 pub mod request;
 pub mod rng;
 
+pub use check::{CheckLevel, SimError, SimErrorKind};
 pub use config::{
     CacheLevelConfig, CoreConfig, DramConfig, NocConfig, PrefetcherKind, ReplacementKind,
     SimConfig, SimConfigBuilder,

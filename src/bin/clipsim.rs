@@ -227,8 +227,7 @@ fn main() -> ExitCode {
         sim_instrs: args.instrs,
         seed: args.seed,
         noc: args.noc,
-        max_cycles: 0,
-        timeline_interval: 0,
+        ..RunOptions::default()
     };
     let scheme = build_scheme(&args);
 

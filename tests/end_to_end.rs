@@ -12,8 +12,7 @@ fn opts() -> RunOptions {
         sim_instrs: 2_000,
         seed: 11,
         noc: NocChoice::Mesh,
-        max_cycles: 0,
-        timeline_interval: 0,
+        ..RunOptions::default()
     }
 }
 
