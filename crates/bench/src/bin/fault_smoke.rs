@@ -1,49 +1,160 @@
-//! CI smoke test for the integrity layer: injects a delivery-losing
-//! fault that wedges the system and checks the forward-progress watchdog
-//! reports it. Exits 2 with the diagnostic on stderr when the hang is
-//! detected (the expected outcome), 0 when the fault goes unnoticed —
-//! CI asserts on a nonzero exit, so an undetected hang fails the build.
+//! CI smoke binary for the integrity layer: injects one named fault and
+//! checks the matching auditor turns it into a nonzero exit with the
+//! expected diagnostic on stderr.
+//!
+//! Usage: `fault_smoke [<kind>]` where `<kind>` is one of the kebab-case
+//! fault names below (default: `lose-delivery`, the historical watchdog
+//! smoke). Exits 2 with the `SimError` on stderr when the fault is
+//! detected — the expected outcome, asserted by the CI fault matrix — and
+//! 0 when it goes unnoticed, so an undetected fault fails the build.
+//!
+//! Every kind runs through [`run_jobs_localized`]: faults the audits
+//! catch directly surface as their audit error, and the two deliberately
+//! audit-invisible kinds still fail — `lose-delivery` via the
+//! forward-progress watchdog, `flip-criticality` via the state-fingerprint
+//! comparison against the clean same-seed re-run.
 
-use clip_sim::{run_mix_checked, CheckLevel, FaultKind, FaultSpec, NocChoice, RunOptions, Scheme};
+use clip_sim::{
+    run_jobs_localized, CheckLevel, FaultKind, FaultSpec, NocChoice, RunOptions, Scheme, SweepJob,
+};
 use clip_trace::Mix;
 use clip_types::{PrefetcherKind, SimConfig};
 use std::process::ExitCode;
 
+/// One injectable fault: its CLI name and the run shape that provokes it.
+struct Smoke {
+    name: &'static str,
+    kind: FaultKind,
+    /// Queue/criticality faults need prefetches in flight.
+    needs_prefetcher: bool,
+    check: CheckLevel,
+    check_cadence: u64,
+    /// `0` keeps the default window.
+    watchdog_window: u64,
+}
+
+const SMOKES: &[Smoke] = &[
+    Smoke {
+        name: "drop-flit",
+        kind: FaultKind::DropFlit,
+        needs_prefetcher: false,
+        check: CheckLevel::Cheap,
+        check_cadence: 64,
+        watchdog_window: 0,
+    },
+    Smoke {
+        name: "swallow-dram-completion",
+        kind: FaultKind::SwallowDramCompletion,
+        needs_prefetcher: false,
+        check: CheckLevel::Cheap,
+        check_cadence: 64,
+        watchdog_window: 0,
+    },
+    Smoke {
+        name: "leak-llc-mshr",
+        kind: FaultKind::LeakLlcMshr,
+        needs_prefetcher: false,
+        check: CheckLevel::Cheap,
+        check_cadence: 64,
+        watchdog_window: 0,
+    },
+    Smoke {
+        name: "lose-delivery",
+        kind: FaultKind::LoseDelivery,
+        needs_prefetcher: false,
+        check: CheckLevel::Cheap,
+        check_cadence: 64,
+        watchdog_window: 2_000,
+    },
+    Smoke {
+        name: "stale-retire",
+        kind: FaultKind::StaleRetire,
+        needs_prefetcher: false,
+        check: CheckLevel::Cheap,
+        check_cadence: 64,
+        watchdog_window: 0,
+    },
+    Smoke {
+        name: "duplicate-delivery",
+        kind: FaultKind::DuplicateDelivery,
+        needs_prefetcher: false,
+        check: CheckLevel::Cheap,
+        check_cadence: 64,
+        watchdog_window: 0,
+    },
+    Smoke {
+        name: "corrupt-prefetch-addr",
+        kind: FaultKind::CorruptPrefetchAddr,
+        needs_prefetcher: true,
+        check: CheckLevel::Full,
+        check_cadence: 8,
+        watchdog_window: 0,
+    },
+    Smoke {
+        name: "flip-criticality",
+        kind: FaultKind::FlipCriticality,
+        needs_prefetcher: true,
+        check: CheckLevel::Full,
+        check_cadence: 16,
+        watchdog_window: 0,
+    },
+];
+
 fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    let name = arg.as_deref().unwrap_or("lose-delivery");
+    let Some(smoke) = SMOKES.iter().find(|s| s.name == name) else {
+        eprintln!("fault_smoke: unknown fault kind {name:?}; known kinds:");
+        for s in SMOKES {
+            eprintln!("  {}", s.name);
+        }
+        return ExitCode::from(3);
+    };
+
     let cfg = SimConfig::builder()
         .cores(4)
         .dram_channels(1)
-        .l1_prefetcher(PrefetcherKind::None)
+        .l1_prefetcher(if smoke.needs_prefetcher {
+            PrefetcherKind::Berti
+        } else {
+            PrefetcherKind::None
+        })
         .build()
         .expect("valid config");
     let mix = Mix::homogeneous(
         &clip_trace::catalog::by_name("605.mcf_s-1554B").expect("known workload"),
         4,
     );
-    // From cycle 2000 on, every NoC delivery is discarded after the
-    // network accounts for it — invisible to the conservation audits,
-    // so only the watchdog can catch the resulting hang.
     let opts = RunOptions {
         warmup_instrs: 500,
         sim_instrs: 3_000,
         seed: 7,
         noc: NocChoice::Analytic,
-        check: Some(CheckLevel::Cheap),
-        check_cadence: 64,
-        watchdog_window: 2_000,
+        check: Some(smoke.check),
+        check_cadence: smoke.check_cadence,
+        watchdog_window: smoke.watchdog_window,
         fault: Some(FaultSpec {
-            kind: FaultKind::LoseDelivery,
-            at: 2_000,
+            kind: smoke.kind,
+            at: if smoke.kind == FaultKind::LoseDelivery {
+                2_000
+            } else {
+                1_000
+            },
         }),
         ..RunOptions::default()
     };
-    match run_mix_checked(&cfg, &Scheme::plain(), &mix, &opts) {
+    let jobs = vec![SweepJob {
+        cfg,
+        scheme: Scheme::plain(),
+        mix,
+    }];
+    match run_jobs_localized(&jobs, &opts).remove(0) {
         Err(e) => {
-            eprintln!("fault_smoke: watchdog caught the injected hang: {e}");
+            eprintln!("fault_smoke: {name} caught by its auditor: {e}");
             ExitCode::from(2)
         }
         Ok(_) => {
-            eprintln!("fault_smoke: the injected hang went UNDETECTED");
+            eprintln!("fault_smoke: the injected {name} fault went UNDETECTED");
             ExitCode::SUCCESS
         }
     }

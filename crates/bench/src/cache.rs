@@ -12,7 +12,10 @@
 //! match the payload (truncated write, disk corruption, manual edit) is
 //! treated as a miss and quarantined — renamed to `<entry>.corrupt`, or
 //! deleted if the rename fails — so one bad file can never poison every
-//! later figure run.
+//! later figure run. The quarantine itself is capped at
+//! [`QUARANTINE_CAP`] files (oldest evicted first) and announced once
+//! per run, so a persistently failing disk cannot silently fill the
+//! cache directory with tombstones.
 //!
 //! * `CLIP_CACHE=0` disables the cache entirely.
 //! * `CLIP_CACHE_DIR` overrides the directory.
@@ -144,13 +147,57 @@ fn verified_payload(text: &str) -> Option<SimResult> {
     SimResult::from_json(payload)
 }
 
+/// How many quarantined `.corrupt` files the cache directory may hold.
+/// A persistently failing disk would otherwise grow one per damaged
+/// entry per run, forever.
+const QUARANTINE_CAP: usize = 32;
+
 /// Moves a damaged entry aside as `<entry>.corrupt` so the miss is
-/// diagnosable; deletes it if even the rename fails.
+/// diagnosable; deletes it if even the rename fails. Afterwards prunes
+/// the quarantine back to [`QUARANTINE_CAP`] entries, oldest first.
 fn quarantine(path: &Path) {
+    static NOTICE: std::sync::Once = std::sync::Once::new();
+    NOTICE.call_once(|| {
+        eprintln!(
+            "clip-cache: quarantining damaged cache entry {} (kept as .corrupt, cap {})",
+            path.display(),
+            QUARANTINE_CAP
+        );
+    });
     let mut aside = path.as_os_str().to_owned();
     aside.push(".corrupt");
     if std::fs::rename(path, PathBuf::from(aside)).is_err() {
         let _ = std::fs::remove_file(path);
+    }
+    if let Some(dir) = path.parent() {
+        prune_quarantine(dir);
+    }
+}
+
+/// Deletes the oldest `.corrupt` files (by modification time, then name
+/// for files sharing a timestamp) until at most [`QUARANTINE_CAP`]
+/// remain. Best effort: an unreadable directory just skips the prune.
+fn prune_quarantine(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut corrupt: Vec<(std::time::SystemTime, PathBuf)> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "corrupt"))
+        .map(|p| {
+            let mtime = std::fs::metadata(&p)
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            (mtime, p)
+        })
+        .collect();
+    if corrupt.len() <= QUARANTINE_CAP {
+        return;
+    }
+    corrupt.sort();
+    for (_, p) in corrupt.drain(..corrupt.len() - QUARANTINE_CAP) {
+        let _ = std::fs::remove_file(p);
     }
 }
 
@@ -240,6 +287,38 @@ mod tests {
             "a checksum mismatch must read as a miss"
         );
         assert!(!path.exists(), "the tampered entry must be quarantined");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_is_capped_and_evicts_oldest() {
+        let dir = temp_dir("cap");
+        // Pre-fill the quarantine well past the cap; creation order gives
+        // non-decreasing mtimes, and the name order matches as a
+        // tiebreaker, so corrupt-00 is unambiguously the oldest.
+        for i in 0..QUARANTINE_CAP + 8 {
+            std::fs::write(dir.join(format!("corrupt-{i:02}.json.corrupt")), "junk")
+                .expect("seed quarantine");
+        }
+        let r = small_result();
+        store_in(&dir, "key-d", "mixname", &r);
+        let path = entry_path(&dir, "key-d", "mixname");
+        std::fs::write(&path, "not json").expect("damage entry");
+
+        assert!(lookup_in(&dir, "key-d", "mixname").is_none());
+        let corrupt: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .expect("cache dir")
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "corrupt"))
+            .collect();
+        assert_eq!(corrupt.len(), QUARANTINE_CAP, "quarantine pruned to cap");
+        assert!(
+            !dir.join("corrupt-00.json.corrupt").exists(),
+            "the oldest tombstone is evicted first"
+        );
+        let newest = format!("corrupt-{:02}.json.corrupt", QUARANTINE_CAP + 7);
+        assert!(dir.join(newest).exists(), "recent tombstones survive");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

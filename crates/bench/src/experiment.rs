@@ -15,7 +15,7 @@
 //! gains an `errors` array of structured records — the remaining cells
 //! are unaffected and byte-identical to a clean run.
 
-use clip_sim::{run_jobs_checked, RunOptions, Scheme, SimError, SimResult, SweepJob};
+use clip_sim::{run_jobs_checked, RunOptions, Scheme, SimError, SimErrorKind, SimResult, SweepJob};
 use clip_stats::{normalized_weighted_speedup, Json};
 use clip_trace::Mix;
 use clip_types::SimConfig;
@@ -372,8 +372,10 @@ pub(crate) fn run_cached(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult>
 /// in-process cache, then the on-disk baseline cache, and only the
 /// remainder is simulated (deduplicated, one `run_jobs_checked` batch).
 /// Returns outcomes in job order, identical to a serial `run_mix_checked`
-/// map. Failures are memoized too (they are deterministic), but never
-/// written to the disk cache.
+/// map. Jobs whose first attempt ends in [`SimErrorKind::Panic`] are
+/// re-run once (a panic can be environmental; integrity failures are
+/// deterministic and skip the retry). Failures are memoized too, but
+/// never written to the disk cache.
 pub(crate) fn run_cached_checked(
     jobs: &[SweepJob],
     opts: &RunOptions,
@@ -401,7 +403,26 @@ pub(crate) fn run_cached_checked(
 
     if !missing.is_empty() {
         let batch: Vec<SweepJob> = missing.iter().map(|&i| jobs[i].clone()).collect();
-        let outcomes = run_jobs_checked(&batch, opts);
+        let mut outcomes = run_jobs_checked(&batch, opts);
+
+        // A panic may be environmental (the worker thread died under a
+        // resource spike) where audit and watchdog failures never are:
+        // those name a cycle and component and reproduce bit-identically.
+        // Give panicked jobs exactly one more attempt before the ERR is
+        // recorded; a deterministic panic just fails the same way twice.
+        let panicked: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Err(e) if e.kind == SimErrorKind::Panic))
+            .map(|(j, _)| j)
+            .collect();
+        if !panicked.is_empty() {
+            let retry: Vec<SweepJob> = panicked.iter().map(|&j| batch[j].clone()).collect();
+            for (&j, r) in panicked.iter().zip(run_jobs_checked(&retry, opts)) {
+                outcomes[j] = r;
+            }
+        }
+
         for (&i, r) in missing.iter().zip(outcomes) {
             if let Ok(res) = &r {
                 if disk_cacheable(&jobs[i]) {

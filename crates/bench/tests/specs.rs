@@ -6,7 +6,7 @@ use clip_bench::experiment::{
 };
 use clip_bench::figures::registry;
 use clip_bench::Scale;
-use clip_sim::{NocChoice, RunOptions, Scheme};
+use clip_sim::{CheckLevel, FaultKind, FaultSpec, NocChoice, RunOptions, Scheme};
 use clip_trace::Mix;
 use clip_types::{PrefetcherKind, SimConfig};
 
@@ -217,5 +217,69 @@ fn failing_cell_renders_err_and_structured_error_objects() {
     assert!(
         clean.get("errors").is_none(),
         "clean artifacts must not grow an errors key"
+    );
+}
+
+/// The executor retries panicked cells once (a panic can be
+/// environmental), but integrity failures are deterministic and must
+/// never be masked: an injected conservation fault still renders as ERR
+/// with its audit diagnostic intact.
+#[test]
+fn retry_does_not_mask_deterministic_integrity_faults() {
+    let cfg = SimConfig::builder()
+        .cores(2)
+        .dram_channels(1)
+        .l1_prefetcher(PrefetcherKind::None)
+        .build()
+        .expect("valid config");
+    let workload = clip_trace::catalog::by_name("605.mcf_s-1554B").expect("known workload");
+    let exp = Experiment {
+        name: "retry-no-mask".to_string(),
+        title: "# Retry must not mask audits".to_string(),
+        columns: vec!["mix".to_string(), "ws".to_string()],
+        rows: vec![RowSpec {
+            labels: vec!["faulted".to_string()],
+            extra: Vec::new(),
+            mixes: vec![Mix::homogeneous(&workload, 2)],
+            cells: vec![CellSpec {
+                cfg,
+                scheme: Scheme::plain(),
+            }],
+        }],
+        opts: RunOptions {
+            warmup_instrs: 500,
+            sim_instrs: 3_000,
+            seed: 7,
+            noc: NocChoice::Analytic,
+            check: Some(CheckLevel::Cheap),
+            check_cadence: 64,
+            fault: Some(FaultSpec {
+                kind: FaultKind::DropFlit,
+                at: 1_000,
+            }),
+            ..RunOptions::default()
+        },
+        normalization: Normalization::None,
+        render: Render::GeomeanWs,
+    };
+
+    let (text, artifact) = execute_experiment(&exp);
+    assert!(
+        text.contains("faulted\tERR"),
+        "faulted cell renders ERR: {text}"
+    );
+    let errors = artifact
+        .get("errors")
+        .and_then(|v| v.as_array())
+        .expect("artifact carries an errors array");
+    assert_eq!(errors.len(), 1);
+    assert_eq!(
+        errors[0].get("kind").and_then(|v| v.as_str()),
+        Some("conservation violation"),
+        "the audit failure survives the retry policy untouched"
+    );
+    assert_eq!(
+        errors[0].get("component").and_then(|v| v.as_str()),
+        Some("noc")
     );
 }

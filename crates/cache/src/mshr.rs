@@ -7,7 +7,7 @@
 //! the requestor — the mechanism by which constrained DRAM bandwidth
 //! inflates on-chip latencies in Figure 3.
 
-use clip_types::{Cycle, LineAddr, ReqId};
+use clip_types::{Cycle, Fnv64, LineAddr, ReqId};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -223,6 +223,26 @@ impl MshrFile {
         Ok(())
     }
 
+    /// Folds the file's outstanding entries into a state fingerprint, in
+    /// sorted line-address order: `HashMap` iteration order is per-instance
+    /// random, so sorting is what makes the hash comparable across runs.
+    pub fn fingerprint(&self, h: &mut Fnv64) {
+        let mut lines: Vec<LineAddr> = self.entries.keys().copied().collect();
+        lines.sort_unstable_by_key(|l| l.raw());
+        h.write_u64(self.allocated)
+            .write_u64(self.completed)
+            .write_usize(lines.len());
+        for line in lines {
+            let e = &self.entries[&line];
+            h.write_u64(e.line.raw())
+                .write_u64(e.primary.0)
+                .write_bool(e.is_prefetch)
+                .write_bool(e.demand_merged)
+                .write_usize(e.waiters.len())
+                .write_u64(e.alloc_cycle);
+        }
+    }
+
     /// Fault injection: silently discards one outstanding entry *without*
     /// counting a completion, as a hardware release-path bug would. The
     /// victim is the `selector % len`-th entry in line-address order
@@ -347,6 +367,40 @@ mod tests {
         assert_eq!(m.leak_one(0), Some(LineAddr::new(3)));
         let err = m.audit(5, false).unwrap_err();
         assert!(err.contains("balance broken"), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_is_hash_order_independent() {
+        // Build the same logical contents through different insertion
+        // orders (and thus different HashMap layouts); the fingerprint
+        // must agree because it folds in sorted line order.
+        let build = |order: &[u64]| {
+            let mut m = MshrFile::new(8);
+            for &l in order {
+                m.alloc(LineAddr::new(l), ReqId(l), l % 2 == 0, l).unwrap();
+            }
+            let mut h = Fnv64::new();
+            m.fingerprint(&mut h);
+            h.finish()
+        };
+        assert_eq!(build(&[5, 1, 9, 3]), build(&[5, 1, 9, 3]));
+        let mut a = MshrFile::new(8);
+        let mut b = MshrFile::new(8);
+        for &l in &[5u64, 1, 9, 3] {
+            a.alloc(LineAddr::new(l), ReqId(l), false, 0).unwrap();
+        }
+        for &l in &[3u64, 9, 1, 5] {
+            b.alloc(LineAddr::new(l), ReqId(l), false, 0).unwrap();
+        }
+        let (mut ha, mut hb) = (Fnv64::new(), Fnv64::new());
+        a.fingerprint(&mut ha);
+        b.fingerprint(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        // And a leaked entry changes the hash.
+        a.leak_one(0);
+        let mut hl = Fnv64::new();
+        a.fingerprint(&mut hl);
+        assert_ne!(ha.finish(), hl.finish());
     }
 
     #[test]

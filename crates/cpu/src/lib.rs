@@ -35,7 +35,7 @@ pub mod perceptron;
 pub use perceptron::PerceptronPredictor;
 
 use clip_trace::{Instr, InstrKind};
-use clip_types::{Addr, BitHistory, CoreConfig, Cycle, Ip, MemLevel, ReqId};
+use clip_types::{Addr, BitHistory, CoreConfig, Cycle, Fnv64, Ip, MemLevel, ReqId};
 use std::collections::VecDeque;
 
 /// The interface a core uses to issue memory operations.
@@ -149,6 +149,17 @@ pub struct Core {
     pending_serialized: bool,
     head_stall_started: Option<Cycle>,
     stats: CoreStats,
+    /// Instructions pushed into the ROB (audit counter: the ROB balance
+    /// proves `dispatched - retired - squashed == rob.len()`).
+    dispatched: u64,
+    /// Instructions squashed out of the ROB. The current model never
+    /// squashes (mispredicts only stall fetch), so this stays 0 in clean
+    /// runs; the counter exists so the balance equation survives a future
+    /// squash path and so injected corruption has nowhere to hide.
+    squashed: u64,
+    /// Load completions accepted by [`Core::complete_load`] (audit
+    /// counter: `stats.loads - load_completions == outstanding_loads`).
+    load_completions: u64,
 }
 
 impl Core {
@@ -166,6 +177,9 @@ impl Core {
             pending_serialized: false,
             head_stall_started: None,
             stats: CoreStats::default(),
+            dispatched: 0,
+            squashed: 0,
+            load_completions: 0,
         }
     }
 
@@ -182,6 +196,11 @@ impl Core {
     /// Current ROB occupancy.
     pub fn rob_occupancy(&self) -> usize {
         self.rob.len()
+    }
+
+    /// Demand loads currently in flight (load-queue occupancy).
+    pub fn loads_in_flight(&self) -> usize {
+        self.outstanding_loads
     }
 
     /// The architectural global history of the last 32 conditional branch
@@ -256,6 +275,7 @@ impl Core {
             };
             match instr.kind {
                 InstrKind::Alu { latency } => {
+                    self.dispatched += 1;
                     self.rob.push_back(RobEntry {
                         ip: instr.ip,
                         is_load: false,
@@ -269,6 +289,7 @@ impl Core {
                     let predicted = self.predictor.predict(instr.ip, self.branch_history);
                     self.predictor.update(instr.ip, self.branch_history, taken);
                     self.branch_history.push(taken);
+                    self.dispatched += 1;
                     self.rob.push_back(RobEntry {
                         ip: instr.ip,
                         is_load: false,
@@ -293,6 +314,7 @@ impl Core {
                     self.stats.stores += 1;
                     // Stores retire without waiting for memory (post-commit
                     // store buffer).
+                    self.dispatched += 1;
                     self.rob.push_back(RobEntry {
                         ip: instr.ip,
                         is_load: false,
@@ -325,6 +347,7 @@ impl Core {
                         self.serialized_inflight = true;
                         self.pending_serialized = true;
                     }
+                    self.dispatched += 1;
                     self.rob.push_back(RobEntry {
                         ip: instr.ip,
                         is_load: true,
@@ -335,6 +358,121 @@ impl Core {
                 }
             }
         }
+    }
+
+    /// Audits the core's conservation invariants; `full` adds the per-entry
+    /// ROB scan. Read-only. Returns a diagnostic naming the broken counters
+    /// on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a human-readable string.
+    pub fn audit(&self, full: bool) -> Result<(), String> {
+        if self.rob.len() > self.cfg.rob_entries {
+            return Err(format!(
+                "rob over capacity: {} entries but rob_entries={}",
+                self.rob.len(),
+                self.cfg.rob_entries
+            ));
+        }
+        let live = self.dispatched - self.stats.retired - self.squashed;
+        if live != self.rob.len() as u64 {
+            return Err(format!(
+                "rob balance broken: dispatched={} retired={} squashed={} \
+                 but {} entries live (leaked {})",
+                self.dispatched,
+                self.stats.retired,
+                self.squashed,
+                self.rob.len(),
+                live as i64 - self.rob.len() as i64,
+            ));
+        }
+        if self.outstanding_loads > self.cfg.load_queue {
+            return Err(format!(
+                "load queue over capacity: {} outstanding but load_queue={}",
+                self.outstanding_loads, self.cfg.load_queue
+            ));
+        }
+        let lq = self.stats.loads - self.load_completions;
+        if lq != self.outstanding_loads as u64 {
+            return Err(format!(
+                "load queue balance broken: issued={} completed={} but {} \
+                 outstanding (leaked {})",
+                self.stats.loads,
+                self.load_completions,
+                self.outstanding_loads,
+                lq as i64 - self.outstanding_loads as i64,
+            ));
+        }
+        if full {
+            // Per-entry scan: every in-flight ROB load must be backed by a
+            // load-queue slot; a Done load whose slot was freed twice (a
+            // duplicated wakeup) shows up here as a stale in-flight count.
+            let inflight = self
+                .rob
+                .iter()
+                .filter(|e| matches!(e.state, EntryState::InFlight(_)))
+                .count();
+            if inflight != self.outstanding_loads {
+                return Err(format!(
+                    "stale load-queue accounting: {} rob entries in flight \
+                     but {} outstanding loads tracked",
+                    inflight, self.outstanding_loads
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds the core's architectural + queue state into a fingerprint:
+    /// retired count, branch history, load-queue occupancy, and every ROB
+    /// entry in program order. Deterministic for a deterministic run.
+    pub fn fingerprint(&self, h: &mut Fnv64) {
+        h.write_u64(self.stats.retired)
+            .write_u64(self.branch_history.bits())
+            .write_usize(self.outstanding_loads)
+            .write_usize(self.rob.len());
+        for e in &self.rob {
+            let (tag, word) = match e.state {
+                EntryState::DoneAt(t) => (1u64, t),
+                EntryState::InFlight(r) => (2, r.0),
+                EntryState::Done => (3, 0),
+            };
+            h.write_u64(e.ip.raw())
+                .write_bool(e.is_load)
+                .write_u64(tag)
+                .write_u64(word)
+                .write_u64(e.level as u64);
+        }
+    }
+
+    /// Fault injection: pops the ROB head without crediting the retired
+    /// counter — a "stale retire" that breaks the ROB balance equation.
+    /// Returns false when the ROB is empty (nothing to corrupt).
+    pub fn inject_stale_retire(&mut self) -> bool {
+        self.rob.pop_front().is_some()
+    }
+
+    /// Fault injection: marks the `sel`-th in-flight load as done without
+    /// recording a completion — the duplicated-delivery corruption. The
+    /// real completion later misses (unknown request) and the load-queue
+    /// balance stays broken by one. Returns false when no load is in
+    /// flight.
+    pub fn inject_duplicate_wakeup(&mut self, sel: u64) -> bool {
+        let inflight: Vec<usize> = self
+            .rob
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.state, EntryState::InFlight(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if inflight.is_empty() {
+            return false;
+        }
+        let victim = inflight[(sel % inflight.len() as u64) as usize];
+        self.rob[victim].state = EntryState::Done;
+        self.outstanding_loads = self.outstanding_loads.saturating_sub(1);
+        true
     }
 
     /// Delivers a load response. Returns the [`LoadOutcome`] used to train
@@ -358,6 +496,7 @@ impl Core {
             }
         }
         let i = found?;
+        self.load_completions += 1;
         self.outstanding_loads = self.outstanding_loads.saturating_sub(1);
         // Any returning serialized load unblocks the chain; we do not track
         // which request was the serialized one to keep the model simple —
@@ -700,6 +839,95 @@ mod tests {
         assert!(s.head_stall_cycles > 0);
         assert!(s.head_stall_cycles_beyond_l1 > 0);
         assert!(s.head_stall_cycles_beyond_l1 <= s.head_stall_cycles);
+    }
+
+    #[test]
+    fn audit_passes_on_clean_run_and_pseudo_completions() {
+        let mut core = Core::new(&CoreConfig::default());
+        let mut port = TestPort::new();
+        let mut i = 0u64;
+        let mut fetch = || {
+            i += 1;
+            match i % 3 {
+                0 => alu(),
+                1 => load(0x400 + i, 0x1000 + 64 * i),
+                _ => Instr {
+                    ip: Ip::new(0x500),
+                    kind: InstrKind::Store {
+                        addr: Addr::new(64 * i),
+                    },
+                },
+            }
+        };
+        for now in 0..200 {
+            core.tick(now, &mut fetch, &mut port);
+            if now % 7 == 0 {
+                // Complete an arbitrary prefix of issued loads; also fire a
+                // pseudo-completion for an unknown request, which the tile
+                // layer does routinely for store/prefetch MSHR waiters.
+                core.complete_load(ReqId(now / 7 + 1), MemLevel::L2, now);
+                core.complete_load(ReqId(9_999), MemLevel::Dram, now);
+            }
+            core.audit(true).expect("clean run must audit clean");
+        }
+    }
+
+    #[test]
+    fn stale_retire_breaks_rob_balance() {
+        let mut core = Core::new(&CoreConfig::default());
+        let mut port = TestPort::new();
+        let mut fetch = || alu();
+        for now in 0..5 {
+            core.tick(now, &mut fetch, &mut port);
+        }
+        assert!(core.inject_stale_retire());
+        let e = core.audit(false).expect_err("audit must catch");
+        assert!(e.contains("rob balance broken"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_wakeup_breaks_load_queue_balance() {
+        let mut core = Core::new(&CoreConfig::default());
+        let mut port = TestPort::new();
+        let mut i = 0u64;
+        let mut fetch = || {
+            i += 1;
+            load(0x400 + i, 0x1000 + 64 * i)
+        };
+        for now in 0..5 {
+            core.tick(now, &mut fetch, &mut port);
+        }
+        assert!(core.inject_duplicate_wakeup(3));
+        let e = core.audit(false).expect_err("audit must catch");
+        assert!(e.contains("load queue balance broken"), "{e}");
+        // The real completion for the corrupted request misses (the entry is
+        // already Done) and must not repair the balance.
+        core.complete_load(ReqId(1), MemLevel::L2, 6);
+        core.complete_load(ReqId(2), MemLevel::L2, 6);
+        core.complete_load(ReqId(3), MemLevel::L2, 6);
+        core.complete_load(ReqId(4), MemLevel::L2, 6);
+        assert!(core.audit(false).is_err(), "retry must not mask the fault");
+    }
+
+    #[test]
+    fn fingerprint_tracks_architectural_state() {
+        let run = |cycles: u64| {
+            let mut core = Core::new(&CoreConfig::default());
+            let mut port = TestPort::new();
+            let mut i = 0u64;
+            let mut fetch = || {
+                i += 1;
+                load(0x400 + i, 0x1000 + 64 * i)
+            };
+            for now in 0..cycles {
+                core.tick(now, &mut fetch, &mut port);
+            }
+            let mut h = Fnv64::new();
+            core.fingerprint(&mut h);
+            h.finish()
+        };
+        assert_eq!(run(5), run(5), "same run, same fingerprint");
+        assert_ne!(run(5), run(6), "different state, different fingerprint");
     }
 
     #[test]

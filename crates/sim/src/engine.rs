@@ -266,6 +266,84 @@ impl Engine {
         }
     }
 
+    /// Fault injection: flips the criticality flag of the `sel % len`-th
+    /// live prefetch transaction (slot order). Nothing becomes
+    /// unaccounted for — the transaction just arbitrates at the wrong
+    /// priority from here on — so no conservation audit can catch this;
+    /// only the state-fingerprint comparison against a clean same-seed
+    /// run localizes the divergence. Returns false when no prefetch is
+    /// live.
+    pub(crate) fn flip_prefetch_criticality(&mut self, sel: u64) -> bool {
+        let candidates: Vec<usize> = self
+            .txns
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.live && matches!(t.kind, TxnKind::Prefetch { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let victim = candidates[(sel % candidates.len() as u64) as usize];
+        if let TxnKind::Prefetch { critical, .. } = &mut self.txns[victim].kind {
+            *critical = !*critical;
+        }
+        true
+    }
+
+    /// Legality scan over the live-transaction slab: every line must lie
+    /// inside the simulated address space. Backstop for a corrupted
+    /// prefetch address that left its tile queue between audit windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first illegal transaction.
+    pub(crate) fn audit_txns(&self) -> Result<(), String> {
+        for (i, t) in self.txns.iter().enumerate() {
+            if t.live && !crate::tile::line_in_address_space(t.line) {
+                return Err(format!(
+                    "txn{i} (tile {}) targets line {:#x}, outside the \
+                     simulated address space",
+                    t.tile,
+                    t.line.raw()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds the live-transaction slab into a state fingerprint, in slot
+    /// order (slot allocation is deterministic for a deterministic run).
+    /// Includes the prefetch criticality/fill bits, so a flipped flag
+    /// diverges here even before arbitration acts on it.
+    pub(crate) fn fingerprint_txns(&self, h: &mut clip_types::Fnv64) {
+        h.write_usize(self.live_txns());
+        for (i, t) in self.txns.iter().enumerate() {
+            if !t.live {
+                continue;
+            }
+            let (tag, fill, crit, tip) = match t.kind {
+                TxnKind::Demand => (1u64, false, false, 0),
+                TxnKind::Store => (2, false, false, 0),
+                TxnKind::Prefetch {
+                    fill_l1,
+                    critical,
+                    trigger_ip,
+                } => (3, fill_l1, critical, trigger_ip.raw()),
+            };
+            h.write_usize(i)
+                .write_u64(u64::from(t.tile))
+                .write_u64(t.ip.raw())
+                .write_u64(t.line.raw())
+                .write_u64(tag)
+                .write_bool(fill)
+                .write_bool(crit)
+                .write_u64(tip)
+                .write_u64(t.issue)
+                .write_u64(t.level as u64);
+        }
+    }
+
     /// Injects a message, spilling to the node's outbox on back-pressure
     /// (or when earlier spilled messages must keep FIFO order).
     pub(crate) fn send_msg(

@@ -1,12 +1,15 @@
 //! Deterministic fault injection.
 //!
 //! A [`FaultSpec`] in [`crate::RunOptions`] arms one fault that the cycle
-//! loop triggers at a chosen cycle: drop an in-flight NoC flit, swallow a
-//! DRAM completion, leak an LLC MSHR entry, or discard every NoC delivery
-//! from that cycle on. The first three each violate exactly one
-//! conservation invariant, so tests can prove the matching auditor fires;
-//! the last is invisible to every conservation audit and wedges the whole
-//! system, exercising the forward-progress watchdog.
+//! loop triggers at a chosen cycle. The *loss* kinds make state vanish:
+//! drop an in-flight NoC flit, swallow a DRAM completion, leak an LLC
+//! MSHR entry, or discard every NoC delivery from that cycle on. The
+//! *corruption* kinds change state without losing any: flip a prefetch's
+//! criticality bit, duplicate a load wakeup, corrupt a queued prefetch
+//! address, or retire a ROB head without credit. Each fault is pinned to
+//! the auditor that must catch it by a table-driven test; the two
+//! deliberately audit-invisible kinds (`LoseDelivery`, `FlipCriticality`)
+//! exercise the watchdog and the fingerprint localizer respectively.
 //!
 //! Victim selection draws from a [`SimRng`] seeded from the run seed, so
 //! a given `(options, config, scheme, mix)` always kills the same flit or
@@ -32,6 +35,23 @@ pub enum FaultKind {
     /// network has accounted for it. No conservation audit can see this;
     /// only the forward-progress watchdog reports the hang.
     LoseDelivery,
+    /// Flip the criticality flag of one live prefetch transaction —
+    /// corruption, not loss: nothing is unaccounted for, arbitration just
+    /// makes different (wrong) decisions from then on. Invisible to every
+    /// conservation audit by design; only the state-fingerprint comparison
+    /// against a clean same-seed run localizes it.
+    FlipCriticality,
+    /// Mark one in-flight load done in a core's ROB without recording a
+    /// completion, as a duplicated NoC delivery would. Caught by the
+    /// core's load-queue conservation audit.
+    DuplicateDelivery,
+    /// Corrupt the line address of one queued prefetch so it points
+    /// outside the simulated address space. Caught by the tile
+    /// prefetch-queue legality scan under `CLIP_CHECK=full`.
+    CorruptPrefetchAddr,
+    /// Pop a core's ROB head without crediting the retired counter — a
+    /// stale retire. Caught by the core's ROB conservation audit.
+    StaleRetire,
 }
 
 /// One armed fault: what to break and when.

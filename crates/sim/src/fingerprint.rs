@@ -1,0 +1,174 @@
+//! State-fingerprint divergence localization.
+//!
+//! Under `CLIP_CHECK=full` the integrity loop folds each component's
+//! architectural + queue state into an FNV-1a hash every cadence window
+//! (cores and ROBs, private MSHR files, prefetch queues, LLC MSHRs, the
+//! live-transaction slab). Two same-seed runs that must be bit-identical
+//! — serial vs parallel, or corrupted vs clean — can then be diffed
+//! window by window: instead of "the final IPC is wrong", [`compare`]
+//! reports *"first divergent window N (cycle C), component X"* as a
+//! [`SimErrorKind::Divergence`] error. This is the only detector for
+//! corruption that stays conserved (e.g. [`crate::FaultKind::FlipCriticality`]:
+//! nothing is lost, arbitration just decides differently from then on).
+//!
+//! Fingerprints ride in [`SimResult::fingerprints`] but are deliberately
+//! excluded from its JSON form: artifacts stay byte-identical whether or
+//! not a run captured them.
+
+use crate::result::SimResult;
+use crate::system::System;
+use crate::{run_jobs_checked, RunOptions, SweepJob};
+use clip_types::{Cycle, Fnv64, SimError, SimErrorKind};
+
+/// One cadence window's per-component state hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowFingerprint {
+    /// Window index (`cycle / check_cadence`).
+    pub window: u64,
+    /// Cycle the window was sampled at.
+    pub cycle: Cycle,
+    /// One hash per component, laid out as `tile0..tileN-1, llc, txns`
+    /// (see [`component_name`]).
+    pub hashes: Vec<u64>,
+}
+
+/// Names the component at `index` in a [`WindowFingerprint::hashes`]
+/// layout with `tiles` tiles: `tile{i}`, then `llc`, then `txns`.
+pub fn component_name(index: usize, tiles: usize) -> String {
+    if index < tiles {
+        format!("tile{index}")
+    } else if index == tiles {
+        "llc".to_string()
+    } else {
+        "txns".to_string()
+    }
+}
+
+impl System {
+    /// Captures one window's per-component fingerprint. Read-only.
+    pub(crate) fn capture_fingerprint(&mut self, now: Cycle) {
+        let cadence = self.integrity.cadence.max(1);
+        let mut hashes = Vec::with_capacity(self.tiles.len() + 2);
+        for t in &self.tiles {
+            let mut h = Fnv64::new();
+            t.fingerprint(&mut h);
+            hashes.push(h.finish());
+        }
+        let mut h = Fnv64::new();
+        self.engine.llc.fingerprint(&mut h);
+        hashes.push(h.finish());
+        let mut h = Fnv64::new();
+        self.engine.fingerprint_txns(&mut h);
+        hashes.push(h.finish());
+        self.fingerprints.push(WindowFingerprint {
+            window: now / cadence,
+            cycle: now,
+            hashes,
+        });
+    }
+}
+
+/// Diffs two same-seed runs' fingerprint streams window by window.
+///
+/// Both runs must have been captured under `CLIP_CHECK=full` with the
+/// same `check_cadence`; when either side recorded no fingerprints there
+/// is nothing to compare and the result is `Ok`.
+///
+/// # Errors
+///
+/// Returns a [`SimErrorKind::Divergence`] error naming the first
+/// divergent cadence window and the component that diverged — or, when
+/// every shared window agrees but the streams have different lengths,
+/// the first unmatched window (the runs took different numbers of
+/// cycles, itself a divergence).
+pub fn compare(reference: &SimResult, candidate: &SimResult) -> Result<(), SimError> {
+    let (a, b) = (&reference.fingerprints, &candidate.fingerprints);
+    if a.is_empty() || b.is_empty() {
+        return Ok(());
+    }
+    for (wa, wb) in a.iter().zip(b.iter()) {
+        let tiles = wa.hashes.len().saturating_sub(2);
+        if wa.window != wb.window {
+            return Err(SimError::new(
+                wa.cycle.min(wb.cycle),
+                "fingerprint",
+                SimErrorKind::Divergence,
+                format!(
+                    "window streams desynchronized: window {} vs {} (check_cadence differs?)",
+                    wa.window, wb.window
+                ),
+            ));
+        }
+        for (i, (ha, hb)) in wa.hashes.iter().zip(wb.hashes.iter()).enumerate() {
+            if ha != hb {
+                return Err(SimError::new(
+                    wa.cycle,
+                    component_name(i, tiles),
+                    SimErrorKind::Divergence,
+                    format!(
+                        "first divergent window {} (cycle {}), component {}: \
+                         state hash {:#018x} vs {:#018x}",
+                        wa.window,
+                        wa.cycle,
+                        component_name(i, tiles),
+                        ha,
+                        hb
+                    ),
+                ));
+            }
+        }
+    }
+    if a.len() != b.len() {
+        let first_unmatched = a.len().min(b.len());
+        let longer = if a.len() > b.len() { a } else { b };
+        let w = &longer[first_unmatched];
+        return Err(SimError::new(
+            w.cycle,
+            "fingerprint",
+            SimErrorKind::Divergence,
+            format!(
+                "runs recorded {} vs {} windows; first unmatched window {} (cycle {})",
+                a.len(),
+                b.len(),
+                w.window,
+                w.cycle
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Runs a batch through [`run_jobs_checked`] and localizes divergence the
+/// auditors cannot see: when `opts.fault` is armed, each job that still
+/// completes cleanly is re-run with the fault disarmed and its
+/// fingerprint stream diffed against the clean run via [`compare`]. A
+/// conserved corruption (e.g. `FlipCriticality`) thereby surfaces as a
+/// `Divergence` error naming the first divergent window and component
+/// instead of silently skewing the result.
+///
+/// Requires `CLIP_CHECK=full` (or `opts.check = Some(CheckLevel::Full)`)
+/// to capture fingerprints; at lower levels this is exactly
+/// `run_jobs_checked`. Without an armed fault there is no reference to
+/// diff against and the batch also passes through unchanged.
+pub fn run_jobs_localized(
+    jobs: &[SweepJob],
+    opts: &RunOptions,
+) -> Vec<Result<SimResult, SimError>> {
+    let outcomes = run_jobs_checked(jobs, opts);
+    if opts.fault.is_none() {
+        return outcomes;
+    }
+    let clean_opts = RunOptions {
+        fault: None,
+        ..opts.clone()
+    };
+    let clean = run_jobs_checked(jobs, &clean_opts);
+    outcomes
+        .into_iter()
+        .zip(clean)
+        .map(|(faulted, clean)| match (faulted, clean) {
+            (Ok(f), Ok(c)) => compare(&c, &f).map(|()| f),
+            (faulted, _) => faulted,
+        })
+        .collect()
+}

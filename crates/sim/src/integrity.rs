@@ -3,8 +3,11 @@
 //!
 //! The cycle loop calls [`System::integrity_tick`] after every tick; at
 //! the configured cadence it runs the component audits (NoC flit
-//! conservation, DRAM command legality, LLC lookup-ring occupancy, and
-//! every MSHR file's allocation/release balance) and samples a global
+//! conservation, DRAM command legality, LLC lookup-ring occupancy, every
+//! MSHR file's allocation/release balance, every core's ROB/load-queue
+//! balance, and every tile's prefetch-queue conservation + address
+//! legality), captures a per-component state fingerprint under
+//! `CLIP_CHECK=full` (see [`crate::fingerprint`]), and samples a global
 //! progress signature. If the signature does not change for a whole
 //! watchdog window while work is still in flight, the run is declared
 //! deadlocked with a report naming the stuck transactions and every
@@ -75,6 +78,11 @@ impl System {
             .llc
             .audit(now, full)
             .map_err(|e| component_error(now, "llc", e))?;
+        if full {
+            self.engine
+                .audit_txns()
+                .map_err(|e| component_error(now, "txns", e))?;
+        }
         for (i, t) in self.tiles.iter().enumerate() {
             t.l1_mshr
                 .audit(now, full)
@@ -82,6 +90,17 @@ impl System {
             t.l2_mshr
                 .audit(now, full)
                 .map_err(|e| component_error(now, format!("tile{i}.l2-mshr"), e))?;
+            t.core
+                .as_ref()
+                .expect("core present")
+                .audit(full)
+                .map_err(|e| component_error(now, format!("tile{i}.core"), e))?;
+            t.audit_pf_queue(full)
+                .map_err(|e| component_error(now, format!("tile{i}.pf-queue"), e))?;
+        }
+
+        if full {
+            self.capture_fingerprint(now);
         }
 
         // Forward progress: the signature moves whenever any core retires
@@ -168,10 +187,13 @@ impl System {
 }
 
 /// Wraps a component audit failure, classifying legality-scan failures
-/// (stale or future-dated entries) as illegal state rather than lost
-/// work.
+/// (stale or future-dated entries, addresses outside the simulated
+/// space) as illegal state rather than lost work.
 fn component_error(now: Cycle, component: impl Into<String>, detail: String) -> SimError {
-    let kind = if detail.contains("future") || detail.contains("stale") {
+    let kind = if detail.contains("future")
+        || detail.contains("stale")
+        || detail.contains("outside the simulated address space")
+    {
         SimErrorKind::IllegalState
     } else {
         SimErrorKind::Conservation

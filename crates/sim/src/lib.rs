@@ -30,6 +30,7 @@
 
 mod engine;
 pub mod fault;
+pub mod fingerprint;
 mod integrity;
 mod llc;
 mod ports;
@@ -43,6 +44,7 @@ mod tile;
 pub use clip_types::{CheckLevel, SimError, SimErrorKind};
 pub use engine::NocChoice;
 pub use fault::{FaultKind, FaultSpec};
+pub use fingerprint::{run_jobs_localized, WindowFingerprint};
 pub use report::ComparisonReport;
 pub use result::{ClipReport, LatencyReport, MissReport, PrefetchReport, SimResult, TimelinePoint};
 pub use scheme::Scheme;

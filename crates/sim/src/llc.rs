@@ -150,6 +150,15 @@ impl ClockedLlc {
         Ok(())
     }
 
+    /// Folds the slices' MSHR state into a state fingerprint (each
+    /// [`clip_cache::MshrFile::fingerprint`] sorts its own entries).
+    pub(crate) fn fingerprint(&self, h: &mut clip_types::Fnv64) {
+        h.write_u64(self.scheduled).write_u64(self.fired);
+        for m in &self.mshrs {
+            m.fingerprint(h);
+        }
+    }
+
     /// Fault injection: leaks one outstanding MSHR entry from the first
     /// occupied slice (slices scanned in index order, victim within the
     /// slice picked by `selector`). Returns false when every file is

@@ -198,6 +198,12 @@ pub struct SimResult {
     /// Per-interval time series (empty unless requested via
     /// `RunOptions::timeline_interval`).
     pub timeline: Vec<TimelinePoint>,
+    /// Per-window state fingerprints (empty unless the run was audited
+    /// under `CLIP_CHECK=full`; see [`crate::fingerprint`]). Deliberately
+    /// excluded from [`SimResult::to_json`] — artifacts stay byte-identical
+    /// whether or not fingerprints were captured — so they do not survive
+    /// a disk-cache round trip.
+    pub fingerprints: Vec<crate::fingerprint::WindowFingerprint>,
 }
 
 impl SimResult {
@@ -419,6 +425,9 @@ impl SimResult {
                 clip_lookups: u(energy, "clip_lookups")?,
             },
             timeline,
+            // Never serialized (see the field docs): a cache round trip
+            // yields a result without fingerprints.
+            fingerprints: Vec::new(),
         })
     }
 

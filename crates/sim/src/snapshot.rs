@@ -368,6 +368,7 @@ impl System {
             baseline_evals,
             energy,
             timeline,
+            fingerprints: std::mem::take(&mut self.fingerprints),
         }
     }
 }

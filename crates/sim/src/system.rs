@@ -54,6 +54,9 @@ pub struct System {
     pub(crate) integrity: Integrity,
     /// Armed fault, if any (see [`crate::fault`]).
     pub(crate) fault: Option<FaultHarness>,
+    /// Per-window state fingerprints, captured under `CLIP_CHECK=full`
+    /// (see [`crate::fingerprint`]).
+    pub(crate) fingerprints: Vec<crate::fingerprint::WindowFingerprint>,
 }
 
 impl System {
@@ -117,6 +120,8 @@ impl System {
                     epoch_late: 0,
                     warmup_retired: 0,
                     finish_cycle: None,
+                    pf_queued: 0,
+                    pf_dequeued: 0,
                 }
             })
             .collect();
@@ -149,6 +154,7 @@ impl System {
                 DEFAULT_WATCHDOG_WINDOW,
             ),
             fault: None,
+            fingerprints: Vec::new(),
         }
     }
 
@@ -264,10 +270,73 @@ impl System {
             FaultKind::SwallowDramCompletion => self.engine.dram.mem.inject_swallow_completion(sel),
             FaultKind::LeakLlcMshr => self.engine.llc.inject_mshr_leak(sel),
             FaultKind::LoseDelivery => true,
+            FaultKind::FlipCriticality => self.engine.flip_prefetch_criticality(sel),
+            FaultKind::DuplicateDelivery => self.inject_duplicate_delivery(sel),
+            FaultKind::CorruptPrefetchAddr => self.inject_corrupt_prefetch(sel),
+            FaultKind::StaleRetire => self.inject_stale_retire(sel),
         };
         if landed {
             self.fault.as_mut().expect("checked present above").fired = Some(now);
         }
+    }
+
+    /// Fault injection: duplicated load wakeup on the `sel`-th tile with a
+    /// load in flight (see [`Core::inject_duplicate_wakeup`]).
+    fn inject_duplicate_delivery(&mut self, sel: u64) -> bool {
+        let candidates: Vec<usize> = self
+            .tiles
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.core.as_ref().is_some_and(|c| c.loads_in_flight() > 0))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let t = candidates[(sel % candidates.len() as u64) as usize];
+        self.tiles[t]
+            .core
+            .as_mut()
+            .expect("core present")
+            .inject_duplicate_wakeup(sel)
+    }
+
+    /// Fault injection: corrupted queued-prefetch address on the `sel`-th
+    /// tile with a non-empty prefetch queue.
+    fn inject_corrupt_prefetch(&mut self, sel: u64) -> bool {
+        let candidates: Vec<usize> = self
+            .tiles
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.pf_queue.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let t = candidates[(sel % candidates.len() as u64) as usize];
+        self.tiles[t].corrupt_queued_prefetch(sel).is_some()
+    }
+
+    /// Fault injection: uncredited ROB-head retire on the `sel`-th tile
+    /// with a non-empty ROB.
+    fn inject_stale_retire(&mut self, sel: u64) -> bool {
+        let candidates: Vec<usize> = self
+            .tiles
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.core.as_ref().is_some_and(|c| c.rob_occupancy() > 0))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let t = candidates[(sel % candidates.len() as u64) as usize];
+        self.tiles[t]
+            .core
+            .as_mut()
+            .expect("core present")
+            .inject_stale_retire()
     }
 
     fn throttle_epoch(&mut self, now: Cycle) {

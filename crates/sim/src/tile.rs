@@ -80,6 +80,12 @@ pub(crate) struct Tile {
     // Measurement bookkeeping.
     pub warmup_retired: u64,
     pub finish_cycle: Option<Cycle>,
+    /// Candidates ever pushed into `pf_queue` (audit counter).
+    pub pf_queued: u64,
+    /// Entries ever popped from `pf_queue` — issued, dedup-dropped, or
+    /// evicted as oldest (audit counter: `pf_queued - pf_dequeued`
+    /// must equal the queue occupancy).
+    pub pf_dequeued: u64,
 }
 
 impl Tile {
@@ -98,11 +104,105 @@ impl Tile {
     /// Queues a gated prefetch candidate, dropping the oldest when full
     /// (newest candidates reflect the current phase best).
     fn queue_prefetch(&mut self, q: QueuedPrefetch) {
-        if self.pf_queue.is_full() {
-            self.pf_queue.pop();
+        if self.pf_queue.is_full() && self.pf_queue.pop().is_some() {
+            self.pf_dequeued += 1;
         }
-        let _ = self.pf_queue.try_push(q);
+        if self.pf_queue.try_push(q).is_ok() {
+            self.pf_queued += 1;
+        }
     }
+
+    /// Audits the tile-private prefetch queue: entry conservation across
+    /// queue/issue/drop, occupancy vs capacity, and (with `full`) a
+    /// legality scan proving every queued line targets the simulated
+    /// address space.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a human-readable string.
+    pub(crate) fn audit_pf_queue(&self, full: bool) -> Result<(), String> {
+        let len = self.pf_queue.len() as u64;
+        if self.pf_queued - self.pf_dequeued != len {
+            return Err(format!(
+                "pf queue balance broken: queued={} dequeued={} but {} \
+                 entries present (leaked {})",
+                self.pf_queued,
+                self.pf_dequeued,
+                len,
+                (self.pf_queued - self.pf_dequeued) as i64 - len as i64
+            ));
+        }
+        if self.pf_queue.len() > PF_QUEUE_CAP {
+            return Err(format!(
+                "pf queue over capacity: {} entries in a {PF_QUEUE_CAP}-entry queue",
+                self.pf_queue.len()
+            ));
+        }
+        if full {
+            for q in self.pf_queue.iter() {
+                if !line_in_address_space(q.line) {
+                    return Err(format!(
+                        "queued prefetch for line {:#x} points outside the \
+                         simulated address space",
+                        q.line.raw()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds the tile's architectural + queue state (core, both private
+    /// MSHR files, prefetch queue) into a state fingerprint.
+    pub(crate) fn fingerprint(&self, h: &mut clip_types::Fnv64) {
+        if let Some(core) = self.core.as_ref() {
+            core.fingerprint(h);
+        }
+        self.l1_mshr.fingerprint(h);
+        self.l2_mshr.fingerprint(h);
+        h.write_usize(self.pf_queue.len());
+        for q in self.pf_queue.iter() {
+            h.write_u64(q.line.raw())
+                .write_u64(q.trigger_ip.raw())
+                .write_bool(q.fill_l1)
+                .write_bool(q.from_l1);
+        }
+        h.write_u64(self.pf_candidates).write_u64(self.pf_issued);
+    }
+
+    /// Fault injection: corrupts the line address of the `sel % len`-th
+    /// queued prefetch so it points outside the simulated address space
+    /// (the queue is rebuilt in order; the balance counters stay
+    /// untouched, so only the legality scan can catch this). Returns the
+    /// corrupted line, or `None` when the queue is empty.
+    pub(crate) fn corrupt_queued_prefetch(&mut self, sel: u64) -> Option<LineAddr> {
+        let len = self.pf_queue.len();
+        if len == 0 {
+            return None;
+        }
+        let victim = (sel % len as u64) as usize;
+        let mut entries: Vec<QueuedPrefetch> = Vec::with_capacity(len);
+        while let Some(q) = self.pf_queue.pop() {
+            entries.push(q);
+        }
+        // Flip a line bit beyond any address a tile can generate (line bit
+        // 50 = byte bit 56, past the 2^54-byte legality bound).
+        entries[victim].line = LineAddr::new(entries[victim].line.raw() ^ (1 << 50));
+        let corrupted = entries[victim].line;
+        for q in entries {
+            self.pf_queue
+                .try_push(q)
+                .expect("same capacity, same count");
+        }
+        Some(corrupted)
+    }
+}
+
+/// True when a line's byte address lies inside the simulated address
+/// space: tile heaps sit at `(tile+1) << 42`, so every legitimate byte
+/// address is far below 2^54 even at the maximum core count.
+pub(crate) fn line_in_address_space(line: LineAddr) -> bool {
+    line.byte_addr().raw() >> 54 == 0
 }
 
 /// One tile viewed as a clocked component: a [`Tick::tick`] issues the
@@ -433,10 +533,12 @@ impl System {
                     || (!q.fill_l1 && tile.l2.contains(q.line))
                 {
                     self.tiles[t].pf_queue.pop();
+                    self.tiles[t].pf_dequeued += 1;
                     continue;
                 }
             }
             self.tiles[t].pf_queue.pop();
+            self.tiles[t].pf_dequeued += 1;
             // CLIP gates at the issue point so its per-IP issue accounting
             // matches prefetches that actually enter the hierarchy.
             let clip_here = self.tiles[t].clip_at_l1 == q.from_l1;

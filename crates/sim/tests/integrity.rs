@@ -4,8 +4,8 @@
 //! a batch leaves the other jobs' results byte-identical to a clean run.
 
 use clip_sim::{
-    run_jobs_checked, run_mix_checked, CheckLevel, FaultKind, FaultSpec, NocChoice, RunOptions,
-    Scheme, SimErrorKind, SweepJob,
+    run_jobs_checked, run_jobs_localized, run_mix_checked, CheckLevel, FaultKind, FaultSpec,
+    NocChoice, RunOptions, Scheme, SimError, SimErrorKind, SweepJob,
 };
 use clip_trace::{catalog, Mix};
 use clip_types::{PrefetcherKind, SimConfig};
@@ -15,6 +15,15 @@ fn cfg(cores: usize) -> SimConfig {
         .cores(cores)
         .dram_channels(1)
         .l1_prefetcher(PrefetcherKind::None)
+        .build()
+        .expect("valid config")
+}
+
+fn cfg_pf(cores: usize) -> SimConfig {
+    SimConfig::builder()
+        .cores(cores)
+        .dram_channels(1)
+        .l1_prefetcher(PrefetcherKind::Berti)
         .build()
         .expect("valid config")
 }
@@ -88,6 +97,258 @@ fn lost_deliveries_trip_the_forward_progress_watchdog() {
     assert!(err.cycle >= 2_000, "detected at cycle {}", err.cycle);
     assert!(err.detail.contains("live txns"), "{err}");
     assert!(err.detail.contains("oldest"), "{err}");
+}
+
+/// One row of the fault → auditor table: how to provoke the fault and
+/// what the resulting `SimError` must look like.
+struct FaultRow {
+    kind: FaultKind,
+    /// Use the prefetcher-enabled config (queue/criticality faults need
+    /// prefetches in flight).
+    needs_prefetcher: bool,
+    check: CheckLevel,
+    check_cadence: u64,
+    watchdog_window: u64,
+    expect_kind: SimErrorKind,
+    /// The error's component must start with one of these.
+    expect_component_prefixes: &'static [&'static str],
+}
+
+const FAULT_TABLE: &[FaultRow] = &[
+    FaultRow {
+        kind: FaultKind::DropFlit,
+        needs_prefetcher: false,
+        check: CheckLevel::Cheap,
+        check_cadence: 64,
+        watchdog_window: 0,
+        expect_kind: SimErrorKind::Conservation,
+        expect_component_prefixes: &["noc"],
+    },
+    FaultRow {
+        kind: FaultKind::SwallowDramCompletion,
+        needs_prefetcher: false,
+        check: CheckLevel::Cheap,
+        check_cadence: 64,
+        watchdog_window: 0,
+        expect_kind: SimErrorKind::Conservation,
+        expect_component_prefixes: &["dram"],
+    },
+    FaultRow {
+        kind: FaultKind::LeakLlcMshr,
+        needs_prefetcher: false,
+        check: CheckLevel::Cheap,
+        check_cadence: 64,
+        watchdog_window: 0,
+        expect_kind: SimErrorKind::Conservation,
+        expect_component_prefixes: &["llc"],
+    },
+    FaultRow {
+        kind: FaultKind::LoseDelivery,
+        needs_prefetcher: false,
+        check: CheckLevel::Cheap,
+        check_cadence: 64,
+        watchdog_window: 2_000,
+        expect_kind: SimErrorKind::Deadlock,
+        expect_component_prefixes: &["watchdog"],
+    },
+    FaultRow {
+        kind: FaultKind::StaleRetire,
+        needs_prefetcher: false,
+        check: CheckLevel::Cheap,
+        check_cadence: 64,
+        watchdog_window: 0,
+        expect_kind: SimErrorKind::Conservation,
+        expect_component_prefixes: &["tile"],
+    },
+    FaultRow {
+        kind: FaultKind::DuplicateDelivery,
+        needs_prefetcher: false,
+        check: CheckLevel::Cheap,
+        check_cadence: 64,
+        watchdog_window: 0,
+        expect_kind: SimErrorKind::Conservation,
+        expect_component_prefixes: &["tile"],
+    },
+    FaultRow {
+        kind: FaultKind::CorruptPrefetchAddr,
+        needs_prefetcher: true,
+        // The corrupted entry is only visible to the full-level legality
+        // scans; a tight cadence catches it before the queue drains (the
+        // txn-slab backstop catches it afterwards).
+        check: CheckLevel::Full,
+        check_cadence: 8,
+        watchdog_window: 0,
+        expect_kind: SimErrorKind::IllegalState,
+        expect_component_prefixes: &["tile", "txns"],
+    },
+    FaultRow {
+        kind: FaultKind::FlipCriticality,
+        needs_prefetcher: true,
+        // Conserved corruption: only the fingerprint comparison against a
+        // clean same-seed run (run_jobs_localized) can report it.
+        check: CheckLevel::Full,
+        check_cadence: 16,
+        watchdog_window: 0,
+        expect_kind: SimErrorKind::Divergence,
+        expect_component_prefixes: &["tile", "llc", "txns", "fingerprint"],
+    },
+];
+
+fn row_options(row: &FaultRow) -> RunOptions {
+    RunOptions {
+        warmup_instrs: 500,
+        sim_instrs: 3_000,
+        seed: 7,
+        noc: NocChoice::Analytic,
+        check: Some(row.check),
+        check_cadence: row.check_cadence,
+        watchdog_window: row.watchdog_window,
+        fault: Some(FaultSpec {
+            kind: row.kind,
+            at: 1_000,
+        }),
+        ..RunOptions::default()
+    }
+}
+
+fn row_error(row: &FaultRow) -> SimError {
+    let c = if row.needs_prefetcher {
+        cfg_pf(4)
+    } else {
+        cfg(4)
+    };
+    let jobs = vec![SweepJob {
+        cfg: c,
+        scheme: Scheme::plain(),
+        mix: mix(4),
+    }];
+    let mut outcomes = run_jobs_localized(&jobs, &row_options(row));
+    outcomes
+        .remove(0)
+        .expect_err("every injected fault must be reported")
+}
+
+#[test]
+fn every_fault_kind_is_caught_by_its_auditor() {
+    for row in FAULT_TABLE {
+        let err = row_error(row);
+        assert_eq!(
+            err.kind, row.expect_kind,
+            "{:?}: wrong error kind: {err}",
+            row.kind
+        );
+        assert!(
+            row.expect_component_prefixes
+                .iter()
+                .any(|p| err.component.starts_with(p)),
+            "{:?}: component {:?} not in {:?} ({err})",
+            row.kind,
+            err.component,
+            row.expect_component_prefixes
+        );
+        // Tile-layer faults must name the specific structure.
+        match row.kind {
+            FaultKind::StaleRetire | FaultKind::DuplicateDelivery => {
+                assert!(err.component.ends_with(".core"), "{err}");
+            }
+            FaultKind::CorruptPrefetchAddr => {
+                assert!(
+                    err.component.ends_with(".pf-queue") || err.component == "txns",
+                    "{err}"
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn fault_victims_are_deterministic_across_runs_and_threads() {
+    // The same seed must pick the same victim — and report the identical
+    // error — whether jobs run serially or across worker threads.
+    std::env::set_var("CLIP_THREADS", "2");
+    for row in FAULT_TABLE {
+        let a = row_error(row);
+        let b = row_error(row);
+        assert_eq!(a, b, "{:?}: victim must be deterministic", row.kind);
+    }
+}
+
+#[test]
+fn stale_retire_names_core_conservation() {
+    let row = &FAULT_TABLE[4];
+    let err = row_error(row);
+    assert!(err.detail.contains("rob balance broken"), "{err}");
+    assert!(err.cycle >= 1_000, "detected at cycle {}", err.cycle);
+}
+
+#[test]
+fn duplicate_delivery_names_load_queue() {
+    let row = &FAULT_TABLE[5];
+    let err = row_error(row);
+    assert!(err.detail.contains("load queue balance broken"), "{err}");
+}
+
+#[test]
+fn flip_criticality_is_localized_to_a_window_and_component() {
+    // The fingerprint localizer demo of the issue: a flipped criticality
+    // bit is conserved state, so the faulted run completes cleanly; only
+    // diffing its fingerprint stream against the un-faulted same-seed run
+    // reports where the histories first part ways.
+    let opts = row_options(&FAULT_TABLE[7]);
+    let c = cfg_pf(4);
+    let m = mix(4);
+
+    let faulted = run_mix_checked(&c, &Scheme::plain(), &m, &opts)
+        .expect("conserved corruption passes every auditor");
+    let clean_opts = RunOptions {
+        fault: None,
+        ..opts.clone()
+    };
+    let clean = run_mix_checked(&c, &Scheme::plain(), &m, &clean_opts).expect("clean run");
+    assert!(
+        !clean.fingerprints.is_empty(),
+        "full-level runs must capture fingerprints"
+    );
+
+    let err = clip_sim::fingerprint::compare(&clean, &faulted)
+        .expect_err("flipped criticality must diverge");
+    assert_eq!(err.kind, SimErrorKind::Divergence);
+    assert!(err.detail.contains("first divergent window"), "{err}");
+    // A clean run diffed against itself reports nothing.
+    clip_sim::fingerprint::compare(&clean, &clean).expect("self-comparison is clean");
+}
+
+#[test]
+fn watchdog_tolerates_slow_but_live_configurations() {
+    // False-positive regression: the slowest known-good configuration —
+    // bandwidth-starved streaming with a prefetcher multiplying traffic —
+    // stalls individual cores for long stretches but always makes *some*
+    // global progress. Under full checks and a tight audit cadence the
+    // default watchdog window must not fire.
+    let c = SimConfig::builder()
+        .cores(8)
+        .dram_channels(1)
+        .l1_prefetcher(PrefetcherKind::Berti)
+        .build()
+        .expect("valid config");
+    let m = Mix::homogeneous(
+        &catalog::by_name("619.lbm_s-4268B").expect("known workload"),
+        8,
+    );
+    let opts = RunOptions {
+        warmup_instrs: 500,
+        sim_instrs: 3_000,
+        seed: 7,
+        noc: NocChoice::Analytic,
+        check: Some(CheckLevel::Full),
+        check_cadence: 16,
+        ..RunOptions::default()
+    };
+    let r = run_mix_checked(&c, &Scheme::plain(), &m, &opts)
+        .expect("a slow but live run must not trip the watchdog");
+    assert!(r.mean_ipc() > 0.0);
+    assert!(!r.fingerprints.is_empty());
 }
 
 #[test]

@@ -77,6 +77,10 @@ pub enum SimErrorKind {
     /// The driver itself failed (a result slot never filled, a poisoned
     /// lock) — a harness bug rather than a model bug.
     Internal,
+    /// Two runs that must be bit-identical (same seed serial vs parallel,
+    /// or faulted vs clean) produced different state fingerprints; the
+    /// detail names the first divergent cadence window and component.
+    Divergence,
 }
 
 impl fmt::Display for SimErrorKind {
@@ -87,6 +91,7 @@ impl fmt::Display for SimErrorKind {
             SimErrorKind::IllegalState => "illegal state",
             SimErrorKind::Panic => "panic",
             SimErrorKind::Internal => "internal error",
+            SimErrorKind::Divergence => "state divergence",
         })
     }
 }

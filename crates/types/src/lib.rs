@@ -394,9 +394,75 @@ pub fn hash64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Incremental FNV-1a (64-bit) hasher used by the state-fingerprint
+/// auditors: each component folds its architectural and queue state into
+/// one `u64` per cadence window. Order-sensitive by design — callers must
+/// fold unordered collections (e.g. `HashMap` contents) in a sorted,
+/// deterministic order or the fingerprint is meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fresh hash at the FNV-1a offset basis.
+    #[inline]
+    pub fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Folds one 64-bit word, byte by byte (little-endian).
+    #[inline]
+    pub fn write_u64(&mut self, x: u64) -> &mut Self {
+        for b in x.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Folds a `usize` (as u64, platform-independent for values < 2^64).
+    #[inline]
+    pub fn write_usize(&mut self, x: usize) -> &mut Self {
+        self.write_u64(x as u64)
+    }
+
+    /// Folds a boolean as a full word so adjacent flags cannot alias.
+    #[inline]
+    pub fn write_bool(&mut self, x: bool) -> &mut Self {
+        self.write_u64(u64::from(x))
+    }
+
+    /// The hash of everything folded so far.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fnv64_is_deterministic_and_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1).write_u64(2).write_bool(true);
+        let mut b = Fnv64::new();
+        b.write_u64(1).write_u64(2).write_bool(true);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        c.write_u64(2).write_u64(1).write_bool(true);
+        assert_ne!(a.finish(), c.finish(), "order must matter");
+        // Known FNV-1a vector: hashing nothing yields the offset basis.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
 
     #[test]
     fn addr_line_and_offset_roundtrip() {

@@ -4,7 +4,14 @@
 Usage:
     cargo run --release -p clip-bench --bin all_figures > /dev/null
     cargo run --release -p clip-bench --bin summary > /dev/null   # optional
-    python3 scripts/make_experiments.py [artifact_dir] > EXPERIMENTS.md
+    python3 scripts/make_experiments.py [--strict] [artifact_dir] > EXPERIMENTS.md
+
+Failed cells survive rendering: the executor writes `ERR` cells into
+`rows` and a structured `errors` array into the artifact (absent on
+clean runs). Those records are rendered as a per-experiment
+**Failures** footnote block. With `--strict`, any failure anywhere in
+the sweep makes this script exit nonzero after writing the document —
+CI can regenerate EXPERIMENTS.md and still fail the build.
 
 `all_figures` writes one JSON artifact per experiment plus `index.json`
 (the bin -> artifacts map) under `target/experiments/` (override with
@@ -155,13 +162,29 @@ def render(artifact: dict) -> str:
     return "\n".join(lines)
 
 
+def error_lines(artifact: dict) -> list:
+    """One bullet per structured error record in the artifact."""
+    out = []
+    for e in artifact.get("errors", []):
+        where = f"row {e['row']} cell {e['cell']} mix {e['mix']}"
+        if e.get("baseline"):
+            where += " (baseline)"
+        out.append(
+            f"- {where}: {e.get('kind', '?')} in `{e.get('component', '?')}` "
+            f"at cycle {e.get('cycle', '?')}: {e.get('detail', '')}"
+        )
+    return out
+
+
 def load(directory: str, name: str) -> dict:
     with open(os.path.join(directory, f"{name}.json"), encoding="utf-8") as fh:
         return json.load(fh)
 
 
 def main() -> None:
-    directory = sys.argv[1] if len(sys.argv) > 1 else os.environ.get(
+    argv = [a for a in sys.argv[1:] if a != "--strict"]
+    strict = "--strict" in sys.argv[1:]
+    directory = argv[0] if argv else os.environ.get(
         "CLIP_ARTIFACT_DIR", "target/experiments"
     )
     with open(os.path.join(directory, "index.json"), encoding="utf-8") as fh:
@@ -169,19 +192,26 @@ def main() -> None:
 
     print(HEADER)
 
+    failures = 0
+
     # The summary harness's artifact, if it was run, leads the document.
     if os.path.exists(os.path.join(directory, "summary.json")):
+        summary = load(directory, "summary")
         print("## Headline summary\n")
         print("```text")
-        print(render(load(directory, "summary")).rstrip())
+        print(render(summary).rstrip())
         print("```\n")
+        footnotes = error_lines(summary)
+        if footnotes:
+            failures += len(footnotes)
+            print(f"**Failures:** {len(footnotes)} simulation(s) failed; "
+                  "the affected cells render as `ERR`.\n")
+            print("\n".join(footnotes) + "\n")
 
     for entry in index:
         name = entry["bin"]
-        body = "\n\n".join(
-            render(load(directory, artifact)).rstrip()
-            for artifact in entry["artifacts"]
-        )
+        artifacts = [load(directory, a) for a in entry["artifacts"]]
+        body = "\n\n".join(render(a).rstrip() for a in artifacts)
         print(f"## {name}\n")
         note = PAPER_NOTES.get(name)
         if note:
@@ -192,6 +222,18 @@ def main() -> None:
         print("```text")
         print(body)
         print("```\n")
+        footnotes = [line for a in artifacts for line in error_lines(a)]
+        if footnotes:
+            failures += len(footnotes)
+            print(f"**Failures:** {len(footnotes)} simulation(s) failed; "
+                  "the affected cells render as `ERR`.\n")
+            print("\n".join(footnotes) + "\n")
+
+    if failures:
+        print(f"make_experiments: {failures} failed simulation(s) in the sweep",
+              file=sys.stderr)
+        if strict:
+            sys.exit(1)
 
 
 if __name__ == "__main__":
