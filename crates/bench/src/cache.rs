@@ -13,9 +13,12 @@
 //! treated as a miss and quarantined — renamed to `<entry>.corrupt`, or
 //! deleted if the rename fails — so one bad file can never poison every
 //! later figure run. The quarantine itself is capped at
-//! [`QUARANTINE_CAP`] files (oldest evicted first) and announced once
-//! per run, so a persistently failing disk cannot silently fill the
-//! cache directory with tombstones.
+//! [`store_util::QUARANTINE_CAP`] files (oldest evicted first) and
+//! announced once per run, so a persistently failing disk cannot
+//! silently fill the cache directory with tombstones. The durability
+//! machinery (checksum wrapper, quarantine, atomic writes, stale-tmp
+//! sweep) is shared with the fingerprint-baseline store — see
+//! [`crate::store_util`].
 //!
 //! * `CLIP_CACHE=0` disables the cache entirely.
 //! * `CLIP_CACHE_DIR` overrides the directory.
@@ -24,8 +27,8 @@
 //! Bump [`CACHE_VERSION`] whenever a change alters simulation results;
 //! the job key only captures configuration, not simulator behavior.
 
+use crate::store_util;
 use clip_sim::SimResult;
-use clip_stats::Json;
 use std::path::{Path, PathBuf};
 
 /// Invalidates all previously cached baselines when bumped.
@@ -38,50 +41,15 @@ fn enabled() -> bool {
         .unwrap_or(true)
 }
 
-/// The workspace `target/` directory: the nearest ancestor of the
-/// running binary named `target`, falling back to a relative `target`.
-pub(crate) fn target_dir() -> PathBuf {
-    std::env::current_exe()
-        .ok()
-        .and_then(|exe| {
-            exe.ancestors()
-                .find(|p| p.file_name().is_some_and(|n| n == "target"))
-                .map(PathBuf::from)
-        })
-        .unwrap_or_else(|| PathBuf::from("target"))
-}
-
 fn cache_dir() -> PathBuf {
     if let Ok(d) = std::env::var("CLIP_CACHE_DIR") {
         return PathBuf::from(d);
     }
-    target_dir().join("clip-cache")
-}
-
-/// FNV-1a over the job key; the mix name in the file name keeps entries
-/// human-attributable and makes hash collisions across mixes harmless.
-fn fnv64(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    store_util::target_dir().join("clip-cache")
 }
 
 fn entry_path(dir: &Path, key: &str, mix_name: &str) -> PathBuf {
-    let sane: String = mix_name
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
-                c
-            } else {
-                '_'
-            }
-        })
-        .collect();
-    let h = fnv64(&format!("{CACHE_VERSION}|{key}"));
-    dir.join(format!("{sane}-{h:016x}.json"))
+    store_util::entry_path(dir, &format!("{CACHE_VERSION}|{key}"), mix_name)
 }
 
 /// Loads a cached baseline, if present and intact.
@@ -106,10 +74,10 @@ pub(crate) fn store(key: &str, mix_name: &str, result: &SimResult) {
 pub(crate) fn lookup_in(dir: &Path, key: &str, mix_name: &str) -> Option<SimResult> {
     let path = entry_path(dir, key, mix_name);
     let text = std::fs::read_to_string(&path).ok()?;
-    match verified_payload(&text) {
+    match store_util::unwrap_verified(&text, "result").and_then(|p| SimResult::from_json(&p)) {
         Some(r) => Some(r),
         None => {
-            quarantine(&path);
+            store_util::quarantine(&path);
             None
         }
     }
@@ -118,92 +86,14 @@ pub(crate) fn lookup_in(dir: &Path, key: &str, mix_name: &str) -> Option<SimResu
 /// [`store`] against an explicit directory.
 pub(crate) fn store_in(dir: &Path, key: &str, mix_name: &str, result: &SimResult) {
     let path = entry_path(dir, key, mix_name);
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
-    }
-    let payload = result.to_json().render();
-    let entry = Json::object([
-        ("checksum", Json::from(format!("{:016x}", fnv64(&payload)))),
-        ("result", result.to_json()),
-    ]);
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, entry.render()).is_ok() {
-        let _ = std::fs::rename(&tmp, &path);
-    }
-}
-
-/// Parses an entry and returns its result only when the stored checksum
-/// matches the payload as re-rendered.
-fn verified_payload(text: &str) -> Option<SimResult> {
-    let entry = Json::parse(text).ok()?;
-    let stored = match entry.get("checksum") {
-        Some(Json::Str(s)) => s.clone(),
-        _ => return None,
-    };
-    let payload = entry.get("result")?;
-    if format!("{:016x}", fnv64(&payload.render())) != stored {
-        return None;
-    }
-    SimResult::from_json(payload)
-}
-
-/// How many quarantined `.corrupt` files the cache directory may hold.
-/// A persistently failing disk would otherwise grow one per damaged
-/// entry per run, forever.
-const QUARANTINE_CAP: usize = 32;
-
-/// Moves a damaged entry aside as `<entry>.corrupt` so the miss is
-/// diagnosable; deletes it if even the rename fails. Afterwards prunes
-/// the quarantine back to [`QUARANTINE_CAP`] entries, oldest first.
-fn quarantine(path: &Path) {
-    static NOTICE: std::sync::Once = std::sync::Once::new();
-    NOTICE.call_once(|| {
-        eprintln!(
-            "clip-cache: quarantining damaged cache entry {} (kept as .corrupt, cap {})",
-            path.display(),
-            QUARANTINE_CAP
-        );
-    });
-    let mut aside = path.as_os_str().to_owned();
-    aside.push(".corrupt");
-    if std::fs::rename(path, PathBuf::from(aside)).is_err() {
-        let _ = std::fs::remove_file(path);
-    }
-    if let Some(dir) = path.parent() {
-        prune_quarantine(dir);
-    }
-}
-
-/// Deletes the oldest `.corrupt` files (by modification time, then name
-/// for files sharing a timestamp) until at most [`QUARANTINE_CAP`]
-/// remain. Best effort: an unreadable directory just skips the prune.
-fn prune_quarantine(dir: &Path) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    let mut corrupt: Vec<(std::time::SystemTime, PathBuf)> = entries
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|x| x == "corrupt"))
-        .map(|p| {
-            let mtime = std::fs::metadata(&p)
-                .and_then(|m| m.modified())
-                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-            (mtime, p)
-        })
-        .collect();
-    if corrupt.len() <= QUARANTINE_CAP {
-        return;
-    }
-    corrupt.sort();
-    for (_, p) in corrupt.drain(..corrupt.len() - QUARANTINE_CAP) {
-        let _ = std::fs::remove_file(p);
-    }
+    let entry = store_util::wrap_checksummed("result", result.to_json());
+    store_util::write_entry(dir, &path, &entry);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store_util::QUARANTINE_CAP;
     use clip_sim::{run_mix, NocChoice, RunOptions, Scheme};
     use clip_trace::Mix;
     use clip_types::{PrefetcherKind, SimConfig};

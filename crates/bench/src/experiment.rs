@@ -13,7 +13,10 @@
 //! Failures are isolated per cell: a job that panics or trips an
 //! integrity audit renders as `ERR` in the text table, and the artifact
 //! gains an `errors` array of structured records — the remaining cells
-//! are unaffected and byte-identical to a clean run.
+//! are unaffected and byte-identical to a clean run. A cell that
+//! completed but diverged from its recorded fingerprint baseline
+//! (`CLIP_FP_BASELINE=verify`, see [`crate::fp_store`]) renders as
+//! `DIV` instead, with the same structured error records.
 
 use clip_sim::{run_jobs_checked, RunOptions, Scheme, SimError, SimErrorKind, SimResult, SweepJob};
 use clip_stats::{normalized_weighted_speedup, Json};
@@ -145,6 +148,27 @@ impl ExperimentData<'_> {
         base_ok && self.results[row][cell].iter().all(|r| r.is_ok())
     }
 
+    /// True when `(row, cell)` failed *only* through fingerprint-baseline
+    /// verification: every failing mix (and baseline) of the cell is a
+    /// [`SimErrorKind::Divergence`]. Such cells render `DIV` rather than
+    /// `ERR` — the simulation completed, but its behaviour moved away
+    /// from the recorded known-good stream.
+    pub fn cell_diverged(&self, row: usize, cell: usize) -> bool {
+        let mut failures = 0usize;
+        let mut all_divergence = true;
+        let sides = [
+            Some(&self.results[row][cell]),
+            self.baselines[row].get(cell),
+        ];
+        for outcomes in sides.into_iter().flatten() {
+            for e in outcomes.iter().filter_map(|r| r.as_ref().err()) {
+                failures += 1;
+                all_divergence &= e.kind == SimErrorKind::Divergence;
+            }
+        }
+        failures > 0 && all_divergence
+    }
+
     /// True when any simulation in the grid failed.
     pub fn has_errors(&self) -> bool {
         !self.errors().is_empty()
@@ -261,6 +285,8 @@ fn geomean_body(d: &ExperimentData) -> TableBody {
         for c in 0..d.cells(r) {
             cells.push(if d.cell_ok(r, c) {
                 crate::fmt(d.geomean_ws(r, c))
+            } else if d.cell_diverged(r, c) {
+                "DIV".to_string()
             } else {
                 "ERR".to_string()
             });
@@ -344,7 +370,11 @@ pub fn clear_result_cache() {
     RESULT_CACHE.with(|c| c.borrow_mut().clear());
 }
 
-fn job_key(job: &SweepJob, opts: &RunOptions) -> String {
+/// The full identity of one simulation: the `Debug` forms of config,
+/// scheme, mix, and run options. Memo and disk-cache key here; the
+/// fingerprint-baseline store keys the same identity with the armed
+/// fault stripped (see [`crate::fp_store::job_fp_key`]).
+pub(crate) fn job_key(job: &SweepJob, opts: &RunOptions) -> String {
     format!(
         "{:?}\u{1}{:?}\u{1}{:?}\u{1}{:?}",
         job.cfg, job.scheme, job.mix, opts
@@ -424,6 +454,12 @@ pub(crate) fn run_cached_checked(
         }
 
         for (&i, r) in missing.iter().zip(outcomes) {
+            // Fingerprint baselines see only freshly simulated outcomes:
+            // results served from the in-process memo or the disk cache
+            // carry no fingerprint stream to record or verify. Inert
+            // unless CLIP_FP_BASELINE is set; a verify failure replaces
+            // the outcome with its Divergence error (rendered DIV).
+            let r = crate::fp_store::apply(&jobs[i], opts, r);
             if let Ok(res) = &r {
                 if disk_cacheable(&jobs[i]) {
                     crate::cache::store(&keys[i], &jobs[i].mix.name, res);
@@ -492,7 +528,7 @@ pub fn artifact_dir() -> std::path::PathBuf {
     if let Ok(d) = std::env::var("CLIP_ARTIFACT_DIR") {
         return std::path::PathBuf::from(d);
     }
-    crate::cache::target_dir().join("experiments")
+    crate::store_util::target_dir().join("experiments")
 }
 
 /// Writes an artifact (best effort — rendering must not fail a figure

@@ -27,10 +27,18 @@
 //! * `CLIP_CHECK` — integrity checking level: `off`, `cheap` (default),
 //!   or `full`; see the `clip-sim` integrity layer. Audits are
 //!   read-only, so results are identical at every level.
+//! * `CLIP_FP_BASELINE` — fingerprint-baseline mode: `record` persists
+//!   each freshly simulated job's per-window state-hash stream under
+//!   `target/clip-fp/` (requires `CLIP_CHECK=full`), `verify` diffs
+//!   every fresh job against its stored baseline and renders divergent
+//!   cells as `DIV`; unset/`off` is completely inert (see [`fp_store`]).
+//! * `CLIP_FP_DIR` — overrides the fingerprint-baseline directory.
 
 mod cache;
 pub mod experiment;
 pub mod figures;
+pub mod fp_store;
+mod store_util;
 pub mod timing;
 
 use clip_sim::{NocChoice, RunOptions, Scheme, SimResult, SweepJob};

@@ -1,0 +1,239 @@
+//! Shared on-disk entry machinery for the baseline caches.
+//!
+//! Both persistent stores — the no-prefetch result cache
+//! (`target/clip-cache/`, [`crate::cache`]) and the fingerprint-baseline
+//! store (`target/clip-fp/`, [`crate::fp_store`]) — keep one JSON file
+//! per entry with the same durability discipline, factored out here:
+//!
+//! * **Checksum wrapper.** An entry is
+//!   `{"checksum":"<16 hex>","<payload key>":{...}}` where the checksum
+//!   is FNV-1a over the payload's rendered form. [`unwrap_verified`]
+//!   returns the payload only when the stored checksum matches it as
+//!   re-rendered, so truncated writes, disk corruption, and manual edits
+//!   all read as misses.
+//! * **Quarantine.** A present-but-damaged entry is renamed to
+//!   `<entry>.corrupt` (deleted if even the rename fails) so the miss is
+//!   diagnosable, and the quarantine is pruned to [`QUARANTINE_CAP`]
+//!   files, oldest evicted first.
+//! * **Atomic writes.** Entries are written to `<entry-stem>.tmp.<pid>`
+//!   and renamed into place, so a concurrent reader never sees a torn
+//!   file. [`prune_quarantine`] also sweeps *stale* tmp files — ones
+//!   whose writer process is no longer alive — so a crash between write
+//!   and rename (or a failed rename) cannot leave orphans behind
+//!   forever.
+
+use clip_stats::Json;
+use std::path::{Path, PathBuf};
+
+/// How many quarantined `.corrupt` files a store directory may hold.
+/// A persistently failing disk would otherwise grow one per damaged
+/// entry per run, forever.
+pub(crate) const QUARANTINE_CAP: usize = 32;
+
+/// The workspace `target/` directory: the nearest ancestor of the
+/// running binary named `target`, falling back to a relative `target`.
+pub(crate) fn target_dir() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|p| p.file_name().is_some_and(|n| n == "target"))
+                .map(PathBuf::from)
+        })
+        .unwrap_or_else(|| PathBuf::from("target"))
+}
+
+/// FNV-1a over a key or payload string.
+pub(crate) fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The entry file for `key` (already version-tagged by the caller):
+/// `<sanitized mix name>-<fnv64(key) hex>.json`. The mix name keeps
+/// entries human-attributable and makes hash collisions across mixes
+/// harmless.
+pub(crate) fn entry_path(dir: &Path, key: &str, mix_name: &str) -> PathBuf {
+    let sane: String = mix_name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dir.join(format!("{sane}-{:016x}.json", fnv64(key)))
+}
+
+/// Wraps a payload with its checksum under `payload_key`:
+/// `{"checksum":"<16 hex>","<payload_key>":<payload>}`.
+pub(crate) fn wrap_checksummed(payload_key: &str, payload: Json) -> Json {
+    let rendered = payload.render();
+    Json::object([
+        ("checksum", Json::from(format!("{:016x}", fnv64(&rendered)))),
+        (payload_key, payload),
+    ])
+}
+
+/// Parses an entry and returns its payload only when the stored checksum
+/// matches the payload as re-rendered.
+pub(crate) fn unwrap_verified(text: &str, payload_key: &str) -> Option<Json> {
+    let entry = Json::parse(text).ok()?;
+    let stored = match entry.get("checksum") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => return None,
+    };
+    let payload = entry.get(payload_key)?;
+    if format!("{:016x}", fnv64(&payload.render())) != stored {
+        return None;
+    }
+    Some(payload.clone())
+}
+
+/// Writes `entry` to `path` atomically (write-then-rename through a
+/// `.tmp.<pid>` sibling). Best effort: failures are silently dropped —
+/// a store must never fail a figure run on a read-only filesystem.
+pub(crate) fn write_entry(dir: &Path, path: &Path, entry: &Json) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, entry.render()).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Moves a damaged entry aside as `<entry>.corrupt` so the miss is
+/// diagnosable; deletes it if even the rename fails. Afterwards prunes
+/// the quarantine back to [`QUARANTINE_CAP`] entries, oldest first.
+pub(crate) fn quarantine(path: &Path) {
+    static NOTICE: std::sync::Once = std::sync::Once::new();
+    NOTICE.call_once(|| {
+        eprintln!(
+            "clip-cache: quarantining damaged cache entry {} (kept as .corrupt, cap {})",
+            path.display(),
+            QUARANTINE_CAP
+        );
+    });
+    let mut aside = path.as_os_str().to_owned();
+    aside.push(".corrupt");
+    if std::fs::rename(path, PathBuf::from(aside)).is_err() {
+        let _ = std::fs::remove_file(path);
+    }
+    if let Some(dir) = path.parent() {
+        prune_quarantine(dir);
+    }
+}
+
+/// Deletes the oldest `.corrupt` files (by modification time, then name
+/// for files sharing a timestamp) until at most [`QUARANTINE_CAP`]
+/// remain, and sweeps orphaned `.tmp.<pid>` files whose writer process
+/// died between write and rename. Best effort: an unreadable directory
+/// just skips the prune.
+pub(crate) fn prune_quarantine(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut corrupt: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+    for p in entries.flatten().map(|e| e.path()) {
+        if p.extension().is_some_and(|x| x == "corrupt") {
+            let mtime = std::fs::metadata(&p)
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            corrupt.push((mtime, p));
+        } else if is_stale_tmp(&p) {
+            let _ = std::fs::remove_file(&p);
+        }
+    }
+    if corrupt.len() <= QUARANTINE_CAP {
+        return;
+    }
+    corrupt.sort();
+    for (_, p) in corrupt.drain(..corrupt.len() - QUARANTINE_CAP) {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// True for a `<stem>.tmp.<pid>` file left by a writer that no longer
+/// exists. The current process's own tmp files are never stale (they may
+/// be mid-rename); any other pid is checked for liveness via `/proc` —
+/// on platforms without procfs every foreign pid reads as dead, which
+/// degrades to "sweep other processes' leftovers" (safe: live writers
+/// hold a tmp file only for the instant between write and rename, and a
+/// swept-mid-write store is merely skipped, never corrupted).
+fn is_stale_tmp(path: &Path) -> bool {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return false;
+    };
+    let Some((_, pid_str)) = name.rsplit_once(".tmp.") else {
+        return false;
+    };
+    let Ok(pid) = pid_str.parse::<u32>() else {
+        return false;
+    };
+    pid != std::process::id() && !Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("clip-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("temp dir");
+        d
+    }
+
+    #[test]
+    fn checksum_wrapper_roundtrips_and_rejects_tampering() {
+        let payload = Json::object([("x", Json::from(7u64))]);
+        let entry = wrap_checksummed("result", payload.clone()).render();
+        assert_eq!(unwrap_verified(&entry, "result"), Some(payload));
+        assert_eq!(unwrap_verified(&entry, "stream"), None, "wrong payload key");
+        let tampered = entry.replace("\"x\":7", "\"x\":8");
+        assert_eq!(unwrap_verified(&tampered, "result"), None);
+        assert_eq!(unwrap_verified(&entry[..entry.len() / 2], "result"), None);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_but_live_ones_survive() {
+        let dir = temp_dir("tmp-sweep");
+        // pid 4294967294 cannot exist (beyond any real pid_max), so its
+        // leftover is unambiguously an orphan of a dead writer.
+        let dead = dir.join("mix-0123456789abcdef.tmp.4294967294");
+        let own = dir.join(format!("mix-fedcba9876543210.tmp.{}", std::process::id()));
+        let entry = dir.join("mix-1111111111111111.json");
+        std::fs::write(&dead, "orphan").expect("seed dead tmp");
+        std::fs::write(&own, "mid-rename").expect("seed own tmp");
+        std::fs::write(&entry, "{}").expect("seed entry");
+
+        prune_quarantine(&dir);
+
+        assert!(!dead.exists(), "a dead writer's tmp file must be swept");
+        assert!(own.exists(), "the current process's tmp file must survive");
+        assert!(entry.exists(), "real entries are untouched");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_files_of_live_processes_are_kept() {
+        // pid 1 always exists on Linux; its tmp file must not be swept.
+        let dir = temp_dir("tmp-live");
+        let live = dir.join("mix-2222222222222222.tmp.1");
+        std::fs::write(&live, "concurrent writer").expect("seed live tmp");
+        prune_quarantine(&dir);
+        if Path::new("/proc/1").exists() {
+            assert!(live.exists(), "a live writer's tmp file must survive");
+        } else {
+            assert!(!live.exists(), "without procfs foreign tmps are swept");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -2,7 +2,7 @@
 //! grids the historical binaries ran, without simulating anything.
 
 use clip_bench::experiment::{
-    execute_experiment, CellSpec, Experiment, Normalization, Render, RowSpec,
+    clear_result_cache, execute_experiment, CellSpec, Experiment, Normalization, Render, RowSpec,
 };
 use clip_bench::figures::registry;
 use clip_bench::Scale;
@@ -282,4 +282,113 @@ fn retry_does_not_mask_deterministic_integrity_faults() {
         errors[0].get("component").and_then(|v| v.as_str()),
         Some("noc")
     );
+}
+
+/// Cross-run fingerprint baselines, end to end through the executor: a
+/// clean full-check run records its state-hash stream, the same
+/// revision re-verifies clean, and an armed criticality flip (standing
+/// in for a behavioural code change — it is conserved, so no audit sees
+/// it) fails verification and renders the cell as `DIV` with a
+/// structured `state divergence` error naming window and component.
+#[test]
+fn fp_baseline_verify_renders_div_for_behavioural_regressions() {
+    let dir = std::env::temp_dir().join(format!("clip-fp-spec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("CLIP_FP_DIR", &dir);
+    // Keep the run hermetic: a disk-cache hit would skip the fresh
+    // simulation the baseline store records from.
+    std::env::set_var("CLIP_CACHE", "0");
+
+    let cfg = SimConfig::builder()
+        .cores(4)
+        .dram_channels(1)
+        .l1_prefetcher(PrefetcherKind::Berti)
+        .build()
+        .expect("valid config");
+    let workload = clip_trace::catalog::by_name("605.mcf_s-1554B").expect("known workload");
+    let exp = |fault: Option<FaultSpec>| Experiment {
+        name: "fp-div".to_string(),
+        title: "# Fingerprint baseline DIV".to_string(),
+        columns: vec!["mix".to_string(), "ws".to_string()],
+        rows: vec![RowSpec {
+            labels: vec!["flip".to_string()],
+            extra: Vec::new(),
+            mixes: vec![Mix::homogeneous(&workload, 4)],
+            cells: vec![CellSpec {
+                cfg: cfg.clone(),
+                scheme: Scheme::plain(),
+            }],
+        }],
+        opts: RunOptions {
+            warmup_instrs: 500,
+            sim_instrs: 3_000,
+            seed: 7,
+            noc: NocChoice::Analytic,
+            check: Some(CheckLevel::Full),
+            check_cadence: 16,
+            fault,
+            ..RunOptions::default()
+        },
+        normalization: Normalization::NoPrefetch,
+        render: Render::GeomeanWs,
+    };
+
+    // Record a known-good baseline from a clean full-check run.
+    std::env::set_var("CLIP_FP_BASELINE", "record");
+    clear_result_cache();
+    let (text, artifact) = execute_experiment(&exp(None));
+    assert!(
+        artifact.get("errors").is_none(),
+        "record run is clean: {text}"
+    );
+
+    // The same revision verifies clean against its own baseline.
+    std::env::set_var("CLIP_FP_BASELINE", "verify");
+    clear_result_cache();
+    let (text, artifact) = execute_experiment(&exp(None));
+    assert!(
+        artifact.get("errors").is_none(),
+        "same revision re-verifies clean: {text}"
+    );
+
+    // The fp key strips the fault, so the faulted run is diffed against
+    // the clean baseline recorded above (the memo key keeps the fault,
+    // so the job really re-simulates).
+    clear_result_cache();
+    let (text, artifact) = execute_experiment(&exp(Some(FaultSpec {
+        kind: FaultKind::FlipCriticality,
+        at: 1_000,
+    })));
+    std::env::remove_var("CLIP_FP_BASELINE");
+    std::env::remove_var("CLIP_FP_DIR");
+
+    assert!(
+        text.contains("flip\tDIV"),
+        "divergent cell renders DIV, not ERR: {text}"
+    );
+    // The Berti run must diverge; the faulted no-prefetch baseline run
+    // may or may not (no prefetches means no criticality to flip), so
+    // only the kind of every failure is pinned, not the count.
+    let errors = artifact
+        .get("errors")
+        .and_then(|v| v.as_array())
+        .expect("artifact carries an errors array");
+    assert!(!errors.is_empty());
+    for e in errors {
+        assert_eq!(
+            e.get("kind").and_then(|v| v.as_str()),
+            Some("state divergence")
+        );
+        let component = e.get("component").and_then(|v| v.as_str()).unwrap_or("");
+        assert!(
+            component == "llc" || component == "txns" || component.starts_with("tile"),
+            "the error names the divergent component: {component:?}"
+        );
+        let detail = e.get("detail").and_then(|v| v.as_str()).unwrap_or("");
+        assert!(
+            detail.contains("first divergent window"),
+            "the error localizes the first divergent window: {detail}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

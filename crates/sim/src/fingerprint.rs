@@ -11,6 +11,13 @@
 //! corruption that stays conserved (e.g. [`crate::FaultKind::FlipCriticality`]:
 //! nothing is lost, arbitration just decides differently from then on).
 //!
+//! The same machinery also works *across* runs: a stream serialized via
+//! [`stream_to_json`] and persisted by a known-good revision (see the
+//! `clip-bench` fingerprint-baseline store, gated by `CLIP_FP_BASELINE`)
+//! can be handed to [`compare_against_baseline`] by a later revision,
+//! localizing a behavioural regression introduced by a code change to its
+//! first divergent cadence window and component.
+//!
 //! Fingerprints ride in [`SimResult::fingerprints`] but are deliberately
 //! excluded from its JSON form: artifacts stay byte-identical whether or
 //! not a run captured them.
@@ -18,6 +25,7 @@
 use crate::result::SimResult;
 use crate::system::System;
 use crate::{run_jobs_checked, RunOptions, SweepJob};
+use clip_stats::Json;
 use clip_types::{Cycle, Fnv64, SimError, SimErrorKind};
 
 /// One cadence window's per-component state hashes.
@@ -42,6 +50,44 @@ pub fn component_name(index: usize, tiles: usize) -> String {
     } else {
         "txns".to_string()
     }
+}
+
+/// Serializes a fingerprint stream as a JSON array of
+/// `{"window", "cycle", "hashes"}` objects. Hashes are `u64` and render
+/// as exact integers (the JSON tree keeps unsigned integers distinct
+/// from floats), so streams round-trip bit-exactly through
+/// [`stream_from_json`].
+pub fn stream_to_json(stream: &[WindowFingerprint]) -> Json {
+    Json::array(stream.iter().map(|w| {
+        Json::object([
+            ("window", Json::from(w.window)),
+            ("cycle", Json::from(w.cycle)),
+            (
+                "hashes",
+                Json::array(w.hashes.iter().map(|&h| Json::from(h))),
+            ),
+        ])
+    }))
+}
+
+/// Parses a stream back from the [`stream_to_json`] schema. Returns
+/// `None` on any shape mismatch — callers (the on-disk baseline store)
+/// treat that as a damaged entry.
+pub fn stream_from_json(v: &Json) -> Option<Vec<WindowFingerprint>> {
+    let mut out = Vec::new();
+    for w in v.as_array()? {
+        out.push(WindowFingerprint {
+            window: w.get("window")?.as_u64()?,
+            cycle: w.get("cycle")?.as_u64()?,
+            hashes: w
+                .get("hashes")?
+                .as_array()?
+                .iter()
+                .map(|h| h.as_u64())
+                .collect::<Option<Vec<u64>>>()?,
+        });
+    }
+    Some(out)
 }
 
 impl System {
@@ -82,7 +128,12 @@ impl System {
 /// the first unmatched window (the runs took different numbers of
 /// cycles, itself a divergence).
 pub fn compare(reference: &SimResult, candidate: &SimResult) -> Result<(), SimError> {
-    let (a, b) = (&reference.fingerprints, &candidate.fingerprints);
+    compare_streams(&reference.fingerprints, &candidate.fingerprints)
+}
+
+/// [`compare`] over raw streams: the reference side may come from a
+/// deserialized on-disk baseline rather than a live run.
+pub fn compare_streams(a: &[WindowFingerprint], b: &[WindowFingerprint]) -> Result<(), SimError> {
     if a.is_empty() || b.is_empty() {
         return Ok(());
     }
@@ -96,6 +147,22 @@ pub fn compare(reference: &SimResult, candidate: &SimResult) -> Result<(), SimEr
                 format!(
                     "window streams desynchronized: window {} vs {} (check_cadence differs?)",
                     wa.window, wb.window
+                ),
+            ));
+        }
+        // Runs built with different component counts (e.g. different tile
+        // counts) must not be silently truncated to the shorter layout:
+        // the zip below would otherwise drop the unmatched tail.
+        if wa.hashes.len() != wb.hashes.len() {
+            return Err(SimError::new(
+                wa.cycle,
+                "fingerprint",
+                SimErrorKind::Divergence,
+                format!(
+                    "window {} recorded {} vs {} component hashes (tile counts differ?)",
+                    wa.window,
+                    wa.hashes.len(),
+                    wb.hashes.len()
                 ),
             ));
         }
@@ -138,6 +205,59 @@ pub fn compare(reference: &SimResult, candidate: &SimResult) -> Result<(), SimEr
     Ok(())
 }
 
+/// Verifies a live run against a persisted known-good stream.
+///
+/// An empty baseline means "nothing was ever recorded" and passes (there
+/// is no claim to check). A *live* run without fingerprints is different:
+/// the caller explicitly asked for verification, so silently skipping it
+/// would report a regression-free run that was never actually checked —
+/// that surfaces as a [`SimErrorKind::Internal`] error instead.
+///
+/// # Errors
+///
+/// Returns the first [`SimErrorKind::Divergence`] between the streams
+/// (see [`compare`]), or an `Internal` error when the live run captured
+/// no fingerprints (it was not run under `CLIP_CHECK=full`).
+pub fn compare_against_baseline(
+    baseline: &[WindowFingerprint],
+    live: &SimResult,
+) -> Result<(), SimError> {
+    if baseline.is_empty() {
+        return Ok(());
+    }
+    if live.fingerprints.is_empty() {
+        return Err(SimError::new(
+            0,
+            "fingerprint",
+            SimErrorKind::Internal,
+            "baseline verification requested but the live run captured no fingerprints \
+             (fingerprints are only captured under CLIP_CHECK=full)",
+        ));
+    }
+    compare_streams(baseline, &live.fingerprints)
+}
+
+/// Localizes one job's faulted outcome against its clean re-run: diff
+/// the fingerprint streams when both completed, surface the clean run's
+/// failure as an `Internal` error when the reference is missing (a
+/// silently skipped localization would report the faulted result as
+/// verified), and pass faulted failures through untouched.
+fn localize_outcome(
+    faulted: Result<SimResult, SimError>,
+    clean: Result<SimResult, SimError>,
+) -> Result<SimResult, SimError> {
+    match (faulted, clean) {
+        (Ok(f), Ok(c)) => compare(&c, &f).map(|()| f),
+        (Ok(_), Err(e)) => Err(SimError::new(
+            e.cycle,
+            "fingerprint",
+            SimErrorKind::Internal,
+            format!("divergence localization skipped: the clean reference re-run failed: {e}"),
+        )),
+        (faulted, _) => faulted,
+    }
+}
+
 /// Runs a batch through [`run_jobs_checked`] and localizes divergence the
 /// auditors cannot see: when `opts.fault` is armed, each job that still
 /// completes cleanly is re-run with the fault disarmed and its
@@ -149,7 +269,10 @@ pub fn compare(reference: &SimResult, candidate: &SimResult) -> Result<(), SimEr
 /// Requires `CLIP_CHECK=full` (or `opts.check = Some(CheckLevel::Full)`)
 /// to capture fingerprints; at lower levels this is exactly
 /// `run_jobs_checked`. Without an armed fault there is no reference to
-/// diff against and the batch also passes through unchanged.
+/// diff against and the batch also passes through unchanged. A clean
+/// re-run that itself fails surfaces as an [`SimErrorKind::Internal`]
+/// error naming the reference failure — never as a silently unverified
+/// faulted result.
 pub fn run_jobs_localized(
     jobs: &[SweepJob],
     opts: &RunOptions,
@@ -166,9 +289,154 @@ pub fn run_jobs_localized(
     outcomes
         .into_iter()
         .zip(clean)
-        .map(|(faulted, clean)| match (faulted, clean) {
-            (Ok(f), Ok(c)) => compare(&c, &f).map(|()| f),
-            (faulted, _) => faulted,
-        })
+        .map(|(faulted, clean)| localize_outcome(faulted, clean))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(window: u64, cycle: Cycle, hashes: &[u64]) -> WindowFingerprint {
+        WindowFingerprint {
+            window,
+            cycle,
+            hashes: hashes.to_vec(),
+        }
+    }
+
+    fn result_with(stream: Vec<WindowFingerprint>) -> SimResult {
+        SimResult {
+            fingerprints: stream,
+            ..SimResult::default()
+        }
+    }
+
+    #[test]
+    fn component_names_follow_the_layout() {
+        // (index, tiles) -> expected name, over the documented layout:
+        // tile0..tileN-1, llc, txns.
+        let table: &[(usize, usize, &str)] = &[
+            (0, 4, "tile0"),
+            (3, 4, "tile3"),
+            (4, 4, "llc"),
+            (5, 4, "txns"),
+            (0, 1, "tile0"),
+            (1, 1, "llc"),
+            (2, 1, "txns"),
+            // Indices past the layout still name the slab (defensive).
+            (7, 4, "txns"),
+        ];
+        for &(index, tiles, expect) in table {
+            assert_eq!(
+                component_name(index, tiles),
+                expect,
+                "component_name({index}, {tiles})"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_and_empty_streams_compare_clean() {
+        let a = vec![window(0, 16, &[1, 2, 3]), window(1, 32, &[4, 5, 6])];
+        compare_streams(&a, &a.clone()).expect("identical streams agree");
+        compare_streams(&[], &a).expect("an empty side has nothing to check");
+        compare_streams(&a, &[]).expect("an empty side has nothing to check");
+    }
+
+    #[test]
+    fn first_divergent_component_is_named() {
+        let a = vec![window(0, 16, &[1, 2, 3, 4]), window(1, 32, &[5, 6, 7, 8])];
+        let mut b = a.clone();
+        b[1].hashes[2] = 99; // tiles = 4 - 2 = 2, so index 2 is "llc".
+        let err = compare_streams(&a, &b).expect_err("must diverge");
+        assert_eq!(err.kind, SimErrorKind::Divergence);
+        assert_eq!(err.component, "llc");
+        assert_eq!(err.cycle, 32);
+        assert!(err.detail.contains("first divergent window 1"), "{err}");
+    }
+
+    #[test]
+    fn component_count_mismatch_is_reported_not_truncated() {
+        // The shorter window's hashes are a strict prefix of the longer
+        // one's: a plain zip would see no difference and walk on. The
+        // length check must fire before the per-component loop does.
+        let a = vec![window(0, 16, &[1, 2, 3, 4])];
+        let b = vec![window(0, 16, &[1, 2, 3, 4, 5, 6])];
+        let err = compare_streams(&a, &b).expect_err("layouts differ");
+        assert_eq!(err.kind, SimErrorKind::Divergence);
+        assert_eq!(err.component, "fingerprint");
+        assert!(err.detail.contains("4 vs 6 component hashes"), "{err}");
+    }
+
+    #[test]
+    fn desynchronized_windows_are_reported() {
+        let a = vec![window(0, 16, &[1, 2, 3])];
+        let b = vec![window(2, 48, &[1, 2, 3])];
+        let err = compare_streams(&a, &b).expect_err("cadences differ");
+        assert_eq!(err.kind, SimErrorKind::Divergence);
+        assert!(err.detail.contains("desynchronized"), "{err}");
+        assert!(err.detail.contains("window 0 vs 2"), "{err}");
+    }
+
+    #[test]
+    fn length_mismatch_tail_names_the_first_unmatched_window() {
+        let shared = window(0, 16, &[1, 2, 3]);
+        let a = vec![shared.clone()];
+        let b = vec![shared, window(1, 32, &[4, 5, 6])];
+        let err = compare_streams(&a, &b).expect_err("stream lengths differ");
+        assert_eq!(err.kind, SimErrorKind::Divergence);
+        assert!(err.detail.contains("1 vs 2 windows"), "{err}");
+        assert!(err.detail.contains("first unmatched window 1"), "{err}");
+        assert_eq!(err.cycle, 32);
+    }
+
+    #[test]
+    fn streams_roundtrip_through_json_bit_exactly() {
+        // u64::MAX would be mangled by any float detour.
+        let stream = vec![
+            window(0, 16, &[u64::MAX, 0, 0xdead_beef_cafe_f00d]),
+            window(1, 32, &[1, 2, 3]),
+        ];
+        let text = stream_to_json(&stream).render();
+        let back = stream_from_json(&Json::parse(&text).expect("parses")).expect("roundtrips");
+        assert_eq!(back, stream);
+        assert!(stream_from_json(&Json::parse("[{\"window\":0}]").unwrap()).is_none());
+    }
+
+    #[test]
+    fn baseline_comparison_requires_live_fingerprints() {
+        let baseline = vec![window(0, 16, &[1, 2, 3])];
+        compare_against_baseline(&[], &result_with(Vec::new()))
+            .expect("no baseline means nothing to check");
+        let err = compare_against_baseline(&baseline, &result_with(Vec::new()))
+            .expect_err("an unverified live run must not pass silently");
+        assert_eq!(err.kind, SimErrorKind::Internal);
+        assert!(err.detail.contains("CLIP_CHECK=full"), "{err}");
+        compare_against_baseline(&baseline, &result_with(baseline.clone()))
+            .expect("matching live stream verifies");
+    }
+
+    #[test]
+    fn failed_clean_rerun_surfaces_instead_of_skipping_localization() {
+        // Regression: the (Ok, Err) arm used to fall through to the
+        // faulted result, silently skipping localization.
+        let clean_err = SimError::new(7, "watchdog", SimErrorKind::Deadlock, "stuck");
+        let err = localize_outcome(Ok(SimResult::default()), Err(clean_err))
+            .expect_err("a missing reference must be loud");
+        assert_eq!(err.kind, SimErrorKind::Internal);
+        assert_eq!(err.component, "fingerprint");
+        assert_eq!(err.cycle, 7);
+        assert!(
+            err.detail.contains("clean reference re-run failed"),
+            "{err}"
+        );
+        assert!(err.detail.contains("deadlock"), "{err}");
+
+        // Faulted failures still pass through untouched.
+        let faulted_err = SimError::new(3, "noc", SimErrorKind::Conservation, "flit lost");
+        let out = localize_outcome(Err(faulted_err.clone()), Ok(SimResult::default()))
+            .expect_err("faulted failure passes through");
+        assert_eq!(out, faulted_err);
+    }
 }

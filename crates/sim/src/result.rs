@@ -202,7 +202,10 @@ pub struct SimResult {
     /// under `CLIP_CHECK=full`; see [`crate::fingerprint`]). Deliberately
     /// excluded from [`SimResult::to_json`] — artifacts stay byte-identical
     /// whether or not fingerprints were captured — so they do not survive
-    /// a disk-cache round trip.
+    /// a disk-cache round trip. Cross-run persistence goes through the
+    /// separate `clip-bench` fingerprint-baseline store (`target/clip-fp/`,
+    /// gated by `CLIP_FP_BASELINE`), which serializes this stream via
+    /// [`crate::fingerprint::stream_to_json`] instead.
     pub fingerprints: Vec<crate::fingerprint::WindowFingerprint>,
 }
 
