@@ -1,0 +1,114 @@
+//! Engine scheduler benchmark: event-wheel skip-ahead vs forced
+//! cycle-by-cycle stepping on a quiescence-heavy workload.
+//!
+//! The shape is chosen to be the wheel's bread and butter: a single
+//! narrow pointer-chasing core (mcf), no prefetcher to fill the gaps,
+//! and one DRAM channel with far-memory timings, so most cycles are
+//! spent with the core pure-blocked on a miss and the uncore draining
+//! one transaction at a time. The wheel skips those stretches (bounded
+//! by the 2048-cycle dispatch epoch); the step scheduler grinds through
+//! them one tick at a time.
+//!
+//! Both schedulers are timed with the shared median-of-batches harness
+//! (`clip_bench::timing`), their results are asserted byte-identical
+//! first (a fast benchmark of a wrong scheduler is worthless), and the
+//! simulated-cycles-per-second figures plus the speedup land in
+//! `BENCH_engine.json` under the artifact directory (CI uploads it; see
+//! the `tick-skip-smoke` job).
+
+use clip_bench::experiment::artifact_dir;
+use clip_bench::timing::bench_median_ns;
+use clip_sim::{run_mix, set_step_override, CheckLevel, NocChoice, RunOptions, Scheme};
+use clip_stats::Json;
+use clip_trace::Mix;
+use clip_types::{PrefetcherKind, SimConfig};
+
+const WORKLOAD: &str = "605.mcf_s-1554B";
+
+fn main() {
+    let mut cfg = SimConfig::builder()
+        .cores(1)
+        .dram_channels(1)
+        .l1_prefetcher(PrefetcherKind::None)
+        .rob_entries(32)
+        .build()
+        .expect("valid config");
+    // A narrow latency-bound core: a 4-deep load queue serializes the
+    // pointer chase, so cores spend most cycles pure-blocked on DRAM —
+    // the quiescent stretches the wheel exists to skip.
+    cfg.core.load_queue = 4;
+    // Far-memory timings (~4x DDR): each miss stalls four times longer
+    // while producing exactly the same number of events, so the
+    // quiescent fraction — the wheel's payoff — grows with the stall.
+    cfg.dram.t_rp *= 4;
+    cfg.dram.t_rcd *= 4;
+    cfg.dram.t_cas *= 4;
+    cfg.dram.burst_cycles *= 4;
+    let mix = Mix::homogeneous(
+        &clip_trace::catalog::by_name(WORKLOAD).expect("known workload"),
+        1,
+    );
+    let scheme = Scheme::plain();
+    let opts = RunOptions {
+        warmup_instrs: 1_000,
+        sim_instrs: 10_000,
+        seed: 11,
+        noc: NocChoice::Analytic,
+        // Audits off: benchmark the scheduler, not the auditors (which
+        // cost the same under either scheduler).
+        check: Some(CheckLevel::Off),
+        ..RunOptions::default()
+    };
+
+    // Correctness gate before timing anything.
+    set_step_override(Some(true));
+    let step_result = run_mix(&cfg, &scheme, &mix, &opts);
+    set_step_override(Some(false));
+    let wheel_result = run_mix(&cfg, &scheme, &mix, &opts);
+    assert_eq!(
+        step_result.to_json().render(),
+        wheel_result.to_json().render(),
+        "wheel and step must agree bit-for-bit before being compared on speed"
+    );
+    let cycles = wheel_result.cycles;
+
+    set_step_override(Some(true));
+    let step_ns = bench_median_ns(1, || run_mix(&cfg, &scheme, &mix, &opts));
+    set_step_override(Some(false));
+    let wheel_ns = bench_median_ns(1, || run_mix(&cfg, &scheme, &mix, &opts));
+    set_step_override(None);
+
+    let cps = |ns: f64| cycles as f64 / (ns / 1e9);
+    let speedup = step_ns / wheel_ns;
+    println!(
+        "engine_bench: {WORKLOAD} x1, 1 channel, far-memory timings, no prefetch, {cycles} cycles/run"
+    );
+    println!(
+        "  step   {:>12.1} cycles/s ({:.3} ms/run)",
+        cps(step_ns),
+        step_ns / 1e6
+    );
+    println!(
+        "  wheel  {:>12.1} cycles/s ({:.3} ms/run)",
+        cps(wheel_ns),
+        wheel_ns / 1e6
+    );
+    println!("  speedup {speedup:.2}x");
+
+    let artifact = Json::object([
+        ("workload", Json::from(WORKLOAD)),
+        ("cores", Json::from(1u64)),
+        ("dram_channels", Json::from(1u64)),
+        ("cycles_per_run", Json::from(cycles)),
+        ("step_ns_per_run", Json::from(step_ns)),
+        ("wheel_ns_per_run", Json::from(wheel_ns)),
+        ("step_cycles_per_sec", Json::from(cps(step_ns))),
+        ("wheel_cycles_per_sec", Json::from(cps(wheel_ns))),
+        ("speedup", Json::from(speedup)),
+    ]);
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir).expect("artifact dir");
+    let path = dir.join("BENCH_engine.json");
+    std::fs::write(&path, artifact.render()).expect("write artifact");
+    println!("  wrote {}", path.display());
+}

@@ -422,7 +422,13 @@ pub(crate) fn run_cached_checked(
         if cached(key).is_some() || !queued.insert(key) {
             continue;
         }
-        if disk_cacheable(&jobs[i]) {
+        // Disk-cache hits carry no fingerprint stream, so serving one
+        // under an active CLIP_FP_BASELINE mode would silently skip the
+        // record/verify step for that job. Bypass the disk cache (but
+        // not the in-process memo) whenever a baseline mode is active:
+        // the job re-simulates once, gets checked, and refreshes the
+        // cache entry on the way out.
+        if disk_cacheable(&jobs[i]) && crate::fp_store::mode() == crate::fp_store::FpMode::Off {
             if let Some(r) = crate::cache::lookup(key, &jobs[i].mix.name) {
                 put(key.clone(), Ok(r));
                 continue;
@@ -455,8 +461,9 @@ pub(crate) fn run_cached_checked(
 
         for (&i, r) in missing.iter().zip(outcomes) {
             // Fingerprint baselines see only freshly simulated outcomes:
-            // results served from the in-process memo or the disk cache
-            // carry no fingerprint stream to record or verify. Inert
+            // results served from the in-process memo carry no
+            // fingerprint stream to record or verify (the disk cache is
+            // bypassed above when a baseline mode is active). Inert
             // unless CLIP_FP_BASELINE is set; a verify failure replaces
             // the outcome with its Divergence error (rendered DIV).
             let r = crate::fp_store::apply(&jobs[i], opts, r);

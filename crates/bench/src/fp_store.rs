@@ -8,10 +8,12 @@
 //! with record-and-replay over per-window state-hash streams:
 //!
 //! * `CLIP_FP_BASELINE=record` — every freshly simulated job that
-//!   captured fingerprints (i.e. ran under `CLIP_CHECK=full`) persists
-//!   its stream under `target/clip-fp/`, keyed by the job identity
-//!   (config, scheme, mix, run options including the audit cadence) plus
-//!   [`FP_VERSION`].
+//!   captured fingerprints (i.e. ran with audits enabled: `CLIP_CHECK`
+//!   `cheap` or `full`) persists its stream under `target/clip-fp/`,
+//!   keyed by the job identity (config, scheme, mix, run options
+//!   including the audit cadence), the **resolved check level** (cheap
+//!   and full streams hash different state and must never verify against
+//!   each other), plus [`FP_VERSION`].
 //! * `CLIP_FP_BASELINE=verify` — every freshly simulated job diffs its
 //!   live stream against the stored baseline via
 //!   `fingerprint::compare_against_baseline`; the first divergent cadence
@@ -20,6 +22,11 @@
 //!   baseline pass through unverified; a job that recorded a baseline
 //!   but captured no live fingerprints fails loudly (`Internal`) rather
 //!   than silently skipping the check.
+//! * `CLIP_FP_BASELINE=require` — `verify`, except a job with no
+//!   recorded baseline **fails** instead of passing unverified. For CI
+//!   gates: under plain `verify` a broken record step degrades every job
+//!   to "nothing to check" and the gate goes green while checking
+//!   nothing.
 //! * Unset (or `off`/`0`) — completely inert: golden artifacts and disk
 //!   cache entries stay byte-identical.
 //!
@@ -50,8 +57,12 @@ use clip_stats::Json;
 use std::path::{Path, PathBuf};
 
 /// Invalidates all previously recorded baselines when bumped.
-/// Version 1: initial format.
-pub(crate) const FP_VERSION: u32 = 1;
+/// Version 1: initial format (full-level streams only).
+/// Version 2: fingerprints exist at every audit level; entries are keyed
+/// by the resolved [`CheckLevel`] so `cheap` and `full` streams — which
+/// hash different state and are never comparable — can never verify
+/// against each other.
+pub(crate) const FP_VERSION: u32 = 2;
 
 /// What `CLIP_FP_BASELINE` asks of this run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +73,10 @@ pub enum FpMode {
     Record,
     /// Diff every freshly simulated job against its stored baseline.
     Verify,
+    /// [`FpMode::Verify`], but a job with **no recorded baseline fails**
+    /// instead of passing unverified — for CI gates where "nothing to
+    /// check" means the record step silently broke.
+    Require,
 }
 
 /// Reads the mode from `CLIP_FP_BASELINE`.
@@ -73,6 +88,7 @@ fn mode_from(v: Option<&str>) -> FpMode {
     match v {
         Some("record") => FpMode::Record,
         Some("verify") => FpMode::Verify,
+        Some("require") => FpMode::Require,
         None | Some("") | Some("off") | Some("0") => FpMode::Off,
         Some(other) => {
             static WARN_ONCE: std::sync::Once = std::sync::Once::new();
@@ -80,7 +96,7 @@ fn mode_from(v: Option<&str>) -> FpMode {
             WARN_ONCE.call_once(|| {
                 eprintln!(
                     "clip-fp: ignoring unrecognized CLIP_FP_BASELINE={other:?} \
-                     (expected record, verify, or off)"
+                     (expected record, verify, require, or off)"
                 );
             });
             FpMode::Off
@@ -97,13 +113,21 @@ fn fp_dir() -> PathBuf {
 
 /// The baseline identity of a job: config, scheme, mix, and run options
 /// with the armed fault stripped — a faulted or regressed run verifies
-/// against the baseline of its clean counterpart.
+/// against the baseline of its clean counterpart — plus the **resolved**
+/// check level. `opts.check = None` defers to `CLIP_CHECK` at run time,
+/// so two runs with identical options can capture incomparable `cheap`
+/// vs `full` streams; folding the resolved level into the key keeps them
+/// in separate baseline entries.
 pub fn job_fp_key(job: &SweepJob, opts: &RunOptions) -> String {
     let clean = RunOptions {
         fault: None,
         ..opts.clone()
     };
-    crate::experiment::job_key(job, &clean)
+    let level = opts.check.unwrap_or_else(clip_sim::CheckLevel::from_env);
+    format!(
+        "{}\u{1}level={level:?}",
+        crate::experiment::job_key(job, &clean)
+    )
 }
 
 /// Applies the active [`mode`] to one freshly simulated outcome: records
@@ -129,6 +153,7 @@ pub fn apply(
             Ok(result)
         }
         FpMode::Verify => verify_in(&fp_dir(), &key, &job.mix.name, &result).map(|()| result),
+        FpMode::Require => require_in(&fp_dir(), &key, &job.mix.name, &result).map(|()| result),
         FpMode::Off => unreachable!("handled above"),
     }
 }
@@ -139,14 +164,14 @@ fn entry_path(dir: &Path, key: &str, mix_name: &str) -> PathBuf {
 
 /// Persists a known-good fingerprint stream (best effort, atomic). A run
 /// that captured no fingerprints records nothing — recording requires
-/// `CLIP_CHECK=full`, which a once-per-run stderr notice points out.
+/// audits enabled, which a once-per-run stderr notice points out.
 pub(crate) fn record_in(dir: &Path, key: &str, mix_name: &str, result: &SimResult) {
     if result.fingerprints.is_empty() {
         static WARN_ONCE: std::sync::Once = std::sync::Once::new();
         WARN_ONCE.call_once(|| {
             eprintln!(
                 "clip-fp: CLIP_FP_BASELINE=record but the run captured no fingerprints; \
-                 run under CLIP_CHECK=full to record baselines"
+                 audits are off (CLIP_CHECK=cheap or full records baselines)"
             );
         });
         return;
@@ -196,6 +221,37 @@ pub(crate) fn verify_in(
 ) -> Result<(), SimError> {
     match lookup_in(dir, key, mix_name) {
         None => Ok(()),
+        Some(baseline) => compare_against_baseline(&baseline, result),
+    }
+}
+
+/// [`verify_in`], but a missing baseline is an error: under
+/// `CLIP_FP_BASELINE=require` every job must have something to check
+/// against, so a missing (or quarantined) entry means the record step
+/// never ran for this identity — exactly the silent gap the mode exists
+/// to close.
+///
+/// # Errors
+///
+/// Everything [`verify_in`] returns, plus an `Internal` error naming the
+/// mix when no baseline is recorded.
+pub(crate) fn require_in(
+    dir: &Path,
+    key: &str,
+    mix_name: &str,
+    result: &SimResult,
+) -> Result<(), SimError> {
+    match lookup_in(dir, key, mix_name) {
+        None => Err(SimError::new(
+            0,
+            "fingerprint",
+            clip_sim::SimErrorKind::Internal,
+            format!(
+                "CLIP_FP_BASELINE=require but no baseline is recorded for {mix_name:?} \
+                 under this job identity (run the record step first, and at the same \
+                 CLIP_CHECK level)"
+            ),
+        )),
         Some(baseline) => compare_against_baseline(&baseline, result),
     }
 }
@@ -310,6 +366,28 @@ mod tests {
         assert_eq!(mode_from(Some("0")), FpMode::Off);
         assert_eq!(mode_from(Some("record")), FpMode::Record);
         assert_eq!(mode_from(Some("verify")), FpMode::Verify);
+        assert_eq!(mode_from(Some("require")), FpMode::Require);
         assert_eq!(mode_from(Some("bogus")), FpMode::Off);
+    }
+
+    #[test]
+    fn require_mode_fails_without_a_baseline_but_verifies_with_one() {
+        let dir = temp_dir("require");
+        let r = result_with_stream();
+        let err = require_in(&dir, "never-recorded", "mixname", &r)
+            .expect_err("require must refuse to pass an unverified job");
+        assert_eq!(err.kind, SimErrorKind::Internal);
+        assert_eq!(err.component, "fingerprint");
+        assert!(err.detail.contains("no baseline is recorded"), "{err}");
+        assert!(err.detail.contains("mixname"), "{err}");
+
+        record_in(&dir, "key-r", "mixname", &r);
+        require_in(&dir, "key-r", "mixname", &r).expect("recorded baseline verifies");
+        let mut regressed = r.clone();
+        regressed.fingerprints[0].hashes[0] ^= 1;
+        let err = require_in(&dir, "key-r", "mixname", &regressed)
+            .expect_err("require still diffs like verify");
+        assert_eq!(err.kind, SimErrorKind::Divergence);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

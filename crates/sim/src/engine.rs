@@ -11,11 +11,13 @@
 
 use crate::llc::ClockedLlc;
 use crate::ports::{NocPayload, OutMsg, TxnId};
-use crate::system::System;
 use clip_dram::{DramCompletion, DramSystem};
 use clip_noc::{AnalyticNoc, Delivered, MeshNoc, NocModel};
-use clip_types::{Channel, Cycle, Ip, LineAddr, MemLevel, Priority, ReqId, SimClock, Tick};
-use std::collections::HashMap;
+use clip_types::{
+    Channel, Cycle, Ip, LineAddr, MemLevel, Priority, ReqId, SimClock, SimConfig, Tick,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 pub(crate) const EVENT_RING: usize = 1 << 15;
 pub(crate) const RETRY_DELAY: Cycle = 4;
@@ -74,6 +76,13 @@ impl Tick for ClockedNoc {
             self.delivered.push(d);
         }
     }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        merge_activity(
+            self.delivered.activity(now),
+            self.model.as_model_ref().next_activity(now),
+        )
+    }
 }
 
 /// The DRAM channels as a clocked component: each [`Tick::tick`]
@@ -89,6 +98,18 @@ impl Tick for ClockedDram {
         for c in self.mem.tick(now) {
             self.completed.push(c);
         }
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        merge_activity(self.completed.activity(now), self.mem.next_activity(now))
+    }
+}
+
+/// Minimum over two optional wake-up cycles (`None` = no wake-up).
+pub(crate) fn merge_activity(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
     }
 }
 
@@ -150,9 +171,37 @@ pub(crate) enum Ev {
     },
 }
 
+/// The configuration slice the uncore needs: topology and packet sizes,
+/// derived once from the [`SimConfig`] so the engine is self-contained.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EngineParams {
+    pub cores: usize,
+    pub nodes: usize,
+    pub channels: usize,
+    pub data_packet_flits: usize,
+    pub addr_packet_flits: usize,
+    pub llc_latency: Cycle,
+}
+
+impl EngineParams {
+    pub(crate) fn from_config(cfg: &SimConfig) -> Self {
+        EngineParams {
+            cores: cfg.cores,
+            nodes: cfg.noc.mesh_cols * cfg.noc.mesh_rows,
+            channels: cfg.dram.channels,
+            data_packet_flits: cfg.noc.data_packet_flits,
+            addr_packet_flits: cfg.noc.addr_packet_flits,
+            llc_latency: cfg.llc_slice.latency,
+        }
+    }
+}
+
 /// Shared (non-tile) simulator state: clock, interconnect, memory,
-/// transactions, and the event wheel.
+/// transactions, and the event wheel. The engine owns the whole uncore
+/// state machine — message handlers included — so it can answer "when is
+/// the next interesting uncore cycle?" for the skip-ahead scheduler.
 pub(crate) struct Engine {
+    pub(crate) params: EngineParams,
     pub(crate) clock: SimClock,
     pub(crate) noc: ClockedNoc,
     pub(crate) dram: ClockedDram,
@@ -160,6 +209,11 @@ pub(crate) struct Engine {
     pub(crate) txns: Vec<Txn>,
     free_txns: Vec<TxnId>,
     ring: Vec<Vec<Ev>>,
+    /// Events currently on the ring (O(1) view for the watchdog).
+    events_pending: usize,
+    /// Fire cycles of ring events, lazily pruned: the scheduler peeks the
+    /// minimum to bound a skip without scanning all `EVENT_RING` slots.
+    event_heap: BinaryHeap<Reverse<Cycle>>,
     /// Per-node injection outboxes (FIFO behind a refused packet).
     outbox: Vec<Channel<OutMsg>>,
     next_req: u64,
@@ -173,8 +227,14 @@ pub(crate) struct Engine {
 }
 
 impl Engine {
-    pub(crate) fn new(noc: NocImpl, dram: DramSystem, llc: ClockedLlc, nodes: usize) -> Self {
+    pub(crate) fn new(
+        noc: NocImpl,
+        dram: DramSystem,
+        llc: ClockedLlc,
+        params: EngineParams,
+    ) -> Self {
         Engine {
+            params,
             clock: SimClock::new(),
             noc: ClockedNoc {
                 model: noc,
@@ -188,7 +248,9 @@ impl Engine {
             txns: Vec::with_capacity(4096),
             free_txns: Vec::new(),
             ring: (0..EVENT_RING).map(|_| Vec::new()).collect(),
-            outbox: (0..nodes).map(|_| Channel::new()).collect(),
+            events_pending: 0,
+            event_heap: BinaryHeap::new(),
+            outbox: (0..params.nodes).map(|_| Channel::new()).collect(),
             next_req: 1,
             probe_map: HashMap::new(),
             next_probe: 0,
@@ -237,16 +299,58 @@ impl Engine {
         let at = at.max(now + 1);
         debug_assert!(at - now < EVENT_RING as u64, "event beyond ring horizon");
         self.ring[(at as usize) % EVENT_RING].push(ev);
+        self.events_pending += 1;
+        self.event_heap.push(Reverse(at));
     }
 
     /// Takes this cycle's scheduled events off the wheel.
     pub(crate) fn take_events(&mut self) -> Vec<Ev> {
         let now = self.clock.now();
-        std::mem::take(&mut self.ring[(now as usize) % EVENT_RING])
+        let evs = std::mem::take(&mut self.ring[(now as usize) % EVENT_RING]);
+        self.events_pending -= evs.len();
+        evs
     }
 
     pub(crate) fn pending_events(&self) -> usize {
-        self.ring.iter().map(|r| r.len()).sum()
+        self.events_pending
+    }
+
+    /// The earliest cycle `>= now` with a ring event due, pruning heap
+    /// entries for cycles that already fired.
+    pub(crate) fn next_event_cycle(&mut self, now: Cycle) -> Option<Cycle> {
+        while let Some(&Reverse(c)) = self.event_heap.peek() {
+            if c < now {
+                self.event_heap.pop();
+            } else {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// The earliest cycle `>= now` at which the uncore — NoC, DRAM, LLC,
+    /// spilled outbox packets, or a ring event — does real work, or
+    /// `None` when the whole uncore is idle until a tile stimulates it.
+    pub(crate) fn next_activity(&mut self, now: Cycle) -> Option<Cycle> {
+        // Cheapest sources first, bailing the moment one says "busy now":
+        // this runs on every scheduler decision, and the LLC ring scan is
+        // by far the priciest answer.
+        let mut next = self.next_event_cycle(now);
+        if next == Some(now) {
+            return next;
+        }
+        if self.outbox_backlog() > 0 {
+            return Some(now);
+        }
+        next = merge_activity(next, self.dram.next_activity(now));
+        if next == Some(now) {
+            return next;
+        }
+        next = merge_activity(next, self.noc.next_activity(now));
+        if next == Some(now) {
+            return next;
+        }
+        merge_activity(next, self.llc.next_activity(now))
     }
 
     pub(crate) fn outbox_backlog(&self) -> usize {
@@ -344,6 +448,14 @@ impl Engine {
         }
     }
 
+    /// O(1)-balance variant of [`Engine::fingerprint_txns`] for `cheap`
+    /// check runs: live-transaction count and wheel/outbox occupancy.
+    pub(crate) fn fingerprint_txns_cheap(&self, h: &mut clip_types::Fnv64) {
+        h.write_usize(self.live_txns())
+            .write_usize(self.events_pending)
+            .write_usize(self.outbox_backlog());
+    }
+
     /// Injects a message, spilling to the node's outbox on back-pressure
     /// (or when earlier spilled messages must keep FIFO order).
     pub(crate) fn send_msg(
@@ -406,79 +518,88 @@ impl Engine {
 }
 
 // ----------------------------------------------------------------------
-// Uncore message flow: LLC slices and memory controllers.
+// Uncore message flow: LLC slices and memory controllers. Engine-owned:
+// these paths never touch a tile, so the uncore state machine is closed
+// under `Engine` and `System` only forwards tile-facing events.
 // ----------------------------------------------------------------------
 
-impl System {
-    pub(crate) fn handle_event(&mut self, ev: Ev) {
-        let now = self.engine.now();
-        match ev {
-            Ev::L1Respond { tile, req, issue } => {
-                self.respond_core(tile as usize, req, MemLevel::L1, issue, now);
-            }
-            Ev::L2Lookup { txn } => self.l2_lookup(txn, now),
-            Ev::DramEnqueue { txn } => self.dram_enqueue(txn, now),
-            Ev::TileData { txn } => self.tile_data(txn, now),
-            Ev::WbDram { line } => {
-                if self.engine.dram.mem.enqueue_write(line, now).is_err() {
-                    self.engine
-                        .schedule(now + RETRY_DELAY * 2, Ev::WbDram { line });
-                }
-            }
-        }
-    }
-
+impl Engine {
     #[inline]
     pub(crate) fn home_of(&self, line: LineAddr) -> usize {
-        (clip_types::hash64(line.raw() ^ 0x110C) as usize) % self.cfg.cores
+        (clip_types::hash64(line.raw() ^ 0x110C) as usize) % self.params.cores
     }
 
     #[inline]
     pub(crate) fn mc_node(&self, channel: usize) -> usize {
-        let nodes = self.cfg.noc.mesh_cols * self.cfg.noc.mesh_rows;
-        (channel * nodes / self.cfg.dram.channels) % nodes
+        let nodes = self.params.nodes;
+        (channel * nodes / self.params.channels) % nodes
     }
 
-    fn dram_enqueue(&mut self, txn: TxnId, now: Cycle) {
-        match self.engine.txns[txn as usize].probe {
+    /// Drains the clocked components' output channels into the uncore
+    /// handlers: NoC deliveries, DRAM completions, due LLC lookups. The
+    /// `lose_deliveries` flag is the `LoseDelivery` fault: packets arrive
+    /// and vanish.
+    pub(crate) fn drain_uncore(&mut self, now: Cycle, lose_deliveries: bool) {
+        while let Some(d) = self.noc.delivered.pop() {
+            if lose_deliveries {
+                continue;
+            }
+            self.handle_delivery(d.node, d.payload, now);
+        }
+        while let Some(c) = self.dram.completed.pop() {
+            self.handle_dram_completion(c.id);
+        }
+        while let Some(txn) = self.llc.ready.pop() {
+            self.llc_lookup(txn, now);
+        }
+    }
+
+    pub(crate) fn dram_enqueue(&mut self, txn: TxnId, now: Cycle) {
+        match self.txns[txn as usize].probe {
             ProbeState::Done => {
                 // Hermes probe already fetched the data at the controller.
-                self.engine.txns[txn as usize].level = MemLevel::Dram;
+                self.txns[txn as usize].level = MemLevel::Dram;
                 self.data_from_mc(txn);
                 return;
             }
             ProbeState::Pending => {
-                self.engine.txns[txn as usize].probe = ProbeState::TxnWaiting;
+                self.txns[txn as usize].probe = ProbeState::TxnWaiting;
                 return;
             }
             _ => {}
         }
-        let tx = self.engine.txns[txn as usize];
-        let channel = self.engine.dram.mem.channel_for(tx.line);
-        let prio = self.engine.txn_priority(txn);
+        let tx = self.txns[txn as usize];
+        let channel = self.dram.mem.channel_for(tx.line);
+        let prio = self.txn_priority(txn);
         if self
-            .engine
             .dram
             .mem
             .enqueue_read(channel, ReqId(txn as u64), tx.line, prio, now)
             .is_err()
         {
-            self.engine
-                .schedule(now + RETRY_DELAY, Ev::DramEnqueue { txn });
+            self.schedule(now + RETRY_DELAY, Ev::DramEnqueue { txn });
+        }
+    }
+
+    /// Enqueues a dirty-line write at its controller, retrying through
+    /// the event wheel when the write queue is full.
+    pub(crate) fn wb_dram(&mut self, line: LineAddr, now: Cycle) {
+        if self.dram.mem.enqueue_write(line, now).is_err() {
+            self.schedule(now + RETRY_DELAY * 2, Ev::WbDram { line });
         }
     }
 
     /// Sends the DRAM response packet toward the LLC home slice.
     fn data_from_mc(&mut self, txn: TxnId) {
-        let tx = self.engine.txns[txn as usize];
-        let channel = self.engine.dram.mem.channel_for(tx.line);
+        let tx = self.txns[txn as usize];
+        let channel = self.dram.mem.channel_for(tx.line);
         let mc = self.mc_node(channel);
         let home = self.home_of(tx.line);
-        let prio = self.engine.txn_priority(txn);
-        self.engine.send_msg(
+        let prio = self.txn_priority(txn);
+        self.send_msg(
             mc,
             home,
-            self.cfg.noc.data_packet_flits,
+            self.params.data_packet_flits,
             prio,
             NocPayload::DataLlc(txn),
         );
@@ -488,60 +609,55 @@ impl System {
         if id.0 & PROBE_BIT != 0 {
             let pid = id.0 & !PROBE_BIT;
             // Orphaned probes (owner already serviced on-chip) miss here.
-            let Some(txn) = self.engine.probe_map.remove(&pid) else {
+            let Some(txn) = self.probe_map.remove(&pid) else {
                 return;
             };
-            self.engine.txns[txn as usize].probe_id = None;
-            match self.engine.txns[txn as usize].probe {
+            self.txns[txn as usize].probe_id = None;
+            match self.txns[txn as usize].probe {
                 ProbeState::TxnWaiting => {
-                    self.engine.txns[txn as usize].level = MemLevel::Dram;
+                    self.txns[txn as usize].level = MemLevel::Dram;
                     self.data_from_mc(txn);
                 }
-                ProbeState::Pending => self.engine.txns[txn as usize].probe = ProbeState::Done,
+                ProbeState::Pending => self.txns[txn as usize].probe = ProbeState::Done,
                 ProbeState::None | ProbeState::Done => {}
             }
             return;
         }
         let txn = id.0 as TxnId;
-        if !self.engine.txns[txn as usize].live {
+        if !self.txns[txn as usize].live {
             return;
         }
-        self.engine.txns[txn as usize].level = MemLevel::Dram;
+        self.txns[txn as usize].level = MemLevel::Dram;
         self.data_from_mc(txn);
     }
 
     pub(crate) fn handle_delivery(&mut self, node: usize, pl: u64, now: Cycle) {
         match NocPayload::decode(pl) {
             NocPayload::ReqLlc(txn) => {
-                let delay = self.cfg.llc_slice.latency;
-                self.engine.llc.schedule_lookup(txn, now, delay);
+                let delay = self.params.llc_latency;
+                self.llc.schedule_lookup(txn, now, delay);
             }
             NocPayload::ReqMc(txn) => {
-                self.engine.schedule(now + 1, Ev::DramEnqueue { txn });
+                self.schedule(now + 1, Ev::DramEnqueue { txn });
             }
             NocPayload::DataLlc(txn) => {
                 self.llc_fill_and_forward(txn, now);
             }
             NocPayload::DataTile(txn) => {
-                self.engine.schedule(now + 1, Ev::TileData { txn });
+                self.schedule(now + 1, Ev::TileData { txn });
             }
             NocPayload::WbLlc(line) => self.llc_writeback(node, line, now),
-            NocPayload::WbMc(line) => {
-                if self.engine.dram.mem.enqueue_write(line, now).is_err() {
-                    self.engine
-                        .schedule(now + RETRY_DELAY * 2, Ev::WbDram { line });
-                }
-            }
+            NocPayload::WbMc(line) => self.wb_dram(line, now),
         }
     }
 
     pub(crate) fn writeback_to_dram(&mut self, from_node: usize, line: LineAddr) {
-        let channel = self.engine.dram.mem.channel_for(line);
+        let channel = self.dram.mem.channel_for(line);
         let mc = self.mc_node(channel);
-        self.engine.send_msg(
+        self.send_msg(
             from_node,
             mc,
-            self.cfg.noc.data_packet_flits,
+            self.params.data_packet_flits,
             Priority::Writeback,
             NocPayload::WbMc(line),
         );

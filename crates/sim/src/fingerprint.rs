@@ -1,9 +1,15 @@
 //! State-fingerprint divergence localization.
 //!
-//! Under `CLIP_CHECK=full` the integrity loop folds each component's
-//! architectural + queue state into an FNV-1a hash every cadence window
-//! (cores and ROBs, private MSHR files, prefetch queues, LLC MSHRs, the
-//! live-transaction slab). Two same-seed runs that must be bit-identical
+//! Whenever audits are enabled the integrity loop folds each component's
+//! state into an FNV-1a hash every cadence window. Under `CLIP_CHECK=full`
+//! the hash covers per-entry architectural + queue state (cores and ROBs,
+//! private MSHR files, prefetch queues, LLC MSHRs, the live-transaction
+//! slab); under the default `cheap` level it covers only the O(1)
+//! occupancy balances each component already maintains — far less
+//! sensitive, but free enough to leave on for long sweeps. The two
+//! depths share a layout but are never comparable to each other; the
+//! baseline store keys them apart. Two same-seed runs that must be
+//! bit-identical
 //! — serial vs parallel, or corrupted vs clean — can then be diffed
 //! window by window: instead of "the final IPC is wrong", [`compare`]
 //! reports *"first divergent window N (cycle C), component X"* as a
@@ -92,19 +98,37 @@ pub fn stream_from_json(v: &Json) -> Option<Vec<WindowFingerprint>> {
 
 impl System {
     /// Captures one window's per-component fingerprint. Read-only.
-    pub(crate) fn capture_fingerprint(&mut self, now: Cycle) {
+    ///
+    /// `full` selects the hash depth: per-entry state under
+    /// `CLIP_CHECK=full`, O(1) occupancy balances under `cheap`. Both
+    /// use the same `tile0..tileN-1, llc, txns` layout so [`compare`]
+    /// and [`component_name`] work unchanged; the two depths are never
+    /// comparable to each other (the baseline store keys them apart).
+    pub(crate) fn capture_fingerprint(&mut self, now: Cycle, full: bool) {
         let cadence = self.integrity.cadence.max(1);
         let mut hashes = Vec::with_capacity(self.tiles.len() + 2);
         for t in &self.tiles {
             let mut h = Fnv64::new();
-            t.fingerprint(&mut h);
+            if full {
+                t.fingerprint(&mut h);
+            } else {
+                t.fingerprint_cheap(&mut h);
+            }
             hashes.push(h.finish());
         }
         let mut h = Fnv64::new();
-        self.engine.llc.fingerprint(&mut h);
+        if full {
+            self.engine.llc.fingerprint(&mut h);
+        } else {
+            self.engine.llc.fingerprint_cheap(&mut h);
+        }
         hashes.push(h.finish());
         let mut h = Fnv64::new();
-        self.engine.fingerprint_txns(&mut h);
+        if full {
+            self.engine.fingerprint_txns(&mut h);
+        } else {
+            self.engine.fingerprint_txns_cheap(&mut h);
+        }
         hashes.push(h.finish());
         self.fingerprints.push(WindowFingerprint {
             window: now / cadence,
@@ -217,7 +241,7 @@ pub fn compare_streams(a: &[WindowFingerprint], b: &[WindowFingerprint]) -> Resu
 ///
 /// Returns the first [`SimErrorKind::Divergence`] between the streams
 /// (see [`compare`]), or an `Internal` error when the live run captured
-/// no fingerprints (it was not run under `CLIP_CHECK=full`).
+/// no fingerprints (it was run with audits off entirely).
 pub fn compare_against_baseline(
     baseline: &[WindowFingerprint],
     live: &SimResult,
@@ -231,7 +255,7 @@ pub fn compare_against_baseline(
             "fingerprint",
             SimErrorKind::Internal,
             "baseline verification requested but the live run captured no fingerprints \
-             (fingerprints are only captured under CLIP_CHECK=full)",
+             (fingerprints require audits: CLIP_CHECK=full or the default cheap level)",
         ));
     }
     compare_streams(baseline, &live.fingerprints)
@@ -266,9 +290,10 @@ fn localize_outcome(
 /// `Divergence` error naming the first divergent window and component
 /// instead of silently skewing the result.
 ///
-/// Requires `CLIP_CHECK=full` (or `opts.check = Some(CheckLevel::Full)`)
-/// to capture fingerprints; at lower levels this is exactly
-/// `run_jobs_checked`. Without an armed fault there is no reference to
+/// Capturing fingerprints requires audits: under `CLIP_CHECK=full` the
+/// streams are maximally sensitive, under the default `cheap` level only
+/// occupancy-visible corruption localizes, and with audits off this is
+/// exactly `run_jobs_checked`. Without an armed fault there is no reference to
 /// diff against and the batch also passes through unchanged. A clean
 /// re-run that itself fails surfaces as an [`SimErrorKind::Internal`]
 /// error naming the reference failure — never as a silently unverified

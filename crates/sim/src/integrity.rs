@@ -99,9 +99,12 @@ impl System {
                 .map_err(|e| component_error(now, format!("tile{i}.pf-queue"), e))?;
         }
 
-        if full {
-            self.capture_fingerprint(now);
-        }
+        // Fingerprints are captured at every enabled check level: `full`
+        // hashes per-entry state, `cheap` only the O(1) balances — cheap
+        // streams are affordable for long sweeps and still localize
+        // occupancy-visible divergence (the baseline store keys the two
+        // levels separately).
+        self.capture_fingerprint(now, full);
 
         // Forward progress: the signature moves whenever any core retires
         // or any uncore channel drains anything.

@@ -8,9 +8,8 @@
 //! component's API — `tile.rs` and `system.rs` never see a `Cache` or
 //! `MshrFile` of the LLC directly.
 
-use crate::engine::{Txn, TxnKind, RETRY_DELAY};
+use crate::engine::{Engine, Txn, TxnKind, RETRY_DELAY};
 use crate::ports::{NocPayload, TxnId};
-use crate::system::System;
 use clip_cache::{AllocOutcome, Cache, Evicted, LookupOutcome, MshrFile};
 use clip_types::{Channel, Cycle, LineAddr, MemLevel, ReqId, SimConfig, Tick};
 
@@ -159,6 +158,15 @@ impl ClockedLlc {
         }
     }
 
+    /// O(1)-balance variant of [`ClockedLlc::fingerprint`] for `cheap`
+    /// check runs: ring counters + total MSHR occupancy, no per-entry
+    /// state.
+    pub(crate) fn fingerprint_cheap(&self, h: &mut clip_types::Fnv64) {
+        h.write_u64(self.scheduled)
+            .write_u64(self.fired)
+            .write_usize(self.mshr_occupancy());
+    }
+
     /// Fault injection: leaks one outstanding MSHR entry from the first
     /// occupied slice (slices scanned in index order, victim within the
     /// slice picked by `selector`). Returns false when every file is
@@ -180,58 +188,73 @@ impl Tick for ClockedLlc {
             self.fired += 1;
         }
     }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.ready.is_empty() {
+            return Some(now);
+        }
+        if self.scheduled == self.fired {
+            return None; // nothing on the lookup ring
+        }
+        // Ring occupancy is tiny (LLC_RING slots): scan forward from `now`
+        // for the first occupied slot. Every pending lookup is within one
+        // ring revolution (enforced at schedule time), so the first
+        // occupied slot is the earliest due cycle.
+        (0..LLC_RING as u64)
+            .find(|k| !self.ring[((now + k) as usize) % LLC_RING].is_empty())
+            .map(|k| now + k)
+    }
 }
 
 // ----------------------------------------------------------------------
-// Slice-side message flow (moved out of engine.rs behind ClockedLlc).
+// Slice-side message flow (engine-owned: these paths never touch a tile).
 // ----------------------------------------------------------------------
 
-impl System {
+impl Engine {
     /// A slice lookup whose access latency elapsed: hit → respond to the
     /// tile; miss → allocate an MSHR and request the line from DRAM,
     /// retrying through the LLC's own wheel under MSHR back-pressure.
     pub(crate) fn llc_lookup(&mut self, txn: TxnId, now: Cycle) {
-        let tx: Txn = self.engine.txns[txn as usize];
+        let tx: Txn = self.txns[txn as usize];
         let home = self.home_of(tx.line);
         let is_pf = matches!(tx.kind, TxnKind::Prefetch { .. });
 
-        if self.engine.llc.blocked(home, tx.line) {
-            self.engine.llc.schedule_lookup(txn, now, RETRY_DELAY);
+        if self.llc.blocked(home, tx.line) {
+            self.llc.schedule_lookup(txn, now, RETRY_DELAY);
             return;
         }
 
-        match self.engine.llc.lookup(home, tx.line, is_pf, now) {
+        match self.llc.lookup(home, tx.line, is_pf, now) {
             LookupOutcome::Hit { .. } => {
-                self.engine.txns[txn as usize].level = MemLevel::Llc;
-                let prio = self.engine.txn_priority(txn);
-                self.engine.send_msg(
+                self.txns[txn as usize].level = MemLevel::Llc;
+                let prio = self.txn_priority(txn);
+                self.send_msg(
                     home,
                     tx.tile as usize,
-                    self.cfg.noc.data_packet_flits,
+                    self.params.data_packet_flits,
                     prio,
                     NocPayload::DataTile(txn),
                 );
             }
             LookupOutcome::Miss => {
                 match self
-                    .engine
                     .llc
                     .mshr_alloc(home, tx.line, ReqId(txn as u64), is_pf, now)
                 {
                     Ok(AllocOutcome::New) => {
-                        let channel = self.engine.dram.mem.channel_for(tx.line);
+                        let channel = self.dram.mem.channel_for(tx.line);
                         let mc = self.mc_node(channel);
-                        let prio = self.engine.txn_priority(txn);
-                        self.engine.send_msg(
+                        let prio = self.txn_priority(txn);
+                        self.send_msg(
                             home,
                             mc,
-                            self.cfg.noc.addr_packet_flits,
+                            self.params.addr_packet_flits,
                             prio,
                             NocPayload::ReqMc(txn),
                         );
                     }
                     Ok(AllocOutcome::Merged { .. }) => {}
-                    Err(_) => self.engine.llc.schedule_lookup(txn, now, RETRY_DELAY),
+                    Err(_) => self.llc.schedule_lookup(txn, now, RETRY_DELAY),
                 }
             }
         }
@@ -241,7 +264,7 @@ impl System {
     pub(crate) fn llc_writeback(&mut self, node: usize, line: LineAddr, now: Cycle) {
         let home = self.home_of(line);
         debug_assert_eq!(home, node);
-        if let Some(ev) = self.engine.llc.fill(home, line, true, false, now) {
+        if let Some(ev) = self.llc.fill(home, line, true, false, now) {
             if ev.dirty {
                 self.writeback_to_dram(home, ev.line);
             }
@@ -251,39 +274,39 @@ impl System {
     /// DRAM data arrived at the LLC home: fill the slice, complete the LLC
     /// MSHR, and forward data packets to the requesting tile(s).
     pub(crate) fn llc_fill_and_forward(&mut self, txn: TxnId, now: Cycle) {
-        let tx: Txn = self.engine.txns[txn as usize];
+        let tx: Txn = self.txns[txn as usize];
         let home = self.home_of(tx.line);
         let is_pf = matches!(tx.kind, TxnKind::Prefetch { .. });
-        if let Some(ev) = self.engine.llc.fill(home, tx.line, false, is_pf, now) {
+        if let Some(ev) = self.llc.fill(home, tx.line, false, is_pf, now) {
             if ev.dirty {
                 self.writeback_to_dram(home, ev.line);
             }
         }
         let mut to_send = vec![txn];
-        if let Some(entry) = self.engine.llc.mshr_complete(home, tx.line) {
+        if let Some(entry) = self.llc.mshr_complete(home, tx.line) {
             for w in entry.waiters {
                 let wt = w.0 as TxnId;
-                if wt != txn && self.engine.txns[wt as usize].live {
-                    self.engine.txns[wt as usize].level = tx.level;
+                if wt != txn && self.txns[wt as usize].live {
+                    self.txns[wt as usize].level = tx.level;
                     to_send.push(wt);
                 }
             }
             // `entry.primary` is this txn (or the first merged one).
             let p = entry.primary.0 as TxnId;
-            if p != txn && self.engine.txns[p as usize].live {
-                self.engine.txns[p as usize].level = tx.level;
+            if p != txn && self.txns[p as usize].live {
+                self.txns[p as usize].level = tx.level;
                 to_send.push(p);
             }
         }
         to_send.sort_unstable();
         to_send.dedup();
         for t in to_send {
-            let dst = self.engine.txns[t as usize].tile as usize;
-            let prio = self.engine.txn_priority(t);
-            self.engine.send_msg(
+            let dst = self.txns[t as usize].tile as usize;
+            let prio = self.txn_priority(t);
+            self.send_msg(
                 home,
                 dst,
-                self.cfg.noc.data_packet_flits,
+                self.params.data_packet_flits,
                 prio,
                 NocPayload::DataTile(t),
             );

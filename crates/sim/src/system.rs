@@ -13,7 +13,7 @@
 //! `snapshot.rs`. This file only builds the parts and drives them
 //! through the [`Tick`] contract each cycle.
 
-use crate::engine::{Engine, NocChoice, NocImpl};
+use crate::engine::{Engine, EngineParams, Ev, NocChoice, NocImpl};
 use crate::fault::{FaultHarness, FaultKind, FaultSpec};
 use crate::integrity::{Integrity, DEFAULT_CHECK_CADENCE, DEFAULT_WATCHDOG_WINDOW};
 use crate::result::SimResult;
@@ -29,7 +29,7 @@ use clip_offchip::{DsPatch, Hermes};
 use clip_prefetch::PrefetchCandidate;
 use clip_throttle::EpochFeedback;
 use clip_trace::Mix;
-use clip_types::{CheckLevel, Cycle, Port, PrefetcherKind, SimConfig, SimError, Tick};
+use clip_types::{CheckLevel, Cycle, MemLevel, Port, PrefetcherKind, SimConfig, SimError, Tick};
 use std::collections::HashMap;
 
 const THROTTLE_EPOCH: Cycle = 8192;
@@ -70,7 +70,6 @@ impl System {
         cfg.validate().expect("valid configuration");
         assert_eq!(mix.cores(), cfg.cores, "mix must match core count");
 
-        let nodes = cfg.noc.mesh_cols * cfg.noc.mesh_rows;
         let tiles = (0..cfg.cores)
             .map(|i| {
                 let spec = &mix.workloads[i];
@@ -139,7 +138,7 @@ impl System {
                 noc,
                 DramSystem::new(&cfg.dram),
                 crate::llc::ClockedLlc::new(cfg),
-                nodes,
+                EngineParams::from_config(cfg),
             ),
             cand_scratch: Vec::with_capacity(32),
             branch_scratch: Vec::with_capacity(16),
@@ -204,25 +203,15 @@ impl System {
         self.engine.dram.tick(now);
         self.engine.llc.tick(now);
 
-        // ...which drain into the uncore handlers.
+        // ...which drain into the engine-owned uncore handlers.
         let lose_deliveries = self
             .fault
             .as_ref()
             .is_some_and(|f| f.spec.kind == FaultKind::LoseDelivery && now >= f.spec.at);
-        while let Some(d) = self.engine.noc.delivered.pop() {
-            if lose_deliveries {
-                continue;
-            }
-            self.handle_delivery(d.node, d.payload, now);
-        }
-        while let Some(c) = self.engine.dram.completed.pop() {
-            self.handle_dram_completion(c.id);
-        }
-        while let Some(txn) = self.engine.llc.ready.pop() {
-            self.llc_lookup(txn, now);
-        }
+        self.engine.drain_uncore(now, lose_deliveries);
 
-        // Local scheduled events.
+        // Local scheduled events: tile-facing ones are handled here,
+        // uncore ones forward straight back into the engine.
         for ev in self.engine.take_events() {
             self.handle_event(ev);
         }
@@ -249,6 +238,133 @@ impl System {
         }
 
         self.engine.clock.advance();
+    }
+
+    /// Dispatches one event-wheel entry. Tile-facing events (responses,
+    /// L2 lookups, data returns) need tile state and stay here; the
+    /// uncore events forward to the [`Engine`], which owns those paths.
+    pub(crate) fn handle_event(&mut self, ev: Ev) {
+        let now = self.engine.now();
+        match ev {
+            Ev::L1Respond { tile, req, issue } => {
+                self.respond_core(tile as usize, req, MemLevel::L1, issue, now);
+            }
+            Ev::L2Lookup { txn } => self.l2_lookup(txn, now),
+            Ev::TileData { txn } => self.tile_data(txn, now),
+            Ev::DramEnqueue { txn } => self.engine.dram_enqueue(txn, now),
+            Ev::WbDram { line } => self.engine.wb_dram(line, now),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The skip-ahead scheduler.
+    // ------------------------------------------------------------------
+
+    /// The earliest cycle `>= now` that must actually be simulated: the
+    /// minimum over every component's [`Tick::next_activity`] answer and
+    /// the engine-level wheel constraints (periodic controllers, audit
+    /// cadence, timeline sampling, the armed fault's trigger cycle).
+    /// Always finite — the DSPatch epoch recurs every `DSPATCH_EPOCH`
+    /// cycles and mutates controller state unconditionally, so no skip
+    /// ever exceeds one epoch.
+    fn next_interesting(&mut self, in_measure: bool, debug_stall: bool) -> Cycle {
+        let now = self.engine.now();
+        // Periodic controllers fire on every positive multiple of
+        // DSPATCH_EPOCH (THROTTLE_EPOCH is a multiple of it).
+        let mut next = if now == 0 {
+            DSPATCH_EPOCH
+        } else {
+            now.next_multiple_of(DSPATCH_EPOCH)
+        };
+        let fold = |cand: Cycle, next: &mut Cycle| {
+            if cand < *next {
+                *next = cand;
+            }
+        };
+        // Audits + watchdog + fingerprints run post-advance at cadence
+        // multiples: simulating cycle `m - 1` makes `integrity_tick(m)`
+        // fire exactly as in a cycle-by-cycle run.
+        if self.integrity.level.audits_enabled() {
+            fold(
+                (now + 1).next_multiple_of(self.integrity.cadence) - 1,
+                &mut next,
+            );
+        }
+        // Timeline samples are taken post-advance at interval multiples
+        // relative to the measurement start.
+        if in_measure && self.timeline_interval > 0 {
+            let rel = (now + 1).saturating_sub(self.tl_start);
+            fold(
+                self.tl_start + rel.next_multiple_of(self.timeline_interval) - 1,
+                &mut next,
+            );
+        }
+        // CLIP_DEBUG_STALL dumps post-advance every 100k cycles.
+        if debug_stall {
+            fold((now + 1).next_multiple_of(100_000) - 1, &mut next);
+        }
+        // An armed, unfired fault must attempt injection at its trigger
+        // cycle and then on *every* later cycle until it lands: the
+        // selector draws from the seeded RNG per attempt, so skipping
+        // retries would desynchronize it from a cycle-by-cycle run.
+        if let Some(f) = self.fault.as_ref() {
+            if f.fired.is_none() {
+                fold(f.spec.at.max(now), &mut next);
+            }
+        }
+        // Component answers are always `>= now`, so the fold can never go
+        // below `now`: bail out the moment any source pins the minimum
+        // there — every later scan is pure overhead.
+        if let Some(c) = self.engine.next_activity(now) {
+            fold(c, &mut next);
+            if next == now {
+                return now;
+            }
+        }
+        for t in &self.tiles {
+            if let Some(c) = t.next_activity(now) {
+                fold(c, &mut next);
+                if next == now {
+                    return now;
+                }
+            }
+        }
+        next
+    }
+
+    /// Advances the clock straight to `target`, settling the per-cycle
+    /// bulk accounting the skipped ticks would have done (core stall /
+    /// dispatch-block counters, the DRAM bus-busy tail). Only sound when
+    /// every cycle in `now..target` is quiescent per
+    /// [`System::next_interesting`].
+    fn skip_to(&mut self, target: Cycle) {
+        let now = self.engine.now();
+        debug_assert!(target > now);
+        let span = target - now;
+        for t in self.tiles.iter_mut() {
+            t.core
+                .as_mut()
+                .expect("core present")
+                .skip_stalled(now, span);
+        }
+        self.engine.dram.mem.skip_idle(now, target);
+        self.engine.clock.advance_to(target);
+    }
+
+    /// One scheduler step: when the next interesting cycle is in the
+    /// future, skip straight to it (capped at `max_cycles`) and report
+    /// `true`; otherwise the current cycle must be ticked.
+    fn try_skip(&mut self, max_cycles: Cycle, in_measure: bool, debug_stall: bool) -> bool {
+        let now = self.engine.now();
+        let target = self
+            .next_interesting(in_measure, debug_stall)
+            .min(max_cycles);
+        if target > now {
+            self.skip_to(target);
+            true
+        } else {
+            false
+        }
     }
 
     /// Triggers the armed one-shot fault once `now` reaches its cycle,
@@ -463,6 +579,7 @@ impl System {
     ) -> Result<SimResult, SimError> {
         // Warmup phase.
         let debug_stall = std::env::var("CLIP_DEBUG_STALL").is_ok();
+        let step = crate::step_mode();
         while self.cycle() < max_cycles {
             if self
                 .tiles
@@ -470,6 +587,9 @@ impl System {
                 .all(|t| t.core.as_ref().expect("core present").retired() >= warmup)
             {
                 break;
+            }
+            if !step && self.try_skip(max_cycles, false, debug_stall) {
+                continue;
             }
             self.tick();
             self.integrity_tick(self.cycle())?;
@@ -507,6 +627,9 @@ impl System {
             }
             if all_done {
                 break;
+            }
+            if !step && self.try_skip(max_cycles, true, false) {
+                continue;
             }
             self.tick();
             self.integrity_tick(self.cycle())?;

@@ -152,6 +152,17 @@ impl Tile {
         Ok(())
     }
 
+    /// The earliest cycle `>= now` at which ticking this tile does real
+    /// work: a queued prefetch wants issuing, or the core's dispatch /
+    /// retire side has something to do (see [`Core::next_activity`]).
+    /// `None` means the tile only wakes on a load completion.
+    pub(crate) fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        crate::engine::merge_activity(
+            self.pf_queue.activity(now),
+            self.core.as_ref().expect("core present").next_activity(now),
+        )
+    }
+
     /// Folds the tile's architectural + queue state (core, both private
     /// MSHR files, prefetch queue) into a state fingerprint.
     pub(crate) fn fingerprint(&self, h: &mut clip_types::Fnv64) {
@@ -168,6 +179,20 @@ impl Tile {
                 .write_bool(q.from_l1);
         }
         h.write_u64(self.pf_candidates).write_u64(self.pf_issued);
+    }
+
+    /// O(1)-balance variant of [`Tile::fingerprint`] for `cheap` check
+    /// runs: occupancy counters only, no per-entry state.
+    pub(crate) fn fingerprint_cheap(&self, h: &mut clip_types::Fnv64) {
+        let core = self.core.as_ref().expect("core present");
+        h.write_u64(core.retired())
+            .write_usize(core.rob_occupancy())
+            .write_usize(core.loads_in_flight())
+            .write_usize(self.l1_mshr.len())
+            .write_usize(self.l2_mshr.len())
+            .write_usize(self.pf_queue.len())
+            .write_u64(self.pf_candidates)
+            .write_u64(self.pf_issued);
     }
 
     /// Fault injection: corrupts the line address of the `sel % len`-th
@@ -657,7 +682,7 @@ impl System {
                     .alloc(tx.line, ReqId(txn as u64), is_pf, now);
                 match alloc {
                     Ok(clip_cache::AllocOutcome::New) => {
-                        let home = self.home_of(tx.line);
+                        let home = self.engine.home_of(tx.line);
                         let prio = self.engine.txn_priority(txn);
                         self.engine.send_msg(
                             t,
@@ -695,7 +720,7 @@ impl System {
             let ev = self.tiles[t].l2.fill(tx.line, false, mark_l2, now);
             if let Some(e) = ev {
                 if e.dirty {
-                    let home = self.home_of(e.line);
+                    let home = self.engine.home_of(e.line);
                     self.engine.send_msg(
                         t,
                         home,
@@ -739,7 +764,7 @@ impl System {
                     let ev2 = self.tiles[t].l2.fill(e.line, true, false, now);
                     if let Some(e2) = ev2 {
                         if e2.dirty {
-                            let home = self.home_of(e2.line);
+                            let home = self.engine.home_of(e2.line);
                             self.engine.send_msg(
                                 t,
                                 home,

@@ -1,0 +1,220 @@
+//! Event-wheel skip-ahead equivalence: the wheel scheduler must be an
+//! invisible optimization. Every run — clean or faulted, serial or
+//! parallel, any scheme — must produce **byte-identical** results and
+//! fingerprint streams whether the loop skips quiescent stretches or
+//! grinds through them cycle by cycle (`CLIP_TICK=step`, here forced via
+//! `set_step_override` so the suite is hermetic against the environment).
+//!
+//! Faulted runs are the sharpest probe: fault arm cycles are wheel
+//! constraints, so a skip that jumped past an arm cycle — or perturbed
+//! the seeded retry RNG — would change which transaction the fault
+//! selects and diverge instantly. All eight kinds are covered.
+
+use clip_sim::{
+    run_jobs_checked, set_step_override, CheckLevel, FaultKind, FaultSpec, RunOptions, Scheme,
+    SimError, SimResult, SweepJob,
+};
+use clip_trace::Mix;
+use clip_types::{PrefetcherKind, SimConfig};
+
+fn cfg(pf: PrefetcherKind) -> SimConfig {
+    SimConfig::builder()
+        .cores(4)
+        .dram_channels(1)
+        .l1_prefetcher(pf)
+        .build()
+        .expect("valid config")
+}
+
+fn mix(name: &str) -> Mix {
+    Mix::homogeneous(
+        &clip_trace::catalog::by_name(name).expect("known workload"),
+        4,
+    )
+}
+
+fn opts() -> RunOptions {
+    RunOptions {
+        warmup_instrs: 400,
+        sim_instrs: 2_000,
+        seed: 11,
+        timeline_interval: 1_000,
+        // Full checks: the densest possible fingerprint streams, plus
+        // audits at every cadence window — a skip landing anywhere it
+        // shouldn't desynchronizes the streams immediately.
+        check: Some(CheckLevel::Full),
+        check_cadence: 256,
+        ..RunOptions::default()
+    }
+}
+
+type Outcomes = Vec<Result<SimResult, SimError>>;
+
+/// Runs the same batch once on the event wheel and once forced to
+/// cycle-by-cycle stepping, returning both outcome vectors.
+fn wheel_and_step(jobs: &[SweepJob], opts: &RunOptions) -> (Outcomes, Outcomes) {
+    set_step_override(Some(false));
+    let wheel = run_jobs_checked(jobs, opts);
+    set_step_override(Some(true));
+    let step = run_jobs_checked(jobs, opts);
+    set_step_override(None);
+    (wheel, step)
+}
+
+/// Byte-for-byte equivalence: the serialized result (every counter,
+/// report, and timeline point), the fingerprint stream (excluded from
+/// the JSON form), and failures (same error, same cycle, same component).
+fn assert_outcome_identical(
+    wheel: &Result<SimResult, SimError>,
+    step: &Result<SimResult, SimError>,
+    what: &str,
+) {
+    match (wheel, step) {
+        (Ok(w), Ok(s)) => {
+            assert_eq!(
+                w.to_json().render(),
+                s.to_json().render(),
+                "{what}: serialized result"
+            );
+            assert_eq!(w.fingerprints, s.fingerprints, "{what}: fingerprint stream");
+        }
+        (Err(w), Err(s)) => assert_eq!(w, s, "{what}: error"),
+        (w, s) => panic!(
+            "{what}: wheel and step disagree on success: wheel={:?} step={:?}",
+            w.as_ref().map(|r| r.cycles),
+            s.as_ref().map(|r| r.cycles),
+        ),
+    }
+}
+
+fn assert_batch_identical(jobs: &[SweepJob], opts: &RunOptions, what: &str) {
+    let (wheel, step) = wheel_and_step(jobs, opts);
+    assert_eq!(wheel.len(), step.len());
+    for (i, (w, s)) in wheel.iter().zip(&step).enumerate() {
+        assert_outcome_identical(w, s, &format!("{what}, job {i}"));
+    }
+}
+
+/// One configuration per scheme family: plain, static CLIP, dynamic
+/// CLIP, a throttler baseline, a criticality-gate baseline, Hermes, and
+/// DSPatch. Each family drives a different uncore arbitration path, so
+/// each can diverge independently under a bad skip.
+#[test]
+fn wheel_matches_step_across_scheme_families() {
+    let schemes: Vec<(&str, Scheme)> = vec![
+        ("plain", Scheme::plain()),
+        ("clip", Scheme::with_clip()),
+        ("dynamic-clip", Scheme::with_dynamic_clip()),
+        (
+            "fdp",
+            Scheme::with_throttler(clip_throttle::ThrottlerKind::Fdp),
+        ),
+        (
+            "crit-gate",
+            Scheme::with_crit_gate(clip_crit::BaselineKind::Fp),
+        ),
+        ("hermes", Scheme::with_hermes()),
+        ("dspatch", Scheme::with_dspatch()),
+    ];
+    let m = mix("605.mcf_s-1554B");
+    for (name, scheme) in schemes {
+        let jobs = [SweepJob {
+            cfg: cfg(PrefetcherKind::Berti),
+            scheme,
+            mix: m.clone(),
+        }];
+        assert_batch_identical(&jobs, &opts(), name);
+    }
+}
+
+/// A second workload with a different memory profile, on the mesh NoC
+/// (the scheme sweep above uses the default choice): lbm streams where
+/// mcf pointer-chases, exercising long DRAM-bound quiescent stretches.
+#[test]
+fn wheel_matches_step_on_a_streaming_workload() {
+    let jobs = [SweepJob {
+        cfg: cfg(PrefetcherKind::IpStride),
+        scheme: Scheme::with_clip(),
+        mix: mix("619.lbm_s-4268B"),
+    }];
+    assert_batch_identical(&jobs, &opts(), "lbm/stride");
+}
+
+/// All eight fault kinds: the armed cycle is a wheel constraint and the
+/// fault selector draws from a seeded RNG on every retry, so the wheel
+/// must simulate — not skip — every cycle the harness might act on.
+/// Equivalence here covers the error path too: an audit or watchdog
+/// failure must name the same cycle and component under both schedulers.
+#[test]
+fn wheel_matches_step_under_every_fault_kind() {
+    let kinds = [
+        FaultKind::DropFlit,
+        FaultKind::SwallowDramCompletion,
+        FaultKind::LeakLlcMshr,
+        FaultKind::LoseDelivery,
+        FaultKind::FlipCriticality,
+        FaultKind::DuplicateDelivery,
+        FaultKind::CorruptPrefetchAddr,
+        FaultKind::StaleRetire,
+    ];
+    let m = mix("605.mcf_s-1554B");
+    for kind in kinds {
+        let jobs = [SweepJob {
+            cfg: cfg(PrefetcherKind::Berti),
+            scheme: Scheme::with_clip(),
+            mix: m.clone(),
+        }];
+        let o = RunOptions {
+            fault: Some(FaultSpec { kind, at: 1_000 }),
+            ..opts()
+        };
+        assert_batch_identical(&jobs, &o, &format!("fault {kind:?}"));
+    }
+}
+
+/// The parallel driver resolves the step mode once and pins it onto
+/// every worker thread; a batch split across two workers must still be
+/// byte-identical between schedulers. The only test that touches
+/// `CLIP_THREADS`.
+#[test]
+fn wheel_matches_step_across_two_worker_threads() {
+    std::env::set_var("CLIP_THREADS", "2");
+    let m = mix("605.mcf_s-1554B");
+    let jobs: Vec<SweepJob> = [Scheme::plain(), Scheme::with_clip(), Scheme::with_dspatch()]
+        .into_iter()
+        .map(|scheme| SweepJob {
+            cfg: cfg(PrefetcherKind::Berti),
+            scheme,
+            mix: m.clone(),
+        })
+        .collect();
+    assert_batch_identical(&jobs, &opts(), "two threads");
+    std::env::remove_var("CLIP_THREADS");
+}
+
+/// Skipping a quiescent stretch advances the clock without advancing the
+/// progress signature — exactly what the watchdog calls a deadlock when
+/// work is in flight. The wheel must never let skipped-over idle time
+/// accumulate into a false deadlock verdict: a clean bandwidth-starved
+/// run (one DRAM channel, pointer-chasing cores, long stalls) with a
+/// watchdog window *smaller than the run length* must complete under
+/// both schedulers.
+#[test]
+fn skip_ahead_triggers_no_false_deadlock() {
+    let jobs = [SweepJob {
+        cfg: cfg(PrefetcherKind::None),
+        scheme: Scheme::plain(),
+        mix: mix("605.mcf_s-1554B"),
+    }];
+    let o = RunOptions {
+        watchdog_window: 20_000,
+        ..opts()
+    };
+    let (wheel, step) = wheel_and_step(&jobs, &o);
+    assert!(
+        wheel[0].is_ok(),
+        "wheel run must not trip the watchdog: {:?}",
+        wheel[0].as_ref().err()
+    );
+    assert_outcome_identical(&wheel[0], &step[0], "tight watchdog");
+}
