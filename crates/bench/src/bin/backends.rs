@@ -1,0 +1,6 @@
+//! Backend grid: Berti vs CLIP vs the FDP throttler on every fabric x
+//! memory combination — {mesh, chiplet} NoC x {DDR4, HBM} DRAM.
+
+fn main() {
+    clip_bench::figures::run_bin("backends");
+}

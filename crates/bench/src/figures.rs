@@ -12,11 +12,11 @@ use crate::experiment::{
 use crate::{fmt, place, scaled_channels, Scale};
 use clip_core::ClipConfig;
 use clip_crit::{BaselineKind, EvalCounts};
-use clip_sim::Scheme;
+use clip_sim::{NocChoice, RunOptions, Scheme};
 use clip_stats::geomean;
 use clip_throttle::ThrottlerKind;
 use clip_trace::Mix;
-use clip_types::{PrefetcherKind, SimConfig};
+use clip_types::{DramConfig, DramKind, PrefetcherKind, SimConfig};
 use std::collections::HashMap;
 
 /// One registered figure/table binary.
@@ -65,6 +65,7 @@ pub fn registry() -> Vec<FigureEntry> {
         e("sens_llc", true, sens_llc),
         e("ablation", true, ablation),
         e("dynclip", true, dynclip),
+        e("backends", true, backends),
         e("summary", false, summary),
         e("probe", false, probe),
     ]
@@ -1221,6 +1222,65 @@ fn dynclip(scale: &Scale) -> Vec<Experiment> {
         normalization: Normalization::NoPrefetch,
         render: Render::GeomeanWs,
     }]
+}
+
+/// Fabric x memory backend grid: one experiment per NoC topology (mesh,
+/// chiplet), one row per DRAM backend (DDR4, HBM), comparing plain Berti
+/// against CLIP and the FDP throttler. Channel counts follow each
+/// backend's preset (HBM doubles channels at half the per-channel
+/// bandwidth), so rows compare channel structure at equal aggregate peak.
+fn backends(scale: &Scale) -> Vec<Experiment> {
+    fn backend_cfg(scale: &Scale, kind: DramKind) -> SimConfig {
+        let ch = scaled_channels(DramConfig::preset(kind).channels, scale.cores);
+        SimConfig::builder()
+            .cores(scale.cores)
+            .dram_backend(kind)
+            .dram_channels(ch)
+            .l1_prefetcher(PrefetcherKind::Berti)
+            .build()
+            .expect("valid experiment config")
+    }
+    let mixes = all_mixes(scale);
+    [
+        ("backends_mesh", "mesh", NocChoice::Mesh),
+        ("backends_chiplet", "chiplet", NocChoice::Chiplet),
+    ]
+    .into_iter()
+    .map(|(name, label, noc)| Experiment {
+        name: name.into(),
+        title: format!(
+            "# Backends ({label} fabric): Berti vs CLIP vs FDP on DDR4/HBM ({} cores, {} mixes)",
+            scale.cores,
+            mixes.len()
+        ),
+        columns: cols(&["dram", "Berti", "+CLIP", "+FDP"]),
+        rows: [DramKind::Ddr4, DramKind::Hbm]
+            .into_iter()
+            .map(|kind| RowSpec {
+                labels: vec![kind.name().to_string()],
+                extra: vec![],
+                mixes: mixes.clone(),
+                cells: [
+                    Scheme::plain(),
+                    Scheme::with_clip(),
+                    Scheme::with_throttler(ThrottlerKind::Fdp),
+                ]
+                .into_iter()
+                .map(|scheme| CellSpec {
+                    cfg: backend_cfg(scale, kind),
+                    scheme,
+                })
+                .collect(),
+            })
+            .collect(),
+        opts: RunOptions {
+            noc,
+            ..scale.options()
+        },
+        normalization: Normalization::NoPrefetch,
+        render: Render::GeomeanWs,
+    })
+    .collect()
 }
 
 // ----------------------------------------------------------------------

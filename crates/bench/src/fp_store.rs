@@ -270,10 +270,12 @@ mod tests {
 
     fn result_with_stream() -> SimResult {
         // Hand-built stream: the store persists whatever the integrity
-        // layer captured, so no simulation is needed to test it.
+        // layer captured, so no simulation is needed to test it. Six
+        // hashes per window follow the capture layout for two tiles:
+        // tile0, tile1, llc, txns, noc, dram.
         let windows = [
-            (0u64, 16u64, vec![0xa1, 0xb2, u64::MAX]),
-            (1, 32, vec![0xc3, 0xd4, 0xe5]),
+            (0u64, 16u64, vec![0xa1, 0xb2, u64::MAX, 0x11, 0x22, 0x33]),
+            (1, 32, vec![0xc3, 0xd4, 0xe5, 0x44, 0x55, 0x66]),
         ];
         SimResult {
             fingerprints: windows

@@ -18,7 +18,9 @@
 //! * `CLIP_WARMUP` — warmup instructions per core (default 2000).
 //! * `CLIP_MIXES` — how many mixes to sample for per-figure averages
 //!   (default 10 homogeneous / 8 heterogeneous).
-//! * `CLIP_NOC` — `mesh` or `analytic` (default analytic for sweeps).
+//! * `CLIP_NOC` — `mesh`, `analytic`, or `chiplet` (default analytic
+//!   for sweeps).
+//! * `CLIP_DRAM` — memory backend: `ddr4` (default) or `hbm`.
 //! * `CLIP_CACHE` — `0` disables the on-disk baseline cache.
 //! * `CLIP_ARTIFACT_DIR` — overrides the JSON artifact directory.
 //! * `CLIP_THREADS` — worker threads for job batches (accepted range
@@ -43,7 +45,7 @@ pub mod timing;
 
 use clip_sim::{NocChoice, RunOptions, Scheme, SimResult, SweepJob};
 use clip_trace::Mix;
-use clip_types::{PrefetcherKind, SimConfig};
+use clip_types::{DramKind, PrefetcherKind, SimConfig};
 
 /// Experiment scale configuration, read from the environment.
 #[derive(Debug, Clone)]
@@ -60,6 +62,8 @@ pub struct Scale {
     pub hetero_mixes: usize,
     /// NoC model choice.
     pub noc: NocChoice,
+    /// DRAM backend choice.
+    pub dram: DramKind,
 }
 
 impl Default for Scale {
@@ -79,7 +83,12 @@ impl Scale {
         };
         let noc = match std::env::var("CLIP_NOC").as_deref() {
             Ok("mesh") => NocChoice::Mesh,
+            Ok("chiplet") => NocChoice::Chiplet,
             _ => NocChoice::Analytic,
+        };
+        let dram = match std::env::var("CLIP_DRAM").as_deref() {
+            Ok("hbm") => DramKind::Hbm,
+            _ => DramKind::Ddr4,
         };
         Scale {
             cores: get("CLIP_CORES", 16) as usize,
@@ -88,6 +97,7 @@ impl Scale {
             homo_mixes: get("CLIP_MIXES", 10) as usize,
             hetero_mixes: get("CLIP_MIXES", 8) as usize,
             noc,
+            dram,
         }
     }
 
@@ -106,6 +116,7 @@ impl Scale {
     pub fn config(&self, channels: usize, l1: PrefetcherKind, l2: PrefetcherKind) -> SimConfig {
         SimConfig::builder()
             .cores(self.cores)
+            .dram_backend(self.dram)
             .dram_channels(channels)
             .l1_prefetcher(l1)
             .l2_prefetcher(l2)
@@ -216,6 +227,7 @@ mod tests {
             homo_mixes: 5,
             hetero_mixes: 2,
             noc: NocChoice::Analytic,
+            dram: DramKind::Ddr4,
         };
         let m = s.sample_homogeneous();
         assert_eq!(m.len(), 5);

@@ -11,7 +11,7 @@ use clip_bench::experiment::{Normalization, Render, RowSpec};
 use clip_bench::figures::registry;
 use clip_bench::Scale;
 use clip_sim::{NocChoice, Scheme};
-use clip_types::PrefetcherKind;
+use clip_types::{DramKind, PrefetcherKind};
 
 fn scale() -> Scale {
     Scale {
@@ -21,6 +21,7 @@ fn scale() -> Scale {
         homo_mixes: 2,
         hetero_mixes: 1,
         noc: NocChoice::Analytic,
+        dram: DramKind::Ddr4,
     }
 }
 

@@ -8,7 +8,7 @@ use clip_bench::figures::registry;
 use clip_bench::Scale;
 use clip_sim::{CheckLevel, FaultKind, FaultSpec, NocChoice, RunOptions, Scheme};
 use clip_trace::Mix;
-use clip_types::{PrefetcherKind, SimConfig};
+use clip_types::{DramKind, PrefetcherKind, SimConfig};
 
 fn scale() -> Scale {
     Scale {
@@ -18,6 +18,7 @@ fn scale() -> Scale {
         homo_mixes: 3,
         hetero_mixes: 2,
         noc: NocChoice::Analytic,
+        dram: DramKind::Ddr4,
     }
 }
 
@@ -61,6 +62,7 @@ fn registry_covers_every_binary_in_sweep_order() {
             "sens_llc",
             "ablation",
             "dynclip",
+            "backends",
             "summary",
             "probe",
         ]
@@ -101,6 +103,32 @@ fn fig05_expands_homogeneous_and_heterogeneous_sets() {
     }
     assert_eq!(exps[0].rows[0].mixes.len(), 3);
     assert_eq!(exps[1].rows[0].mixes.len(), 2);
+}
+
+#[test]
+fn backends_expands_the_fabric_by_memory_grid() {
+    let exps = build("backends");
+    let names: Vec<&str> = exps.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, ["backends_mesh", "backends_chiplet"]);
+    assert_eq!(exps[0].opts.noc, NocChoice::Mesh);
+    assert_eq!(exps[1].opts.noc, NocChoice::Chiplet);
+    for e in &exps {
+        let labels: Vec<&str> = e.rows.iter().map(|r| r.labels[0].as_str()).collect();
+        assert_eq!(labels, ["ddr4", "hbm"], "one row per DRAM backend");
+        for row in &e.rows {
+            assert_eq!(row.cells.len(), 3, "Berti, +CLIP, +FDP");
+            assert_eq!(row.mixes.len(), 5, "homogeneous + heterogeneous mixes");
+        }
+        // Channel counts follow each backend's preset through the usual
+        // core-count scaling (at 4 cores both floor at one channel).
+        let ddr = &e.rows[0].cells[0].cfg.dram;
+        let hbm = &e.rows[1].cells[0].cfg.dram;
+        assert_eq!(ddr.kind, DramKind::Ddr4);
+        assert_eq!(hbm.kind, DramKind::Hbm);
+        assert_eq!(ddr.channels, clip_bench::scaled_channels(8, 4));
+        assert_eq!(hbm.channels, clip_bench::scaled_channels(16, 4));
+        assert!(hbm.banks_per_channel > ddr.banks_per_channel);
+    }
 }
 
 #[test]

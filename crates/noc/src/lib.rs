@@ -1,16 +1,22 @@
 //! Network-on-chip models: an 8x8 wormhole-routed mesh with virtual
-//! channels (Table 3) and a fast analytic link-contention model.
+//! channels (Table 3), a fast analytic link-contention model, and a
+//! chiplet topology with explicit die-to-die crossings.
 //!
-//! Two interchangeable implementations of [`NocModel`] are provided:
+//! Three interchangeable implementations of [`NocModel`] are provided:
 //!
 //! * [`MeshNoc`] — flit-level wormhole routing: XY dimension-order routes,
 //!   per-input virtual-channel buffers with credit back-pressure, output
 //!   ports held by a packet until its tail flit passes, and priority
 //!   arbitration where demand (and CLIP-critical prefetch) packets win
 //!   against plain prefetch packets (the prefetch-aware NoC of the
-//!   baseline).
+//!   baseline). An optional two-node NUMA penalty
+//!   ([`clip_types::NocConfig::numa_penalty`]) taxes link traversals that
+//!   cross between the mesh's column halves.
 //! * [`AnalyticNoc`] — link-schedule approximation with the same routes,
 //!   serialization, and priorities, used for fast parameter sweeps.
+//! * [`ChipletNoc`] — clusters of tiles on separate dies: cheap wide
+//!   intra-chiplet links, and a narrow, high-latency die-to-die port pair
+//!   per chiplet that serializes every inter-chiplet packet.
 //!
 //! Payloads are opaque `u64` message ids; the simulator keeps its own side
 //! table.
@@ -31,7 +37,7 @@
 //! assert_eq!(delivered[0].payload, 0xCAFE);
 //! ```
 
-use clip_types::{Cycle, NocConfig, Priority};
+use clip_types::{Cycle, Fnv64, NocConfig, Priority};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -114,6 +120,12 @@ pub trait NocModel {
     /// the loss. `selector` picks deterministically among the candidates.
     /// Returns false when nothing is in flight to drop.
     fn inject_drop_flit(&mut self, selector: u64) -> bool;
+
+    /// Folds the fabric's in-flight state into a divergence-localization
+    /// fingerprint (see the `clip-sim` fingerprint layer). With `full`,
+    /// per-entry state is hashed; otherwise only the O(1) conservation
+    /// balances. Deterministic runs must produce identical folds.
+    fn fingerprint(&self, h: &mut Fnv64, full: bool);
 }
 
 const PORTS: usize = 5; // N, S, E, W, Local
@@ -273,6 +285,15 @@ impl MeshNoc {
         } else {
             1
         }
+    }
+
+    /// True when a hop between two adjacent nodes crosses the two-node
+    /// NUMA boundary: the vertical cut between the left and right column
+    /// halves of the mesh (ThunderX2-style `NUMA_NODE 2`).
+    #[inline]
+    fn crosses_numa_boundary(&self, a: usize, b: usize) -> bool {
+        let half = self.cfg.mesh_cols / 2;
+        (a % self.cfg.mesh_cols < half) != (b % self.cfg.mesh_cols < half)
     }
 }
 
@@ -454,8 +475,16 @@ impl NocModel for MeshNoc {
                 self.flit_hops += 1;
                 let nb = self.neighbor(m.node, m.out_port);
                 let in_at_nb = Self::reverse(m.out_port);
+                // Two-node NUMA asymmetry: a traversal crossing between
+                // the mesh's column halves (the socket boundary) pays the
+                // configured extra wire latency. Inert at the default 0.
+                let numa = if self.crosses_numa_boundary(m.node, nb) {
+                    self.cfg.numa_penalty
+                } else {
+                    0
+                };
                 self.routers[nb].inputs[in_at_nb][m.vc].q.push_back(Flit {
-                    ready_at: now + 1 + self.cfg.router_stages,
+                    ready_at: now + 1 + self.cfg.router_stages + numa,
                     ..flit
                 });
                 self.routers[nb].buffered += 1;
@@ -563,6 +592,41 @@ impl NocModel for MeshNoc {
             .expect("candidate buffer non-empty");
         self.routers[node].buffered -= 1;
         true
+    }
+
+    fn fingerprint(&self, h: &mut Fnv64, full: bool) {
+        h.write_u64(self.flits_injected)
+            .write_u64(self.flits_delivered)
+            .write_u64(self.delivered_count)
+            .write_usize(self.inject.iter().map(|q| q.len()).sum());
+        if !full {
+            return;
+        }
+        for (node, r) in self.routers.iter().enumerate() {
+            if r.buffered == 0 {
+                continue;
+            }
+            h.write_usize(node).write_usize(r.buffered);
+            for vcs in &r.inputs {
+                for buf in vcs {
+                    for f in &buf.q {
+                        h.write_u64(u64::from(f.packet));
+                    }
+                }
+            }
+        }
+        for (node, q) in self.inject.iter().enumerate() {
+            for &(packet, rem) in q {
+                h.write_usize(node)
+                    .write_u64(u64::from(packet))
+                    .write_usize(rem);
+            }
+        }
+        for (packet, &got) in self.arriving.iter().enumerate() {
+            if got > 0 {
+                h.write_usize(packet).write_u64(u64::from(got));
+            }
+        }
     }
 }
 
@@ -773,6 +837,264 @@ impl NocModel for AnalyticNoc {
         let victim = (selector % self.pending.len() as u64) as usize;
         self.pending.remove(victim);
         true
+    }
+
+    fn fingerprint(&self, h: &mut Fnv64, full: bool) {
+        h.write_u64(self.injected)
+            .write_u64(self.delivered_count)
+            .write_usize(self.pending.len());
+        if !full {
+            return;
+        }
+        for &(done, d) in &self.pending {
+            h.write_u64(done)
+                .write_usize(d.node)
+                .write_u64(d.payload)
+                .write_u64(d.done_cycle);
+        }
+        for &free in &self.link_free {
+            h.write_u64(free);
+        }
+    }
+}
+
+/// Chiplet topology: the node space is partitioned into clusters of
+/// [`clip_types::NocConfig::chiplet_cluster`] consecutive nodes, each
+/// modelling one die. Traffic within a die crosses one cheap, wide local
+/// link; traffic between dies additionally crosses a narrow die-to-die
+/// port pair — [`clip_types::NocConfig::d2d_latency`] cycles of wire/PHY
+/// latency plus [`clip_types::NocConfig::d2d_flit_cycles`] serialization
+/// cycles *per flit* on both the source die's egress port and the
+/// destination die's ingress port.
+///
+/// Like [`AnalyticNoc`] this is a link-schedule model: deliveries are
+/// fully scheduled at `send` time, so [`ChipletNoc::next_activity`] is
+/// exact, conservation is `injected == delivered + pending`, and
+/// [`ChipletNoc::inject_drop_flit`] removes a scheduled delivery without
+/// touching the injection count (which the audit then reports). The
+/// narrow crossing is where bandwidth-constrained prefetching bites:
+/// inter-die prefetch traffic queues behind demand traffic on the d2d
+/// ports, moving the bandwidth cliff the paper's argument rests on.
+#[derive(Debug, Clone)]
+pub struct ChipletNoc {
+    cfg: NocConfig,
+    nodes: usize,
+    /// Nodes per die (>= 1).
+    cluster_nodes: usize,
+    /// busy-until of each die's internal link fabric.
+    local_free: Vec<Cycle>,
+    /// busy-until of each die's d2d egress port.
+    d2d_out_free: Vec<Cycle>,
+    /// busy-until of each die's d2d ingress port.
+    d2d_in_free: Vec<Cycle>,
+    pending: Vec<(Cycle, Delivered)>,
+    delivered_count: u64,
+    total_latency: u64,
+    flit_hops: u64,
+    /// Packets accepted for delivery (conservation audit).
+    injected: u64,
+    /// Packets that crossed a die boundary (topology statistics).
+    d2d_crossings: u64,
+}
+
+impl ChipletNoc {
+    /// Builds the chiplet fabric over the same node space as the mesh
+    /// (`mesh_cols * mesh_rows` nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node space is empty or `chiplet_cluster` is zero.
+    pub fn new(cfg: &NocConfig) -> Self {
+        let nodes = cfg.mesh_cols * cfg.mesh_rows;
+        assert!(nodes > 0, "chiplet fabric must have nodes");
+        assert!(cfg.chiplet_cluster > 0, "cluster size must be non-zero");
+        let clusters = nodes.div_ceil(cfg.chiplet_cluster);
+        ChipletNoc {
+            cfg: *cfg,
+            nodes,
+            cluster_nodes: cfg.chiplet_cluster,
+            local_free: vec![0; clusters],
+            d2d_out_free: vec![0; clusters],
+            d2d_in_free: vec![0; clusters],
+            pending: Vec::new(),
+            delivered_count: 0,
+            total_latency: 0,
+            flit_hops: 0,
+            injected: 0,
+            d2d_crossings: 0,
+        }
+    }
+
+    /// The die a node lives on.
+    #[inline]
+    pub fn cluster_of(&self, node: usize) -> usize {
+        node / self.cluster_nodes
+    }
+
+    /// Packets that crossed a die-to-die link so far.
+    pub fn d2d_crossings(&self) -> u64 {
+        self.d2d_crossings
+    }
+}
+
+impl NocModel for ChipletNoc {
+    fn send(
+        &mut self,
+        src: usize,
+        dst: usize,
+        flits: usize,
+        priority: Priority,
+        payload: u64,
+        now: Cycle,
+    ) -> Result<(), NocFullError> {
+        assert!(src < self.nodes && dst < self.nodes, "node out of range");
+        let flits = flits.max(1) as u64;
+        let (sc, dc) = (self.cluster_of(src), self.cluster_of(dst));
+        let hop = 1 + self.cfg.router_stages;
+        // Plain prefetches yield, as on the other fabrics: they see every
+        // shared resource as busy slightly longer, approximating lost
+        // arbitration against demand traffic.
+        let yielding = self.cfg.prefetch_aware && priority == Priority::Prefetch;
+        let done = if src == dst {
+            // Same tile: no fabric resources, just tail serialization.
+            now + flits
+        } else if sc == dc {
+            // On-die: one wide local link.
+            if self.local_free[sc] > now + ANALYTIC_MAX_BACKLOG {
+                return Err(NocFullError);
+            }
+            let penalty = if yielding { flits } else { 0 };
+            let start = now.max(self.local_free[sc].saturating_add(penalty));
+            self.local_free[sc] = start + flits;
+            self.flit_hops += flits;
+            start + hop + flits
+        } else {
+            // Cross-die: local egress, then the narrow d2d port pair,
+            // then local ingress on the destination die.
+            if self.local_free[sc] > now + ANALYTIC_MAX_BACKLOG
+                || self.d2d_out_free[sc] > now + ANALYTIC_MAX_BACKLOG
+            {
+                return Err(NocFullError);
+            }
+            let ser = flits * self.cfg.d2d_flit_cycles;
+            let local_penalty = if yielding { flits } else { 0 };
+            let d2d_penalty = if yielding { ser } else { 0 };
+            let t1 = now.max(self.local_free[sc].saturating_add(local_penalty));
+            self.local_free[sc] = t1 + flits;
+            // The crossing needs both the source egress and destination
+            // ingress ports; the later one gates the transfer.
+            let t2 = (t1 + hop).max(
+                self.d2d_out_free[sc]
+                    .max(self.d2d_in_free[dc])
+                    .saturating_add(d2d_penalty),
+            );
+            self.d2d_out_free[sc] = t2 + ser;
+            self.d2d_in_free[dc] = t2 + ser;
+            let t3 = (t2 + self.cfg.d2d_latency + ser).max(self.local_free[dc]);
+            self.local_free[dc] = t3 + flits;
+            self.flit_hops += flits * 3;
+            self.d2d_crossings += 1;
+            t3 + hop + flits
+        };
+        self.injected += 1;
+        self.pending.push((
+            done,
+            Delivered {
+                node: dst,
+                payload,
+                done_cycle: done,
+            },
+        ));
+        self.total_latency += done - now;
+        Ok(())
+    }
+
+    fn tick(&mut self, now: Cycle) -> Vec<Delivered> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= now {
+                let (_, d) = self.pending.swap_remove(i);
+                self.delivered_count += 1;
+                out.push(d);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Exact, like [`AnalyticNoc`]: deliveries are fully scheduled at
+    /// `send` time, so the next activity is the earliest pending
+    /// `done_cycle` (clamped to `now`).
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        self.pending.iter().map(|&(done, _)| done.max(now)).min()
+    }
+
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    fn total_latency(&self) -> u64 {
+        self.total_latency
+    }
+
+    fn flit_hops(&self) -> u64 {
+        self.flit_hops
+    }
+
+    fn audit(&self, _full: bool) -> Result<(), String> {
+        let outstanding = self.pending.len() as u64;
+        if self.injected != self.delivered_count + outstanding {
+            return Err(format!(
+                "packet conservation broken: {} injected but {} delivered + {} pending (lost {})",
+                self.injected,
+                self.delivered_count,
+                outstanding,
+                self.injected as i64 - (self.delivered_count + outstanding) as i64
+            ));
+        }
+        if self.d2d_crossings > self.injected {
+            return Err(format!(
+                "more d2d crossings ({}) than injected packets ({})",
+                self.d2d_crossings, self.injected
+            ));
+        }
+        Ok(())
+    }
+
+    fn inject_drop_flit(&mut self, selector: u64) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        let victim = (selector % self.pending.len() as u64) as usize;
+        self.pending.remove(victim);
+        true
+    }
+
+    fn fingerprint(&self, h: &mut Fnv64, full: bool) {
+        h.write_u64(self.injected)
+            .write_u64(self.delivered_count)
+            .write_u64(self.d2d_crossings)
+            .write_usize(self.pending.len());
+        if !full {
+            return;
+        }
+        for &(done, d) in &self.pending {
+            h.write_u64(done)
+                .write_usize(d.node)
+                .write_u64(d.payload)
+                .write_u64(d.done_cycle);
+        }
+        for free in [&self.local_free, &self.d2d_out_free, &self.d2d_in_free] {
+            for &f in free {
+                h.write_u64(f);
+            }
+        }
     }
 }
 
@@ -1044,5 +1366,144 @@ mod tests {
         // From (7,0)=7 to 63 (7,7): go south.
         assert_eq!(noc.route(7, 63), 1);
         assert_eq!(noc.route(63, 63), LOCAL);
+    }
+
+    #[test]
+    fn numa_penalty_taxes_only_cross_half_traffic() {
+        let latency_of = |penalty: u64, src: usize, dst: usize| {
+            let mut noc = MeshNoc::new(&NocConfig {
+                numa_penalty: penalty,
+                ..cfg()
+            });
+            noc.send(src, dst, 8, Priority::Demand, 1, 0).unwrap();
+            drain(&mut noc, 2000)[0].done_cycle
+        };
+        // Node 0 (col 0) to node 7 (col 7) crosses the column-half cut
+        // once; the whole penalty lands exactly once per link crossing.
+        let base = latency_of(0, 0, 7);
+        let taxed = latency_of(40, 0, 7);
+        assert!(
+            taxed > base + 30,
+            "cross-socket traffic must pay the penalty: {base} -> {taxed}"
+        );
+        // Traffic inside the left half (cols 0..4) is untouched.
+        assert_eq!(latency_of(0, 0, 3), latency_of(40, 0, 3));
+        // And the default of 0 is bit-identical to the pre-knob mesh.
+        assert_eq!(base, latency_of(0, 0, 7));
+    }
+
+    fn chiplet_cfg() -> NocConfig {
+        NocConfig {
+            chiplet_cluster: 16,
+            ..cfg()
+        }
+    }
+
+    #[test]
+    fn chiplet_delivers_on_die_and_cross_die() {
+        let mut noc = ChipletNoc::new(&chiplet_cfg());
+        assert_eq!(noc.nodes(), 64);
+        noc.send(0, 5, 8, Priority::Demand, 1, 0).unwrap(); // die 0 -> die 0
+        noc.send(0, 63, 8, Priority::Demand, 2, 0).unwrap(); // die 0 -> die 3
+        let d = drain(&mut noc, 2000);
+        assert_eq!(d.len(), 2);
+        assert_eq!(noc.d2d_crossings(), 1);
+        let on_die = d.iter().find(|x| x.payload == 1).unwrap().done_cycle;
+        let cross = d.iter().find(|x| x.payload == 2).unwrap().done_cycle;
+        // The d2d port pair adds wire latency plus per-flit serialization.
+        let cfg = chiplet_cfg();
+        assert!(
+            cross >= on_die + cfg.d2d_latency + 8 * cfg.d2d_flit_cycles,
+            "cross-die must pay the crossing: {on_die} vs {cross}"
+        );
+    }
+
+    #[test]
+    fn chiplet_d2d_port_serializes_cross_die_traffic() {
+        // Many packets between the same die pair queue on the narrow d2d
+        // ports; the same load within one die streams through the wide
+        // local link.
+        let run = |srcs: std::ops::Range<usize>, dst: usize| {
+            let mut noc = ChipletNoc::new(&chiplet_cfg());
+            for (i, src) in srcs.enumerate() {
+                noc.send(src, dst, 8, Priority::Demand, i as u64, 0)
+                    .unwrap();
+            }
+            drain(&mut noc, 50_000)
+                .iter()
+                .map(|d| d.done_cycle)
+                .max()
+                .unwrap()
+        };
+        let on_die = run(0..16, 1);
+        let cross_die = run(0..16, 63);
+        assert!(
+            cross_die > on_die * 2,
+            "d2d crossing must serialize: {on_die} vs {cross_die}"
+        );
+    }
+
+    #[test]
+    fn chiplet_prefetch_yields_on_the_crossing() {
+        // Same contended cross-die stream once as demands, once as plain
+        // prefetches: with prefetch-aware arbitration the prefetch stream
+        // must accumulate more latency (it yields on every shared
+        // resource, the narrow d2d ports most of all).
+        let total_latency = |prio: Priority| {
+            let mut noc = ChipletNoc::new(&chiplet_cfg());
+            for i in 0..10u64 {
+                noc.send(0, 63, 8, prio, i, 0).unwrap();
+            }
+            let d = drain(&mut noc, 50_000);
+            assert_eq!(d.len(), 10);
+            noc.total_latency()
+        };
+        assert!(
+            total_latency(Priority::Prefetch) > total_latency(Priority::Demand),
+            "plain prefetches must yield on the crossing"
+        );
+    }
+
+    #[test]
+    fn chiplet_quiescence_is_exact() {
+        let mut noc = ChipletNoc::new(&chiplet_cfg());
+        assert_eq!(noc.next_activity(0), None, "empty fabric is idle");
+        noc.send(0, 63, 4, Priority::Demand, 1, 0).unwrap();
+        let next = noc.next_activity(0).expect("a delivery is pending");
+        assert!(next > chiplet_cfg().d2d_latency, "crossing takes cycles");
+        for now in 0..next {
+            assert!(noc.tick(now).is_empty(), "cycle {now} must be dead");
+        }
+        assert_eq!(noc.tick(next).len(), 1);
+        assert_eq!(noc.next_activity(next + 1), None);
+    }
+
+    #[test]
+    fn chiplet_audit_catches_dropped_delivery() {
+        let mut noc = ChipletNoc::new(&chiplet_cfg());
+        for i in 0..4u64 {
+            noc.send(0, 63, 4, Priority::Demand, i, 0).unwrap();
+            noc.send(3, 9, 4, Priority::Demand, 10 + i, 0).unwrap();
+        }
+        assert_eq!(noc.audit(true), Ok(()));
+        assert!(noc.inject_drop_flit(5));
+        let err = noc.audit(false).unwrap_err();
+        assert!(err.contains("conservation broken"), "{err}");
+        // Idle fabric: nothing to drop.
+        let mut idle = ChipletNoc::new(&chiplet_cfg());
+        assert!(!idle.inject_drop_flit(0));
+    }
+
+    #[test]
+    fn chiplet_backpressures_under_saturation() {
+        let mut noc = ChipletNoc::new(&chiplet_cfg());
+        let mut accepted = 0u64;
+        for i in 0..20_000u64 {
+            if noc.send(0, 63, 8, Priority::Demand, i, 0).is_ok() {
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 0 && accepted < 20_000, "{accepted}");
+        assert_eq!(noc.audit(true), Ok(()));
     }
 }

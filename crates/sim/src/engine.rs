@@ -11,10 +11,11 @@
 
 use crate::llc::ClockedLlc;
 use crate::ports::{NocPayload, OutMsg, TxnId};
-use clip_dram::{DramCompletion, DramSystem};
-use clip_noc::{AnalyticNoc, Delivered, MeshNoc, NocModel};
+use clip_dram::{ChannelStats, DramCompletion, DramModel, DramSystem, HbmDram, QueueFullError};
+use clip_noc::{AnalyticNoc, ChipletNoc, Delivered, MeshNoc, NocFullError, NocModel};
 use clip_types::{
-    Channel, Cycle, Ip, LineAddr, MemLevel, Priority, ReqId, SimClock, SimConfig, Tick,
+    Channel, Cycle, DramConfig, DramKind, Ip, LineAddr, MemLevel, Priority, ReqId, SimClock,
+    SimConfig, Tick,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -33,67 +34,203 @@ pub enum NocChoice {
     Mesh,
     /// Link-schedule analytic model (fast, for wide sweeps).
     Analytic,
+    /// Chiplet fabric: clusters of tiles with narrow die-to-die ports.
+    Chiplet,
 }
 
+/// The fabric a run actually drives, dispatched behind [`NocModel`].
 pub(crate) enum NocImpl {
     Mesh(MeshNoc),
     Analytic(AnalyticNoc),
+    Chiplet(ChipletNoc),
 }
 
 impl NocImpl {
-    pub(crate) fn as_model(&mut self) -> &mut dyn NocModel {
-        match self {
-            NocImpl::Mesh(m) => m,
-            NocImpl::Analytic(a) => a,
+    /// Topology factory: builds the fabric `choice` selects over the
+    /// configured node space.
+    pub(crate) fn build(choice: NocChoice, cfg: &SimConfig) -> NocImpl {
+        match choice {
+            NocChoice::Mesh => NocImpl::Mesh(MeshNoc::new(&cfg.noc)),
+            NocChoice::Analytic => NocImpl::Analytic(AnalyticNoc::new(&cfg.noc)),
+            NocChoice::Chiplet => NocImpl::Chiplet(ChipletNoc::new(&cfg.noc)),
         }
     }
 
-    pub(crate) fn as_model_ref(&self) -> &dyn NocModel {
+    fn as_model(&mut self) -> &mut dyn NocModel {
         match self {
             NocImpl::Mesh(m) => m,
             NocImpl::Analytic(a) => a,
+            NocImpl::Chiplet(c) => c,
         }
     }
 
-    pub(crate) fn flit_hops(&self) -> u64 {
+    fn as_model_ref(&self) -> &dyn NocModel {
         match self {
-            NocImpl::Mesh(m) => m.flit_hops(),
-            NocImpl::Analytic(a) => a.flit_hops(),
+            NocImpl::Mesh(m) => m,
+            NocImpl::Analytic(a) => a,
+            NocImpl::Chiplet(c) => c,
         }
+    }
+}
+
+impl NocModel for NocImpl {
+    fn send(
+        &mut self,
+        src: usize,
+        dst: usize,
+        flits: usize,
+        priority: Priority,
+        payload: u64,
+        now: Cycle,
+    ) -> Result<(), NocFullError> {
+        self.as_model()
+            .send(src, dst, flits, priority, payload, now)
+    }
+    fn tick(&mut self, now: Cycle) -> Vec<Delivered> {
+        self.as_model().tick(now)
+    }
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        self.as_model_ref().next_activity(now)
+    }
+    fn nodes(&self) -> usize {
+        self.as_model_ref().nodes()
+    }
+    fn delivered_count(&self) -> u64 {
+        self.as_model_ref().delivered_count()
+    }
+    fn total_latency(&self) -> u64 {
+        self.as_model_ref().total_latency()
+    }
+    fn flit_hops(&self) -> u64 {
+        self.as_model_ref().flit_hops()
+    }
+    fn audit(&self, full: bool) -> Result<(), String> {
+        self.as_model_ref().audit(full)
+    }
+    fn inject_drop_flit(&mut self, selector: u64) -> bool {
+        self.as_model().inject_drop_flit(selector)
+    }
+    fn fingerprint(&self, h: &mut clip_types::Fnv64, full: bool) {
+        self.as_model_ref().fingerprint(h, full);
+    }
+}
+
+/// The memory backend a run actually drives, dispatched behind
+/// [`DramModel`].
+pub(crate) enum DramImpl {
+    Ddr4(DramSystem),
+    Hbm(HbmDram),
+}
+
+impl DramImpl {
+    /// Memory factory: builds the backend `cfg.kind` selects.
+    pub(crate) fn build(cfg: &DramConfig) -> DramImpl {
+        match cfg.kind {
+            DramKind::Ddr4 => DramImpl::Ddr4(DramSystem::new(cfg)),
+            DramKind::Hbm => DramImpl::Hbm(HbmDram::new(cfg)),
+        }
+    }
+
+    fn as_model(&mut self) -> &mut dyn DramModel {
+        match self {
+            DramImpl::Ddr4(d) => d,
+            DramImpl::Hbm(h) => h,
+        }
+    }
+
+    fn as_model_ref(&self) -> &dyn DramModel {
+        match self {
+            DramImpl::Ddr4(d) => d,
+            DramImpl::Hbm(h) => h,
+        }
+    }
+}
+
+impl DramModel for DramImpl {
+    fn channels(&self) -> usize {
+        self.as_model_ref().channels()
+    }
+    fn channel_for(&self, line: LineAddr) -> usize {
+        self.as_model_ref().channel_for(line)
+    }
+    fn read_queue_has_room(&self, channel: usize) -> bool {
+        self.as_model_ref().read_queue_has_room(channel)
+    }
+    fn read_queue_len(&self, channel: usize) -> usize {
+        self.as_model_ref().read_queue_len(channel)
+    }
+    fn enqueue_read(
+        &mut self,
+        channel: usize,
+        id: ReqId,
+        line: LineAddr,
+        priority: Priority,
+        now: Cycle,
+    ) -> Result<(), QueueFullError> {
+        self.as_model()
+            .enqueue_read(channel, id, line, priority, now)
+    }
+    fn enqueue_write(&mut self, line: LineAddr, now: Cycle) -> Result<(), QueueFullError> {
+        self.as_model().enqueue_write(line, now)
+    }
+    fn tick(&mut self, now: Cycle) -> Vec<DramCompletion> {
+        self.as_model().tick(now)
+    }
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        self.as_model_ref().next_activity(now)
+    }
+    fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+        self.as_model().skip_idle(from, to);
+    }
+    fn stats(&self, channel: usize) -> &ChannelStats {
+        self.as_model_ref().stats(channel)
+    }
+    fn total_stats(&self) -> ChannelStats {
+        self.as_model_ref().total_stats()
+    }
+    fn audit(&self, now: Cycle, full: bool) -> Result<(), String> {
+        self.as_model_ref().audit(now, full)
+    }
+    fn inject_swallow_completion(&mut self, selector: u64) -> bool {
+        self.as_model().inject_swallow_completion(selector)
+    }
+    fn bandwidth_utilization(&self, elapsed: Cycle) -> f64 {
+        self.as_model_ref().bandwidth_utilization(elapsed)
+    }
+    fn fingerprint(&self, h: &mut clip_types::Fnv64, full: bool) {
+        self.as_model_ref().fingerprint(h, full);
     }
 }
 
 /// The NoC as a clocked component: each [`Tick::tick`] advances the
 /// network one cycle and pushes completed deliveries into `delivered`.
-pub(crate) struct ClockedNoc {
-    pub(crate) model: NocImpl,
+/// Generic over the fabric so any [`NocModel`] slots in.
+pub(crate) struct ClockedNoc<N: NocModel> {
+    pub(crate) model: N,
     pub(crate) delivered: Channel<Delivered>,
 }
 
-impl Tick for ClockedNoc {
+impl<N: NocModel> Tick for ClockedNoc<N> {
     fn tick(&mut self, now: Cycle) {
-        for d in self.model.as_model().tick(now) {
+        for d in self.model.tick(now) {
             self.delivered.push(d);
         }
     }
 
     fn next_activity(&self, now: Cycle) -> Option<Cycle> {
-        merge_activity(
-            self.delivered.activity(now),
-            self.model.as_model_ref().next_activity(now),
-        )
+        merge_activity(self.delivered.activity(now), self.model.next_activity(now))
     }
 }
 
 /// The DRAM channels as a clocked component: each [`Tick::tick`]
 /// advances every channel one cycle and pushes finished reads into
-/// `completed`.
-pub(crate) struct ClockedDram {
-    pub(crate) mem: DramSystem,
+/// `completed`. Generic over the backend so any [`DramModel`] slots in.
+pub(crate) struct ClockedDram<D: DramModel> {
+    pub(crate) mem: D,
     pub(crate) completed: Channel<DramCompletion>,
 }
 
-impl Tick for ClockedDram {
+impl<D: DramModel> Tick for ClockedDram<D> {
     fn tick(&mut self, now: Cycle) {
         for c in self.mem.tick(now) {
             self.completed.push(c);
@@ -203,8 +340,8 @@ impl EngineParams {
 pub(crate) struct Engine {
     pub(crate) params: EngineParams,
     pub(crate) clock: SimClock,
-    pub(crate) noc: ClockedNoc,
-    pub(crate) dram: ClockedDram,
+    pub(crate) noc: ClockedNoc<NocImpl>,
+    pub(crate) dram: ClockedDram<DramImpl>,
     pub(crate) llc: ClockedLlc,
     pub(crate) txns: Vec<Txn>,
     free_txns: Vec<TxnId>,
@@ -227,12 +364,7 @@ pub(crate) struct Engine {
 }
 
 impl Engine {
-    pub(crate) fn new(
-        noc: NocImpl,
-        dram: DramSystem,
-        llc: ClockedLlc,
-        params: EngineParams,
-    ) -> Self {
+    pub(crate) fn new(noc: NocImpl, dram: DramImpl, llc: ClockedLlc, params: EngineParams) -> Self {
         Engine {
             params,
             clock: SimClock::new(),
@@ -479,7 +611,6 @@ impl Engine {
         if self
             .noc
             .model
-            .as_model()
             .send(src, dst, flits, prio, pl.encode(), now)
             .is_err()
         {
@@ -504,7 +635,6 @@ impl Engine {
                 let ok = self
                     .noc
                     .model
-                    .as_model()
                     .send(node, m.dst, m.flits, m.priority, m.payload.encode(), now)
                     .is_ok();
                 if ok {

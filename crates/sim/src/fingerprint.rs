@@ -41,21 +41,25 @@ pub struct WindowFingerprint {
     pub window: u64,
     /// Cycle the window was sampled at.
     pub cycle: Cycle,
-    /// One hash per component, laid out as `tile0..tileN-1, llc, txns`
-    /// (see [`component_name`]).
+    /// One hash per component, laid out as
+    /// `tile0..tileN-1, llc, txns, noc, dram` (see [`component_name`]).
     pub hashes: Vec<u64>,
 }
 
 /// Names the component at `index` in a [`WindowFingerprint::hashes`]
-/// layout with `tiles` tiles: `tile{i}`, then `llc`, then `txns`.
+/// layout with `tiles` tiles: `tile{i}`, then `llc`, `txns`, `noc`,
+/// `dram`.
 pub fn component_name(index: usize, tiles: usize) -> String {
     if index < tiles {
-        format!("tile{index}")
-    } else if index == tiles {
-        "llc".to_string()
-    } else {
-        "txns".to_string()
+        return format!("tile{index}");
     }
+    match index - tiles {
+        0 => "llc",
+        1 => "txns",
+        2 => "noc",
+        _ => "dram",
+    }
+    .to_string()
 }
 
 /// Serializes a fingerprint stream as a JSON array of
@@ -101,12 +105,15 @@ impl System {
     ///
     /// `full` selects the hash depth: per-entry state under
     /// `CLIP_CHECK=full`, O(1) occupancy balances under `cheap`. Both
-    /// use the same `tile0..tileN-1, llc, txns` layout so [`compare`]
-    /// and [`component_name`] work unchanged; the two depths are never
-    /// comparable to each other (the baseline store keys them apart).
+    /// use the same `tile0..tileN-1, llc, txns, noc, dram` layout so
+    /// [`compare`] and [`component_name`] work unchanged; the two depths
+    /// are never comparable to each other (the baseline store keys them
+    /// apart).
     pub(crate) fn capture_fingerprint(&mut self, now: Cycle, full: bool) {
+        use clip_dram::DramModel;
+        use clip_noc::NocModel;
         let cadence = self.integrity.cadence.max(1);
-        let mut hashes = Vec::with_capacity(self.tiles.len() + 2);
+        let mut hashes = Vec::with_capacity(self.tiles.len() + 4);
         for t in &self.tiles {
             let mut h = Fnv64::new();
             if full {
@@ -129,6 +136,12 @@ impl System {
         } else {
             self.engine.fingerprint_txns_cheap(&mut h);
         }
+        hashes.push(h.finish());
+        let mut h = Fnv64::new();
+        self.engine.noc.model.fingerprint(&mut h, full);
+        hashes.push(h.finish());
+        let mut h = Fnv64::new();
+        self.engine.dram.mem.fingerprint(&mut h, full);
         hashes.push(h.finish());
         self.fingerprints.push(WindowFingerprint {
             window: now / cadence,
@@ -162,7 +175,7 @@ pub fn compare_streams(a: &[WindowFingerprint], b: &[WindowFingerprint]) -> Resu
         return Ok(());
     }
     for (wa, wb) in a.iter().zip(b.iter()) {
-        let tiles = wa.hashes.len().saturating_sub(2);
+        let tiles = wa.hashes.len().saturating_sub(4);
         if wa.window != wb.window {
             return Err(SimError::new(
                 wa.cycle.min(wb.cycle),
@@ -340,17 +353,21 @@ mod tests {
     #[test]
     fn component_names_follow_the_layout() {
         // (index, tiles) -> expected name, over the documented layout:
-        // tile0..tileN-1, llc, txns.
+        // tile0..tileN-1, llc, txns, noc, dram.
         let table: &[(usize, usize, &str)] = &[
             (0, 4, "tile0"),
             (3, 4, "tile3"),
             (4, 4, "llc"),
             (5, 4, "txns"),
+            (6, 4, "noc"),
+            (7, 4, "dram"),
             (0, 1, "tile0"),
             (1, 1, "llc"),
             (2, 1, "txns"),
-            // Indices past the layout still name the slab (defensive).
-            (7, 4, "txns"),
+            (3, 1, "noc"),
+            (4, 1, "dram"),
+            // Indices past the layout still name the last slot (defensive).
+            (9, 4, "dram"),
         ];
         for &(index, tiles, expect) in table {
             assert_eq!(
@@ -371,9 +388,12 @@ mod tests {
 
     #[test]
     fn first_divergent_component_is_named() {
-        let a = vec![window(0, 16, &[1, 2, 3, 4]), window(1, 32, &[5, 6, 7, 8])];
+        let a = vec![
+            window(0, 16, &[1, 2, 3, 4, 5, 6]),
+            window(1, 32, &[5, 6, 7, 8, 9, 10]),
+        ];
         let mut b = a.clone();
-        b[1].hashes[2] = 99; // tiles = 4 - 2 = 2, so index 2 is "llc".
+        b[1].hashes[2] = 99; // tiles = 6 - 4 = 2, so index 2 is "llc".
         let err = compare_streams(&a, &b).expect_err("must diverge");
         assert_eq!(err.kind, SimErrorKind::Divergence);
         assert_eq!(err.component, "llc");

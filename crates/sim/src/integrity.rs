@@ -15,6 +15,8 @@
 //! bit-identical across [`CheckLevel`]s.
 
 use crate::system::System;
+use clip_dram::DramModel;
+use clip_noc::NocModel;
 use clip_types::{CheckLevel, Cycle, SimError, SimErrorKind};
 
 /// Default audit cadence in cycles.
@@ -66,7 +68,6 @@ impl System {
         self.engine
             .noc
             .model
-            .as_model_ref()
             .audit(full)
             .map_err(|e| component_error(now, "noc", e))?;
         self.engine
@@ -134,7 +135,7 @@ impl System {
         let ds = self.engine.dram.mem.total_stats();
         (
             retired,
-            self.engine.noc.model.as_model_ref().delivered_count(),
+            self.engine.noc.model.delivered_count(),
             ds.reads + ds.writes,
             self.engine.llc.fired(),
         )

@@ -11,6 +11,7 @@
 use crate::engine::{Engine, Txn, TxnKind, RETRY_DELAY};
 use crate::ports::{NocPayload, TxnId};
 use clip_cache::{AllocOutcome, Cache, Evicted, LookupOutcome, MshrFile};
+use clip_dram::DramModel;
 use clip_types::{Channel, Cycle, LineAddr, MemLevel, ReqId, SimConfig, Tick};
 
 /// Ring horizon for pending slice lookups. Slice latency (default 20)

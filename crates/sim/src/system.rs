@@ -13,7 +13,7 @@
 //! `snapshot.rs`. This file only builds the parts and drives them
 //! through the [`Tick`] contract each cycle.
 
-use crate::engine::{Engine, EngineParams, Ev, NocChoice, NocImpl};
+use crate::engine::{DramImpl, Engine, EngineParams, Ev, NocChoice, NocImpl};
 use crate::fault::{FaultHarness, FaultKind, FaultSpec};
 use crate::integrity::{Integrity, DEFAULT_CHECK_CADENCE, DEFAULT_WATCHDOG_WINDOW};
 use crate::result::SimResult;
@@ -23,8 +23,8 @@ use clip_cache::{Cache, MshrFile};
 use clip_core::DynamicClip;
 use clip_cpu::Core;
 use clip_crit::{EvalCounts, PredictorEvaluator};
-use clip_dram::DramSystem;
-use clip_noc::{AnalyticNoc, MeshNoc};
+use clip_dram::DramModel;
+use clip_noc::NocModel;
 use clip_offchip::{DsPatch, Hermes};
 use clip_prefetch::PrefetchCandidate;
 use clip_throttle::EpochFeedback;
@@ -125,18 +125,13 @@ impl System {
             })
             .collect();
 
-        let noc = match noc {
-            NocChoice::Mesh => NocImpl::Mesh(MeshNoc::new(&cfg.noc)),
-            NocChoice::Analytic => NocImpl::Analytic(AnalyticNoc::new(&cfg.noc)),
-        };
-
         System {
             cfg: cfg.clone(),
             scheme: scheme.clone(),
             tiles,
             engine: Engine::new(
-                noc,
-                DramSystem::new(&cfg.dram),
+                NocImpl::build(noc, cfg),
+                DramImpl::build(&cfg.dram),
                 crate::llc::ClockedLlc::new(cfg),
                 EngineParams::from_config(cfg),
             ),
@@ -382,7 +377,7 @@ impl System {
             .expect("checked present above")
             .selector();
         let landed = match kind {
-            FaultKind::DropFlit => self.engine.noc.model.as_model().inject_drop_flit(sel),
+            FaultKind::DropFlit => self.engine.noc.model.inject_drop_flit(sel),
             FaultKind::SwallowDramCompletion => self.engine.dram.mem.inject_swallow_completion(sel),
             FaultKind::LeakLlcMshr => self.engine.llc.inject_mshr_leak(sel),
             FaultKind::LoseDelivery => true,

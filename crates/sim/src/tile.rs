@@ -17,6 +17,7 @@ use clip_cache::{Cache, LookupOutcome, MshrFile};
 use clip_core::{Decision, DynamicClip};
 use clip_cpu::{Core, MemIssuePort};
 use clip_crit::{CriticalityPredictor, EvalCounts, PredictorEvaluator};
+use clip_dram::DramModel;
 use clip_offchip::{DsPatch, Hermes};
 use clip_prefetch::{AccessInfo, PrefetchCandidate, Prefetcher};
 use clip_throttle::Throttler;

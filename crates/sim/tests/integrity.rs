@@ -8,7 +8,7 @@ use clip_sim::{
     NocChoice, RunOptions, Scheme, SimError, SimErrorKind, SweepJob,
 };
 use clip_trace::{catalog, Mix};
-use clip_types::{PrefetcherKind, SimConfig};
+use clip_types::{DramKind, PrefetcherKind, SimConfig};
 
 fn cfg(cores: usize) -> SimConfig {
     SimConfig::builder()
@@ -194,12 +194,35 @@ const FAULT_TABLE: &[FaultRow] = &[
     },
 ];
 
-fn row_options(row: &FaultRow) -> RunOptions {
+/// Backend combinations the fault matrix covers: the default
+/// analytic/DDR4 pair, each new backend on its own, and the full
+/// chiplet + HBM stack.
+const BACKENDS: &[(NocChoice, DramKind)] = &[
+    (NocChoice::Analytic, DramKind::Ddr4),
+    (NocChoice::Chiplet, DramKind::Ddr4),
+    (NocChoice::Analytic, DramKind::Hbm),
+    (NocChoice::Chiplet, DramKind::Hbm),
+];
+
+/// A 4-core platform on the given DRAM backend, split 2 + 2 across two
+/// dies so chiplet runs actually exercise the die-to-die crossing.
+fn backend_cfg(pf: PrefetcherKind, dram: DramKind) -> SimConfig {
+    SimConfig::builder()
+        .cores(4)
+        .dram_backend(dram)
+        .dram_channels(1)
+        .chiplet_cluster(2)
+        .l1_prefetcher(pf)
+        .build()
+        .expect("valid config")
+}
+
+fn row_options(row: &FaultRow, noc: NocChoice) -> RunOptions {
     RunOptions {
         warmup_instrs: 500,
         sim_instrs: 3_000,
         seed: 7,
-        noc: NocChoice::Analytic,
+        noc,
         check: Some(row.check),
         check_cadence: row.check_cadence,
         watchdog_window: row.watchdog_window,
@@ -211,53 +234,77 @@ fn row_options(row: &FaultRow) -> RunOptions {
     }
 }
 
-fn row_error(row: &FaultRow) -> SimError {
-    let c = if row.needs_prefetcher {
-        cfg_pf(4)
+fn backend_row_error(row: &FaultRow, noc: NocChoice, dram: DramKind) -> SimError {
+    let pf = if row.needs_prefetcher {
+        PrefetcherKind::Berti
     } else {
-        cfg(4)
+        PrefetcherKind::None
     };
     let jobs = vec![SweepJob {
-        cfg: c,
+        cfg: backend_cfg(pf, dram),
         scheme: Scheme::plain(),
         mix: mix(4),
     }];
-    let mut outcomes = run_jobs_localized(&jobs, &row_options(row));
+    let mut outcomes = run_jobs_localized(&jobs, &row_options(row, noc));
     outcomes
         .remove(0)
         .expect_err("every injected fault must be reported")
+}
+
+fn row_error(row: &FaultRow) -> SimError {
+    backend_row_error(row, NocChoice::Analytic, DramKind::Ddr4)
+}
+
+fn assert_row_caught(row: &FaultRow, err: &SimError, noc: NocChoice, dram: DramKind) {
+    assert_eq!(
+        err.kind, row.expect_kind,
+        "{:?} on {noc:?}/{dram:?}: wrong error kind: {err}",
+        row.kind
+    );
+    assert!(
+        row.expect_component_prefixes
+            .iter()
+            .any(|p| err.component.starts_with(p)),
+        "{:?} on {noc:?}/{dram:?}: component {:?} not in {:?} ({err})",
+        row.kind,
+        err.component,
+        row.expect_component_prefixes
+    );
+    // Tile-layer faults must name the specific structure.
+    match row.kind {
+        FaultKind::StaleRetire | FaultKind::DuplicateDelivery => {
+            assert!(err.component.ends_with(".core"), "{err}");
+        }
+        FaultKind::CorruptPrefetchAddr => {
+            assert!(
+                err.component.ends_with(".pf-queue") || err.component == "txns",
+                "{err}"
+            );
+        }
+        _ => {}
+    }
 }
 
 #[test]
 fn every_fault_kind_is_caught_by_its_auditor() {
     for row in FAULT_TABLE {
         let err = row_error(row);
-        assert_eq!(
-            err.kind, row.expect_kind,
-            "{:?}: wrong error kind: {err}",
-            row.kind
-        );
-        assert!(
-            row.expect_component_prefixes
-                .iter()
-                .any(|p| err.component.starts_with(p)),
-            "{:?}: component {:?} not in {:?} ({err})",
-            row.kind,
-            err.component,
-            row.expect_component_prefixes
-        );
-        // Tile-layer faults must name the specific structure.
-        match row.kind {
-            FaultKind::StaleRetire | FaultKind::DuplicateDelivery => {
-                assert!(err.component.ends_with(".core"), "{err}");
-            }
-            FaultKind::CorruptPrefetchAddr => {
-                assert!(
-                    err.component.ends_with(".pf-queue") || err.component == "txns",
-                    "{err}"
-                );
-            }
-            _ => {}
+        assert_row_caught(row, &err, NocChoice::Analytic, DramKind::Ddr4);
+    }
+}
+
+/// The full backend × fault-kind matrix: every auditor contract the
+/// default stack honours must hold verbatim on the chiplet fabric and
+/// the HBM memory backend (and their combination).
+#[test]
+fn every_fault_kind_is_caught_on_every_backend() {
+    for &(noc, dram) in BACKENDS {
+        if (noc, dram) == (NocChoice::Analytic, DramKind::Ddr4) {
+            continue; // the default pair is covered above
+        }
+        for row in FAULT_TABLE {
+            let err = backend_row_error(row, noc, dram);
+            assert_row_caught(row, &err, noc, dram);
         }
     }
 }
@@ -295,7 +342,7 @@ fn flip_criticality_is_localized_to_a_window_and_component() {
     // bit is conserved state, so the faulted run completes cleanly; only
     // diffing its fingerprint stream against the un-faulted same-seed run
     // reports where the histories first part ways.
-    let opts = row_options(&FAULT_TABLE[7]);
+    let opts = row_options(&FAULT_TABLE[7], NocChoice::Analytic);
     let c = cfg_pf(4);
     let m = mix(4);
 

@@ -11,11 +11,11 @@
 //! selects and diverge instantly. All eight kinds are covered.
 
 use clip_sim::{
-    run_jobs_checked, set_step_override, CheckLevel, FaultKind, FaultSpec, RunOptions, Scheme,
-    SimError, SimResult, SweepJob,
+    run_jobs_checked, set_step_override, CheckLevel, FaultKind, FaultSpec, NocChoice, RunOptions,
+    Scheme, SimError, SimResult, SweepJob,
 };
 use clip_trace::Mix;
-use clip_types::{PrefetcherKind, SimConfig};
+use clip_types::{DramKind, PrefetcherKind, SimConfig};
 
 fn cfg(pf: PrefetcherKind) -> SimConfig {
     SimConfig::builder()
@@ -190,6 +190,53 @@ fn wheel_matches_step_across_two_worker_threads() {
         .collect();
     assert_batch_identical(&jobs, &opts(), "two threads");
     std::env::remove_var("CLIP_THREADS");
+}
+
+/// The two pluggable backends added behind the `NocModel`/`DramModel`
+/// traits honour the same invisibility contract: a chiplet fabric run
+/// (with a die-to-die crossing in play) and an HBM memory run must each
+/// be byte-identical between the wheel and cycle-by-cycle stepping. The
+/// chiplet row exercises `next_activity` on the d2d ports; the HBM row
+/// exercises per-bank rolling refresh as a skip constraint.
+#[test]
+fn wheel_matches_step_on_chiplet_and_hbm_backends() {
+    let m = mix("605.mcf_s-1554B");
+
+    // Chiplet fabric: 4 cores split 2 + 2 across two dies.
+    let chiplet_cfg = SimConfig::builder()
+        .cores(4)
+        .dram_channels(1)
+        .chiplet_cluster(2)
+        .l1_prefetcher(PrefetcherKind::Berti)
+        .build()
+        .expect("valid config");
+    let jobs = [SweepJob {
+        cfg: chiplet_cfg,
+        scheme: Scheme::with_clip(),
+        mix: m.clone(),
+    }];
+    let o = RunOptions {
+        noc: NocChoice::Chiplet,
+        ..opts()
+    };
+    assert_batch_identical(&jobs, &o, "chiplet fabric");
+
+    // HBM memory backend, refresh enabled so the rolling per-bank
+    // refresh schedule constrains the wheel.
+    let hbm_cfg = SimConfig::builder()
+        .cores(4)
+        .dram_backend(DramKind::Hbm)
+        .dram_channels(2)
+        .dram_refresh(true)
+        .l1_prefetcher(PrefetcherKind::Berti)
+        .build()
+        .expect("valid config");
+    let jobs = [SweepJob {
+        cfg: hbm_cfg,
+        scheme: Scheme::with_clip(),
+        mix: m,
+    }];
+    assert_batch_identical(&jobs, &opts(), "hbm dram");
 }
 
 /// Skipping a quiescent stretch advances the clock without advancing the

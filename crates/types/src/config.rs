@@ -125,9 +125,55 @@ impl Default for CoreConfig {
     }
 }
 
+/// Which memory backend services misses.
+///
+/// The kind selects both the timing preset ([`DramConfig::preset`]) and
+/// the simulation model behind the `DramModel` trait: DDR4 uses all-bank
+/// lockstep refresh, HBM refreshes banks in a rolling per-bank schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DramKind {
+    /// DDR4-3200 (Table 3 baseline): few wide channels, all-bank refresh.
+    #[default]
+    Ddr4,
+    /// HBM-style stack: more, narrower channels (lower per-channel
+    /// bandwidth), slightly slower array timing, per-bank refresh.
+    Hbm,
+}
+
+impl DramKind {
+    /// Short display name used in experiment output and env parsing.
+    pub fn name(self) -> &'static str {
+        match self {
+            DramKind::Ddr4 => "ddr4",
+            DramKind::Hbm => "hbm",
+        }
+    }
+
+    /// Refresh interval in core cycles when refresh modeling is enabled:
+    /// tREFI 7.8 µs for DDR4 (all-bank), 3.9 µs per bank for HBM's
+    /// rolling per-bank schedule (both at the 4 GHz core clock).
+    pub fn t_refi(self) -> u64 {
+        match self {
+            DramKind::Ddr4 => 31_200,
+            DramKind::Hbm => 15_600,
+        }
+    }
+
+    /// Refresh cycle time in core cycles: tRFC ~350 ns for DDR4 8 Gb
+    /// parts; ~160 ns per-bank (tRFCpb) for HBM.
+    pub fn t_rfc(self) -> u64 {
+        match self {
+            DramKind::Ddr4 => 1_400,
+            DramKind::Hbm => 640,
+        }
+    }
+}
+
 /// DRAM subsystem parameters (DDR4-3200, Table 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
+    /// Memory backend kind (selects the model and timing family).
+    pub kind: DramKind,
     /// Number of independent channels.
     pub channels: usize,
     /// Banks per channel.
@@ -163,20 +209,50 @@ pub struct DramConfig {
 
 impl Default for DramConfig {
     fn default() -> Self {
-        DramConfig {
-            channels: 8,
-            banks_per_channel: 16,
-            row_bytes: 4096,
-            t_rp: 50,
-            t_rcd: 50,
-            t_cas: 50,
-            burst_cycles: 10,
-            read_queue: 64,
-            write_queue: 64,
-            write_watermark: (7, 8),
-            prefetch_aware: true,
-            t_refi: 0,
-            t_rfc: 1400,
+        Self::preset(DramKind::Ddr4)
+    }
+}
+
+impl DramConfig {
+    /// The timing/topology preset of a backend kind. DDR4-3200 is the
+    /// Table 3 baseline; the HBM preset trades per-channel bandwidth for
+    /// channel count (2x channels, 2x `burst_cycles` — same aggregate
+    /// peak as the DDR4 default, so backend comparisons isolate channel
+    /// structure and refresh behaviour rather than raw peak bandwidth).
+    pub fn preset(kind: DramKind) -> Self {
+        match kind {
+            DramKind::Ddr4 => DramConfig {
+                kind,
+                channels: 8,
+                banks_per_channel: 16,
+                row_bytes: 4096,
+                t_rp: 50,
+                t_rcd: 50,
+                t_cas: 50,
+                burst_cycles: 10,
+                read_queue: 64,
+                write_queue: 64,
+                write_watermark: (7, 8),
+                prefetch_aware: true,
+                t_refi: 0,
+                t_rfc: 1400,
+            },
+            DramKind::Hbm => DramConfig {
+                kind,
+                channels: 16,
+                banks_per_channel: 32,
+                row_bytes: 2048,
+                t_rp: 56,
+                t_rcd: 56,
+                t_cas: 56,
+                burst_cycles: 20,
+                read_queue: 64,
+                write_queue: 64,
+                write_watermark: (7, 8),
+                prefetch_aware: true,
+                t_refi: 0,
+                t_rfc: 640,
+            },
         }
     }
 }
@@ -203,6 +279,24 @@ pub struct NocConfig {
     /// Prefetch-aware arbitration: demand (and CLIP-critical) packets win
     /// ties against plain prefetch packets.
     pub prefetch_aware: bool,
+    /// Two-node NUMA latency asymmetry on the mesh: extra cycles added to
+    /// every link traversal that crosses between the two column halves of
+    /// the mesh (ThunderX2-style `NUMA_NODE 2` split). `0` (the default)
+    /// models a single-socket die and is behaviour-identical to a mesh
+    /// without the knob.
+    pub numa_penalty: u64,
+    /// Tiles per chiplet for the chiplet topology (`ChipletNoc`). Must
+    /// divide the core count; [`SimConfigBuilder::cores`] shrinks it to
+    /// the largest divisor of the new core count. Ignored by the mesh
+    /// and analytic fabrics.
+    pub chiplet_cluster: usize,
+    /// Die-to-die crossing latency in cycles for the chiplet topology
+    /// (wire + PHY, paid once per inter-chiplet packet).
+    pub d2d_latency: u64,
+    /// Die-to-die serialization in cycles per flit: the crossing is
+    /// narrower than an on-die link, so every flit of an inter-chiplet
+    /// packet occupies the chiplet's d2d port this many cycles.
+    pub d2d_flit_cycles: u64,
 }
 
 impl Default for NocConfig {
@@ -216,6 +310,10 @@ impl Default for NocConfig {
             addr_packet_flits: 1,
             router_stages: 2,
             prefetch_aware: true,
+            numa_penalty: 0,
+            chiplet_cluster: 4,
+            d2d_latency: 24,
+            d2d_flit_cycles: 4,
         }
     }
 }
@@ -316,6 +414,14 @@ impl SimConfig {
         if self.dram.channels == 0 || !self.dram.channels.is_power_of_two() {
             return Err(ConfigError::new("dram channels must be a power of two"));
         }
+        if self.noc.chiplet_cluster == 0 {
+            return Err(ConfigError::new("chiplet cluster size must be non-zero"));
+        }
+        if !self.cores.is_multiple_of(self.noc.chiplet_cluster) {
+            return Err(ConfigError::new(
+                "chiplet cluster size must divide the core count",
+            ));
+        }
         if self.core.issue_width == 0 || self.core.retire_width == 0 {
             return Err(ConfigError::new("core widths must be non-zero"));
         }
@@ -356,7 +462,9 @@ pub struct SimConfigBuilder {
 }
 
 impl SimConfigBuilder {
-    /// Sets the core count (mesh shrinks to the smallest square that fits).
+    /// Sets the core count (mesh shrinks to the smallest square that fits;
+    /// the chiplet cluster shrinks to the largest divisor of `n` so the
+    /// cluster-divides-cores invariant keeps holding).
     pub fn cores(mut self, n: usize) -> Self {
         self.config.cores = n;
         let mut side = 1usize;
@@ -365,6 +473,9 @@ impl SimConfigBuilder {
         }
         self.config.noc.mesh_cols = side;
         self.config.noc.mesh_rows = side.max(n.div_ceil(side));
+        if n != 0 {
+            self.config.noc.chiplet_cluster = gcd(self.config.noc.chiplet_cluster.max(1), n);
+        }
         self
     }
 
@@ -404,10 +515,40 @@ impl SimConfigBuilder {
         self
     }
 
-    /// Enables DRAM refresh modeling with DDR4-3200 timings (tREFI 7.8 µs,
-    /// tRFC 350 ns at 4 GHz core clock).
+    /// Switches the memory backend: replaces the whole DRAM block with the
+    /// kind's preset (channels, timing, refresh family). Call before any
+    /// per-field DRAM override — notably [`SimConfigBuilder::dram_channels`]
+    /// and [`SimConfigBuilder::dram_refresh`] — so those apply on top.
+    pub fn dram_backend(mut self, kind: DramKind) -> Self {
+        self.config.dram = DramConfig::preset(kind);
+        self
+    }
+
+    /// Enables DRAM refresh modeling with the selected backend's timings
+    /// (DDR4: all-bank tREFI 7.8 µs / tRFC 350 ns; HBM: per-bank tREFI
+    /// 3.9 µs / tRFCpb 160 ns — at the 4 GHz core clock). Derived from
+    /// [`DramKind`] so an HBM config is never silently DDR4-paced.
     pub fn dram_refresh(mut self, on: bool) -> Self {
-        self.config.dram.t_refi = if on { 31_200 } else { 0 };
+        self.config.dram.t_refi = if on {
+            self.config.dram.kind.t_refi()
+        } else {
+            0
+        };
+        self.config.dram.t_rfc = self.config.dram.kind.t_rfc();
+        self
+    }
+
+    /// Sets the mesh's two-node NUMA crossing penalty in cycles
+    /// (`0` = single socket, the default).
+    pub fn numa_penalty(mut self, cycles: u64) -> Self {
+        self.config.noc.numa_penalty = cycles;
+        self
+    }
+
+    /// Sets the chiplet cluster size (tiles per die) for the chiplet
+    /// topology. Must divide the core count at [`SimConfigBuilder::build`].
+    pub fn chiplet_cluster(mut self, tiles: usize) -> Self {
+        self.config.noc.chiplet_cluster = tiles;
         self
     }
 
@@ -427,6 +568,14 @@ impl SimConfigBuilder {
     pub fn build(self) -> Result<SimConfig, ConfigError> {
         self.config.validate()?;
         Ok(self.config)
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
     }
 }
 
@@ -534,5 +683,87 @@ mod tests {
         let c = SimConfig::baseline_64core();
         let c2 = c.clone();
         assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn hbm_preset_trades_channel_width_for_count() {
+        let ddr4 = DramConfig::preset(DramKind::Ddr4);
+        let hbm = DramConfig::preset(DramKind::Hbm);
+        assert_eq!(hbm.kind, DramKind::Hbm);
+        assert!(hbm.channels > ddr4.channels);
+        // Lower per-channel bandwidth (more cycles per line burst)...
+        assert!(hbm.burst_cycles > ddr4.burst_cycles);
+        // ...but the same aggregate peak, so backend comparisons isolate
+        // channel structure rather than raw bandwidth.
+        let peak = |d: &DramConfig| d.channels as f64 / d.burst_cycles as f64;
+        assert!((peak(&hbm) - peak(&ddr4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_refresh_follows_backend_timing() {
+        let ddr4 = SimConfig::builder().dram_refresh(true).build().unwrap();
+        assert_eq!(ddr4.dram.t_refi, 31_200);
+        assert_eq!(ddr4.dram.t_rfc, 1_400);
+        let hbm = SimConfig::builder()
+            .dram_backend(DramKind::Hbm)
+            .dram_refresh(true)
+            .build()
+            .unwrap();
+        assert_eq!(hbm.dram.t_refi, 15_600);
+        assert_eq!(hbm.dram.t_rfc, 640);
+        let off = SimConfig::builder()
+            .dram_backend(DramKind::Hbm)
+            .dram_refresh(false)
+            .build()
+            .unwrap();
+        assert_eq!(off.dram.t_refi, 0);
+    }
+
+    #[test]
+    fn cluster_size_must_divide_cores() {
+        let bad = SimConfig::builder().cores(8).chiplet_cluster(3).build();
+        assert!(bad.is_err());
+        let zero = SimConfig::builder().chiplet_cluster(0).build();
+        assert!(zero.is_err());
+        let ok = SimConfig::builder()
+            .cores(8)
+            .chiplet_cluster(4)
+            .build()
+            .unwrap();
+        assert_eq!(ok.noc.chiplet_cluster, 4);
+    }
+
+    #[test]
+    fn builder_cores_shrinks_cluster_to_a_divisor() {
+        // Default cluster is 4; one- and two-core configs must still build.
+        for n in [1usize, 2, 4, 6, 8, 64] {
+            let c = SimConfig::builder().cores(n).build().unwrap();
+            assert_eq!(c.cores % c.noc.chiplet_cluster, 0, "cores {n}");
+        }
+        assert_eq!(
+            SimConfig::builder()
+                .cores(2)
+                .build()
+                .unwrap()
+                .noc
+                .chiplet_cluster,
+            2
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .cores(6)
+                .build()
+                .unwrap()
+                .noc
+                .chiplet_cluster,
+            2
+        );
+    }
+
+    #[test]
+    fn numa_penalty_defaults_inert() {
+        assert_eq!(SimConfig::baseline_64core().noc.numa_penalty, 0);
+        let c = SimConfig::builder().numa_penalty(40).build().unwrap();
+        assert_eq!(c.noc.numa_penalty, 40);
     }
 }

@@ -23,7 +23,7 @@ pub mod rng;
 
 pub use check::{CheckLevel, SimError, SimErrorKind};
 pub use config::{
-    CacheLevelConfig, CoreConfig, DramConfig, NocConfig, PrefetcherKind, ReplacementKind,
+    CacheLevelConfig, CoreConfig, DramConfig, DramKind, NocConfig, PrefetcherKind, ReplacementKind,
     SimConfig, SimConfigBuilder,
 };
 pub use engine::{Channel, Port, SimClock, Tick};

@@ -111,6 +111,17 @@ PAPER_NOTES = {
     "dynclip": "Paper §5.3 (future work, implemented here): DynCLIP should match "
                "CLIP under constrained bandwidth and recover the plain "
                "prefetcher's upside when bandwidth is ample.",
+    "backends": "Extension (no paper counterpart): the paper's thesis — "
+                "criticality filtering wins exactly where bandwidth is the "
+                "constraint — replayed across pluggable fabric and memory "
+                "backends ({mesh, chiplet} NoC x {DDR4, HBM} DRAM; see "
+                "DESIGN.md §5d). Expected shape: CLIP's edge over plain Berti "
+                "and over FDP throttling is largest on the chiplet fabric, "
+                "whose narrow die-to-die crossing throttles effective "
+                "bandwidth, and smallest where HBM's wider channel structure "
+                "relieves queueing. The DDR4 and HBM presets expose equal "
+                "aggregate peak bandwidth, so rows compare channel structure, "
+                "not peak.",
 }
 
 HEADER = """# EXPERIMENTS — paper vs. measured
@@ -145,7 +156,15 @@ order as a list of `{"bin", "artifacts"}` objects, where multi-set
 figures (e.g. fig05) list one artifact per set. Values are normalized
 weighted speedups unless the title says otherwise; every run is
 deterministic, so artifacts diff cleanly (CI pins fig02 at smoke scale
-against `crates/bench/tests/golden/fig02.json`).
+against `crates/bench/tests/golden/fig02.json`, and the `backends`
+figure's two artifacts against `backends_mesh.json` /
+`backends_chiplet.json`).
+
+**Backend knobs.** `CLIP_NOC` selects the fabric model (`mesh`,
+`analytic` — the sweep default — or `chiplet`) and `CLIP_DRAM` the
+memory backend (`ddr4`, default, or `hbm`); see DESIGN.md §5d. The
+`backends` figure ignores both and sweeps its own fabric x memory
+grid.
 
 ---
 """

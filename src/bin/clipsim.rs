@@ -12,7 +12,7 @@
 
 use clip::sim::{run_mix, NocChoice, RunOptions, Scheme};
 use clip::trace::Mix;
-use clip::types::{PrefetcherKind, SimConfig};
+use clip::types::{DramKind, PrefetcherKind, SimConfig};
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -31,6 +31,7 @@ struct Args {
     warmup: u64,
     seed: u64,
     noc: NocChoice,
+    dram: DramKind,
     list: bool,
 }
 
@@ -51,6 +52,7 @@ impl Default for Args {
             warmup: 2_000,
             seed: 42,
             noc: NocChoice::Mesh,
+            dram: DramKind::Ddr4,
             list: false,
         }
     }
@@ -66,7 +68,7 @@ OPTIONS:
   --workload <NAME>      homogeneous mix of the named trace (see --list-workloads)
   --hetero-seed <N>      random heterogeneous mix instead of a named workload
   --cores <N>            cores in the system              [default: 8]
-  --channels <N>         DDR4-3200 channels (power of 2)  [default: 1]
+  --channels <N>         DRAM channels (power of 2)       [default: 1]
   --prefetcher <KIND>    none|berti|ipcp|bingo|spp-ppf|ip-stride|stream|next-line
                                                           [default: berti]
   --clip                 attach CLIP to the prefetcher
@@ -77,7 +79,8 @@ OPTIONS:
   --instrs <N>           measured instructions per core   [default: 10000]
   --warmup <N>           warmup instructions per core     [default: 2000]
   --seed <N>             workload seed                    [default: 42]
-  --noc <MODEL>          mesh|analytic                    [default: mesh]
+  --noc <MODEL>          mesh|analytic|chiplet            [default: mesh]
+  --dram <BACKEND>       ddr4|hbm                         [default: ddr4]
   --list-workloads       print the workload catalog and exit
   --help                 this text
 ";
@@ -133,7 +136,15 @@ fn parse_args() -> Result<Args, String> {
                 args.noc = match value("--noc")?.as_str() {
                     "mesh" => NocChoice::Mesh,
                     "analytic" => NocChoice::Analytic,
+                    "chiplet" => NocChoice::Chiplet,
                     other => return Err(format!("unknown noc model: {other}")),
+                }
+            }
+            "--dram" => {
+                args.dram = match value("--dram")?.as_str() {
+                    "ddr4" => DramKind::Ddr4,
+                    "hbm" => DramKind::Hbm,
+                    other => return Err(format!("unknown dram backend: {other}")),
                 }
             }
             "--list-workloads" => args.list = true,
@@ -208,6 +219,7 @@ fn main() -> ExitCode {
         };
         SimConfig::builder()
             .cores(args.cores)
+            .dram_backend(args.dram)
             .dram_channels(args.channels)
             .l1_prefetcher(l1)
             .l2_prefetcher(l2)

@@ -8,8 +8,8 @@
 //! * [`trace`] — synthetic SPEC/GAP/CloudSuite/CVP workload models;
 //! * [`cpu`] — the out-of-order core model and ROB-stall ground truth;
 //! * [`cache`] — set-associative caches, MSHRs, replacement policies;
-//! * [`noc`] — wormhole mesh and analytic NoC models;
-//! * [`dram`] — the DDR4 channel/bank timing model with PADC;
+//! * [`noc`] — wormhole mesh, analytic, and chiplet NoC models;
+//! * [`dram`] — DDR4 and HBM channel/bank timing models with PADC;
 //! * [`prefetch`] — Berti, IPCP, Bingo, SPP-PPF and simple baselines;
 //! * [`crit`] — baseline criticality predictors (CATCH, FP, FVP, CBP,
 //!   ROBO, CRISP) and their evaluation;
