@@ -72,6 +72,7 @@ pub(crate) fn store(key: &str, mix_name: &str, result: &SimResult) {
 /// [`lookup`] against an explicit directory. A present-but-damaged entry
 /// is quarantined and reported as a miss.
 pub(crate) fn lookup_in(dir: &Path, key: &str, mix_name: &str) -> Option<SimResult> {
+    store_util::open_store(dir);
     let path = entry_path(dir, key, mix_name);
     let text = std::fs::read_to_string(&path).ok()?;
     match store_util::unwrap_verified(&text, "result").and_then(|p| SimResult::from_json(&p)) {
@@ -85,6 +86,7 @@ pub(crate) fn lookup_in(dir: &Path, key: &str, mix_name: &str) -> Option<SimResu
 
 /// [`store`] against an explicit directory.
 pub(crate) fn store_in(dir: &Path, key: &str, mix_name: &str, result: &SimResult) {
+    store_util::open_store(dir);
     let path = entry_path(dir, key, mix_name);
     let entry = store_util::wrap_checksummed("result", result.to_json());
     store_util::write_entry(dir, &path, &entry);

@@ -17,6 +17,16 @@
 //! completed but diverged from its recorded fingerprint baseline
 //! (`CLIP_FP_BASELINE=verify`, see [`crate::fp_store`]) renders as
 //! `DIV` instead, with the same structured error records.
+//!
+//! Execution is resilient: environmental failures (panic, internal,
+//! wall-clock timeout) earn bounded retries with deterministic backoff
+//! (`CLIP_RETRY`, see [`crate::retry`]) while audit verdicts never do; a
+//! cell that blew its wall-clock deadline renders `TMO` and one never
+//! dispatched because the sweep budget (`CLIP_SWEEP_BUDGET_MS`) ran out
+//! renders `PEND`, and either marks the artifact `"partial": true`.
+//! Under `CLIP_JOURNAL` (see [`crate::journal`]) completed cells persist
+//! as they finish and a resumed sweep replays them, simulating only what
+//! is missing — converging on the byte-identical complete artifact.
 
 use clip_sim::{run_jobs_checked, RunOptions, Scheme, SimError, SimErrorKind, SimResult, SweepJob};
 use clip_stats::{normalized_weighted_speedup, Json};
@@ -154,19 +164,31 @@ impl ExperimentData<'_> {
     /// `ERR` — the simulation completed, but its behaviour moved away
     /// from the recorded known-good stream.
     pub fn cell_diverged(&self, row: usize, cell: usize) -> bool {
-        let mut failures = 0usize;
-        let mut all_divergence = true;
+        self.cell_failure_kind(row, cell) == Some(SimErrorKind::Divergence)
+    }
+
+    /// The uniform failure kind of `(row, cell)`: when the cell failed
+    /// and every failing mix (and baseline) shares one [`SimErrorKind`],
+    /// that kind; `None` when the cell is clean or its failures are
+    /// mixed. Drives the cell glyphs — `DIV` (divergence), `TMO`
+    /// (wall-clock timeout), `PEND` (cancelled by the sweep budget, the
+    /// cell a resumed sweep will simulate), `ERR` (everything else).
+    pub fn cell_failure_kind(&self, row: usize, cell: usize) -> Option<SimErrorKind> {
+        let mut kind: Option<SimErrorKind> = None;
         let sides = [
             Some(&self.results[row][cell]),
             self.baselines[row].get(cell),
         ];
         for outcomes in sides.into_iter().flatten() {
             for e in outcomes.iter().filter_map(|r| r.as_ref().err()) {
-                failures += 1;
-                all_divergence &= e.kind == SimErrorKind::Divergence;
+                match kind {
+                    None => kind = Some(e.kind),
+                    Some(k) if k == e.kind => {}
+                    Some(_) => return None,
+                }
             }
         }
-        failures > 0 && all_divergence
+        kind
     }
 
     /// True when any simulation in the grid failed.
@@ -285,10 +307,14 @@ fn geomean_body(d: &ExperimentData) -> TableBody {
         for c in 0..d.cells(r) {
             cells.push(if d.cell_ok(r, c) {
                 crate::fmt(d.geomean_ws(r, c))
-            } else if d.cell_diverged(r, c) {
-                "DIV".to_string()
             } else {
-                "ERR".to_string()
+                match d.cell_failure_kind(r, c) {
+                    Some(SimErrorKind::Divergence) => "DIV",
+                    Some(SimErrorKind::Timeout) => "TMO",
+                    Some(SimErrorKind::Cancelled) => "PEND",
+                    _ => "ERR",
+                }
+                .to_string()
             });
         }
         cells.extend(spec_row.extra.iter().cloned());
@@ -399,13 +425,22 @@ pub(crate) fn run_cached(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult>
 }
 
 /// Runs jobs through the memoized parallel driver: outcomes come from the
-/// in-process cache, then the on-disk baseline cache, and only the
+/// in-process cache, then the sweep journal (`CLIP_JOURNAL=resume`, see
+/// [`crate::journal`]), then the on-disk baseline cache, and only the
 /// remainder is simulated (deduplicated, one `run_jobs_checked` batch).
 /// Returns outcomes in job order, identical to a serial `run_mix_checked`
-/// map. Jobs whose first attempt ends in [`SimErrorKind::Panic`] are
-/// re-run once (a panic can be environmental; integrity failures are
-/// deterministic and skip the retry). Failures are memoized too, but
-/// never written to the disk cache.
+/// map.
+///
+/// Failed jobs go through the [`crate::retry`] policy: environmental
+/// kinds (panic, internal, wall-clock timeout) are re-run up to
+/// `CLIP_RETRY` times with deterministic backoff, deterministic audit
+/// verdicts never are, and retrying stops the moment the sweep budget is
+/// exhausted. The surviving error carries its attempt count. Failures
+/// are memoized too — except *transient* ones (timeout, cancelled),
+/// which are returned but never remembered: the deadline and budget are
+/// deliberately absent from the job key, so memoizing one would serve a
+/// stale failure to a later same-key run with a healthier budget.
+/// Failures are never written to the disk cache or the journal.
 pub(crate) fn run_cached_checked(
     jobs: &[SweepJob],
     opts: &RunOptions,
@@ -415,6 +450,8 @@ pub(crate) fn run_cached_checked(
     let put = |k: String, r: Result<SimResult, SimError>| {
         RESULT_CACHE.with(|c| c.borrow_mut().insert(k, r));
     };
+    let journal_mode = crate::journal::mode();
+    let fp_off = crate::fp_store::mode() == crate::fp_store::FpMode::Off;
 
     let mut missing: Vec<usize> = Vec::new();
     let mut queued: HashSet<&str> = HashSet::new();
@@ -422,62 +459,98 @@ pub(crate) fn run_cached_checked(
         if cached(key).is_some() || !queued.insert(key) {
             continue;
         }
-        // Disk-cache hits carry no fingerprint stream, so serving one
-        // under an active CLIP_FP_BASELINE mode would silently skip the
-        // record/verify step for that job. Bypass the disk cache (but
-        // not the in-process memo) whenever a baseline mode is active:
-        // the job re-simulates once, gets checked, and refreshes the
-        // cache entry on the way out.
-        if disk_cacheable(&jobs[i]) && crate::fp_store::mode() == crate::fp_store::FpMode::Off {
-            if let Some(r) = crate::cache::lookup(key, &jobs[i].mix.name) {
-                put(key.clone(), Ok(r));
-                continue;
+        // Journal and disk-cache hits carry no fingerprint stream, so
+        // serving one under an active CLIP_FP_BASELINE mode would
+        // silently skip the record/verify step for that job. Bypass both
+        // stores (but not the in-process memo) whenever a baseline mode
+        // is active: the job re-simulates once, gets checked, and
+        // refreshes its entries on the way out.
+        if fp_off {
+            if journal_mode == crate::journal::JournalMode::Resume {
+                if let Some(r) = crate::journal::lookup(key, &jobs[i].mix.name) {
+                    put(key.clone(), Ok(r));
+                    continue;
+                }
+            }
+            if disk_cacheable(&jobs[i]) {
+                if let Some(r) = crate::cache::lookup(key, &jobs[i].mix.name) {
+                    put(key.clone(), Ok(r));
+                    continue;
+                }
             }
         }
         missing.push(i);
     }
 
+    // Transient failures stay out of the memo (see above); they live here
+    // for the duration of this call so every job sharing the key still
+    // gets an outcome.
+    let mut fresh: HashMap<&str, Result<SimResult, SimError>> = HashMap::new();
     if !missing.is_empty() {
         let batch: Vec<SweepJob> = missing.iter().map(|&i| jobs[i].clone()).collect();
         let mut outcomes = run_jobs_checked(&batch, opts);
+        let mut attempts: Vec<u32> = vec![1; batch.len()];
 
-        // A panic may be environmental (the worker thread died under a
-        // resource spike) where audit and watchdog failures never are:
-        // those name a cycle and component and reproduce bit-identically.
-        // Give panicked jobs exactly one more attempt before the ERR is
-        // recorded; a deterministic panic just fails the same way twice.
-        let panicked: Vec<usize> = outcomes
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| matches!(r, Err(e) if e.kind == SimErrorKind::Panic))
-            .map(|(j, _)| j)
-            .collect();
-        if !panicked.is_empty() {
-            let retry: Vec<SweepJob> = panicked.iter().map(|&j| batch[j].clone()).collect();
-            for (&j, r) in panicked.iter().zip(run_jobs_checked(&retry, opts)) {
+        let policy = crate::retry::RetryPolicy::from_env();
+        for round in 1..=policy.max_retries {
+            let failing: Vec<usize> = outcomes
+                .iter()
+                .enumerate()
+                .filter(
+                    |(_, r)| matches!(r, Err(e) if crate::retry::RetryPolicy::retryable(e.kind)),
+                )
+                .map(|(j, _)| j)
+                .collect();
+            if failing.is_empty() || clip_sim::sweep_budget_exhausted() {
+                break;
+            }
+            std::thread::sleep(crate::retry::RetryPolicy::backoff(round));
+            let retry: Vec<SweepJob> = failing.iter().map(|&j| batch[j].clone()).collect();
+            for (&j, r) in failing.iter().zip(run_jobs_checked(&retry, opts)) {
+                // A retry that comes back Cancelled means the budget ran
+                // out mid-round: keep the original, more informative
+                // error rather than overwriting it with "never ran".
+                if matches!(&r, Err(e) if e.kind == SimErrorKind::Cancelled) {
+                    continue;
+                }
+                attempts[j] += 1;
                 outcomes[j] = r;
             }
         }
 
-        for (&i, r) in missing.iter().zip(outcomes) {
+        for ((&i, r), n) in missing.iter().zip(outcomes).zip(attempts) {
             // Fingerprint baselines see only freshly simulated outcomes:
             // results served from the in-process memo carry no
-            // fingerprint stream to record or verify (the disk cache is
-            // bypassed above when a baseline mode is active). Inert
-            // unless CLIP_FP_BASELINE is set; a verify failure replaces
-            // the outcome with its Divergence error (rendered DIV).
-            let r = crate::fp_store::apply(&jobs[i], opts, r);
-            if let Ok(res) = &r {
-                if disk_cacheable(&jobs[i]) {
-                    crate::cache::store(&keys[i], &jobs[i].mix.name, res);
+            // fingerprint stream to record or verify (the journal and
+            // disk cache are bypassed above when a baseline mode is
+            // active). Inert unless CLIP_FP_BASELINE is set; a verify
+            // failure replaces the outcome with its Divergence error
+            // (rendered DIV).
+            let r = crate::fp_store::apply(&jobs[i], opts, r).map_err(|e| e.with_attempts(n));
+            match &r {
+                Ok(res) => {
+                    if journal_mode.records() {
+                        crate::journal::store(&keys[i], &jobs[i].mix.name, res);
+                    }
+                    if disk_cacheable(&jobs[i]) {
+                        crate::cache::store(&keys[i], &jobs[i].mix.name, res);
+                    }
+                    put(keys[i].clone(), r);
                 }
+                Err(e) if matches!(e.kind, SimErrorKind::Timeout | SimErrorKind::Cancelled) => {
+                    fresh.insert(&keys[i], r);
+                }
+                Err(_) => put(keys[i].clone(), r),
             }
-            put(keys[i].clone(), r);
         }
     }
 
     keys.iter()
-        .map(|k| cached(k).expect("every job key was filled above"))
+        .map(|k| {
+            cached(k)
+                .or_else(|| fresh.get(k.as_str()).cloned())
+                .expect("every job key was filled above")
+        })
         .collect()
 }
 
@@ -510,6 +583,19 @@ fn artifact_json(exp: &Experiment, body: &TableBody, errors: &[CellError]) -> Js
     // Only present when something failed, so clean artifacts stay
     // byte-identical across harness versions.
     if !errors.is_empty() {
+        // A timed-out or budget-cancelled cell means the sweep did not
+        // finish: mark the artifact partial so consumers (and CI) can
+        // tell "incomplete, resume me" from "complete with bad cells".
+        // A resumed sweep (CLIP_JOURNAL=resume) fills those cells in and
+        // the flag disappears.
+        if errors.iter().any(|e| {
+            matches!(
+                e.error.kind,
+                SimErrorKind::Timeout | SimErrorKind::Cancelled
+            )
+        }) {
+            fields.push(("partial", Json::from(true)));
+        }
         fields.push((
             "errors",
             Json::array(errors.iter().map(|e| {
@@ -521,6 +607,7 @@ fn artifact_json(exp: &Experiment, body: &TableBody, errors: &[CellError]) -> Js
                     ("cycle", Json::from(e.error.cycle)),
                     ("component", Json::from(e.error.component.clone())),
                     ("kind", Json::from(e.error.kind.to_string())),
+                    ("attempts", Json::from(u64::from(e.error.attempts))),
                     ("detail", Json::from(e.error.detail.clone())),
                 ])
             })),

@@ -166,6 +166,7 @@ fn entry_path(dir: &Path, key: &str, mix_name: &str) -> PathBuf {
 /// that captured no fingerprints records nothing — recording requires
 /// audits enabled, which a once-per-run stderr notice points out.
 pub(crate) fn record_in(dir: &Path, key: &str, mix_name: &str, result: &SimResult) {
+    store_util::open_store(dir);
     if result.fingerprints.is_empty() {
         static WARN_ONCE: std::sync::Once = std::sync::Once::new();
         WARN_ONCE.call_once(|| {
@@ -188,6 +189,7 @@ pub(crate) fn record_in(dir: &Path, key: &str, mix_name: &str, result: &SimResul
 /// present-but-damaged entry is quarantined and reads as "never
 /// recorded".
 pub(crate) fn lookup_in(dir: &Path, key: &str, mix_name: &str) -> Option<Vec<WindowFingerprint>> {
+    store_util::open_store(dir);
     let path = entry_path(dir, key, mix_name);
     let text = std::fs::read_to_string(&path).ok()?;
     let stream = store_util::unwrap_verified(&text, "stream").and_then(|payload| {

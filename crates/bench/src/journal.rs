@@ -1,0 +1,200 @@
+//! Crash-safe sweep journal: per-cell outcomes persisted as they
+//! complete, so an interrupted sweep resumes instead of restarting.
+//!
+//! A long design-space campaign dies in many ways — a kill signal, an
+//! exhausted sweep budget ([`clip_sim::sweep_budget_exhausted`]), a host
+//! reboot — and without a journal every completed cell dies with it.
+//! With `CLIP_JOURNAL=record`, the executor persists each successful
+//! cell's [`SimResult`] under `target/clip-journal/` the moment it
+//! completes, one entry per job identity (keyed exactly like the result
+//! cache: the `Debug` forms of config, scheme, mix, and run options,
+//! plus [`JOURNAL_VERSION`]). With `CLIP_JOURNAL=resume`, journaled
+//! cells replay without simulating and only the missing or failed ones
+//! run — fresh completions are journaled too, so repeated resumes
+//! converge on a complete sweep. Unset (or `off`/`0`) is completely
+//! inert: golden artifacts and disk-cache entries stay byte-identical.
+//!
+//! Failures are deliberately **not** journaled: a failed cell is exactly
+//! the one a resumed sweep should attempt again. The determinism
+//! contract does the rest — a replayed cell is byte-identical to a
+//! re-simulated one, so an interrupted-then-resumed sweep's final
+//! artifact matches an uninterrupted run's bit for bit (CI's
+//! `resume-smoke` job pins this).
+//!
+//! Entries share the durability machinery of the other stores
+//! ([`crate::store_util`]): FNV-keyed file names, a checksum wrapper
+//! (`{"checksum":"<16 hex>","result":{...}}`), atomic write-then-rename,
+//! quarantine of damaged entries as `.corrupt`, and a stale-tmp sweep on
+//! store open. A damaged journal entry reads as "never completed" and
+//! the cell simply re-simulates.
+//!
+//! * `CLIP_JOURNAL` — `record`, `resume`, or `off` (default).
+//! * `CLIP_JOURNAL_DIR` — overrides the directory.
+
+use crate::store_util;
+use clip_sim::SimResult;
+use std::path::{Path, PathBuf};
+
+/// Invalidates all previously journaled outcomes when bumped.
+/// Version 1: initial format.
+pub(crate) const JOURNAL_VERSION: u32 = 1;
+
+/// What `CLIP_JOURNAL` asks of this run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalMode {
+    /// No journal activity (the default): reads and writes nothing.
+    Off,
+    /// Persist every successful cell as it completes; never read back.
+    Record,
+    /// Replay journaled cells without simulating, and journal the fresh
+    /// completions too.
+    Resume,
+}
+
+impl JournalMode {
+    /// True when completed cells should be persisted.
+    pub(crate) fn records(self) -> bool {
+        self != JournalMode::Off
+    }
+}
+
+/// Reads the mode from `CLIP_JOURNAL`.
+pub fn mode() -> JournalMode {
+    mode_from(std::env::var("CLIP_JOURNAL").ok().as_deref())
+}
+
+fn mode_from(v: Option<&str>) -> JournalMode {
+    match v {
+        Some("record") => JournalMode::Record,
+        Some("resume") => JournalMode::Resume,
+        None | Some("") | Some("off") | Some("0") => JournalMode::Off,
+        Some(other) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            let other = other.to_string();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "clip-journal: ignoring unrecognized CLIP_JOURNAL={other:?} \
+                     (expected record, resume, or off)"
+                );
+            });
+            JournalMode::Off
+        }
+    }
+}
+
+/// The journal directory: `CLIP_JOURNAL_DIR` when set, otherwise
+/// `target/clip-journal/` (a sibling of `target/clip-cache/`).
+pub fn journal_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("CLIP_JOURNAL_DIR") {
+        return PathBuf::from(d);
+    }
+    store_util::target_dir().join("clip-journal")
+}
+
+fn entry_path(dir: &Path, key: &str, mix_name: &str) -> PathBuf {
+    store_util::entry_path(dir, &format!("{JOURNAL_VERSION}|{key}"), mix_name)
+}
+
+/// Loads a journaled outcome for this job identity, if present and
+/// intact.
+pub(crate) fn lookup(key: &str, mix_name: &str) -> Option<SimResult> {
+    lookup_in(&journal_dir(), key, mix_name)
+}
+
+/// Persists a completed cell (best effort, atomic).
+pub(crate) fn store(key: &str, mix_name: &str, result: &SimResult) {
+    store_in(&journal_dir(), key, mix_name, result);
+}
+
+/// [`lookup`] against an explicit directory. A present-but-damaged entry
+/// is quarantined and reads as "never completed".
+pub(crate) fn lookup_in(dir: &Path, key: &str, mix_name: &str) -> Option<SimResult> {
+    store_util::open_store(dir);
+    let path = entry_path(dir, key, mix_name);
+    let text = std::fs::read_to_string(&path).ok()?;
+    match store_util::unwrap_verified(&text, "result").and_then(|p| SimResult::from_json(&p)) {
+        Some(r) => Some(r),
+        None => {
+            store_util::quarantine(&path);
+            None
+        }
+    }
+}
+
+/// [`store`] against an explicit directory.
+pub(crate) fn store_in(dir: &Path, key: &str, mix_name: &str, result: &SimResult) {
+    store_util::open_store(dir);
+    let path = entry_path(dir, key, mix_name);
+    let entry = store_util::wrap_checksummed("result", result.to_json());
+    store_util::write_entry(dir, &path, &entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("clip-journal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("temp dir");
+        d
+    }
+
+    fn small_result() -> SimResult {
+        SimResult {
+            label: "journaled".to_string(),
+            per_core_ipc: vec![0.5, 0.75],
+            ..SimResult::default()
+        }
+    }
+
+    #[test]
+    fn journaled_outcome_roundtrips_bit_exactly() {
+        let dir = temp_dir("roundtrip");
+        let r = small_result();
+        store_in(&dir, "cell-key", "mixname", &r);
+        let back = lookup_in(&dir, "cell-key", "mixname").expect("journaled cell hits");
+        assert_eq!(
+            back.to_json().render(),
+            r.to_json().render(),
+            "a replayed cell must be indistinguishable from a fresh one"
+        );
+        assert!(
+            lookup_in(&dir, "other-key", "mixname").is_none(),
+            "a different identity must miss"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_entry_is_quarantined_and_reads_as_never_completed() {
+        let dir = temp_dir("damage");
+        let r = small_result();
+        store_in(&dir, "cell-key", "mixname", &r);
+        let path = entry_path(&dir, "cell-key", "mixname");
+        let text = std::fs::read_to_string(&path).expect("entry exists");
+        std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+
+        assert!(lookup_in(&dir, "cell-key", "mixname").is_none());
+        assert!(!path.exists(), "the damaged entry must be moved aside");
+        let mut aside = path.as_os_str().to_owned();
+        aside.push(".corrupt");
+        assert!(PathBuf::from(aside).exists(), "quarantined as .corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mode_parses_the_documented_values() {
+        assert_eq!(mode_from(None), JournalMode::Off);
+        assert_eq!(mode_from(Some("")), JournalMode::Off);
+        assert_eq!(mode_from(Some("off")), JournalMode::Off);
+        assert_eq!(mode_from(Some("0")), JournalMode::Off);
+        assert_eq!(mode_from(Some("record")), JournalMode::Record);
+        assert_eq!(mode_from(Some("resume")), JournalMode::Resume);
+        assert_eq!(mode_from(Some("bogus")), JournalMode::Off);
+        assert!(!JournalMode::Off.records());
+        assert!(JournalMode::Record.records());
+        assert!(JournalMode::Resume.records());
+    }
+}

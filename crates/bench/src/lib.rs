@@ -35,11 +35,30 @@
 //!   every fresh job against its stored baseline and renders divergent
 //!   cells as `DIV`; unset/`off` is completely inert (see [`fp_store`]).
 //! * `CLIP_FP_DIR` — overrides the fingerprint-baseline directory.
+//! * `CLIP_JOB_DEADLINE_MS` — per-job wall-clock budget in milliseconds
+//!   (`0..=86400000`; `0` forces a timeout at the first audit-cadence
+//!   boundary). A blown deadline surfaces as a `timeout` error and
+//!   renders `TMO`; unset means unlimited.
+//! * `CLIP_SWEEP_BUDGET_MS` — whole-sweep wall-clock budget (same
+//!   range, counted from the first batch this process runs). Once
+//!   exhausted, new cells are cancelled (`PEND`) while in-flight ones
+//!   drain; the artifact is marked `"partial": true`.
+//! * `CLIP_RETRY` — extra attempts for environmental failures — panic,
+//!   internal, timeout — with deterministic backoff (`0..=8`, default
+//!   1). Audit failures are never retried. Invalid values warn once and
+//!   fall back to the default.
+//! * `CLIP_JOURNAL` — sweep journal mode: `record` persists each
+//!   completed cell under `target/clip-journal/`, `resume` additionally
+//!   replays journaled cells so only missing/failed ones simulate;
+//!   unset/`off` is completely inert (see [`journal`]).
+//! * `CLIP_JOURNAL_DIR` — overrides the journal directory.
 
 mod cache;
 pub mod experiment;
 pub mod figures;
 pub mod fp_store;
+pub mod journal;
+pub(crate) mod retry;
 mod store_util;
 pub mod timing;
 

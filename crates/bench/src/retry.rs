@@ -1,0 +1,100 @@
+//! Retry policy for sweep cells: which failures earn another attempt,
+//! how many, and how long to wait between them.
+//!
+//! The taxonomy splits cleanly. `Panic`, `Internal`, and `Timeout` can
+//! be *environmental* — a worker thread dying under a resource spike, a
+//! result slot lost to a poisoned lock, a host too slow for the budget —
+//! so re-running the same deterministic simulation can genuinely
+//! succeed. Audit failures (`Conservation`, `IllegalState`,
+//! `Divergence`) and `Deadlock` name a cycle and component and reproduce
+//! bit-identically: retrying them burns a full simulation to learn
+//! nothing, and worse, would let a flaky-looking harness paper over a
+//! real model bug. `Cancelled` is the sweep budget speaking — retrying
+//! against an exhausted budget is self-defeating by construction.
+//!
+//! `CLIP_RETRY` sets the retry count (`0..=8`, default 1 — the
+//! historical retry-Panic-once behaviour, generalized). Backoff doubles
+//! from 25ms and is deterministic in the round number, so two runs of
+//! the same flaky sweep pace their attempts identically.
+
+use clip_sim::SimErrorKind;
+use clip_types::knob;
+use std::time::Duration;
+
+/// How many extra attempts a retryable failure earns.
+const DEFAULT_RETRIES: u32 = 1;
+
+/// Bounded-retry policy for one sweep batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RetryPolicy {
+    /// Extra attempts after the first (0 disables retries entirely).
+    pub(crate) max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// Reads `CLIP_RETRY` (validated warn-once like `CLIP_THREADS`;
+    /// garbage or out-of-range falls back to the default of 1).
+    pub(crate) fn from_env() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: knob::env_u64("CLIP_RETRY", 0, 8)
+                .map(|n| n as u32)
+                .unwrap_or(DEFAULT_RETRIES),
+        }
+    }
+
+    /// True for failure kinds that can be environmental and therefore
+    /// earn a retry. Deterministic audit verdicts never do.
+    pub(crate) fn retryable(kind: SimErrorKind) -> bool {
+        matches!(
+            kind,
+            SimErrorKind::Panic | SimErrorKind::Internal | SimErrorKind::Timeout
+        )
+    }
+
+    /// Deterministic exponential backoff before retry round `round`
+    /// (1-based): 25ms, 50ms, 100ms, ... capped at 800ms.
+    pub(crate) fn backoff(round: u32) -> Duration {
+        Duration::from_millis(25u64 << round.saturating_sub(1).min(5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_failures_are_never_retryable() {
+        // Regression pin: a deterministic integrity verdict must never be
+        // papered over by a retry, and a budget cancellation must never
+        // spend more budget. Only the environmental kinds retry.
+        for kind in [
+            SimErrorKind::Conservation,
+            SimErrorKind::IllegalState,
+            SimErrorKind::Divergence,
+            SimErrorKind::Deadlock,
+            SimErrorKind::Cancelled,
+        ] {
+            assert!(!RetryPolicy::retryable(kind), "{kind} must not retry");
+        }
+        for kind in [
+            SimErrorKind::Panic,
+            SimErrorKind::Internal,
+            SimErrorKind::Timeout,
+        ] {
+            assert!(RetryPolicy::retryable(kind), "{kind} must retry");
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(RetryPolicy::backoff(1), Duration::from_millis(25));
+        assert_eq!(RetryPolicy::backoff(2), Duration::from_millis(50));
+        assert_eq!(RetryPolicy::backoff(3), Duration::from_millis(100));
+        assert_eq!(RetryPolicy::backoff(6), Duration::from_millis(800));
+        assert_eq!(
+            RetryPolicy::backoff(40),
+            Duration::from_millis(800),
+            "backoff is capped, not unbounded"
+        );
+    }
+}

@@ -30,6 +30,22 @@ use std::path::{Path, PathBuf};
 /// entry per run, forever.
 pub(crate) const QUARANTINE_CAP: usize = 32;
 
+/// Marks a store directory as in use, sweeping leftovers — stale
+/// `.tmp.<pid>` files of dead writers and an over-cap quarantine — the
+/// first time each directory is opened in this process. Crash debris is
+/// cleaned on the *next run's first access*, not only when a quarantine
+/// prune happens to fire. Every store entry point (lookup and store
+/// alike) calls this; repeat opens are a `HashSet` probe.
+pub(crate) fn open_store(dir: &Path) {
+    use std::sync::{LazyLock, Mutex};
+    static OPENED: LazyLock<Mutex<std::collections::HashSet<PathBuf>>> =
+        LazyLock::new(|| Mutex::new(std::collections::HashSet::new()));
+    let mut opened = OPENED.lock().unwrap_or_else(|p| p.into_inner());
+    if opened.insert(dir.to_path_buf()) {
+        prune_quarantine(dir);
+    }
+}
+
 /// The workspace `target/` directory: the nearest ancestor of the
 /// running binary named `target`, falling back to a relative `target`.
 pub(crate) fn target_dir() -> PathBuf {
@@ -219,6 +235,21 @@ mod tests {
         assert!(!dead.exists(), "a dead writer's tmp file must be swept");
         assert!(own.exists(), "the current process's tmp file must survive");
         assert!(entry.exists(), "real entries are untouched");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_store_sweeps_once_per_process() {
+        let dir = temp_dir("open-sweep");
+        let dead = dir.join("mix-aaaaaaaaaaaaaaaa.tmp.4294967294");
+        std::fs::write(&dead, "orphan").expect("seed dead tmp");
+        open_store(&dir);
+        assert!(!dead.exists(), "crash debris is swept on first open");
+        // A second open is a no-op: debris appearing later (a concurrent
+        // writer mid-rename) is left for the next process or prune.
+        std::fs::write(&dead, "orphan again").expect("re-seed dead tmp");
+        open_store(&dir);
+        assert!(dead.exists(), "repeat opens do not re-sweep");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,173 @@
+//! Crash-safe sweep journal, end to end through the executor: a
+//! journaled sweep interrupted mid-flight (here simulated with an
+//! already-exhausted `CLIP_SWEEP_BUDGET_MS=0` budget and a journal with
+//! holes) marks the artifact partial and renders unstarted cells as
+//! `PEND`; resuming with the budget lifted replays the journaled cells,
+//! simulates only the missing ones, and produces output **byte-identical**
+//! to an uninterrupted run. A damaged journal entry is quarantined and
+//! re-simulated, never trusted.
+//!
+//! Env-mutating (`CLIP_JOURNAL*`, `CLIP_SWEEP_BUDGET_MS`, `CLIP_CACHE`),
+//! so this lives in its own integration binary with a single `#[test]`.
+
+use clip_bench::experiment::{clear_result_cache, execute_experiment, CellSpec, Experiment};
+use clip_bench::experiment::{Normalization, Render, RowSpec};
+use clip_sim::{NocChoice, RunOptions, Scheme};
+use clip_trace::Mix;
+use clip_types::{PrefetcherKind, SimConfig};
+use std::path::PathBuf;
+
+fn experiment() -> Experiment {
+    let cfg = SimConfig::builder()
+        .cores(2)
+        .dram_channels(1)
+        .l1_prefetcher(PrefetcherKind::Berti)
+        .build()
+        .expect("valid config");
+    let rows = ["605.mcf_s-1554B", "619.lbm_s-4268B"]
+        .iter()
+        .map(|name| {
+            let workload = clip_trace::catalog::by_name(name).expect("known workload");
+            RowSpec {
+                labels: vec![name.to_string()],
+                extra: Vec::new(),
+                mixes: vec![Mix::homogeneous(&workload, 2)],
+                cells: vec![CellSpec {
+                    cfg: cfg.clone(),
+                    scheme: Scheme::plain(),
+                }],
+            }
+        })
+        .collect();
+    Experiment {
+        name: "journal-resume".to_string(),
+        title: "# Journal resume".to_string(),
+        columns: vec!["mix".to_string(), "ws".to_string()],
+        rows,
+        opts: RunOptions {
+            warmup_instrs: 100,
+            sim_instrs: 500,
+            seed: 5,
+            noc: NocChoice::Analytic,
+            ..RunOptions::default()
+        },
+        normalization: Normalization::NoPrefetch,
+        render: Render::GeomeanWs,
+    }
+}
+
+fn journal_entries(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    v.sort();
+    v
+}
+
+#[test]
+fn interrupted_sweep_resumes_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("clip-journal-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("CLIP_JOURNAL_DIR", &dir);
+    // Hermetic: a disk-cache hit would bypass the journal's replay path.
+    std::env::set_var("CLIP_CACHE", "0");
+
+    let exp = experiment();
+
+    // Reference: an uninterrupted, unjournaled sweep.
+    let (ref_text, ref_artifact) = execute_experiment(&exp);
+    let ref_artifact = ref_artifact.render();
+    assert!(
+        !dir.exists() || journal_entries(&dir).is_empty(),
+        "with CLIP_JOURNAL unset the journal directory stays untouched"
+    );
+
+    // Record: identical output, one journal entry per completed job
+    // (two cell jobs + two no-prefetch baselines).
+    std::env::set_var("CLIP_JOURNAL", "record");
+    clear_result_cache();
+    let (text, artifact) = execute_experiment(&exp);
+    assert_eq!(text, ref_text, "recording must not perturb the sweep");
+    assert_eq!(artifact.render(), ref_artifact);
+    let recorded = journal_entries(&dir);
+    assert_eq!(recorded.len(), 4, "every completed job is journaled");
+
+    // Resume with a full journal under an exhausted sweep budget: every
+    // cell replays from the journal, nothing simulates, nothing pends.
+    std::env::set_var("CLIP_JOURNAL", "resume");
+    std::env::set_var("CLIP_SWEEP_BUDGET_MS", "0");
+    clear_result_cache();
+    let (text, artifact) = execute_experiment(&exp);
+    assert_eq!(
+        text, ref_text,
+        "a full journal replays the whole sweep without simulating"
+    );
+    assert_eq!(artifact.render(), ref_artifact);
+
+    // Punch holes: delete every other entry, keep the budget exhausted.
+    // The surviving cells replay; the holes cannot be dispatched and
+    // render PEND in a partial artifact.
+    for p in recorded.iter().step_by(2) {
+        std::fs::remove_file(p).expect("delete journal entry");
+    }
+    clear_result_cache();
+    let (text, artifact) = execute_experiment(&exp);
+    assert!(text.contains("PEND"), "unstarted cells render PEND: {text}");
+    let partial = artifact
+        .get("partial")
+        .expect("interrupted sweep is partial");
+    assert_eq!(partial.render(), "true");
+    for e in artifact
+        .get("errors")
+        .and_then(|v| v.as_array())
+        .expect("cancelled cells are recorded as errors")
+    {
+        assert_eq!(e.get("kind").and_then(|v| v.as_str()), Some("cancelled"));
+        let detail = e.get("detail").and_then(|v| v.as_str()).unwrap_or("");
+        assert!(detail.contains("CLIP_SWEEP_BUDGET_MS"), "{detail}");
+    }
+
+    // Lift the budget and resume: the holes simulate, everything else
+    // replays, and the final output is byte-identical to the reference.
+    std::env::remove_var("CLIP_SWEEP_BUDGET_MS");
+    clear_result_cache();
+    let (text, artifact) = execute_experiment(&exp);
+    assert_eq!(text, ref_text, "resumed sweep matches the reference");
+    assert_eq!(
+        artifact.render(),
+        ref_artifact,
+        "resumed artifact is byte-identical to an uninterrupted run"
+    );
+    assert_eq!(
+        journal_entries(&dir).len(),
+        4,
+        "the resume refills the journal holes"
+    );
+
+    // Damage an entry: the resume quarantines it and re-simulates that
+    // cell, still converging on the identical output.
+    let victim = &journal_entries(&dir)[0];
+    let entry = std::fs::read_to_string(victim).expect("entry exists");
+    std::fs::write(victim, &entry[..entry.len() / 2]).expect("truncate entry");
+    clear_result_cache();
+    let (text, artifact) = execute_experiment(&exp);
+    assert_eq!(text, ref_text, "a damaged entry never poisons the sweep");
+    assert_eq!(artifact.render(), ref_artifact);
+    let quarantined: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("journal dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "corrupt"))
+        .collect();
+    assert_eq!(quarantined.len(), 1, "the damaged entry is moved aside");
+
+    std::env::remove_var("CLIP_JOURNAL");
+    std::env::remove_var("CLIP_JOURNAL_DIR");
+    std::env::remove_var("CLIP_CACHE");
+    let _ = std::fs::remove_dir_all(&dir);
+}

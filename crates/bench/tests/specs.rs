@@ -312,6 +312,78 @@ fn retry_does_not_mask_deterministic_integrity_faults() {
     );
 }
 
+/// A blown per-job deadline flows through the executor as a transient
+/// failure: the cell renders `TMO` (not `ERR`), the artifact is marked
+/// `"partial": true`, and the error object records the attempt count —
+/// timeouts are retryable, so the default policy tries each timed-out
+/// cell exactly twice.
+#[test]
+fn timed_out_cell_renders_tmo_and_marks_the_artifact_partial() {
+    let cfg = SimConfig::builder()
+        .cores(2)
+        .dram_channels(1)
+        .l1_prefetcher(PrefetcherKind::None)
+        .build()
+        .expect("valid config");
+    let workload = clip_trace::catalog::by_name("605.mcf_s-1554B").expect("known workload");
+    let exp = Experiment {
+        name: "deadline-tmo".to_string(),
+        title: "# Deadline TMO".to_string(),
+        columns: vec!["mix".to_string(), "ws".to_string()],
+        rows: vec![RowSpec {
+            labels: vec!["slow".to_string()],
+            extra: Vec::new(),
+            mixes: vec![Mix::homogeneous(&workload, 2)],
+            cells: vec![CellSpec {
+                cfg,
+                scheme: Scheme::plain(),
+            }],
+        }],
+        opts: RunOptions {
+            warmup_instrs: 100,
+            sim_instrs: 500,
+            seed: 5,
+            noc: NocChoice::Analytic,
+            check: Some(CheckLevel::Cheap),
+            check_cadence: 64,
+            deadline: Some(std::time::Duration::ZERO),
+            ..RunOptions::default()
+        },
+        normalization: Normalization::None,
+        render: Render::GeomeanWs,
+    };
+
+    let (text, artifact) = execute_experiment(&exp);
+    assert!(
+        text.contains("slow\tTMO"),
+        "timed-out cell renders TMO: {text}"
+    );
+    let partial = artifact.get("partial").expect("partial key present");
+    assert_eq!(
+        partial.render(),
+        "true",
+        "a sweep with transient failures is marked partial"
+    );
+    let errors = artifact
+        .get("errors")
+        .and_then(|v| v.as_array())
+        .expect("artifact carries an errors array");
+    assert_eq!(errors.len(), 1);
+    assert_eq!(
+        errors[0].get("kind").and_then(|v| v.as_str()),
+        Some("timeout")
+    );
+    assert_eq!(
+        errors[0].get("component").and_then(|v| v.as_str()),
+        Some("deadline")
+    );
+    assert_eq!(
+        errors[0].get("attempts").and_then(|v| v.as_f64()),
+        Some(2.0),
+        "timeouts are retryable: one retry under the default policy"
+    );
+}
+
 /// Cross-run fingerprint baselines, end to end through the executor: a
 /// clean full-check run records its state-hash stream, the same
 /// revision re-verifies clean, and an armed criticality flip (standing

@@ -18,6 +18,7 @@ use crate::system::System;
 use clip_dram::DramModel;
 use clip_noc::NocModel;
 use clip_types::{CheckLevel, Cycle, SimError, SimErrorKind};
+use std::time::{Duration, Instant};
 
 /// Default audit cadence in cycles.
 pub(crate) const DEFAULT_CHECK_CADENCE: Cycle = 2048;
@@ -51,6 +52,18 @@ impl Integrity {
             signature: (0, 0, 0, 0),
         }
     }
+}
+
+/// An armed wall-clock budget for one run (see `RunOptions::deadline`).
+///
+/// The clock is the *host's*, so which cadence boundary trips it depends
+/// on machine speed — but the error itself is deterministic at any given
+/// boundary: the detail is built only from simulated state. A zero budget
+/// (the forced-timeout test knob) trips at the first boundary on every
+/// host, making full `SimError` equality testable serial vs parallel.
+pub(crate) struct JobDeadline {
+    pub(crate) start: Instant,
+    pub(crate) budget: Duration,
 }
 
 impl System {
@@ -151,6 +164,18 @@ impl System {
     /// (tile, line, level, age) and every queue's occupancy, mirroring
     /// the `CLIP_DEBUG_STALL` dump.
     fn deadlock_report(&self, now: Cycle) -> String {
+        format!(
+            "no forward progress for {} cycles with {}",
+            now - self.integrity.last_progress,
+            self.queue_snapshot(now),
+        )
+    }
+
+    /// The shared diagnostic core of the deadlock and timeout reports:
+    /// live-transaction count, every queue's occupancy, and the oldest
+    /// in-flight transactions (tile, line, level, age). Built from
+    /// simulated state only, so it is deterministic at any given cycle.
+    fn queue_snapshot(&self, now: Cycle) -> String {
         let mut live: Vec<(Cycle, usize)> = self
             .engine
             .txns
@@ -177,16 +202,39 @@ impl System {
             .map(|c| self.engine.dram.mem.read_queue_len(c))
             .sum();
         format!(
-            "no forward progress for {} cycles with {} live txns \
+            "{} live txns \
              (l1_mshr={l1m} l2_mshr={l2m} llc_mshr={} outbox={} pf_queue={} \
              dram_read_q={rq} pending_events={}); oldest:{stuck}",
-            now - self.integrity.last_progress,
             live.len(),
             self.engine.llc.mshr_occupancy(),
             self.engine.outbox_backlog(),
             self.tiles.iter().map(|t| t.pf_queue.len()).sum::<usize>(),
             self.engine.pending_events(),
         )
+    }
+
+    /// Trips [`SimErrorKind::Timeout`] once the armed wall-clock budget is
+    /// spent. Checked only at audit-cadence boundaries so the skip-ahead
+    /// scheduler, the step oracle, and the parallel driver all observe the
+    /// deadline at the same simulated cycle; runs independently of the
+    /// [`CheckLevel`] (a watchdog for the *host*, not the model).
+    pub(crate) fn deadline_tick(&self, now: Cycle) -> Result<(), SimError> {
+        let Some(d) = self.deadline.as_ref() else {
+            return Ok(());
+        };
+        if !now.is_multiple_of(self.integrity.cadence) || d.start.elapsed() < d.budget {
+            return Ok(());
+        }
+        Err(SimError::new(
+            now,
+            "deadline",
+            SimErrorKind::Timeout,
+            format!(
+                "wall-clock deadline of {}ms exceeded at cycle {now} with {}",
+                d.budget.as_millis(),
+                self.queue_snapshot(now),
+            ),
+        ))
     }
 }
 

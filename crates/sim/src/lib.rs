@@ -51,8 +51,9 @@ pub use scheme::Scheme;
 pub use system::System;
 
 use clip_trace::Mix;
-use clip_types::{Cycle, SimConfig};
+use clip_types::{knob, Cycle, SimConfig};
 use std::cell::Cell;
+use std::time::{Duration, Instant};
 
 thread_local! {
     /// Per-thread override of the tick-scheduling mode (see
@@ -85,7 +86,7 @@ pub(crate) fn step_mode() -> bool {
 }
 
 /// Options controlling one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RunOptions {
     /// Instructions per core to warm caches/predictors before measuring.
     pub warmup_instrs: u64,
@@ -112,6 +113,35 @@ pub struct RunOptions {
     pub watchdog_window: Cycle,
     /// Deterministic fault to inject, if any (see [`fault`]).
     pub fault: Option<FaultSpec>,
+    /// Wall-clock budget for this run. `None` (the default) reads
+    /// `CLIP_JOB_DEADLINE_MS` at run time (unset there too = no
+    /// deadline). The budget is checked cooperatively at audit-cadence
+    /// boundaries; exceeding it surfaces [`SimErrorKind::Timeout`].
+    /// Like `check`, this field is excluded from the `Debug` form so
+    /// sweep cache keys never depend on how patient the host was.
+    pub deadline: Option<Duration>,
+}
+
+/// `RunOptions`' `Debug` form doubles as the sweep cache / fingerprint /
+/// journal key (see `clip-bench`'s `job_key`), so it must stay byte-stable
+/// as execution-policy fields are added. This hand-written impl emits
+/// exactly what `#[derive(Debug)]` produced before `deadline` existed;
+/// result-affecting fields added later must be appended here too.
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("warmup_instrs", &self.warmup_instrs)
+            .field("sim_instrs", &self.sim_instrs)
+            .field("seed", &self.seed)
+            .field("noc", &self.noc)
+            .field("max_cycles", &self.max_cycles)
+            .field("timeline_interval", &self.timeline_interval)
+            .field("check", &self.check)
+            .field("check_cadence", &self.check_cadence)
+            .field("watchdog_window", &self.watchdog_window)
+            .field("fault", &self.fault)
+            .finish()
+    }
 }
 
 impl Default for RunOptions {
@@ -127,6 +157,7 @@ impl Default for RunOptions {
             check_cadence: 0,
             watchdog_window: 0,
             fault: None,
+            deadline: None,
         }
     }
 }
@@ -139,6 +170,37 @@ impl RunOptions {
             // IPC floors around 0.01 in the worst bandwidth-starved mixes.
             200_000 + (self.warmup_instrs + self.sim_instrs) * 150
         }
+    }
+
+    /// The effective per-job wall-clock budget: the explicit field, else
+    /// `CLIP_JOB_DEADLINE_MS` (validated, warn-once; `0` is legal and
+    /// times out at the first cadence boundary — the forced-timeout knob
+    /// the determinism tests use). `None` = unlimited.
+    fn resolved_deadline(&self) -> Option<Duration> {
+        self.deadline.or_else(|| {
+            knob::env_u64("CLIP_JOB_DEADLINE_MS", 0, 86_400_000).map(Duration::from_millis)
+        })
+    }
+}
+
+/// The process-wide sweep epoch: the instant resilience bookkeeping first
+/// ran. `CLIP_SWEEP_BUDGET_MS` counts from here.
+fn sweep_epoch() -> Instant {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// True when the whole-sweep wall-clock budget (`CLIP_SWEEP_BUDGET_MS`,
+/// validated warn-once, counted from the first batch this process ran) is
+/// exhausted. Executors consult this before dispatching each cell: once
+/// it trips, new cells are cancelled ([`SimErrorKind::Cancelled`]) while
+/// in-flight cells drain normally — graceful degradation, not abort.
+/// Always `false` when the knob is unset; `0` cancels every dispatch
+/// (the deterministic "resume everything" setting).
+pub fn sweep_budget_exhausted() -> bool {
+    match knob::env_u64("CLIP_SWEEP_BUDGET_MS", 0, 86_400_000) {
+        None => false,
+        Some(ms) => sweep_epoch().elapsed() >= Duration::from_millis(ms),
     }
 }
 
@@ -180,6 +242,7 @@ pub fn run_mix_checked(
         opts.check_cadence,
         opts.watchdog_window,
     );
+    sys.set_deadline(opts.resolved_deadline());
     if let Some(spec) = opts.fault {
         sys.set_fault(spec, opts.seed);
     }
@@ -254,7 +317,19 @@ pub fn run_jobs_checked(jobs: &[SweepJob], opts: &RunOptions) -> Vec<Result<SimR
     if jobs.is_empty() {
         return Vec::new();
     }
+    // Pin the sweep epoch no later than the first batch so the budget
+    // counts execution time, not process startup.
+    let _ = sweep_epoch();
     let run_one = |j: &SweepJob| -> Result<SimResult, SimError> {
+        if sweep_budget_exhausted() {
+            return Err(SimError::new(
+                0,
+                "driver",
+                SimErrorKind::Cancelled,
+                "sweep wall-clock budget (CLIP_SWEEP_BUDGET_MS) exhausted \
+                 before dispatch; cell left pending for a resumed sweep",
+            ));
+        }
         catch_unwind(AssertUnwindSafe(|| {
             run_mix_checked(&j.cfg, &j.scheme, &j.mix, opts)
         }))

@@ -1,0 +1,100 @@
+//! Validated environment knobs with warn-once rejection.
+//!
+//! Several runtime knobs (`CLIP_RETRY`, `CLIP_JOB_DEADLINE_MS`,
+//! `CLIP_SWEEP_BUDGET_MS`, …) follow the contract `CLIP_THREADS`
+//! established: an integer in a documented range is honoured, anything
+//! else — garbage, out of range, empty — is rejected with a **single**
+//! stderr warning per knob and the caller's default applies. A sweep
+//! that misreads one knob must degrade to its default loudly once, not
+//! spam a warning per job or (worse) silently clamp.
+//!
+//! # Examples
+//!
+//! ```
+//! use clip_types::knob;
+//!
+//! // Unset (or invalid) reads as None; the caller picks the default.
+//! std::env::remove_var("CLIP_DOCTEST_KNOB");
+//! assert_eq!(knob::env_u64("CLIP_DOCTEST_KNOB", 0, 10), None);
+//! std::env::set_var("CLIP_DOCTEST_KNOB", "7");
+//! assert_eq!(knob::env_u64("CLIP_DOCTEST_KNOB", 0, 10), Some(7));
+//! ```
+
+use std::collections::HashSet;
+use std::sync::{LazyLock, Mutex};
+
+/// Reads an integer knob from the environment: `Some(n)` when the
+/// variable is set to an integer within `lo..=hi`, `None` when it is
+/// unset **or** invalid (warned once per knob name, see [`parse`]).
+pub fn env_u64(name: &'static str, lo: u64, hi: u64) -> Option<u64> {
+    parse(name, std::env::var(name).ok().as_deref(), lo, hi)
+}
+
+/// The testable core of [`env_u64`]: validates an already-read value.
+/// `None` (unset) is silent; a present-but-invalid value warns once per
+/// `name` for the life of the process and reads as unset.
+pub fn parse(name: &'static str, raw: Option<&str>, lo: u64, hi: u64) -> Option<u64> {
+    let v = raw?;
+    match v.trim().parse::<u64>() {
+        Ok(n) if (lo..=hi).contains(&n) => Some(n),
+        _ => {
+            warn_once(name, v, lo, hi);
+            None
+        }
+    }
+}
+
+/// Knob names that already warned this process.
+static WARNED: LazyLock<Mutex<HashSet<&'static str>>> =
+    LazyLock::new(|| Mutex::new(HashSet::new()));
+
+fn warn_once(name: &'static str, value: &str, lo: u64, hi: u64) {
+    let mut warned = WARNED.lock().unwrap_or_else(|p| p.into_inner());
+    if warned.insert(name) {
+        eprintln!(
+            "clip: ignoring invalid {name}={value:?} (accepted range: {lo}..={hi}); \
+             using the default"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_parse_and_out_of_range_reads_as_unset() {
+        assert_eq!(parse("K_A", None, 0, 8), None);
+        assert_eq!(
+            parse("K_A", Some("0"), 0, 8),
+            Some(0),
+            "zero is a value, not garbage"
+        );
+        assert_eq!(parse("K_A", Some("8"), 0, 8), Some(8));
+        assert_eq!(
+            parse("K_A", Some(" 3 "), 0, 8),
+            Some(3),
+            "whitespace is trimmed"
+        );
+        assert_eq!(parse("K_A", Some("9"), 0, 8), None, "beyond hi");
+        assert_eq!(parse("K_B", Some("2"), 3, 8), None, "below lo");
+        assert_eq!(parse("K_A", Some("-1"), 0, 8), None);
+        assert_eq!(parse("K_A", Some("soon"), 0, 8), None);
+        assert_eq!(parse("K_A", Some(""), 0, 8), None);
+    }
+
+    #[test]
+    fn each_knob_warns_at_most_once() {
+        // The warning set is process-global; all this test can pin is that
+        // repeated garbage for one name inserts a single entry.
+        parse("K_WARN_ONCE", Some("junk"), 0, 8);
+        parse("K_WARN_ONCE", Some("more junk"), 0, 8);
+        let warned = WARNED.lock().unwrap_or_else(|p| p.into_inner());
+        assert!(warned.contains("K_WARN_ONCE"));
+        assert_eq!(
+            warned.iter().filter(|n| **n == "K_WARN_ONCE").count(),
+            1,
+            "a HashSet cannot hold duplicates; the warning fired once"
+        );
+    }
+}

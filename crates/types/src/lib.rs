@@ -18,6 +18,7 @@
 pub mod check;
 pub mod config;
 pub mod engine;
+pub mod knob;
 pub mod request;
 pub mod rng;
 

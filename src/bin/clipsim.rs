@@ -10,7 +10,7 @@
 //! Runs the requested mix under the requested scheme *and* the
 //! no-prefetch baseline, then prints a comparison report.
 
-use clip::sim::{run_mix, NocChoice, RunOptions, Scheme};
+use clip::sim::{run_mix_checked, NocChoice, RunOptions, Scheme};
 use clip::trace::Mix;
 use clip::types::{DramKind, PrefetcherKind, SimConfig};
 use std::process::ExitCode;
@@ -32,6 +32,7 @@ struct Args {
     seed: u64,
     noc: NocChoice,
     dram: DramKind,
+    deadline_ms: Option<u64>,
     list: bool,
 }
 
@@ -53,6 +54,7 @@ impl Default for Args {
             seed: 42,
             noc: NocChoice::Mesh,
             dram: DramKind::Ddr4,
+            deadline_ms: None,
             list: false,
         }
     }
@@ -81,6 +83,8 @@ OPTIONS:
   --seed <N>             workload seed                    [default: 42]
   --noc <MODEL>          mesh|analytic|chiplet            [default: mesh]
   --dram <BACKEND>       ddr4|hbm                         [default: ddr4]
+  --deadline-ms <N>      wall-clock budget per run in milliseconds
+                         (default: CLIP_JOB_DEADLINE_MS, else unlimited)
   --list-workloads       print the workload catalog and exit
   --help                 this text
 ";
@@ -146,6 +150,13 @@ fn parse_args() -> Result<Args, String> {
                     "hbm" => DramKind::Hbm,
                     other => return Err(format!("unknown dram backend: {other}")),
                 }
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
             }
             "--list-workloads" => args.list = true,
             "--help" | "-h" => {
@@ -239,6 +250,7 @@ fn main() -> ExitCode {
         sim_instrs: args.instrs,
         seed: args.seed,
         noc: args.noc,
+        deadline: args.deadline_ms.map(std::time::Duration::from_millis),
         ..RunOptions::default()
     };
     let scheme = build_scheme(&args);
@@ -250,8 +262,19 @@ fn main() -> ExitCode {
         args.channels,
         scheme.label(args.prefetcher)
     );
-    let base = run_mix(&cfg_base, &Scheme::plain(), &mix, &opts);
-    let res = run_mix(&cfg, &scheme, &mix, &opts);
+    let run = |cfg, scheme: &Scheme| match run_mix_checked(cfg, scheme, &mix, &opts) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("error: {e}");
+            None
+        }
+    };
+    let Some(base) = run(&cfg_base, &Scheme::plain()) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(res) = run(&cfg, &scheme) else {
+        return ExitCode::FAILURE;
+    };
 
     println!("mix                 : {} x {}", args.cores, mix.name);
     println!(
