@@ -1,0 +1,78 @@
+//! `clipd` — the CLIP sweep daemon.
+//!
+//! ```text
+//! clipd                         # listen on CLIP_DAEMON_ADDR (127.0.0.1:4117)
+//! clipd --addr 0.0.0.0:4117    # explicit listen address
+//! ```
+//!
+//! Serves `clipsim --connect` clients: run cells and whole figures
+//! execute through the shared memo / journal / universal result cache,
+//! so overlapping requests from many clients simulate each cell once.
+//! SIGTERM/SIGINT (or a client `shutdown` request) drains gracefully:
+//! in-flight requests complete — journaled under `CLIP_JOURNAL` — and a
+//! restarted daemon with `CLIP_JOURNAL=resume` replays them. See
+//! `clip_bench::server` for the knobs and guarantees.
+
+use clip_bench::server::{install_signal_handlers, Server, ServerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+clipd — CLIP sweep daemon
+
+USAGE:
+  clipd [--addr HOST:PORT]
+
+OPTIONS:
+  --addr <HOST:PORT>   listen address [default: CLIP_DAEMON_ADDR, else 127.0.0.1:4117]
+  --help               this text
+
+ENVIRONMENT:
+  CLIP_DAEMON_ADDR            listen address
+  CLIP_DAEMON_ACTIVE          concurrent requests before queueing   [default: 2]
+  CLIP_DAEMON_BACKLOG         queued requests before `overloaded`   [default: 8]
+  CLIP_DAEMON_IO_TIMEOUT_MS   per-connection read/write timeout     [default: 10000]
+  CLIP_*                      scale/cache/journal knobs apply as in the figure binaries
+";
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig::from_env();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => match it.next() {
+                Some(addr) => cfg.addr = addr,
+                None => {
+                    eprintln!("error: --addr needs a value\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown flag: {other}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let server = match Server::bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    install_signal_handlers();
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "clipd listening on {addr} (active {}, backlog {})",
+            cfg.max_active, cfg.backlog
+        ),
+        Err(_) => eprintln!("clipd listening on {}", cfg.addr),
+    }
+    server.serve();
+    eprintln!("clipd drained and stopped");
+    ExitCode::SUCCESS
+}

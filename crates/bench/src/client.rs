@@ -1,0 +1,128 @@
+//! Client side of the `clipd` protocol (`clipsim --connect`).
+//!
+//! One call = one TCP connection: connect (with a timeout), send one
+//! request frame, stream response frames to a callback until the
+//! terminal one. An `overloaded` rejection — the daemon's admission
+//! queue is full — is retried on a fresh connection with the sweep
+//! retry policy's deterministic backoff ([`crate::retry`], `CLIP_RETRY`
+//! rounds); every other error is surfaced immediately.
+//!
+//! * `CLIP_CLIENT_TIMEOUT_MS` — connect/read/write timeout per attempt
+//!   (`1..=86400000`, default 120000). A hung daemon fails the client
+//!   with a timeout instead of wedging it.
+
+use crate::proto::{self, RecvError};
+use crate::retry::RetryPolicy;
+use clip_stats::Json;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, timeout, broken stream).
+    Io(std::io::Error),
+    /// The daemon sent something the protocol does not allow.
+    Protocol(String),
+    /// The daemon answered with an `{"ok": false}` frame.
+    Refused {
+        /// One of [`proto::codes`].
+        code: String,
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Refused { code, detail } => write!(f, "daemon refused ({code}): {detail}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The per-attempt client timeout (`CLIP_CLIENT_TIMEOUT_MS`).
+pub fn client_timeout() -> Duration {
+    Duration::from_millis(
+        clip_types::knob::env_u64("CLIP_CLIENT_TIMEOUT_MS", 1, 86_400_000).unwrap_or(120_000),
+    )
+}
+
+fn connect(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let sockaddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other(format!("{addr} resolves to nothing")))?;
+    let stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    Ok(stream)
+}
+
+/// Sends one request on a fresh connection and streams every response
+/// frame — terminal one included — to `on_frame`, returning when the
+/// response completes. Retries `overloaded` rejections with backoff.
+pub fn request(addr: &str, req: &Json, mut on_frame: impl FnMut(&Json)) -> Result<(), ClientError> {
+    let timeout = client_timeout();
+    let policy = RetryPolicy::from_env();
+    let mut round = 0;
+    loop {
+        match request_once(addr, req, timeout, &mut on_frame) {
+            Err(ClientError::Refused { code, detail: _ })
+                if code == proto::codes::OVERLOADED && round < policy.max_retries =>
+            {
+                round += 1;
+                std::thread::sleep(RetryPolicy::backoff(round));
+            }
+            other => return other,
+        }
+    }
+}
+
+fn request_once(
+    addr: &str,
+    req: &Json,
+    timeout: Duration,
+    on_frame: &mut impl FnMut(&Json),
+) -> Result<(), ClientError> {
+    let mut writer = connect(addr, timeout)?;
+    let mut reader = BufReader::new(writer.try_clone()?);
+    proto::write_frame(&mut writer, req)?;
+    loop {
+        let line = match proto::read_frame(&mut reader) {
+            Ok(line) => line,
+            Err(RecvError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(e) => return Err(ClientError::Protocol(e.to_string())),
+        };
+        let frame =
+            Json::parse(&line).map_err(|e| ClientError::Protocol(format!("bad frame: {e:?}")))?;
+        if matches!(frame.get("ok"), Some(Json::Bool(false))) {
+            return Err(ClientError::Refused {
+                code: frame
+                    .get("code")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("unknown")
+                    .to_string(),
+                detail: frame
+                    .get("error")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+            });
+        }
+        let kind = frame.get("kind").and_then(|v| v.as_str()).unwrap_or("");
+        let terminal = matches!(kind, "done" | "bye" | "health");
+        on_frame(&frame);
+        if terminal {
+            return Ok(());
+        }
+    }
+}

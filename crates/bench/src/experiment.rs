@@ -5,7 +5,7 @@
 //! Scheme)` pair — plus how to normalize and render the results. One
 //! executor, [`run_experiment`], expands the spec into [`SweepJob`]s,
 //! runs everything missing through [`clip_sim::run_jobs_checked`]
-//! (deduplicated and memoized, with no-prefetch baselines additionally
+//! (deduplicated and memoized, with every completed cell additionally
 //! cached on disk, see [`crate::cache`]), and renders both the
 //! plain-text table the binaries have always printed and a JSON artifact
 //! under `target/experiments/<name>.json`.
@@ -407,14 +407,6 @@ pub(crate) fn job_key(job: &SweepJob, opts: &RunOptions) -> String {
     )
 }
 
-/// A job whose result the disk cache may hold: a plain-scheme run with
-/// no prefetcher — exactly the no-prefetch normalization baselines.
-fn disk_cacheable(job: &SweepJob) -> bool {
-    job.cfg.l1_prefetcher == clip_types::PrefetcherKind::None
-        && job.cfg.l2_prefetcher == clip_types::PrefetcherKind::None
-        && format!("{:?}", job.scheme) == format!("{:?}", Scheme::plain())
-}
-
 /// Like [`run_cached_checked`], but panics on the first failed job —
 /// the legacy entry point for callers that predate error isolation.
 pub(crate) fn run_cached(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult> {
@@ -426,7 +418,8 @@ pub(crate) fn run_cached(jobs: &[SweepJob], opts: &RunOptions) -> Vec<SimResult>
 
 /// Runs jobs through the memoized parallel driver: outcomes come from the
 /// in-process cache, then the sweep journal (`CLIP_JOURNAL=resume`, see
-/// [`crate::journal`]), then the on-disk baseline cache, and only the
+/// [`crate::journal`]), then the universal on-disk result cache (every
+/// scheme, not just baselines — see [`crate::cache`]), and only the
 /// remainder is simulated (deduplicated, one `run_jobs_checked` batch).
 /// Returns outcomes in job order, identical to a serial `run_mix_checked`
 /// map.
@@ -472,11 +465,9 @@ pub(crate) fn run_cached_checked(
                     continue;
                 }
             }
-            if disk_cacheable(&jobs[i]) {
-                if let Some(r) = crate::cache::lookup(key, &jobs[i].mix.name) {
-                    put(key.clone(), Ok(r));
-                    continue;
-                }
+            if let Some(r) = crate::cache::lookup(key, &jobs[i].mix.name) {
+                put(key.clone(), Ok(r));
+                continue;
             }
         }
         missing.push(i);
@@ -532,9 +523,7 @@ pub(crate) fn run_cached_checked(
                     if journal_mode.records() {
                         crate::journal::store(&keys[i], &jobs[i].mix.name, res);
                     }
-                    if disk_cacheable(&jobs[i]) {
-                        crate::cache::store(&keys[i], &jobs[i].mix.name, res);
-                    }
+                    crate::cache::store(&keys[i], &jobs[i].mix.name, res);
                     put(keys[i].clone(), r);
                 }
                 Err(e) if matches!(e.kind, SimErrorKind::Timeout | SimErrorKind::Cancelled) => {
@@ -616,18 +605,19 @@ fn artifact_json(exp: &Experiment, body: &TableBody, errors: &[CellError]) -> Js
     Json::object(fields)
 }
 
-/// The directory JSON artifacts land in: `CLIP_ARTIFACT_DIR` when set,
-/// otherwise `<target>/experiments` next to the running binary.
+/// The directory JSON artifacts land in: `CLIP_ARTIFACT_DIR` when set
+/// (non-blank, validated warn-once), otherwise `<target>/experiments`
+/// next to the running binary.
 pub fn artifact_dir() -> std::path::PathBuf {
-    if let Ok(d) = std::env::var("CLIP_ARTIFACT_DIR") {
-        return std::path::PathBuf::from(d);
-    }
-    crate::store_util::target_dir().join("experiments")
+    clip_types::knob::env_dir("CLIP_ARTIFACT_DIR")
+        .unwrap_or_else(|| crate::store_util::target_dir().join("experiments"))
 }
 
 /// Writes an artifact (best effort — rendering must not fail a figure
-/// run on read-only filesystems).
-pub(crate) fn write_artifact(name: &str, value: &Json) {
+/// run on read-only filesystems). Public so `clipsim --connect` can
+/// land a daemon-streamed artifact in the *client's* artifact
+/// directory, byte-identical to a local run.
+pub fn write_artifact(name: &str, value: &Json) {
     let dir = artifact_dir();
     if std::fs::create_dir_all(&dir).is_err() {
         return;

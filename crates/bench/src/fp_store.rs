@@ -85,30 +85,21 @@ pub fn mode() -> FpMode {
 }
 
 fn mode_from(v: Option<&str>) -> FpMode {
-    match v {
+    match clip_types::knob::choice(
+        "CLIP_FP_BASELINE",
+        v,
+        &["record", "verify", "require", "off", "0"],
+    ) {
         Some("record") => FpMode::Record,
         Some("verify") => FpMode::Verify,
         Some("require") => FpMode::Require,
-        None | Some("") | Some("off") | Some("0") => FpMode::Off,
-        Some(other) => {
-            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-            let other = other.to_string();
-            WARN_ONCE.call_once(|| {
-                eprintln!(
-                    "clip-fp: ignoring unrecognized CLIP_FP_BASELINE={other:?} \
-                     (expected record, verify, require, or off)"
-                );
-            });
-            FpMode::Off
-        }
+        _ => FpMode::Off,
     }
 }
 
 fn fp_dir() -> PathBuf {
-    if let Ok(d) = std::env::var("CLIP_FP_DIR") {
-        return PathBuf::from(d);
-    }
-    store_util::target_dir().join("clip-fp")
+    clip_types::knob::env_dir("CLIP_FP_DIR")
+        .unwrap_or_else(|| store_util::target_dir().join("clip-fp"))
 }
 
 /// The baseline identity of a job: config, scheme, mix, and run options

@@ -64,31 +64,19 @@ pub fn mode() -> JournalMode {
 }
 
 fn mode_from(v: Option<&str>) -> JournalMode {
-    match v {
+    match clip_types::knob::choice("CLIP_JOURNAL", v, &["record", "resume", "off", "0"]) {
         Some("record") => JournalMode::Record,
         Some("resume") => JournalMode::Resume,
-        None | Some("") | Some("off") | Some("0") => JournalMode::Off,
-        Some(other) => {
-            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-            let other = other.to_string();
-            WARN_ONCE.call_once(|| {
-                eprintln!(
-                    "clip-journal: ignoring unrecognized CLIP_JOURNAL={other:?} \
-                     (expected record, resume, or off)"
-                );
-            });
-            JournalMode::Off
-        }
+        _ => JournalMode::Off,
     }
 }
 
-/// The journal directory: `CLIP_JOURNAL_DIR` when set, otherwise
-/// `target/clip-journal/` (a sibling of `target/clip-cache/`).
+/// The journal directory: `CLIP_JOURNAL_DIR` when set (non-blank,
+/// validated warn-once), otherwise `target/clip-journal/` (a sibling of
+/// `target/clip-cache/`).
 pub fn journal_dir() -> PathBuf {
-    if let Ok(d) = std::env::var("CLIP_JOURNAL_DIR") {
-        return PathBuf::from(d);
-    }
-    store_util::target_dir().join("clip-journal")
+    clip_types::knob::env_dir("CLIP_JOURNAL_DIR")
+        .unwrap_or_else(|| store_util::target_dir().join("clip-journal"))
 }
 
 fn entry_path(dir: &Path, key: &str, mix_name: &str) -> PathBuf {

@@ -21,7 +21,11 @@
 //! * `CLIP_NOC` — `mesh`, `analytic`, or `chiplet` (default analytic
 //!   for sweeps).
 //! * `CLIP_DRAM` — memory backend: `ddr4` (default) or `hbm`.
-//! * `CLIP_CACHE` — `0` disables the on-disk baseline cache.
+//! * `CLIP_CACHE` — `0`/`off` disables the universal on-disk result
+//!   cache (every completed cell, all schemes — see [`mod@cache`]).
+//! * `CLIP_CACHE_DIR` — overrides the result-cache directory.
+//! * `CLIP_CACHE_MAX_MB` — result-cache size cap in MiB before the
+//!   oldest entries are garbage-collected (default 256; `0` unlimited).
 //! * `CLIP_ARTIFACT_DIR` — overrides the JSON artifact directory.
 //! * `CLIP_THREADS` — worker threads for job batches (accepted range
 //!   1..=1024; anything else warns once on stderr and falls back to the
@@ -52,15 +56,28 @@
 //!   replays journaled cells so only missing/failed ones simulate;
 //!   unset/`off` is completely inert (see [`journal`]).
 //! * `CLIP_JOURNAL_DIR` — overrides the journal directory.
+//!
+//! The same pipeline is reachable as a service: `clipd` (see [`server`])
+//! runs requests from many clients through one shared memo, journal, and
+//! result cache. Its knobs: `CLIP_DAEMON_ADDR` (listen address, default
+//! `127.0.0.1:4117`), `CLIP_DAEMON_ACTIVE` / `CLIP_DAEMON_BACKLOG`
+//! (admission control), `CLIP_DAEMON_IO_TIMEOUT_MS` (per-connection
+//! read/write timeout), and on the client side
+//! `CLIP_CLIENT_TIMEOUT_MS` (see [`client`]).
 
 mod cache;
+pub mod client;
 pub mod experiment;
 pub mod figures;
 pub mod fp_store;
 pub mod journal;
-pub(crate) mod retry;
+pub mod proto;
+pub mod retry;
+pub mod server;
 mod store_util;
 pub mod timing;
+
+pub use cache::{stats as cache_stats, CacheStats};
 
 use clip_sim::{NocChoice, RunOptions, Scheme, SimResult, SweepJob};
 use clip_trace::Mix;
@@ -92,29 +109,26 @@ impl Default for Scale {
 }
 
 impl Scale {
-    /// Reads the scale from `CLIP_*` environment variables.
+    /// Reads the scale from `CLIP_*` environment variables (validated
+    /// warn-once, see `clip_types::knob`; garbage falls back to the
+    /// documented defaults instead of being silently ignored).
     pub fn from_env() -> Self {
-        let get = |k: &str, d: u64| -> u64 {
-            std::env::var(k)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(d)
-        };
-        let noc = match std::env::var("CLIP_NOC").as_deref() {
-            Ok("mesh") => NocChoice::Mesh,
-            Ok("chiplet") => NocChoice::Chiplet,
+        use clip_types::knob;
+        let noc = match knob::env_choice("CLIP_NOC", &["mesh", "analytic", "chiplet"]) {
+            Some("mesh") => NocChoice::Mesh,
+            Some("chiplet") => NocChoice::Chiplet,
             _ => NocChoice::Analytic,
         };
-        let dram = match std::env::var("CLIP_DRAM").as_deref() {
-            Ok("hbm") => DramKind::Hbm,
+        let dram = match knob::env_choice("CLIP_DRAM", &["ddr4", "hbm"]) {
+            Some("hbm") => DramKind::Hbm,
             _ => DramKind::Ddr4,
         };
         Scale {
-            cores: get("CLIP_CORES", 16) as usize,
-            instrs: get("CLIP_INSTRS", 6_000),
-            warmup: get("CLIP_WARMUP", 2_000),
-            homo_mixes: get("CLIP_MIXES", 10) as usize,
-            hetero_mixes: get("CLIP_MIXES", 8) as usize,
+            cores: knob::env_u64("CLIP_CORES", 1, 4096).unwrap_or(16) as usize,
+            instrs: knob::env_u64("CLIP_INSTRS", 1, u64::MAX).unwrap_or(6_000),
+            warmup: knob::env_u64("CLIP_WARMUP", 0, u64::MAX).unwrap_or(2_000),
+            homo_mixes: knob::env_u64("CLIP_MIXES", 1, 4096).unwrap_or(10) as usize,
+            hetero_mixes: knob::env_u64("CLIP_MIXES", 1, 4096).unwrap_or(8) as usize,
             noc,
             dram,
         }

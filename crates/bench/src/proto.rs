@@ -1,0 +1,620 @@
+//! The `clipd` wire protocol: newline-delimited JSON frames over TCP.
+//!
+//! One frame is one JSON value on one line, at most [`FRAME_MAX`] bytes
+//! including the terminating `\n`. A client sends request frames and
+//! reads response frames until a terminal one (`done`, `bye`, or any
+//! `"ok": false` error); the connection then stays open for further
+//! requests. Malformed input is a property of the *connection*, never
+//! the daemon: a frame that is oversized, truncated, or unparseable
+//! earns a structured error frame (or a clean close) and at worst ends
+//! that one connection.
+//!
+//! Requests (`"kind"` selects):
+//!
+//! * `health` — admission/cache counters; never queued, always answered.
+//! * `run` — one [`RunSpec`] cell: the named scheme *and* its
+//!   no-prefetch baseline, exactly the pair `clipsim` runs locally.
+//!   Streams two `cell` frames (baseline first) and a `done` frame.
+//! * `figure <name>` — a registered figure binary at the daemon's scale:
+//!   one `experiment` frame per completed spec (its rendered text and
+//!   JSON artifact), then `done`.
+//! * `shutdown` — polite drain: the daemon answers `bye`, stops
+//!   accepting, and exits once in-flight work completes.
+//!
+//! Error frames are `{"ok": false, "code": <word>, "error": <detail>}`;
+//! [`codes`] enumerates the words. `overloaded` is the admission-control
+//! rejection clients retry with backoff ([`crate::retry`]).
+//!
+//! The name↔enum mappings ([`prefetcher_from`] and friends) are shared
+//! with the `clipsim` command line, so the CLI and the wire accept
+//! exactly the same vocabulary.
+
+use clip_sim::{NocChoice, Scheme, SimResult};
+use clip_stats::Json;
+use clip_throttle::ThrottlerKind;
+use clip_trace::Mix;
+use clip_types::{DramKind, PrefetcherKind, SimConfig};
+use std::io::{BufRead, Read, Write};
+
+/// Hard cap on one frame's size in bytes, terminator included. Big
+/// enough for any figure artifact at reproduction scale, small enough
+/// that a garbage peer cannot balloon the daemon's memory.
+pub const FRAME_MAX: usize = 1 << 20;
+
+/// Error words carried by `{"ok": false}` frames.
+pub mod codes {
+    /// The request frame was not valid JSON / not a known request.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// Admission control rejected the request; retry with backoff.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The daemon is draining for shutdown; try another instance.
+    pub const DRAINING: &str = "draining";
+    /// A simulation cell failed (audit, timeout, panic, ...).
+    pub const SIM: &str = "sim";
+    /// The daemon hit an unexpected internal failure on this request.
+    pub const INTERNAL: &str = "internal";
+}
+
+/// Why reading a frame failed.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The frame exceeded [`FRAME_MAX`] bytes without a terminator.
+    TooLarge,
+    /// The connection ended mid-frame (no terminating newline).
+    Truncated,
+    /// Transport-level failure (includes read timeouts).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Closed => write!(f, "connection closed"),
+            RecvError::TooLarge => write!(f, "frame exceeds {FRAME_MAX} bytes"),
+            RecvError::Truncated => write!(f, "connection ended mid-frame"),
+            RecvError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Reads one newline-terminated frame. The size cap is enforced by the
+/// read itself (`take`), so an oversized frame never buffers more than
+/// `FRAME_MAX + 1` bytes no matter how much the peer sends.
+pub fn read_frame<R: BufRead>(r: &mut R) -> Result<String, RecvError> {
+    let mut buf = Vec::new();
+    let n = r
+        .by_ref()
+        .take(FRAME_MAX as u64 + 1)
+        .read_until(b'\n', &mut buf)
+        .map_err(RecvError::Io)?;
+    if n == 0 {
+        return Err(RecvError::Closed);
+    }
+    if buf.last() != Some(&b'\n') {
+        return Err(if buf.len() > FRAME_MAX {
+            RecvError::TooLarge
+        } else {
+            RecvError::Truncated
+        });
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Writes one frame and flushes it.
+pub fn write_frame<W: Write>(w: &mut W, v: &Json) -> std::io::Result<()> {
+    let mut line = v.render();
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Builds an `{"ok": false}` error frame.
+pub fn error_frame(code: &str, detail: &str) -> Json {
+    Json::object([
+        ("ok", Json::from(false)),
+        ("code", Json::from(code)),
+        ("error", Json::from(detail)),
+    ])
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Health,
+    Shutdown,
+    Figure { name: String },
+    Run(RunSpec),
+}
+
+/// One simulation cell as submitted over the wire: the same shape the
+/// `clipsim` command line builds. Every field has the CLI's default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Homogeneous mix of this catalog trace (`hetero_seed` wins).
+    pub workload: Option<String>,
+    /// Random heterogeneous mix from this seed instead of a workload.
+    pub hetero_seed: Option<u64>,
+    pub cores: usize,
+    pub channels: usize,
+    pub prefetcher: PrefetcherKind,
+    pub clip: bool,
+    pub dynclip: bool,
+    pub throttler: Option<ThrottlerKind>,
+    pub hermes: bool,
+    pub dspatch: bool,
+    pub instrs: u64,
+    pub warmup: u64,
+    pub seed: u64,
+    pub noc: NocChoice,
+    pub dram: DramKind,
+    /// Per-request wall-clock budget, wired into
+    /// [`clip_sim::RunOptions::deadline`] on the daemon side.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            workload: None,
+            hetero_seed: None,
+            cores: 8,
+            channels: 1,
+            prefetcher: PrefetcherKind::Berti,
+            clip: false,
+            dynclip: false,
+            throttler: None,
+            hermes: false,
+            dspatch: false,
+            instrs: 10_000,
+            warmup: 2_000,
+            seed: 42,
+            noc: NocChoice::Mesh,
+            dram: DramKind::Ddr4,
+            deadline_ms: None,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Name <-> enum vocabulary (shared by the CLI and the wire).
+// ----------------------------------------------------------------------
+
+pub fn prefetcher_from(name: &str) -> Result<PrefetcherKind, String> {
+    Ok(match name {
+        "none" => PrefetcherKind::None,
+        "berti" => PrefetcherKind::Berti,
+        "ipcp" => PrefetcherKind::Ipcp,
+        "bingo" => PrefetcherKind::Bingo,
+        "spp-ppf" | "spp" => PrefetcherKind::SppPpf,
+        "ip-stride" => PrefetcherKind::IpStride,
+        "stream" => PrefetcherKind::Stream,
+        "next-line" => PrefetcherKind::NextLine,
+        other => return Err(format!("unknown prefetcher: {other}")),
+    })
+}
+
+pub fn prefetcher_name(kind: PrefetcherKind) -> &'static str {
+    match kind {
+        PrefetcherKind::None => "none",
+        PrefetcherKind::Berti => "berti",
+        PrefetcherKind::Ipcp => "ipcp",
+        PrefetcherKind::Bingo => "bingo",
+        PrefetcherKind::SppPpf => "spp-ppf",
+        PrefetcherKind::IpStride => "ip-stride",
+        PrefetcherKind::Stream => "stream",
+        PrefetcherKind::NextLine => "next-line",
+    }
+}
+
+pub fn throttler_from(name: &str) -> Result<ThrottlerKind, String> {
+    Ok(match name {
+        "fdp" => ThrottlerKind::Fdp,
+        "hpac" => ThrottlerKind::Hpac,
+        "spac" => ThrottlerKind::Spac,
+        "nst" => ThrottlerKind::Nst,
+        other => return Err(format!("unknown throttler: {other}")),
+    })
+}
+
+pub fn throttler_name(kind: ThrottlerKind) -> &'static str {
+    match kind {
+        ThrottlerKind::Fdp => "fdp",
+        ThrottlerKind::Hpac => "hpac",
+        ThrottlerKind::Spac => "spac",
+        ThrottlerKind::Nst => "nst",
+    }
+}
+
+pub fn noc_from(name: &str) -> Result<NocChoice, String> {
+    Ok(match name {
+        "mesh" => NocChoice::Mesh,
+        "analytic" => NocChoice::Analytic,
+        "chiplet" => NocChoice::Chiplet,
+        other => return Err(format!("unknown noc model: {other}")),
+    })
+}
+
+pub fn noc_name(noc: NocChoice) -> &'static str {
+    match noc {
+        NocChoice::Mesh => "mesh",
+        NocChoice::Analytic => "analytic",
+        NocChoice::Chiplet => "chiplet",
+    }
+}
+
+pub fn dram_from(name: &str) -> Result<DramKind, String> {
+    Ok(match name {
+        "ddr4" => DramKind::Ddr4,
+        "hbm" => DramKind::Hbm,
+        other => return Err(format!("unknown dram backend: {other}")),
+    })
+}
+
+pub fn dram_name(kind: DramKind) -> &'static str {
+    match kind {
+        DramKind::Ddr4 => "ddr4",
+        DramKind::Hbm => "hbm",
+    }
+}
+
+// ----------------------------------------------------------------------
+// Request encode / decode.
+// ----------------------------------------------------------------------
+
+impl RunSpec {
+    /// The wire form of this spec (defaults are encoded too, so a frame
+    /// is self-describing).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("kind", Json::from("run"))];
+        if let Some(w) = &self.workload {
+            fields.push(("workload", Json::from(w.clone())));
+        }
+        if let Some(s) = self.hetero_seed {
+            fields.push(("hetero_seed", Json::from(s)));
+        }
+        fields.extend([
+            ("cores", Json::from(self.cores)),
+            ("channels", Json::from(self.channels)),
+            ("prefetcher", Json::from(prefetcher_name(self.prefetcher))),
+            ("clip", Json::from(self.clip)),
+            ("dynclip", Json::from(self.dynclip)),
+        ]);
+        if let Some(t) = self.throttler {
+            fields.push(("throttler", Json::from(throttler_name(t))));
+        }
+        fields.extend([
+            ("hermes", Json::from(self.hermes)),
+            ("dspatch", Json::from(self.dspatch)),
+            ("instrs", Json::from(self.instrs)),
+            ("warmup", Json::from(self.warmup)),
+            ("seed", Json::from(self.seed)),
+            ("noc", Json::from(noc_name(self.noc))),
+            ("dram", Json::from(dram_name(self.dram))),
+        ]);
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms", Json::from(ms)));
+        }
+        Json::object(fields)
+    }
+
+    fn from_json(v: &Json) -> Result<RunSpec, String> {
+        let mut spec = RunSpec::default();
+        let str_field = |key: &str| -> Result<Option<&str>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(j) => j
+                    .as_str()
+                    .map(Some)
+                    .ok_or_else(|| format!("{key} must be a string")),
+            }
+        };
+        let u64_field = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(j) => j
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("{key} must be a non-negative integer")),
+            }
+        };
+        let bool_field = |key: &str| -> Result<Option<bool>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(Json::Bool(b)) => Ok(Some(*b)),
+                Some(_) => Err(format!("{key} must be a boolean")),
+            }
+        };
+        spec.workload = str_field("workload")?.map(str::to_string);
+        spec.hetero_seed = u64_field("hetero_seed")?;
+        if let Some(n) = u64_field("cores")? {
+            spec.cores = n as usize;
+        }
+        if let Some(n) = u64_field("channels")? {
+            spec.channels = n as usize;
+        }
+        if let Some(s) = str_field("prefetcher")? {
+            spec.prefetcher = prefetcher_from(s)?;
+        }
+        if let Some(b) = bool_field("clip")? {
+            spec.clip = b;
+        }
+        if let Some(b) = bool_field("dynclip")? {
+            spec.dynclip = b;
+        }
+        if let Some(s) = str_field("throttler")? {
+            spec.throttler = Some(throttler_from(s)?);
+        }
+        if let Some(b) = bool_field("hermes")? {
+            spec.hermes = b;
+        }
+        if let Some(b) = bool_field("dspatch")? {
+            spec.dspatch = b;
+        }
+        if let Some(n) = u64_field("instrs")? {
+            spec.instrs = n;
+        }
+        if let Some(n) = u64_field("warmup")? {
+            spec.warmup = n;
+        }
+        if let Some(n) = u64_field("seed")? {
+            spec.seed = n;
+        }
+        if let Some(s) = str_field("noc")? {
+            spec.noc = noc_from(s)?;
+        }
+        if let Some(s) = str_field("dram")? {
+            spec.dram = dram_from(s)?;
+        }
+        spec.deadline_ms = u64_field("deadline_ms")?;
+        Ok(spec)
+    }
+
+    /// The mix this spec runs over. Deterministic, so the client and the
+    /// daemon derive the identical mix from the identical spec.
+    pub fn mix(&self) -> Result<Mix, String> {
+        if let Some(seed) = self.hetero_seed {
+            return clip_trace::heterogeneous_mixes(1, self.cores, seed)
+                .pop()
+                .ok_or_else(|| "no heterogeneous mix generated".to_string());
+        }
+        let name = self.workload.as_deref().unwrap_or("605.mcf_s-1554B");
+        match clip_trace::catalog::by_name(name) {
+            Some(w) => Ok(Mix::homogeneous(&w, self.cores)),
+            None => Err(format!("unknown workload {name} (try --list-workloads)")),
+        }
+    }
+
+    /// The platform configs: `(baseline, scheme)` — identical apart from
+    /// the prefetcher placement (L1-trained kinds in the L1 slot).
+    pub fn configs(&self) -> Result<(SimConfig, SimConfig), String> {
+        let build = |pf: PrefetcherKind| {
+            let (l1, l2) = if pf.trains_at_l1() || pf == PrefetcherKind::None {
+                (pf, PrefetcherKind::None)
+            } else {
+                (PrefetcherKind::None, pf)
+            };
+            SimConfig::builder()
+                .cores(self.cores)
+                .dram_backend(self.dram)
+                .dram_channels(self.channels)
+                .l1_prefetcher(l1)
+                .l2_prefetcher(l2)
+                .build()
+                .map_err(|e| format!("{e}"))
+        };
+        Ok((build(PrefetcherKind::None)?, build(self.prefetcher)?))
+    }
+
+    /// The attachment scheme (CLIP / DynCLIP / throttler / Hermes /
+    /// DSPatch toggles applied to the plain scheme).
+    pub fn scheme(&self) -> Scheme {
+        let mut scheme = if self.dynclip {
+            Scheme::with_dynamic_clip()
+        } else if self.clip {
+            Scheme::with_clip()
+        } else {
+            Scheme::plain()
+        };
+        scheme.throttler = self.throttler;
+        scheme.hermes = self.hermes;
+        scheme.dspatch = self.dspatch;
+        scheme
+    }
+
+    /// The run options, deadline included.
+    pub fn options(&self) -> clip_sim::RunOptions {
+        clip_sim::RunOptions {
+            warmup_instrs: self.warmup,
+            sim_instrs: self.instrs,
+            seed: self.seed,
+            noc: self.noc,
+            deadline: self.deadline_ms.map(std::time::Duration::from_millis),
+            ..clip_sim::RunOptions::default()
+        }
+    }
+}
+
+/// Parses one request frame (already decoded from its line).
+pub fn parse_request(text: &str) -> Result<Request, String> {
+    let v = Json::parse(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let kind = v
+        .get("kind")
+        .and_then(|k| k.as_str())
+        .ok_or_else(|| "request needs a string \"kind\"".to_string())?;
+    match kind {
+        "health" => Ok(Request::Health),
+        "shutdown" => Ok(Request::Shutdown),
+        "figure" => {
+            let name = v
+                .get("name")
+                .and_then(|n| n.as_str())
+                .ok_or_else(|| "figure request needs a string \"name\"".to_string())?;
+            Ok(Request::Figure {
+                name: name.to_string(),
+            })
+        }
+        "run" => Ok(Request::Run(RunSpec::from_json(&v)?)),
+        other => Err(format!("unknown request kind: {other}")),
+    }
+}
+
+/// The tiny request frames.
+pub fn health_request() -> Json {
+    Json::object([("kind", Json::from("health"))])
+}
+
+pub fn shutdown_request() -> Json {
+    Json::object([("kind", Json::from("shutdown"))])
+}
+
+pub fn figure_request(name: &str) -> Json {
+    Json::object([("kind", Json::from("figure")), ("name", Json::from(name))])
+}
+
+// ----------------------------------------------------------------------
+// Response frames.
+// ----------------------------------------------------------------------
+
+/// A completed simulation cell.
+pub fn cell_frame(label: &str, result: &SimResult) -> Json {
+    Json::object([
+        ("ok", Json::from(true)),
+        ("kind", Json::from("cell")),
+        ("label", Json::from(label)),
+        ("result", result.to_json()),
+    ])
+}
+
+/// A completed figure experiment: its rendered table text and artifact.
+pub fn experiment_frame(name: &str, text: &str, artifact: &Json) -> Json {
+    Json::object([
+        ("ok", Json::from(true)),
+        ("kind", Json::from("experiment")),
+        ("name", Json::from(name)),
+        ("text", Json::from(text)),
+        ("artifact", artifact.clone()),
+    ])
+}
+
+/// The terminal frame of a successful streamed response.
+pub fn done_frame() -> Json {
+    Json::object([("ok", Json::from(true)), ("kind", Json::from("done"))])
+}
+
+/// The terminal frame of a polite shutdown.
+pub fn bye_frame() -> Json {
+    Json::object([("ok", Json::from(true)), ("kind", Json::from("bye"))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_roundtrip_and_enforce_the_size_cap() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &health_request()).expect("write");
+        write_frame(&mut wire, &figure_request("fig02")).expect("write");
+        let mut r = BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_frame(&mut r).expect("frame 1"),
+            "{\"kind\":\"health\"}"
+        );
+        assert_eq!(
+            parse_request(&read_frame(&mut r).expect("frame 2")),
+            Ok(Request::Figure {
+                name: "fig02".to_string()
+            })
+        );
+        assert!(matches!(read_frame(&mut r), Err(RecvError::Closed)));
+
+        let huge = vec![b'x'; FRAME_MAX + 10];
+        let mut r = BufReader::new(huge.as_slice());
+        assert!(matches!(read_frame(&mut r), Err(RecvError::TooLarge)));
+
+        let cut = b"{\"kind\":\"health\"".to_vec();
+        let mut r = BufReader::new(cut.as_slice());
+        assert!(matches!(read_frame(&mut r), Err(RecvError::Truncated)));
+    }
+
+    #[test]
+    fn run_specs_roundtrip_through_the_wire_form() {
+        let spec = RunSpec {
+            workload: Some("605.mcf_s-1554B".to_string()),
+            cores: 4,
+            channels: 2,
+            prefetcher: PrefetcherKind::SppPpf,
+            clip: true,
+            throttler: Some(ThrottlerKind::Fdp),
+            instrs: 500,
+            warmup: 100,
+            seed: 7,
+            noc: NocChoice::Analytic,
+            dram: DramKind::Hbm,
+            deadline_ms: Some(30_000),
+            ..RunSpec::default()
+        };
+        let line = spec.to_json().render();
+        match parse_request(&line) {
+            Ok(Request::Run(back)) => assert_eq!(back, spec),
+            other => panic!("expected a run request, got {other:?}"),
+        }
+
+        // Defaults round-trip too (the empty run request is valid).
+        match parse_request("{\"kind\":\"run\"}") {
+            Ok(Request::Run(back)) => assert_eq!(back, RunSpec::default()),
+            other => panic!("expected a run request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        assert!(parse_request("not json at all").is_err());
+        assert!(parse_request("{}").is_err(), "kind is required");
+        assert!(parse_request("{\"kind\":\"dance\"}").is_err());
+        assert!(
+            parse_request("{\"kind\":\"figure\"}").is_err(),
+            "name required"
+        );
+        assert!(
+            parse_request("{\"kind\":\"run\",\"prefetcher\":\"warp-drive\"}").is_err(),
+            "vocabulary is validated"
+        );
+        assert!(
+            parse_request("{\"kind\":\"run\",\"cores\":\"many\"}").is_err(),
+            "types are validated"
+        );
+    }
+
+    #[test]
+    fn vocabulary_maps_are_inverses() {
+        for name in [
+            "none",
+            "berti",
+            "ipcp",
+            "bingo",
+            "spp-ppf",
+            "ip-stride",
+            "stream",
+            "next-line",
+        ] {
+            assert_eq!(prefetcher_name(prefetcher_from(name).expect("known")), name);
+        }
+        for name in ["fdp", "hpac", "spac", "nst"] {
+            assert_eq!(throttler_name(throttler_from(name).expect("known")), name);
+        }
+        for name in ["mesh", "analytic", "chiplet"] {
+            assert_eq!(noc_name(noc_from(name).expect("known")), name);
+        }
+        for name in ["ddr4", "hbm"] {
+            assert_eq!(dram_name(dram_from(name).expect("known")), name);
+        }
+    }
+}

@@ -26,15 +26,15 @@ const DEFAULT_RETRIES: u32 = 1;
 
 /// Bounded-retry policy for one sweep batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct RetryPolicy {
+pub struct RetryPolicy {
     /// Extra attempts after the first (0 disables retries entirely).
-    pub(crate) max_retries: u32,
+    pub max_retries: u32,
 }
 
 impl RetryPolicy {
     /// Reads `CLIP_RETRY` (validated warn-once like `CLIP_THREADS`;
     /// garbage or out-of-range falls back to the default of 1).
-    pub(crate) fn from_env() -> RetryPolicy {
+    pub fn from_env() -> RetryPolicy {
         RetryPolicy {
             max_retries: knob::env_u64("CLIP_RETRY", 0, 8)
                 .map(|n| n as u32)
@@ -44,7 +44,7 @@ impl RetryPolicy {
 
     /// True for failure kinds that can be environmental and therefore
     /// earn a retry. Deterministic audit verdicts never do.
-    pub(crate) fn retryable(kind: SimErrorKind) -> bool {
+    pub fn retryable(kind: SimErrorKind) -> bool {
         matches!(
             kind,
             SimErrorKind::Panic | SimErrorKind::Internal | SimErrorKind::Timeout
@@ -53,7 +53,7 @@ impl RetryPolicy {
 
     /// Deterministic exponential backoff before retry round `round`
     /// (1-based): 25ms, 50ms, 100ms, ... capped at 800ms.
-    pub(crate) fn backoff(round: u32) -> Duration {
+    pub fn backoff(round: u32) -> Duration {
         Duration::from_millis(25u64 << round.saturating_sub(1).min(5))
     }
 }

@@ -1,0 +1,609 @@
+//! `clipd`: the crash-tolerant sweep service behind the `clipd` binary.
+//!
+//! The daemon listens on a TCP address ([`ServerConfig::from_env`]:
+//! `CLIP_DAEMON_ADDR`, default `127.0.0.1:4117`), speaks the
+//! newline-delimited JSON protocol of [`crate::proto`], and executes
+//! requests through the exact pipeline the figure binaries use —
+//! [`crate::experiment`]'s memo, sweep journal, universal disk cache,
+//! retry policy, and work-stealing job pool. N clients submitting
+//! overlapping cells therefore get byte-identical answers, each cell
+//! simulated at most once and served from the cache thereafter.
+//!
+//! Robustness properties, each pinned by a test or the CI smoke:
+//!
+//! * **Admission control** — at most `max_active` requests execute
+//!   concurrently; at most `backlog` more wait. Beyond that a request is
+//!   rejected *immediately* with an `overloaded` error frame (clients
+//!   retry with backoff) instead of queueing without bound.
+//! * **Malformed-request isolation** — an unparseable frame earns a
+//!   `bad_request` error and the connection lives on; an oversized or
+//!   truncated frame ends that one connection (the stream can no longer
+//!   be framed); a panic inside a request handler is caught
+//!   ([`std::panic::catch_unwind`], same policy as the job pool) and
+//!   ends that one connection. The accept loop never dies.
+//! * **Deadlines** — every connection carries read/write timeouts
+//!   (`CLIP_DAEMON_IO_TIMEOUT_MS`), and a `run` request's `deadline_ms`
+//!   flows into [`clip_sim::RunOptions::deadline`], so a wedged peer or
+//!   a pathological cell cannot pin a worker forever.
+//! * **Graceful drain** — SIGTERM/SIGINT (see
+//!   [`install_signal_handlers`]) or a `shutdown` request flips the
+//!   stop flag: the daemon stops accepting, in-flight requests run to
+//!   completion (journaling each finished cell when `CLIP_JOURNAL` is
+//!   active), new requests on live connections get a `draining` error,
+//!   and [`Server::serve`] returns once every connection ends. A
+//!   restarted daemon under `CLIP_JOURNAL=resume` replays the drained
+//!   cells instead of re-simulating them.
+
+use crate::proto::{self, codes, RecvError, Request};
+use clip_sim::{Scheme, SweepJob};
+use clip_stats::Json;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How the daemon is wired up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 picks a free one).
+    pub addr: String,
+    /// Requests executing concurrently before new ones queue.
+    pub max_active: usize,
+    /// Requests allowed to wait; beyond this, `overloaded`.
+    pub backlog: usize,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl ServerConfig {
+    /// Reads the config from `CLIP_DAEMON_*` (validated warn-once, see
+    /// `clip_types::knob`): `CLIP_DAEMON_ADDR` (default
+    /// `127.0.0.1:4117`), `CLIP_DAEMON_ACTIVE` (1..=256, default 2),
+    /// `CLIP_DAEMON_BACKLOG` (0..=4096, default 8),
+    /// `CLIP_DAEMON_IO_TIMEOUT_MS` (default 10000).
+    pub fn from_env() -> Self {
+        use clip_types::knob;
+        let addr = match std::env::var("CLIP_DAEMON_ADDR") {
+            Ok(a) if !a.trim().is_empty() => a,
+            _ => "127.0.0.1:4117".to_string(),
+        };
+        ServerConfig {
+            addr,
+            max_active: knob::env_u64("CLIP_DAEMON_ACTIVE", 1, 256).unwrap_or(2) as usize,
+            backlog: knob::env_u64("CLIP_DAEMON_BACKLOG", 0, 4096).unwrap_or(8) as usize,
+            io_timeout: Duration::from_millis(
+                knob::env_u64("CLIP_DAEMON_IO_TIMEOUT_MS", 1, 86_400_000).unwrap_or(10_000),
+            ),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Admission control.
+// ----------------------------------------------------------------------
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Active and backlog slots are all taken; retry with backoff.
+    Overloaded,
+    /// The daemon is draining for shutdown.
+    Draining,
+}
+
+struct AdmState {
+    active: usize,
+    waiting: usize,
+    draining: bool,
+}
+
+/// Counting admission gate: a fixed number of active slots plus a
+/// bounded wait queue, with an explicit immediate rejection beyond that.
+pub struct Admission {
+    state: Mutex<AdmState>,
+    cv: Condvar,
+    max_active: usize,
+    backlog: usize,
+    served: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A point-in-time admission snapshot (the health frame reports this).
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionStats {
+    pub active: usize,
+    pub waiting: usize,
+    pub draining: bool,
+    /// Requests ever admitted.
+    pub served: u64,
+    /// Requests ever rejected with `overloaded`.
+    pub rejected: u64,
+}
+
+/// RAII active-slot holder; dropping it frees the slot and wakes one
+/// waiter.
+pub struct Permit {
+    gate: Arc<Admission>,
+}
+
+impl std::fmt::Debug for Permit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Permit").finish_non_exhaustive()
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.gate.state.lock().expect("admission lock");
+        st.active -= 1;
+        drop(st);
+        self.gate.cv.notify_all();
+    }
+}
+
+impl Admission {
+    fn new(max_active: usize, backlog: usize) -> Arc<Admission> {
+        Arc::new(Admission {
+            state: Mutex::new(AdmState {
+                active: 0,
+                waiting: 0,
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            max_active: max_active.max(1),
+            backlog,
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Takes an active slot, waiting in the bounded backlog if the slots
+    /// are busy. Rejects immediately when the backlog is full
+    /// ([`AdmitError::Overloaded`]) or the gate is draining.
+    pub fn admit(self: &Arc<Self>) -> Result<Permit, AdmitError> {
+        let mut st = self.state.lock().expect("admission lock");
+        if st.draining {
+            return Err(AdmitError::Draining);
+        }
+        if st.active >= self.max_active {
+            if st.waiting >= self.backlog {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmitError::Overloaded);
+            }
+            st.waiting += 1;
+            loop {
+                st = self.cv.wait(st).expect("admission lock");
+                if st.draining {
+                    st.waiting -= 1;
+                    return Err(AdmitError::Draining);
+                }
+                if st.active < self.max_active {
+                    st.waiting -= 1;
+                    break;
+                }
+            }
+        }
+        st.active += 1;
+        self.served.fetch_add(1, Ordering::Relaxed);
+        Ok(Permit { gate: self.clone() })
+    }
+
+    /// Flips the gate into draining: every current and future admit
+    /// attempt fails with [`AdmitError::Draining`]; in-flight permits
+    /// are unaffected.
+    pub fn drain(&self) {
+        self.state.lock().expect("admission lock").draining = true;
+        self.cv.notify_all();
+    }
+
+    pub fn stats(&self) -> AdmissionStats {
+        let st = self.state.lock().expect("admission lock");
+        AdmissionStats {
+            active: st.active,
+            waiting: st.waiting,
+            draining: st.draining,
+            served: self.served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Signal plumbing (no external crates: the platform libc's `signal`).
+// ----------------------------------------------------------------------
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// Asks every server in this process to drain and exit (what the signal
+/// handler and the `shutdown` request both call).
+pub fn request_stop() {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// True once a stop was requested.
+pub fn stop_requested() -> bool {
+    STOP.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+extern "C" fn on_termination_signal(_sig: i32) {
+    // Async-signal-safe: one atomic store, nothing else.
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers that flip the stop flag so
+/// [`Server::serve`] drains instead of dying mid-cell. Uses the
+/// platform libc's `signal` directly — the workspace stays free of
+/// external crates. No-op off Unix.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_termination_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The server.
+// ----------------------------------------------------------------------
+
+/// A bound, not-yet-serving daemon.
+pub struct Server {
+    listener: TcpListener,
+    admission: Arc<Admission>,
+    stop: Arc<AtomicBool>,
+    io_timeout: Duration,
+}
+
+impl Server {
+    /// Binds the listen socket (non-blocking accept loop).
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            admission: Admission::new(cfg.max_active, cfg.backlog),
+            stop: Arc::new(AtomicBool::new(false)),
+            io_timeout: cfg.io_timeout,
+        })
+    }
+
+    /// The bound address (resolves port 0 for tests).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The admission gate — tests hold permits through this to make
+    /// overload deterministic.
+    pub fn admission(&self) -> Arc<Admission> {
+        self.admission.clone()
+    }
+
+    /// A handle that stops this server when set (tests; signals use the
+    /// process-wide flag instead).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || stop_requested()
+    }
+
+    /// Accepts and serves connections until a stop is requested, then
+    /// drains: no new connections, no new requests, in-flight requests
+    /// complete (journaled as they do), every connection thread joined.
+    pub fn serve(self) {
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let admission = self.admission.clone();
+                    let stop = self.stop.clone();
+                    let io_timeout = self.io_timeout;
+                    handles.push(std::thread::spawn(move || {
+                        handle_connection(stream, admission, stop, io_timeout);
+                    }));
+                }
+                // WouldBlock is the idle case; any other accept error is
+                // transient by decree — the accept loop never dies.
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+            handles.retain(|h| !h.is_finished());
+        }
+        self.admission.drain();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Whether the connection survives the request that was just handled.
+enum AfterRequest {
+    KeepOpen,
+    Close,
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    admission: Arc<Admission>,
+    stop: Arc<AtomicBool>,
+    io_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+
+    loop {
+        let line = match proto::read_frame(&mut reader) {
+            Ok(line) => line,
+            Err(RecvError::Closed) | Err(RecvError::Io(_)) => return,
+            // The stream can no longer be framed: report and hang up.
+            Err(e @ RecvError::TooLarge) | Err(e @ RecvError::Truncated) => {
+                let _ = proto::write_frame(
+                    &mut writer,
+                    &proto::error_frame(codes::BAD_REQUEST, &e.to_string()),
+                );
+                return;
+            }
+        };
+
+        let request = match proto::parse_request(&line) {
+            Ok(r) => r,
+            // The frame boundary held, so the connection is still good:
+            // answer the error and keep reading.
+            Err(reason) => {
+                if proto::write_frame(
+                    &mut writer,
+                    &proto::error_frame(codes::BAD_REQUEST, &reason),
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+
+        // A panic anywhere in a handler is this connection's problem,
+        // never the daemon's (the job pool catches per-job panics
+        // already; this catches everything around them).
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_request(&request, &mut writer, &admission, &stop)
+        }));
+        match outcome {
+            Ok(AfterRequest::KeepOpen) => {}
+            Ok(AfterRequest::Close) => return,
+            Err(_) => {
+                let _ = proto::write_frame(
+                    &mut writer,
+                    &proto::error_frame(codes::INTERNAL, "request handler panicked"),
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn handle_request(
+    request: &Request,
+    writer: &mut TcpStream,
+    admission: &Arc<Admission>,
+    stop: &Arc<AtomicBool>,
+) -> AfterRequest {
+    match request {
+        // Health bypasses admission: it must answer even when saturated
+        // (that is the point of a health endpoint).
+        Request::Health => {
+            if proto::write_frame(writer, &health_frame(admission)).is_err() {
+                return AfterRequest::Close;
+            }
+            AfterRequest::KeepOpen
+        }
+        Request::Shutdown => {
+            let _ = proto::write_frame(writer, &proto::bye_frame());
+            stop.store(true, Ordering::SeqCst);
+            AfterRequest::Close
+        }
+        Request::Figure { name } => {
+            let _permit = match admission.admit() {
+                Ok(p) => p,
+                Err(e) => return refuse(writer, e),
+            };
+            serve_figure(name, writer)
+        }
+        Request::Run(spec) => {
+            let _permit = match admission.admit() {
+                Ok(p) => p,
+                Err(e) => return refuse(writer, e),
+            };
+            serve_run(spec, writer)
+        }
+    }
+}
+
+fn refuse(writer: &mut TcpStream, e: AdmitError) -> AfterRequest {
+    let frame = match e {
+        AdmitError::Overloaded => proto::error_frame(
+            codes::OVERLOADED,
+            "admission queue is full; retry with backoff",
+        ),
+        AdmitError::Draining => proto::error_frame(codes::DRAINING, "daemon is draining"),
+    };
+    if proto::write_frame(writer, &frame).is_err() {
+        return AfterRequest::Close;
+    }
+    AfterRequest::KeepOpen
+}
+
+fn health_frame(admission: &Arc<Admission>) -> Json {
+    let a = admission.stats();
+    let c = crate::cache::stats();
+    Json::object([
+        ("ok", Json::from(true)),
+        ("kind", Json::from("health")),
+        ("active", Json::from(a.active)),
+        ("waiting", Json::from(a.waiting)),
+        ("served", Json::from(a.served)),
+        ("rejected", Json::from(a.rejected)),
+        ("draining", Json::from(a.draining || stop_requested())),
+        (
+            "cache",
+            Json::object([
+                ("hits", Json::from(c.hits)),
+                ("misses", Json::from(c.misses)),
+                ("stores", Json::from(c.stores)),
+                ("evictions", Json::from(c.evictions)),
+            ]),
+        ),
+    ])
+}
+
+/// Runs a registered figure at the daemon's scale, streaming one
+/// `experiment` frame per completed spec.
+fn serve_figure(name: &str, writer: &mut TcpStream) -> AfterRequest {
+    let Some(entry) = crate::figures::registry()
+        .into_iter()
+        .find(|e| e.name == name)
+    else {
+        let msg = format!("unknown figure: {name}");
+        if proto::write_frame(writer, &proto::error_frame(codes::BAD_REQUEST, &msg)).is_err() {
+            return AfterRequest::Close;
+        }
+        return AfterRequest::KeepOpen;
+    };
+    let scale = crate::Scale::from_env();
+    for exp in (entry.build)(&scale) {
+        let (text, artifact) = crate::experiment::execute_experiment(&exp);
+        let frame = proto::experiment_frame(&exp.name, &text, &artifact);
+        if proto::write_frame(writer, &frame).is_err() {
+            return AfterRequest::Close;
+        }
+    }
+    if proto::write_frame(writer, &proto::done_frame()).is_err() {
+        return AfterRequest::Close;
+    }
+    AfterRequest::KeepOpen
+}
+
+/// Runs one cell spec — baseline plus scheme, the `clipsim` pair —
+/// streaming a `cell` frame per completed run.
+fn serve_run(spec: &proto::RunSpec, writer: &mut TcpStream) -> AfterRequest {
+    let built = spec.mix().and_then(|mix| {
+        let (base_cfg, cfg) = spec.configs()?;
+        Ok((mix, base_cfg, cfg))
+    });
+    let (mix, base_cfg, cfg) = match built {
+        Ok(t) => t,
+        Err(reason) => {
+            if proto::write_frame(writer, &proto::error_frame(codes::BAD_REQUEST, &reason)).is_err()
+            {
+                return AfterRequest::Close;
+            }
+            return AfterRequest::KeepOpen;
+        }
+    };
+    let opts = spec.options();
+    let jobs = [
+        SweepJob {
+            cfg: base_cfg,
+            scheme: Scheme::plain(),
+            mix: mix.clone(),
+        },
+        SweepJob {
+            cfg,
+            scheme: spec.scheme(),
+            mix,
+        },
+    ];
+    let outcomes = crate::experiment::run_cached_checked(&jobs, &opts);
+    for (label, outcome) in ["baseline", "scheme"].iter().zip(outcomes) {
+        let frame = match outcome {
+            Ok(result) => proto::cell_frame(label, &result),
+            Err(e) => proto::error_frame(codes::SIM, &format!("{label}: {e}")),
+        };
+        let terminal = frame.get("ok").is_none_or(|v| v.render() != "true");
+        if proto::write_frame(writer, &frame).is_err() {
+            return AfterRequest::Close;
+        }
+        if terminal {
+            // An error frame ends the response; the connection survives.
+            return AfterRequest::KeepOpen;
+        }
+    }
+    if proto::write_frame(writer, &proto::done_frame()).is_err() {
+        return AfterRequest::Close;
+    }
+    AfterRequest::KeepOpen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_counts_and_rejects_deterministically() {
+        let gate = Admission::new(1, 0);
+        let p1 = gate.admit().expect("first request takes the slot");
+        assert_eq!(gate.admit().unwrap_err(), AdmitError::Overloaded);
+        let s = gate.stats();
+        assert_eq!((s.active, s.served, s.rejected), (1, 1, 1));
+
+        drop(p1);
+        let p2 = gate.admit().expect("freed slot admits again");
+        drop(p2);
+        assert_eq!(gate.stats().active, 0);
+
+        gate.drain();
+        assert_eq!(gate.admit().unwrap_err(), AdmitError::Draining);
+        assert!(gate.stats().draining);
+    }
+
+    #[test]
+    fn backlog_waiters_wake_in_and_drain_out() {
+        let gate = Admission::new(1, 2);
+        let p = gate.admit().expect("slot");
+        let waiter = {
+            let gate = gate.clone();
+            std::thread::spawn(move || gate.admit().map(|_| ()))
+        };
+        // Wait until the waiter parks in the backlog.
+        while gate.stats().waiting == 0 {
+            std::thread::yield_now();
+        }
+        drop(p);
+        waiter
+            .join()
+            .expect("no panic")
+            .expect("the freed slot admits the waiter");
+
+        // A parked waiter is released by drain, not stranded.
+        let p = gate.admit().expect("slot");
+        let waiter = {
+            let gate = gate.clone();
+            std::thread::spawn(move || gate.admit().map(|_| ()))
+        };
+        while gate.stats().waiting == 0 {
+            std::thread::yield_now();
+        }
+        gate.drain();
+        assert_eq!(
+            waiter.join().expect("no panic").unwrap_err(),
+            AdmitError::Draining
+        );
+        drop(p);
+    }
+}

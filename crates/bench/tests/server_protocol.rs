@@ -1,0 +1,265 @@
+//! End-to-end contract of the `clipd` daemon: protocol robustness
+//! (malformed frames hurt one connection, never the daemon), admission
+//! control (deterministic `overloaded` rejection), result fidelity
+//! (daemon answers are byte-identical to local simulation), cache-hit
+//! service (second ask never re-simulates), and graceful drain.
+//!
+//! One `#[test]` on purpose: it mutates process environment
+//! (`CLIP_CACHE_DIR` and friends), and `cargo test` runs tests of one
+//! binary concurrently — a sibling test would race the environment.
+
+use clip_bench::client;
+use clip_bench::proto::{self, Request, RunSpec};
+use clip_bench::server::{Server, ServerConfig};
+use clip_sim::{run_mix_checked, Scheme};
+use clip_stats::Json;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn small_spec() -> RunSpec {
+    RunSpec {
+        workload: Some("605.mcf_s-1554B".to_string()),
+        cores: 2,
+        channels: 1,
+        clip: true,
+        instrs: 500,
+        warmup: 100,
+        noc: clip_sim::NocChoice::Analytic,
+        ..RunSpec::default()
+    }
+}
+
+/// Sends one raw line and reads one response frame (no client-side
+/// retry, no protocol niceties — the point is to poke the server).
+fn raw_exchange(stream: &mut TcpStream, line: &[u8]) -> Result<Json, String> {
+    stream.write_all(line).map_err(|e| format!("write: {e}"))?;
+    stream.flush().map_err(|e| format!("flush: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let text = proto::read_frame(&mut reader).map_err(|e| format!("read: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parse: {e:?}"))
+}
+
+fn expect_bad_request(frame: &Json, what: &str) {
+    assert_eq!(
+        frame.get("ok").map(Json::render).as_deref(),
+        Some("false"),
+        "{what} must be refused: {}",
+        frame.render()
+    );
+    assert_eq!(
+        frame.get("code").and_then(Json::as_str),
+        Some(proto::codes::BAD_REQUEST),
+        "{what} must be a bad_request: {}",
+        frame.render()
+    );
+}
+
+#[test]
+fn daemon_survives_garbage_serves_cache_hits_and_drains() {
+    // Hermetic stores: this test's cache must not see (or pollute) the
+    // developer's real target/clip-cache.
+    let tmp = std::env::temp_dir().join(format!("clipd-proto-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::env::set_var("CLIP_CACHE_DIR", tmp.join("cache"));
+    std::env::set_var("CLIP_JOURNAL", "off");
+    std::env::remove_var("CLIP_CACHE");
+    std::env::set_var("CLIP_THREADS", "2");
+    std::env::set_var("CLIP_RETRY", "1");
+    std::env::set_var("CLIP_CLIENT_TIMEOUT_MS", "30000");
+
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_active: 1,
+        backlog: 0,
+        io_timeout: Duration::from_secs(30),
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let admission = server.admission();
+    let server_thread = std::thread::spawn(move || server.serve());
+    let connect = || TcpStream::connect(&addr).expect("daemon accepts connections");
+
+    // --- Malformed-request isolation -----------------------------------
+    // A table of bad frames, each answered with a structured error on a
+    // connection that STAYS USABLE (the frame boundary held).
+    let mut stream = connect();
+    for (frame, what) in [
+        (&b"this is not json\n"[..], "non-JSON garbage"),
+        (b"{}\n", "a request with no kind"),
+        (b"{\"kind\":\"dance\"}\n", "an unknown request kind"),
+        (b"[1,2,3]\n", "a non-object request"),
+        (
+            b"{\"kind\":\"run\",\"prefetcher\":\"warp-drive\"}\n",
+            "an unknown prefetcher",
+        ),
+        (
+            b"{\"kind\":\"run\",\"cores\":\"many\"}\n",
+            "a mistyped field",
+        ),
+        (
+            b"{\"kind\":\"figure\",\"name\":\"fig99\"}\n",
+            "an unknown figure",
+        ),
+    ] {
+        let reply = raw_exchange(&mut stream, frame).expect(what);
+        expect_bad_request(&reply, what);
+    }
+    // ...and the very same connection still answers a valid request.
+    let health =
+        raw_exchange(&mut stream, b"{\"kind\":\"health\"}\n").expect("valid request after garbage");
+    assert_eq!(health.get("kind").and_then(Json::as_str), Some("health"));
+    drop(stream);
+
+    // A truncated frame (peer dies mid-line) ends that connection
+    // cleanly; the daemon itself is unharmed.
+    let mut stream = connect();
+    stream
+        .write_all(b"{\"kind\":\"heal")
+        .expect("partial write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    // An error reply is expected, but a close (clean or reset
+    // mid-hangup) is equally acceptable — the contract is only "that
+    // connection dies, the daemon lives".
+    if let Ok(text) = proto::read_frame(&mut reader) {
+        let reply = Json::parse(&text).expect("frame parses");
+        expect_bad_request(&reply, "a truncated frame");
+    }
+    drop(stream);
+
+    // An oversized frame is refused without buffering it; write errors
+    // here just mean the server already hung up mid-flood.
+    let mut stream = connect();
+    let flood = vec![b'x'; proto::FRAME_MAX + 16];
+    let sent = stream
+        .write_all(&flood)
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush());
+    if sent.is_ok() {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        // A read error just means the server hung up before (or
+        // instead of) replying, which is fine too.
+        if let Ok(text) = proto::read_frame(&mut reader) {
+            let reply = Json::parse(&text).expect("frame parses");
+            expect_bad_request(&reply, "an oversized frame");
+        }
+    }
+    drop(stream);
+
+    // The daemon is still fully alive after all of the above.
+    let mut stream = connect();
+    let health = raw_exchange(&mut stream, b"{\"kind\":\"health\"}\n")
+        .expect("daemon alive after the abuse");
+    assert_eq!(health.get("kind").and_then(Json::as_str), Some("health"));
+    drop(stream);
+
+    // --- Result fidelity: daemon == local, byte for byte ---------------
+    let spec = small_spec();
+    let mut cells: Vec<Json> = Vec::new();
+    client::request(&addr, &spec.to_json(), |frame| {
+        if frame.get("kind").and_then(Json::as_str) == Some("cell") {
+            cells.push(frame.get("result").expect("cell carries a result").clone());
+        }
+    })
+    .expect("run request succeeds");
+    assert_eq!(cells.len(), 2, "baseline cell + scheme cell");
+
+    let mix = spec.mix().expect("known workload");
+    let (base_cfg, cfg) = spec.configs().expect("valid configs");
+    let opts = spec.options();
+    let local_base =
+        run_mix_checked(&base_cfg, &Scheme::plain(), &mix, &opts).expect("local baseline");
+    let local_res = run_mix_checked(&cfg, &spec.scheme(), &mix, &opts).expect("local scheme run");
+    assert_eq!(
+        cells[0].render(),
+        local_base.to_json().render(),
+        "daemon baseline must be byte-identical to a local run"
+    );
+    assert_eq!(
+        cells[1].render(),
+        local_res.to_json().render(),
+        "daemon scheme cell must be byte-identical to a local run"
+    );
+
+    // --- Cache-hit service: the second ask never re-simulates ----------
+    // The daemon runs in-process, but the executor memo is per-thread
+    // and each connection is a fresh thread, so a repeat request can
+    // only be served by the universal disk cache.
+    let hits_before = clip_bench::cache_stats().hits;
+    let mut again: Vec<Json> = Vec::new();
+    client::request(&addr, &spec.to_json(), |frame| {
+        if frame.get("kind").and_then(Json::as_str) == Some("cell") {
+            again.push(frame.get("result").expect("cell carries a result").clone());
+        }
+    })
+    .expect("repeat run request succeeds");
+    assert_eq!(again.len(), 2);
+    assert_eq!(again[0].render(), cells[0].render(), "hit equals original");
+    assert_eq!(again[1].render(), cells[1].render(), "hit equals original");
+    assert!(
+        clip_bench::cache_stats().hits >= hits_before + 2,
+        "the repeat request must be served from the result cache"
+    );
+
+    // --- Deterministic overload ----------------------------------------
+    // max_active=1, backlog=0, and the test holds the only permit: the
+    // next run request MUST be rejected, no timing involved. The server
+    // releases its own permit just *after* writing the terminal frame,
+    // so the slot may lag the client's return by a scheduling beat —
+    // spin until it frees.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let permit = loop {
+        match admission.admit() {
+            Ok(p) => break p,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(5))
+            }
+            Err(e) => panic!("the served request never released its slot: {e:?}"),
+        }
+    };
+    let mut stream = connect();
+    let reply = raw_exchange(&mut stream, &(spec.to_json().render() + "\n").into_bytes())
+        .expect("rejection is a frame, not a hang");
+    assert_eq!(
+        reply.get("code").and_then(Json::as_str),
+        Some(proto::codes::OVERLOADED),
+        "a full admission queue must answer overloaded: {}",
+        reply.render()
+    );
+    // Health still answers while saturated — it bypasses admission.
+    let health =
+        raw_exchange(&mut stream, b"{\"kind\":\"health\"}\n").expect("health during saturation");
+    assert!(
+        health.get("rejected").and_then(Json::as_u64) >= Some(1),
+        "the rejection is visible in the counters: {}",
+        health.render()
+    );
+    drop(stream);
+    drop(permit);
+
+    // ...and the freed slot admits the retried request (the client's
+    // backoff loop is what a well-behaved caller does with overloaded).
+    client::request(&addr, &spec.to_json(), |_| {}).expect("freed slot serves the retry");
+
+    // --- Graceful drain --------------------------------------------------
+    client::request(&addr, &proto::shutdown_request(), |frame| {
+        assert_eq!(frame.get("kind").and_then(Json::as_str), Some("bye"));
+    })
+    .expect("polite shutdown is acknowledged");
+    server_thread.join().expect("serve() returns after drain");
+    assert!(
+        TcpStream::connect(&addr).is_err()
+            || raw_exchange(&mut connect(), b"{\"kind\":\"health\"}\n").is_err(),
+        "a drained daemon accepts no further work"
+    );
+
+    // Sanity: the parse helper and the wire agreed the whole time.
+    assert_eq!(
+        proto::parse_request(&spec.to_json().render()),
+        Ok(Request::Run(spec))
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -319,6 +319,10 @@ fn retry_does_not_mask_deterministic_integrity_faults() {
 /// cell exactly twice.
 #[test]
 fn timed_out_cell_renders_tmo_and_marks_the_artifact_partial() {
+    // The universal result cache keys on the job identity with the
+    // deadline excluded, so a clean cached result from another run of
+    // this (cfg, mix, opts) would mask the expected timeout.
+    std::env::set_var("CLIP_CACHE", "0");
     let cfg = SimConfig::builder()
         .cores(2)
         .dram_channels(1)

@@ -77,12 +77,13 @@ pub fn set_step_override(v: Option<bool>) {
 }
 
 /// Resolves the tick mode for this thread: override first, then
-/// `CLIP_TICK` (`step` = cycle-by-cycle; anything else = event wheel).
+/// `CLIP_TICK` (`step` = cycle-by-cycle; `wheel` or unset = event
+/// wheel; anything else warns once and falls back to the wheel).
 pub(crate) fn step_mode() -> bool {
     if let Some(v) = STEP_OVERRIDE.with(|s| s.get()) {
         return v;
     }
-    std::env::var("CLIP_TICK").is_ok_and(|v| v.trim().eq_ignore_ascii_case("step"))
+    knob::env_choice("CLIP_TICK", &["step", "wheel"]) == Some("step")
 }
 
 /// Options controlling one simulation run.
@@ -270,26 +271,12 @@ pub struct SweepJob {
 /// single stderr warning and the default — the host's available
 /// parallelism — is used instead.
 fn thread_count(job_count: usize) -> usize {
-    use std::sync::Once;
-    static WARN_ONCE: Once = Once::new();
     let default = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let threads = match std::env::var("CLIP_THREADS") {
-        Err(_) => default,
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if (1..=1024).contains(&n) => n,
-            _ => {
-                WARN_ONCE.call_once(|| {
-                    eprintln!(
-                        "clip-sim: ignoring invalid CLIP_THREADS={v:?} \
-                         (accepted range: 1..=1024); using {default}"
-                    );
-                });
-                default
-            }
-        },
-    };
+    let threads = knob::env_u64("CLIP_THREADS", 1, 1024)
+        .map(|n| n as usize)
+        .unwrap_or(default);
     threads.min(job_count)
 }
 

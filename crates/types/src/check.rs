@@ -40,11 +40,12 @@ pub enum CheckLevel {
 }
 
 impl CheckLevel {
-    /// Parses `CLIP_CHECK`; unset or unrecognized values yield `Cheap`.
+    /// Parses `CLIP_CHECK` (validated warn-once, see [`crate::knob`]);
+    /// unset or unrecognized values yield `Cheap`.
     pub fn from_env() -> CheckLevel {
-        match std::env::var("CLIP_CHECK").as_deref() {
-            Ok("off") | Ok("0") => CheckLevel::Off,
-            Ok("full") | Ok("2") => CheckLevel::Full,
+        match crate::knob::env_choice("CLIP_CHECK", &["off", "0", "cheap", "1", "full", "2"]) {
+            Some("off") | Some("0") => CheckLevel::Off,
+            Some("full") | Some("2") => CheckLevel::Full,
             _ => CheckLevel::Cheap,
         }
     }

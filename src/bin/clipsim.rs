@@ -5,59 +5,35 @@
 //!         --prefetcher berti --clip --instrs 10000
 //! clipsim --hetero-seed 7 --cores 16 --channels 2 --prefetcher spp-ppf
 //! clipsim --list-workloads
+//! clipsim --connect 127.0.0.1:4117 --workload 605.mcf_s-1554B --clip
+//! clipsim --connect 127.0.0.1:4117 --figure fig02
 //! ```
 //!
 //! Runs the requested mix under the requested scheme *and* the
-//! no-prefetch baseline, then prints a comparison report.
+//! no-prefetch baseline, then prints a comparison report. With
+//! `--connect`, the same request is executed by a `clipd` daemon
+//! (shared cache, admission control — see `clip::bench::server`) and
+//! the output is byte-identical to a local run.
 
-use clip::sim::{run_mix_checked, NocChoice, RunOptions, Scheme};
-use clip::trace::Mix;
-use clip::types::{DramKind, PrefetcherKind, SimConfig};
+use clip::bench::client::{self, ClientError};
+use clip::bench::experiment::write_artifact;
+use clip::bench::proto::{self, RunSpec};
+use clip::sim::{run_mix_checked, ComparisonReport, Scheme, SimResult};
+use clip::stats::Json;
 use std::process::ExitCode;
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct Args {
-    workload: Option<String>,
-    hetero_seed: Option<u64>,
-    cores: usize,
-    channels: usize,
-    prefetcher: PrefetcherKind,
-    clip: bool,
-    dynclip: bool,
-    throttler: Option<clip::throttle::ThrottlerKind>,
-    hermes: bool,
-    dspatch: bool,
-    instrs: u64,
-    warmup: u64,
-    seed: u64,
-    noc: NocChoice,
-    dram: DramKind,
-    deadline_ms: Option<u64>,
+    spec: RunSpec,
     list: bool,
-}
-
-impl Default for Args {
-    fn default() -> Self {
-        Args {
-            workload: None,
-            hetero_seed: None,
-            cores: 8,
-            channels: 1,
-            prefetcher: PrefetcherKind::Berti,
-            clip: false,
-            dynclip: false,
-            throttler: None,
-            hermes: false,
-            dspatch: false,
-            instrs: 10_000,
-            warmup: 2_000,
-            seed: 42,
-            noc: NocChoice::Mesh,
-            dram: DramKind::Ddr4,
-            deadline_ms: None,
-            list: false,
-        }
-    }
+    /// Execute on a `clipd` daemon at this address instead of locally.
+    connect: Option<String>,
+    /// Ask the daemon for a whole registered figure.
+    figure: Option<String>,
+    /// Ask the daemon for its health/stats frame.
+    health: bool,
+    /// Ask the daemon to drain and stop.
+    shutdown: bool,
 }
 
 const USAGE: &str = "\
@@ -86,6 +62,15 @@ OPTIONS:
   --deadline-ms <N>      wall-clock budget per run in milliseconds
                          (default: CLIP_JOB_DEADLINE_MS, else unlimited)
   --list-workloads       print the workload catalog and exit
+
+DAEMON MODE (see `clipd --help`):
+  --connect <ADDR>       execute on the clipd daemon at HOST:PORT
+  --figure <NAME>        with --connect: run a registered figure binary
+                         (text printed, artifacts written locally)
+  --health               with --connect: print the daemon's health frame
+  --shutdown             with --connect: ask the daemon to drain and stop
+                         (CLIP_CLIENT_TIMEOUT_MS bounds each attempt;
+                         `overloaded` rejections retry with backoff)
   --help                 this text
 ";
 
@@ -94,71 +79,43 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        let spec = &mut args.spec;
         match flag.as_str() {
-            "--workload" => args.workload = Some(value("--workload")?),
+            "--workload" => spec.workload = Some(value("--workload")?),
             "--hetero-seed" => {
-                args.hetero_seed = Some(
+                spec.hetero_seed = Some(
                     value("--hetero-seed")?
                         .parse()
                         .map_err(|e| format!("{e}"))?,
                 )
             }
-            "--cores" => args.cores = value("--cores")?.parse().map_err(|e| format!("{e}"))?,
+            "--cores" => spec.cores = value("--cores")?.parse().map_err(|e| format!("{e}"))?,
             "--channels" => {
-                args.channels = value("--channels")?.parse().map_err(|e| format!("{e}"))?
+                spec.channels = value("--channels")?.parse().map_err(|e| format!("{e}"))?
             }
-            "--prefetcher" => {
-                args.prefetcher = match value("--prefetcher")?.as_str() {
-                    "none" => PrefetcherKind::None,
-                    "berti" => PrefetcherKind::Berti,
-                    "ipcp" => PrefetcherKind::Ipcp,
-                    "bingo" => PrefetcherKind::Bingo,
-                    "spp-ppf" | "spp" => PrefetcherKind::SppPpf,
-                    "ip-stride" => PrefetcherKind::IpStride,
-                    "stream" => PrefetcherKind::Stream,
-                    "next-line" => PrefetcherKind::NextLine,
-                    other => return Err(format!("unknown prefetcher: {other}")),
-                }
-            }
-            "--clip" => args.clip = true,
-            "--dynclip" => args.dynclip = true,
-            "--throttler" => {
-                args.throttler = Some(match value("--throttler")?.as_str() {
-                    "fdp" => clip::throttle::ThrottlerKind::Fdp,
-                    "hpac" => clip::throttle::ThrottlerKind::Hpac,
-                    "spac" => clip::throttle::ThrottlerKind::Spac,
-                    "nst" => clip::throttle::ThrottlerKind::Nst,
-                    other => return Err(format!("unknown throttler: {other}")),
-                })
-            }
-            "--hermes" => args.hermes = true,
-            "--dspatch" => args.dspatch = true,
-            "--instrs" => args.instrs = value("--instrs")?.parse().map_err(|e| format!("{e}"))?,
-            "--warmup" => args.warmup = value("--warmup")?.parse().map_err(|e| format!("{e}"))?,
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
-            "--noc" => {
-                args.noc = match value("--noc")?.as_str() {
-                    "mesh" => NocChoice::Mesh,
-                    "analytic" => NocChoice::Analytic,
-                    "chiplet" => NocChoice::Chiplet,
-                    other => return Err(format!("unknown noc model: {other}")),
-                }
-            }
-            "--dram" => {
-                args.dram = match value("--dram")?.as_str() {
-                    "ddr4" => DramKind::Ddr4,
-                    "hbm" => DramKind::Hbm,
-                    other => return Err(format!("unknown dram backend: {other}")),
-                }
-            }
+            "--prefetcher" => spec.prefetcher = proto::prefetcher_from(&value("--prefetcher")?)?,
+            "--clip" => spec.clip = true,
+            "--dynclip" => spec.dynclip = true,
+            "--throttler" => spec.throttler = Some(proto::throttler_from(&value("--throttler")?)?),
+            "--hermes" => spec.hermes = true,
+            "--dspatch" => spec.dspatch = true,
+            "--instrs" => spec.instrs = value("--instrs")?.parse().map_err(|e| format!("{e}"))?,
+            "--warmup" => spec.warmup = value("--warmup")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => spec.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--noc" => spec.noc = proto::noc_from(&value("--noc")?)?,
+            "--dram" => spec.dram = proto::dram_from(&value("--dram")?)?,
             "--deadline-ms" => {
-                args.deadline_ms = Some(
+                spec.deadline_ms = Some(
                     value("--deadline-ms")?
                         .parse()
                         .map_err(|e| format!("{e}"))?,
                 )
             }
             "--list-workloads" => args.list = true,
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--figure" => args.figure = Some(value("--figure")?),
+            "--health" => args.health = true,
+            "--shutdown" => args.shutdown = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -166,21 +123,160 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag: {other}")),
         }
     }
+    if args.connect.is_none() && (args.figure.is_some() || args.health || args.shutdown) {
+        return Err("--figure/--health/--shutdown need --connect".to_string());
+    }
     Ok(args)
 }
 
-fn build_scheme(args: &Args) -> Scheme {
-    let mut scheme = if args.dynclip {
-        Scheme::with_dynamic_clip()
-    } else if args.clip {
-        Scheme::with_clip()
-    } else {
-        Scheme::plain()
+/// Prints the run report exactly as the local path always has, from
+/// wherever the two results came from.
+fn print_report(spec: &RunSpec, mix_name: &str, res: &SimResult, base: &SimResult) {
+    println!("mix                 : {} x {}", spec.cores, mix_name);
+    println!(
+        "{}",
+        ComparisonReport::new(spec.scheme().label(spec.prefetcher), res, base)
+    );
+}
+
+fn run_local(spec: &RunSpec) -> ExitCode {
+    let mix = match spec.mix() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    scheme.throttler = args.throttler;
-    scheme.hermes = args.hermes;
-    scheme.dspatch = args.dspatch;
-    scheme
+    let (cfg_base, cfg) = match spec.configs() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = spec.options();
+    let scheme = spec.scheme();
+
+    eprintln!(
+        "running {} on {} cores / {} channel(s), {} + baseline ...",
+        mix.name,
+        spec.cores,
+        spec.channels,
+        scheme.label(spec.prefetcher)
+    );
+    let run = |cfg, scheme: &Scheme| match run_mix_checked(cfg, scheme, &mix, &opts) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("error: {e}");
+            None
+        }
+    };
+    let Some(base) = run(&cfg_base, &Scheme::plain()) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(res) = run(&cfg, &scheme) else {
+        return ExitCode::FAILURE;
+    };
+
+    print_report(spec, &mix.name, &res, &base);
+    ExitCode::SUCCESS
+}
+
+fn run_remote(addr: &str, spec: &RunSpec) -> ExitCode {
+    // The mix derivation is deterministic and shared with the daemon
+    // (same spec, same mix), so the report line needs no wire traffic.
+    let mix_name = match spec.mix() {
+        Ok(m) => m.name,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "requesting {} on {} cores / {} channel(s), {} + baseline from {addr} ...",
+        mix_name,
+        spec.cores,
+        spec.channels,
+        spec.scheme().label(spec.prefetcher)
+    );
+    let mut cells: Vec<SimResult> = Vec::new();
+    let outcome = client::request(addr, &spec.to_json(), |frame| {
+        if frame.get("kind").and_then(Json::as_str) == Some("cell") {
+            if let Some(r) = frame.get("result").and_then(SimResult::from_json) {
+                cells.push(r);
+            }
+        }
+    });
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    // The daemon streams the baseline cell first, then the scheme cell.
+    let (Some(res), Some(base)) = (cells.pop(), cells.pop()) else {
+        eprintln!("error: daemon response was missing cells");
+        return ExitCode::FAILURE;
+    };
+    print_report(spec, &mix_name, &res, &base);
+    ExitCode::SUCCESS
+}
+
+fn run_figure(addr: &str, name: &str) -> ExitCode {
+    eprintln!("requesting figure {name} from {addr} ...");
+    let outcome = client::request(addr, &proto::figure_request(name), |frame| {
+        if frame.get("kind").and_then(Json::as_str) != Some("experiment") {
+            return;
+        }
+        if let Some(text) = frame.get("text").and_then(Json::as_str) {
+            print!("{text}");
+        }
+        // The artifact lands in the *client's* artifact directory,
+        // byte-identical to a local figure run.
+        if let (Some(exp), Some(artifact)) = (
+            frame.get("name").and_then(Json::as_str),
+            frame.get("artifact"),
+        ) {
+            write_artifact(exp, artifact);
+        }
+    });
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_health(addr: &str) -> ExitCode {
+    let outcome = client::request(addr, &proto::health_request(), |frame| {
+        println!("{}", frame.render());
+    });
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_shutdown(addr: &str) -> ExitCode {
+    match client::request(addr, &proto::shutdown_request(), |_| {}) {
+        Ok(()) => {
+            eprintln!("daemon at {addr} acknowledged shutdown");
+            ExitCode::SUCCESS
+        }
+        // A daemon that drains *very* fast can close before the ack
+        // frame is read; the shutdown still happened.
+        Err(ClientError::Protocol(_)) => {
+            eprintln!("daemon at {addr} closed while draining");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -204,82 +300,13 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let mix = if let Some(seed) = args.hetero_seed {
-        clip::trace::heterogeneous_mixes(1, args.cores, seed)
-            .pop()
-            .expect("one mix requested")
-    } else {
-        let name = args
-            .workload
-            .clone()
-            .unwrap_or_else(|| "605.mcf_s-1554B".to_string());
-        match clip::trace::catalog::by_name(&name) {
-            Some(w) => Mix::homogeneous(&w, args.cores),
-            None => {
-                eprintln!("error: unknown workload {name} (try --list-workloads)");
-                return ExitCode::FAILURE;
-            }
-        }
-    };
-
-    let platform = |pf: PrefetcherKind| {
-        let (l1, l2) = if pf.trains_at_l1() || pf == PrefetcherKind::None {
-            (pf, PrefetcherKind::None)
-        } else {
-            (PrefetcherKind::None, pf)
-        };
-        SimConfig::builder()
-            .cores(args.cores)
-            .dram_backend(args.dram)
-            .dram_channels(args.channels)
-            .l1_prefetcher(l1)
-            .l2_prefetcher(l2)
-            .build()
-    };
-    let cfg_base = match platform(PrefetcherKind::None) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let cfg = platform(args.prefetcher).expect("same platform with prefetcher");
-
-    let opts = RunOptions {
-        warmup_instrs: args.warmup,
-        sim_instrs: args.instrs,
-        seed: args.seed,
-        noc: args.noc,
-        deadline: args.deadline_ms.map(std::time::Duration::from_millis),
-        ..RunOptions::default()
-    };
-    let scheme = build_scheme(&args);
-
-    eprintln!(
-        "running {} on {} cores / {} channel(s), {} + baseline ...",
-        mix.name,
-        args.cores,
-        args.channels,
-        scheme.label(args.prefetcher)
-    );
-    let run = |cfg, scheme: &Scheme| match run_mix_checked(cfg, scheme, &mix, &opts) {
-        Ok(r) => Some(r),
-        Err(e) => {
-            eprintln!("error: {e}");
-            None
-        }
-    };
-    let Some(base) = run(&cfg_base, &Scheme::plain()) else {
-        return ExitCode::FAILURE;
-    };
-    let Some(res) = run(&cfg, &scheme) else {
-        return ExitCode::FAILURE;
-    };
-
-    println!("mix                 : {} x {}", args.cores, mix.name);
-    println!(
-        "{}",
-        clip::sim::ComparisonReport::new(scheme.label(args.prefetcher), &res, &base)
-    );
-    ExitCode::SUCCESS
+    match &args.connect {
+        None => run_local(&args.spec),
+        Some(addr) if args.health => run_health(addr),
+        Some(addr) if args.shutdown => run_shutdown(addr),
+        Some(addr) => match &args.figure {
+            Some(name) => run_figure(addr, name),
+            None => run_remote(addr, &args.spec),
+        },
+    }
 }

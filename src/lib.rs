@@ -18,7 +18,9 @@
 //! * [`core_mechanism`] — **CLIP itself**: the criticality filter, utility
 //!   buffer, critical-signature predictor, and APC phase detector;
 //! * [`stats`] — weighted speedup and the dynamic-energy model;
-//! * [`sim`] — the many-core system simulator and run drivers.
+//! * [`sim`] — the many-core system simulator and run drivers;
+//! * [`bench`] — the experiment harness, figure registry, universal
+//!   result cache, and the `clipd` sweep daemon + client.
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@
 //! # Ok::<(), clip::types::config::ConfigError>(())
 //! ```
 
+pub use clip_bench as bench;
 pub use clip_cache as cache;
 pub use clip_core as core_mechanism;
 pub use clip_cpu as cpu;
