@@ -1,0 +1,7 @@
+//! Composite ensemble figure: Berti + SPP-PPF + next-line under a shared
+//! degree budget vs the best single engine, with and without CLIP
+//! arbitrating between the member engines.
+
+fn main() {
+    clip_bench::figures::run_bin("composite");
+}

@@ -66,6 +66,7 @@ pub fn registry() -> Vec<FigureEntry> {
         e("ablation", true, ablation),
         e("dynclip", true, dynclip),
         e("backends", true, backends),
+        e("composite", true, composite),
         e("summary", false, summary),
         e("probe", false, probe),
     ]
@@ -1281,6 +1282,93 @@ fn backends(scale: &Scale) -> Vec<Experiment> {
         render: Render::GeomeanWs,
     })
     .collect()
+}
+
+/// Composite ensemble (Berti + SPP-PPF + next-line under a shared degree
+/// budget) against the best single engine, with and without CLIP. Under
+/// CLIP the utility buffer tracks per-engine accuracy and the filter
+/// demotes whichever member goes inaccurate, so the +CLIP columns show
+/// arbitration between sources rather than gating of one stream. The
+/// body is the usual geomean-WS grid plus one note per row carrying the
+/// Composite+CLIP cell's per-engine accuracy counters (summed over
+/// mixes), so the JSON artifact exposes the arbitration outcome.
+fn composite(scale: &Scale) -> Vec<Experiment> {
+    fn body(d: &ExperimentData) -> TableBody {
+        let mut rows = Vec::new();
+        let mut notes = Vec::new();
+        for r in 0..d.rows() {
+            let mut cells = d.spec.rows[r].labels.clone();
+            for c in 0..d.cells(r) {
+                cells.push(fmt(d.geomean_ws(r, c)));
+            }
+            rows.push(cells);
+            // Cell 3 is Composite+CLIP; engine order matches the
+            // ensemble's fixed priority list.
+            let names = ["berti", "spp-ppf", "next-line"];
+            let mut agg = [(0u64, 0u64, 5u8); 3];
+            for m in 0..d.mixes(r) {
+                let clip = d.result(r, 3, m).clip.as_ref().expect("clip report");
+                for (e, slot) in agg.iter_mut().enumerate().take(clip.num_engines.min(3)) {
+                    slot.0 += clip.engines[e].issued;
+                    slot.1 += clip.engines[e].hits;
+                    slot.2 = slot.2.min(clip.engines[e].min_level);
+                }
+            }
+            let fields: Vec<String> = names
+                .iter()
+                .zip(agg)
+                .map(|(n, (issued, hits, level))| {
+                    format!("{n} issued={issued} hits={hits} min_level={level}")
+                })
+                .collect();
+            notes.push(format!(
+                "engines@{}ch: {}",
+                d.spec.rows[r].labels[0],
+                fields.join(" | ")
+            ));
+        }
+        TableBody { rows, notes }
+    }
+    let mixes = all_mixes(scale);
+    let kinds = [PrefetcherKind::Berti, PrefetcherKind::Composite];
+    vec![Experiment {
+        name: "composite".into(),
+        title: format!(
+            "# Composite: ensemble vs best-single, with/without CLIP ({} cores, {} mixes)",
+            scale.cores,
+            mixes.len()
+        ),
+        columns: cols(&[
+            "channels(paper)",
+            "Berti",
+            "Berti+CLIP",
+            "Composite",
+            "Composite+CLIP",
+        ]),
+        rows: [4usize, 8, 16]
+            .into_iter()
+            .map(|paper_ch| {
+                let ch = scaled_channels(paper_ch, scale.cores);
+                RowSpec {
+                    labels: vec![paper_ch.to_string()],
+                    extra: vec![],
+                    mixes: mixes.clone(),
+                    cells: kinds
+                        .into_iter()
+                        .flat_map(|kind| {
+                            [Scheme::plain(), Scheme::with_clip()].map(|scheme| CellSpec {
+                                cfg: kind_cfg(scale, ch, kind),
+                                scheme,
+                            })
+                        })
+                        .collect(),
+                }
+            })
+            .collect(),
+        opts: scale.options(),
+        normalization: Normalization::NoPrefetch,
+        render: Render::Table(body),
+    }]
 }
 
 // ----------------------------------------------------------------------

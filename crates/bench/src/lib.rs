@@ -21,6 +21,10 @@
 //! * `CLIP_NOC` — `mesh`, `analytic`, or `chiplet` (default analytic
 //!   for sweeps).
 //! * `CLIP_DRAM` — memory backend: `ddr4` (default) or `hbm`.
+//! * `CLIP_PF` — default prefetcher for `clipsim`/`clipd` run specs
+//!   that omit one: any CLI word incl. `composite` (default `berti`);
+//!   see [`proto::default_prefetcher`]. Figure binaries pin their own
+//!   prefetchers and ignore it.
 //! * `CLIP_CACHE` — `0`/`off` disables the universal on-disk result
 //!   cache (every completed cell, all schemes — see [`mod@cache`]).
 //! * `CLIP_CACHE_DIR` — overrides the result-cache directory.

@@ -158,6 +158,30 @@ pub struct RunSpec {
     pub deadline_ms: Option<u64>,
 }
 
+/// The prefetcher vocabulary, shared by [`prefetcher_from`] and the
+/// `CLIP_PF` environment knob (which accepts exactly the CLI's words).
+const PREFETCHER_WORDS: &[&str] = &[
+    "none",
+    "berti",
+    "ipcp",
+    "bingo",
+    "spp-ppf",
+    "spp",
+    "ip-stride",
+    "stream",
+    "next-line",
+    "composite",
+];
+
+/// The default prefetcher kind: `CLIP_PF` when set to a known word
+/// (validated warn-once, see [`clip_types::knob`]), else Berti. Requests
+/// and CLI flags that name a prefetcher explicitly always win.
+pub fn default_prefetcher() -> PrefetcherKind {
+    clip_types::knob::env_choice("CLIP_PF", PREFETCHER_WORDS)
+        .and_then(|w| prefetcher_from(w).ok())
+        .unwrap_or(PrefetcherKind::Berti)
+}
+
 impl Default for RunSpec {
     fn default() -> Self {
         RunSpec {
@@ -165,7 +189,7 @@ impl Default for RunSpec {
             hetero_seed: None,
             cores: 8,
             channels: 1,
-            prefetcher: PrefetcherKind::Berti,
+            prefetcher: default_prefetcher(),
             clip: false,
             dynclip: false,
             throttler: None,
@@ -195,6 +219,7 @@ pub fn prefetcher_from(name: &str) -> Result<PrefetcherKind, String> {
         "ip-stride" => PrefetcherKind::IpStride,
         "stream" => PrefetcherKind::Stream,
         "next-line" => PrefetcherKind::NextLine,
+        "composite" => PrefetcherKind::Composite,
         other => return Err(format!("unknown prefetcher: {other}")),
     })
 }
@@ -209,6 +234,7 @@ pub fn prefetcher_name(kind: PrefetcherKind) -> &'static str {
         PrefetcherKind::IpStride => "ip-stride",
         PrefetcherKind::Stream => "stream",
         PrefetcherKind::NextLine => "next-line",
+        PrefetcherKind::Composite => "composite",
     }
 }
 
@@ -604,6 +630,7 @@ mod tests {
             "ip-stride",
             "stream",
             "next-line",
+            "composite",
         ] {
             assert_eq!(prefetcher_name(prefetcher_from(name).expect("known")), name);
         }

@@ -63,6 +63,7 @@ fn registry_covers_every_binary_in_sweep_order() {
             "ablation",
             "dynclip",
             "backends",
+            "composite",
             "summary",
             "probe",
         ]
@@ -128,6 +129,42 @@ fn backends_expands_the_fabric_by_memory_grid() {
         assert_eq!(ddr.channels, clip_bench::scaled_channels(8, 4));
         assert_eq!(hbm.channels, clip_bench::scaled_channels(16, 4));
         assert!(hbm.banks_per_channel > ddr.banks_per_channel);
+    }
+}
+
+#[test]
+fn composite_expands_the_ensemble_versus_best_single_grid() {
+    let exps = build("composite");
+    assert_eq!(exps.len(), 1);
+    let e = &exps[0];
+    assert_eq!(e.normalization, Normalization::NoPrefetch);
+    assert_eq!(
+        e.columns,
+        [
+            "channels(paper)",
+            "Berti",
+            "Berti+CLIP",
+            "Composite",
+            "Composite+CLIP"
+        ]
+    );
+    let labels: Vec<&str> = e.rows.iter().map(|r| r.labels[0].as_str()).collect();
+    assert_eq!(labels, ["4", "8", "16"], "one row per paper channel count");
+    for row in &e.rows {
+        assert_eq!(row.cells.len(), 4, "two kinds x plain/CLIP");
+        assert_eq!(row.mixes.len(), 5, "homogeneous + heterogeneous mixes");
+        // The ensemble trains at L1, so it occupies the L1 slot like
+        // Berti; the CLIP cells differ only in scheme.
+        for (i, cell) in row.cells.iter().enumerate() {
+            let kind = if i < 2 {
+                PrefetcherKind::Berti
+            } else {
+                PrefetcherKind::Composite
+            };
+            assert_eq!(cell.cfg.l1_prefetcher, kind);
+            assert_eq!(cell.cfg.l2_prefetcher, PrefetcherKind::None);
+            assert_eq!(cell.scheme.clip.is_some(), i % 2 == 1);
+        }
     }
 }
 

@@ -1,16 +1,23 @@
 //! Application phase detection via accesses-per-cycle (APC) at the L1D
-//! (§4.2): the APC of the last 16 windows is averaged; a new window whose
-//! APC deviates from that average by more than 15% declares a phase
-//! change. The method follows Kalani & Panda (CAL '21).
+//! (§4.2): the APC of the last `ClipConfig::apc_windows` windows is
+//! averaged; a new window whose APC deviates from that average by more
+//! than `ClipConfig::apc_threshold` declares a phase change. The paper's
+//! operating point (16 windows, 15%) lives in `ClipConfig::default()` —
+//! `Clip::new` constructs the detector from those fields, so sensitivity
+//! sweeps vary the config rather than this module. The method follows
+//! Kalani & Panda (CAL '21).
 
 /// The APC-based phase detector.
 ///
 /// # Examples
 ///
 /// ```
-/// use clip_core::ApcDetector;
+/// use clip_core::{ApcDetector, ClipConfig};
 ///
-/// let mut apc = ApcDetector::new(16, 0.15);
+/// // The paper's operating point comes from the config, not constants
+/// // baked into call sites.
+/// let cfg = ClipConfig::default();
+/// let mut apc = ApcDetector::new(cfg.apc_windows, cfg.apc_threshold);
 /// for _ in 0..16 {
 ///     assert!(!apc.sample(1_000, 10_000)); // steady phase
 /// }

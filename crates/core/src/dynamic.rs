@@ -160,8 +160,21 @@ impl DynamicClip {
     /// The gate: defers to CLIP when filtering, passes everything (as
     /// exploration traffic, still tracked for accuracy) when bypassed.
     pub fn filter_prefetch(&mut self, line: LineAddr, trigger_ip: Ip) -> Decision {
+        self.filter_prefetch_tagged(line, trigger_ip, 0)
+    }
+
+    /// The gate with the candidate's engine tag (composite ensembles).
+    /// When bypassed, everything passes and no per-engine accounting
+    /// happens — the arbitration levels stay wherever filtering left
+    /// them.
+    pub fn filter_prefetch_tagged(
+        &mut self,
+        line: LineAddr,
+        trigger_ip: Ip,
+        engine: u8,
+    ) -> Decision {
         match self.mode {
-            ClipMode::Filtering => self.clip.filter_prefetch(line, trigger_ip),
+            ClipMode::Filtering => self.clip.filter_prefetch_tagged(line, trigger_ip, engine),
             ClipMode::Bypassed => Decision::AllowExplore,
         }
     }
@@ -195,6 +208,26 @@ impl DynamicClip {
     /// Cancelled-prefetch pass-through.
     pub fn cancel_prefetch(&mut self, line: LineAddr, trigger_ip: Ip) {
         self.clip.cancel_prefetch(line, trigger_ip);
+    }
+
+    /// Tagged cancelled-prefetch pass-through.
+    pub fn cancel_prefetch_tagged(&mut self, line: LineAddr, trigger_ip: Ip, engine: u8) {
+        self.clip.cancel_prefetch_tagged(line, trigger_ip, engine);
+    }
+
+    /// Per-engine arbitration level pass-through.
+    pub fn engine_levels(&self) -> [u8; clip_types::MAX_PF_ENGINES] {
+        self.clip.engine_levels()
+    }
+
+    /// Per-engine accuracy counter pass-through.
+    pub fn engine_stats(&self) -> [crate::EngineStats; clip_types::MAX_PF_ENGINES] {
+        self.clip.engine_stats()
+    }
+
+    /// Arbitrated engine-count pass-through (0 for single-engine CLIP).
+    pub fn num_engines(&self) -> usize {
+        self.clip.num_engines()
     }
 
     /// Criticality-prediction pass-through (Figures 13/14 evaluation).

@@ -49,7 +49,7 @@ pub use storage::StorageReport;
 pub use utility::UtilityBuffer;
 
 use clip_cpu::LoadOutcome;
-use clip_types::{BitHistory, Ip, LineAddr};
+use clip_types::{BitHistory, Ip, LineAddr, MAX_PF_ENGINES};
 
 /// Tuning knobs of CLIP. Defaults reproduce the paper's configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +100,14 @@ pub struct ClipConfig {
     /// of trigger IP — §4.2's fallback for non-IP-based L2 prefetchers
     /// ("the IP hit rate is replaced by the page hit rate").
     pub page_mode: bool,
+    /// Number of concurrently running prefetch engines feeding this CLIP
+    /// instance (1 for every single prefetcher; the composite ensemble
+    /// sets its member count, capped at `clip_types::MAX_PF_ENGINES`).
+    /// With more than one engine, CLIP additionally tracks per-engine
+    /// accuracy through the utility buffer's engine tags and recomputes
+    /// FDP-style per-engine throttle levels at every window boundary —
+    /// see [`Clip::engine_levels`].
+    pub engines: usize,
 }
 
 impl Default for ClipConfig {
@@ -124,6 +132,7 @@ impl Default for ClipConfig {
             use_criticality_stage: true,
             criticality_flag_to_fabric: true,
             page_mode: false,
+            engines: 1,
         }
     }
 }
@@ -213,6 +222,37 @@ impl ClipStats {
     }
 }
 
+/// Cumulative per-engine accuracy counters for one engine of a composite
+/// ensemble (all zero/default for single-engine prefetchers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Prefetches CLIP let through that were tagged with this engine.
+    pub issued: u64,
+    /// Demand hits the utility buffer credited to this engine.
+    pub hits: u64,
+    /// The engine's current arbitration level (1..=5; 0 = unused slot).
+    pub level: u8,
+}
+
+impl EngineStats {
+    /// Hits per issued prefetch (0 when nothing was issued).
+    pub fn accuracy(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.issued as f64
+        }
+    }
+}
+
+/// Issued prefetches an engine must accumulate within the (decayed)
+/// window before its accuracy verdict moves its arbitration level.
+const ENGINE_MIN_SAMPLE: u64 = 32;
+/// Windowed accuracy below which an engine is demoted one level.
+const ENGINE_ACC_LOW: f64 = 0.30;
+/// Windowed accuracy at or above which an engine is promoted one level.
+const ENGINE_ACC_HIGH: f64 = 0.60;
+
 /// The CLIP mechanism for one core. See the crate docs for the two-stage
 /// pipeline.
 #[derive(Debug, Clone)]
@@ -229,6 +269,17 @@ pub struct Clip {
     /// IPs holding an exploration slot this window.
     exploring: Vec<u64>,
     stats: ClipStats,
+    /// Per-engine arbitration levels (1..=5), recomputed each window when
+    /// `cfg.engines > 1`; otherwise stays pinned at 5 (no starvation).
+    engine_levels: [u8; MAX_PF_ENGINES],
+    /// Decayed per-window issue counters driving the level decisions.
+    engine_win_issued: [u64; MAX_PF_ENGINES],
+    /// Decayed per-window hit counters driving the level decisions.
+    engine_win_hits: [u64; MAX_PF_ENGINES],
+    /// Monotone cumulative issue counters (reporting surface).
+    engine_tot_issued: [u64; MAX_PF_ENGINES],
+    /// Monotone cumulative hit counters (reporting surface).
+    engine_tot_hits: [u64; MAX_PF_ENGINES],
 }
 
 impl Clip {
@@ -249,8 +300,44 @@ impl Clip {
             paused_windows: 0,
             exploring: Vec::new(),
             stats: ClipStats::default(),
+            engine_levels: [5; MAX_PF_ENGINES],
+            engine_win_issued: [0; MAX_PF_ENGINES],
+            engine_win_hits: [0; MAX_PF_ENGINES],
+            engine_tot_issued: [0; MAX_PF_ENGINES],
+            engine_tot_hits: [0; MAX_PF_ENGINES],
             cfg,
         }
+    }
+
+    /// Engines this CLIP instance arbitrates between: `cfg.engines` capped
+    /// at `MAX_PF_ENGINES` when composite (> 1), else 0 — single-engine
+    /// CLIP has no arbitration surface and reports none.
+    pub fn num_engines(&self) -> usize {
+        if self.cfg.engines > 1 {
+            self.cfg.engines.min(MAX_PF_ENGINES)
+        } else {
+            0
+        }
+    }
+
+    /// Current per-engine arbitration levels (1..=5). Pushed into the
+    /// composite prefetcher at every window boundary; slots past
+    /// [`Clip::num_engines`] stay at their initial 5.
+    pub fn engine_levels(&self) -> [u8; MAX_PF_ENGINES] {
+        self.engine_levels
+    }
+
+    /// Cumulative per-engine accuracy counters plus the current level.
+    pub fn engine_stats(&self) -> [EngineStats; MAX_PF_ENGINES] {
+        let mut out = [EngineStats::default(); MAX_PF_ENGINES];
+        for (e, slot) in out.iter_mut().enumerate() {
+            *slot = EngineStats {
+                issued: self.engine_tot_issued[e],
+                hits: self.engine_tot_hits[e],
+                level: self.engine_levels[e],
+            };
+        }
+        out
     }
 
     /// The active configuration.
@@ -331,10 +418,13 @@ impl Clip {
     }
 
     /// Records a demand access at the L1D (drives the utility-buffer CAM
-    /// probe and the per-IP hit counts).
+    /// probe, the per-IP hit counts, and per-engine hit credit).
     pub fn on_demand_access(&mut self, line: LineAddr) {
-        if let Some(trigger_ip) = self.utility.probe(line) {
+        if let Some((trigger_ip, engine)) = self.utility.probe_tagged(line) {
             self.filter.record_prefetch_hit(trigger_ip);
+            let e = (engine as usize).min(MAX_PF_ENGINES - 1);
+            self.engine_win_hits[e] += 1;
+            self.engine_tot_hits[e] += 1;
         }
     }
 
@@ -361,6 +451,25 @@ impl Clip {
         if self.paused_windows > 0 {
             self.paused_windows -= 1;
         }
+        // Per-engine arbitration (composite only): demote engines whose
+        // windowed accuracy fell below the low mark, promote the accurate
+        // ones back toward full aggression. Halving (instead of zeroing)
+        // the counters keeps a decayed history for hysteresis, FDP-style.
+        if self.cfg.engines > 1 {
+            for e in 0..self.cfg.engines.min(MAX_PF_ENGINES) {
+                let issued = self.engine_win_issued[e];
+                if issued >= ENGINE_MIN_SAMPLE {
+                    let acc = self.engine_win_hits[e] as f64 / issued as f64;
+                    if acc < ENGINE_ACC_LOW {
+                        self.engine_levels[e] = self.engine_levels[e].saturating_sub(1).max(1);
+                    } else if acc >= ENGINE_ACC_HIGH {
+                        self.engine_levels[e] = (self.engine_levels[e] + 1).min(5);
+                    }
+                }
+                self.engine_win_issued[e] /= 2;
+                self.engine_win_hits[e] /= 2;
+            }
+        }
     }
 
     /// Feeds one APC sample (accesses and cycles since the last sample).
@@ -374,11 +483,40 @@ impl Clip {
             self.utility.reset();
             self.exploring.clear();
             self.paused_windows = 1;
+            // New phase: every engine starts over at full aggression.
+            self.engine_levels = [5; MAX_PF_ENGINES];
+            self.engine_win_issued = [0; MAX_PF_ENGINES];
+            self.engine_win_hits = [0; MAX_PF_ENGINES];
         }
     }
 
-    /// The gate: decides whether a prefetch candidate survives.
+    /// Books an allowed prefetch into the utility buffer and the
+    /// per-engine issue counters.
+    fn issue_tagged(&mut self, line: LineAddr, key: Ip, engine: u8) {
+        self.filter.record_issue(key);
+        self.utility.push_tagged(line, key, engine);
+        let e = (engine as usize).min(MAX_PF_ENGINES - 1);
+        self.engine_win_issued[e] += 1;
+        self.engine_tot_issued[e] += 1;
+    }
+
+    /// The gate: decides whether a prefetch candidate survives. Untagged
+    /// entry point — candidates from a single-engine prefetcher
+    /// (engine 0).
     pub fn filter_prefetch(&mut self, line: LineAddr, trigger_ip: Ip) -> Decision {
+        self.filter_prefetch_tagged(line, trigger_ip, 0)
+    }
+
+    /// The gate, with the candidate's engine tag: decides whether a
+    /// prefetch candidate survives and attributes the issue (and any
+    /// later demand hit) to the originating engine of a composite
+    /// ensemble.
+    pub fn filter_prefetch_tagged(
+        &mut self,
+        line: LineAddr,
+        trigger_ip: Ip,
+        engine: u8,
+    ) -> Decision {
         self.stats.candidates += 1;
         if self.paused_windows > 0 {
             self.stats.dropped_phase += 1;
@@ -393,8 +531,7 @@ impl Clip {
             }
             // Accuracy-only ablation: unknown IPs explore.
             self.filter.record_stall(key);
-            self.filter.record_issue(key);
-            self.utility.push(line, key);
+            self.issue_tagged(line, key, engine);
             self.stats.allowed_explore += 1;
             return Decision::AllowExplore;
         };
@@ -422,8 +559,7 @@ impl Clip {
                     false
                 };
             if has_slot {
-                self.filter.record_issue(key);
-                self.utility.push(line, key);
+                self.issue_tagged(line, key, engine);
                 self.stats.allowed_explore += 1;
                 return Decision::AllowExplore;
             }
@@ -455,8 +591,7 @@ impl Clip {
             }
         }
 
-        self.filter.record_issue(key);
-        self.utility.push(line, key);
+        self.issue_tagged(line, key, engine);
         self.stats.allowed_critical += 1;
         if self.cfg.criticality_flag_to_fabric {
             Decision::AllowCritical
@@ -471,9 +606,19 @@ impl Clip {
     /// the per-IP hit rate is not diluted by prefetches that never
     /// happened.
     pub fn cancel_prefetch(&mut self, line: LineAddr, trigger_ip: Ip) {
+        self.cancel_prefetch_tagged(line, trigger_ip, 0);
+    }
+
+    /// [`Clip::cancel_prefetch`] with the candidate's engine tag: also
+    /// releases the per-engine issue credit so a cancelled prefetch does
+    /// not depress (or inflate the denominator of) its engine's accuracy.
+    pub fn cancel_prefetch_tagged(&mut self, line: LineAddr, trigger_ip: Ip, engine: u8) {
         let key = self.track_key(trigger_ip, line);
         if self.utility.remove(line) {
             self.filter.cancel_issue(key);
+            let e = (engine as usize).min(MAX_PF_ENGINES - 1);
+            self.engine_win_issued[e] = self.engine_win_issued[e].saturating_sub(1);
+            self.engine_tot_issued[e] = self.engine_tot_issued[e].saturating_sub(1);
         }
     }
 
@@ -727,6 +872,77 @@ mod tests {
         let c4 = ClipConfig::default().scaled(4.0);
         assert_eq!(c4.filter_sets, 128);
         assert_eq!(c4.predictor_sets, 512);
+    }
+
+    /// Satellite of Issue 10: `Clip::new` reads the APC operating point
+    /// (and everything else) from the config — pin the defaults to the
+    /// paper's Table 2 values so `sens_clip`-style sweeps have a fixed
+    /// anchor and doc examples can't silently drift from `Clip::new`.
+    #[test]
+    fn default_config_pins_the_papers_operating_point() {
+        let c = ClipConfig::default();
+        assert_eq!(c.apc_windows, 16);
+        assert_eq!(c.apc_threshold, 0.15);
+        assert_eq!(c.exploration_window, 1024);
+        assert_eq!(c.utility_entries, 64);
+        assert_eq!(c.hit_rate_threshold, 0.90);
+        assert_eq!(c.criticality_count_threshold, 4);
+        assert_eq!(c.filter_sets * c.filter_ways, 128);
+        assert_eq!(c.predictor_sets * c.predictor_ways, 512);
+        assert_eq!(c.counter_bits, 3);
+        assert_eq!(c.engines, 1, "single engine unless composite opts in");
+        // The detector really is constructed from those fields.
+        let clip = Clip::new(c.clone());
+        assert_eq!(clip.config(), &c);
+        assert_eq!(clip.num_engines(), 0, "no arbitration surface at engines=1");
+    }
+
+    #[test]
+    fn composite_engines_demote_on_low_windowed_accuracy() {
+        // Accuracy-only CLIP with three engines: engine 0 issues through
+        // IP A and every prefetch is vindicated by a demand hit; engine 1
+        // issues junk through IP B that never hits. The per-engine
+        // arbitration must walk engine 1 down the levels while leaving
+        // engine 0 at full aggression.
+        let cfg = ClipConfig {
+            use_criticality_stage: false,
+            engines: 3,
+            ..ClipConfig::default()
+        };
+        let mut clip = Clip::new(cfg);
+        assert_eq!(clip.num_engines(), 3);
+        assert_eq!(clip.engine_levels()[..3], [5, 5, 5]);
+        let mut line = 1_000u64;
+        for _window in 0..3 {
+            for _ in 0..40 {
+                line += 1;
+                let good = LineAddr::new(line);
+                if clip
+                    .filter_prefetch_tagged(good, Ip::new(0xA00), 0)
+                    .allows()
+                {
+                    clip.on_demand_access(good);
+                }
+                line += 1;
+                let junk = LineAddr::new(line);
+                let _ = clip.filter_prefetch_tagged(junk, Ip::new(0xB00), 1);
+            }
+            for _ in 0..1024 {
+                clip.on_l1_miss();
+            }
+        }
+        let levels = clip.engine_levels();
+        assert_eq!(levels[0], 5, "accurate engine keeps full aggression");
+        assert!(
+            levels[1] <= 3,
+            "inaccurate engine must be demoted: {levels:?}"
+        );
+        let stats = clip.engine_stats();
+        assert!(stats[0].issued > 0 && stats[1].issued > 0, "{stats:?}");
+        assert!(
+            stats[0].accuracy() > stats[1].accuracy(),
+            "per-engine accuracy must separate: {stats:?}"
+        );
     }
 
     #[test]

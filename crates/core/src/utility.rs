@@ -1,6 +1,11 @@
 //! The utility buffer: a 64-entry circular CAM mapping recently issued
 //! prefetch line addresses to their trigger IPs (§4.3). A demand hit in
 //! the CAM credits the trigger IP's hit count in the criticality filter.
+//!
+//! Each slot also carries the issuing engine's tag (0 for single-engine
+//! prefetchers), so a composite ensemble's per-engine accuracy can be
+//! tracked through the same CAM: [`UtilityBuffer::probe_tagged`] reports
+//! which engine's prefetch a demand access just vindicated.
 
 use clip_types::{Ip, LineAddr};
 
@@ -8,6 +13,7 @@ use clip_types::{Ip, LineAddr};
 struct Slot {
     line: u64,
     ip: u64,
+    engine: u8,
     valid: bool,
 }
 
@@ -44,6 +50,7 @@ impl UtilityBuffer {
                 Slot {
                     line: 0,
                     ip: 0,
+                    engine: 0,
                     valid: false
                 };
                 entries
@@ -54,9 +61,16 @@ impl UtilityBuffer {
 
     /// Records an issued prefetch, overwriting the oldest slot.
     pub fn push(&mut self, line: LineAddr, trigger_ip: Ip) {
+        self.push_tagged(line, trigger_ip, 0);
+    }
+
+    /// Records an issued prefetch with its engine tag, overwriting the
+    /// oldest slot.
+    pub fn push_tagged(&mut self, line: LineAddr, trigger_ip: Ip, engine: u8) {
         self.slots[self.head] = Slot {
             line: line.raw(),
             ip: trigger_ip.raw(),
+            engine,
             valid: true,
         };
         self.head = (self.head + 1) % self.slots.len();
@@ -65,11 +79,18 @@ impl UtilityBuffer {
     /// CAM probe by a demand access: on a match, consumes the slot and
     /// returns the trigger IP.
     pub fn probe(&mut self, line: LineAddr) -> Option<Ip> {
+        self.probe_tagged(line).map(|(ip, _)| ip)
+    }
+
+    /// CAM probe by a demand access: on a match, consumes the slot and
+    /// returns the trigger IP plus the tag of the engine that issued the
+    /// now-useful prefetch.
+    pub fn probe_tagged(&mut self, line: LineAddr) -> Option<(Ip, u8)> {
         let raw = line.raw();
         for s in self.slots.iter_mut() {
             if s.valid && s.line == raw {
                 s.valid = false;
-                return Some(Ip::new(s.ip));
+                return Some((Ip::new(s.ip), s.engine));
             }
         }
         None
@@ -149,5 +170,15 @@ mod tests {
     #[test]
     fn paper_capacity_is_64() {
         assert_eq!(UtilityBuffer::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn tagged_probe_reports_the_issuing_engine() {
+        let mut b = UtilityBuffer::new(4);
+        b.push_tagged(LineAddr::new(7), Ip::new(0x10), 2);
+        b.push(LineAddr::new(8), Ip::new(0x20)); // untagged = engine 0
+        assert_eq!(b.probe_tagged(LineAddr::new(7)), Some((Ip::new(0x10), 2)));
+        assert_eq!(b.probe_tagged(LineAddr::new(8)), Some((Ip::new(0x20), 0)));
+        assert_eq!(b.probe_tagged(LineAddr::new(7)), None, "consumed");
     }
 }

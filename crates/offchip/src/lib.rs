@@ -205,6 +205,7 @@ impl DsPatch {
                         line: c.line.offset_by(1),
                         trigger_ip: c.trigger_ip,
                         fill_l1: false,
+                        engine: c.engine,
                     })
                     .collect();
                 candidates.extend(extra);
@@ -265,6 +266,7 @@ mod tests {
             line: LineAddr::new(100),
             trigger_ip: Ip::new(0x4),
             fill_l1: true,
+            engine: 0,
         }];
         d.modulate(&mut v);
         assert_eq!(v.len(), 2);
@@ -318,11 +320,13 @@ mod tests {
                 line: LineAddr::new(1),
                 trigger_ip: Ip::new(0x4),
                 fill_l1: true,
+                engine: 0,
             },
             PrefetchCandidate {
                 line: LineAddr::new(2),
                 trigger_ip: Ip::new(0x4),
                 fill_l1: false,
+                engine: 0,
             },
         ];
         d.modulate(&mut v);

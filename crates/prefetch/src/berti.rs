@@ -236,6 +236,7 @@ impl Prefetcher for Berti {
                 line: LineAddr::new(target),
                 trigger_ip: info.ip,
                 fill_l1: cov_timely >= HIGH_WATERMARK,
+                engine: 0,
             });
             issued += 1;
         }

@@ -143,6 +143,7 @@ impl Prefetcher for Bingo {
                         line: LineAddr::new(base + bit as u64),
                         trigger_ip: Ip::new(ip),
                         fill_l1: false,
+                        engine: 0,
                     });
                     issued += 1;
                 }

@@ -1,0 +1,277 @@
+//! Composite prefetcher: 2–3 engines running concurrently behind one
+//! [`Prefetcher`] surface, triage-style.
+//!
+//! Real deployments ensemble prefetchers (the triage-reeses design runs
+//! BO + SMS + TableISB simultaneously under a shared `MAX_ALLOWED_DEGREE`
+//! budget); the paper evaluates engines one at a time. [`Composite`] runs
+//! Berti + SPP-PPF + next-line concurrently:
+//!
+//! * every candidate is tagged with its originating engine index, so
+//!   downstream consumers (CLIP's utility buffer, the tile's pf-queue
+//!   auditor) can account per engine;
+//! * one shared degree budget ([`MAX_ALLOWED_DEGREE`]) caps the aggregate
+//!   candidates per demand access, with engines drawing in fixed priority
+//!   order and duplicate lines resolved to the earliest engine;
+//! * throttling is two-level: the global FDP-style level (set by
+//!   [`Prefetcher::set_level`]) combines with CLIP's per-engine levels
+//!   (pushed via [`Prefetcher::set_engine_levels`]) by taking the
+//!   minimum, so the criticality filter can starve one inaccurate engine
+//!   down to a single line per access without touching the others.
+
+use crate::{degree_for_level, AccessInfo, Berti, NextLine, PrefetchCandidate, Prefetcher, SppPpf};
+use clip_types::{Cycle, LineAddr};
+
+/// Engines inside the composite ensemble, in candidate priority order:
+/// Berti (highest accuracy), SPP-PPF, next-line (cheapest, lowest
+/// priority). Must stay `<= clip_types::MAX_PF_ENGINES`.
+pub const COMPOSITE_ENGINES: usize = 3;
+
+/// Shared per-access candidate budget across all engines, mirroring the
+/// triage-reeses `MAX_ALLOWED_DEGREE` cap: no demand access may fan out
+/// into more aggregate prefetches than this, no matter how many engines
+/// fire.
+pub const MAX_ALLOWED_DEGREE: usize = 8;
+
+/// Baseline (level 3) per-engine degree the level scaling works from.
+const ENGINE_BASE_DEGREE: usize = 4;
+
+/// The composite ensemble. See the module docs for the arbitration rules.
+pub struct Composite {
+    engines: Vec<Box<dyn Prefetcher>>,
+    /// Global FDP-style throttle level (1..=5), applied to every engine.
+    global_level: u8,
+    /// CLIP-provided per-engine levels (1..=5); the effective level of
+    /// engine `e` is `min(global_level, engine_levels[e])`.
+    engine_levels: [u8; COMPOSITE_ENGINES],
+    /// Candidates admitted through the shared budget, per engine. Test
+    /// and report surface for the starvation rule.
+    issued: [u64; COMPOSITE_ENGINES],
+    scratch: Vec<PrefetchCandidate>,
+}
+
+impl Composite {
+    /// Builds the default Berti + SPP-PPF + next-line ensemble at level 3.
+    pub fn new() -> Self {
+        Composite {
+            engines: vec![
+                Box::new(Berti::new()),
+                Box::new(SppPpf::new()),
+                Box::new(NextLine::new()),
+            ],
+            global_level: 3,
+            engine_levels: [5; COMPOSITE_ENGINES],
+            issued: [0; COMPOSITE_ENGINES],
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Short names of the member engines, in engine-index order.
+    pub fn engine_names(&self) -> Vec<&'static str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+
+    /// Candidates each engine has pushed through the shared budget so far.
+    pub fn issued_per_engine(&self) -> [u64; COMPOSITE_ENGINES] {
+        self.issued
+    }
+
+    /// The level engine `e` actually runs at: the tighter of the global
+    /// throttle and CLIP's per-engine arbitration level.
+    fn effective_level(&self, e: usize) -> u8 {
+        self.global_level.min(self.engine_levels[e])
+    }
+
+    /// Per-access candidate cap for one engine at its effective level,
+    /// never exceeding the shared budget.
+    fn engine_cap(&self, e: usize) -> usize {
+        degree_for_level(ENGINE_BASE_DEGREE, self.effective_level(e)).min(MAX_ALLOWED_DEGREE)
+    }
+
+    /// Re-pushes the combined levels down into the member engines so
+    /// their internal degrees (lookahead, stream distance) scale too.
+    fn push_levels(&mut self) {
+        for e in 0..COMPOSITE_ENGINES {
+            let level = self.effective_level(e);
+            self.engines[e].set_level(level);
+        }
+    }
+}
+
+impl Default for Composite {
+    fn default() -> Self {
+        Composite::new()
+    }
+}
+
+impl Prefetcher for Composite {
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<PrefetchCandidate>) {
+        let start = out.len();
+        let mut budget = MAX_ALLOWED_DEGREE;
+        for e in 0..self.engines.len() {
+            if budget == 0 {
+                break;
+            }
+            self.scratch.clear();
+            self.engines[e].on_access(info, &mut self.scratch);
+            let cap = self.engine_cap(e).min(budget);
+            let mut taken = 0usize;
+            for c in &self.scratch {
+                if taken >= cap {
+                    break;
+                }
+                // Duplicate lines resolve to the earliest engine: the
+                // first proposer owns the tag and the budget slot.
+                if out[start..].iter().any(|q| q.line == c.line) {
+                    continue;
+                }
+                out.push(PrefetchCandidate {
+                    engine: e as u8,
+                    ..*c
+                });
+                taken += 1;
+            }
+            self.issued[e] += taken as u64;
+            budget -= taken;
+        }
+    }
+
+    fn on_fill(&mut self, line: LineAddr, cycle: Cycle) {
+        for e in &mut self.engines {
+            e.on_fill(line, cycle);
+        }
+    }
+
+    fn on_prefetch_result(&mut self, line: LineAddr, useful: bool) {
+        for e in &mut self.engines {
+            e.on_prefetch_result(line, useful);
+        }
+    }
+
+    fn set_level(&mut self, level: u8) {
+        self.global_level = level.clamp(1, 5);
+        self.push_levels();
+    }
+
+    fn set_engine_levels(&mut self, levels: &[u8]) {
+        for (slot, &level) in self.engine_levels.iter_mut().zip(levels) {
+            *slot = level.clamp(1, 5);
+        }
+        self.push_levels();
+    }
+
+    fn name(&self) -> &'static str {
+        "Composite"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_types::{Addr, Ip};
+
+    fn access(ip: u64, addr: u64, cycle: Cycle) -> AccessInfo {
+        AccessInfo {
+            ip: Ip::new(ip),
+            addr: Addr::new(addr),
+            hit: false,
+            is_store: false,
+            cycle,
+        }
+    }
+
+    fn drive_stream(pf: &mut Composite, n: u64) -> Vec<PrefetchCandidate> {
+        let mut all = Vec::new();
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.clear();
+            pf.on_access(&access(0x400, 0x20_0000 + i * 64, i * 20), &mut out);
+            assert!(
+                out.len() <= MAX_ALLOWED_DEGREE,
+                "shared budget exceeded: {} candidates",
+                out.len()
+            );
+            for c in &out {
+                pf.on_fill(c.line, i * 20 + 80);
+            }
+            all.extend_from_slice(&out);
+        }
+        all
+    }
+
+    #[test]
+    fn candidates_carry_engine_tags_within_bounds() {
+        let mut pf = Composite::new();
+        let all = drive_stream(&mut pf, 400);
+        assert!(!all.is_empty());
+        assert!(all.iter().all(|c| (c.engine as usize) < COMPOSITE_ENGINES));
+        // On a plain sequential stream at least two engines contribute.
+        let engines: std::collections::HashSet<u8> = all.iter().map(|c| c.engine).collect();
+        assert!(engines.len() >= 2, "only engines {engines:?} fired");
+    }
+
+    #[test]
+    fn one_access_never_exceeds_the_shared_budget() {
+        let mut pf = Composite::new();
+        pf.set_level(5);
+        let mut out = Vec::new();
+        for i in 0..400u64 {
+            out.clear();
+            pf.on_access(&access(0x400, 0x20_0000 + i * 64, i * 20), &mut out);
+            assert!(
+                out.len() <= MAX_ALLOWED_DEGREE,
+                "{} at access {i}",
+                out.len()
+            );
+            let lines: std::collections::HashSet<u64> = out.iter().map(|c| c.line.raw()).collect();
+            assert_eq!(lines.len(), out.len(), "duplicate lines within one access");
+        }
+    }
+
+    #[test]
+    fn per_engine_level_starves_only_the_demoted_engine() {
+        // Demote Berti (engine 0, the dominant proposer on a sequential
+        // stream) to level 1 and compare its admitted share against an
+        // undemoted run over the identical stream.
+        let mut free = Composite::new();
+        drive_stream(&mut free, 400);
+        let baseline = free.issued_per_engine();
+
+        let mut starved = Composite::new();
+        starved.set_engine_levels(&[1, 5, 5]);
+        drive_stream(&mut starved, 400);
+        let after = starved.issued_per_engine();
+
+        assert!(
+            after[0] < baseline[0] / 2,
+            "demoted engine share must shrink: {after:?} vs {baseline:?}"
+        );
+        assert!(
+            after[1] >= baseline[1],
+            "engine 1 must not lose budget when engine 0 is starved: {after:?} vs {baseline:?}"
+        );
+    }
+
+    #[test]
+    fn global_level_tightens_every_engine() {
+        let mut pf = Composite::new();
+        pf.set_level(1);
+        let all = drive_stream(&mut pf, 200);
+        // Each engine is capped at one line per access at level 1, and
+        // the aggregate can never exceed the engine count.
+        let total = pf.issued_per_engine().iter().sum::<u64>();
+        assert_eq!(total as usize, all.len());
+        for chunk_total in pf.issued_per_engine() {
+            assert!(chunk_total <= 200, "level 1 caps each engine to 1/access");
+        }
+    }
+
+    #[test]
+    fn broadcast_feedback_reaches_members_without_panicking() {
+        let mut pf = Composite::new();
+        let all = drive_stream(&mut pf, 100);
+        for c in all.iter().take(32) {
+            pf.on_prefetch_result(c.line, c.engine == 0);
+        }
+        assert_eq!(pf.engine_names().len(), COMPOSITE_ENGINES);
+    }
+}

@@ -198,6 +198,7 @@ impl Prefetcher for Ipcp {
                         line: LineAddr::new(line.wrapping_add_signed(dir * d)),
                         trigger_ip: trigger,
                         fill_l1: d <= self.degree as i64,
+                        engine: 0,
                     });
                 }
             }
@@ -207,6 +208,7 @@ impl Prefetcher for Ipcp {
                         line: LineAddr::new(line.wrapping_add_signed(e.stride * d)),
                         trigger_ip: trigger,
                         fill_l1: true,
+                        engine: 0,
                     });
                 }
             }
@@ -227,6 +229,7 @@ impl Prefetcher for Ipcp {
                             line: LineAddr::new(l),
                             trigger_ip: trigger,
                             fill_l1: step == 0,
+                            engine: 0,
                         });
                     }
                     sig = ((sig << 4) ^ (c.delta as u16 & 0x3f)) & 0xfff;

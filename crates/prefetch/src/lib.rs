@@ -27,12 +27,14 @@
 
 pub mod berti;
 pub mod bingo;
+pub mod composite;
 pub mod ipcp;
 pub mod simple;
 pub mod spp;
 
 pub use berti::Berti;
 pub use bingo::Bingo;
+pub use composite::{Composite, COMPOSITE_ENGINES, MAX_ALLOWED_DEGREE};
 pub use ipcp::Ipcp;
 pub use simple::{IpStride, NextLine, Stream};
 pub use spp::SppPpf;
@@ -65,6 +67,11 @@ pub struct PrefetchCandidate {
     /// Fill into L1 (true) or stop at L2 (false). CLIP overrides this to
     /// L1 for the prefetches it lets through.
     pub fill_l1: bool,
+    /// Index of the engine that generated this candidate inside a
+    /// [`Composite`] ensemble (`< clip_types::MAX_PF_ENGINES`). Single
+    /// prefetchers always emit engine 0; CLIP's utility buffer keys its
+    /// per-engine accuracy accounting on this tag.
+    pub engine: u8,
 }
 
 /// Common interface of every prefetcher in the bouquet.
@@ -85,6 +92,14 @@ pub trait Prefetcher {
     /// Level 3 is the default. Used by FDP/HPAC/SPAC/NST.
     fn set_level(&mut self, _level: u8) {}
 
+    /// Sets a per-engine aggressiveness level (same 1..=5 scale as
+    /// [`Prefetcher::set_level`]), indexed by candidate engine tag. CLIP's
+    /// arbitration pushes these at window boundaries to starve engines
+    /// whose prefetches keep missing demand hits. Single-engine
+    /// prefetchers ignore it; [`Composite`] combines it with the global
+    /// throttle level.
+    fn set_engine_levels(&mut self, _levels: &[u8]) {}
+
     /// Display name.
     fn name(&self) -> &'static str;
 }
@@ -104,20 +119,30 @@ pub fn build(kind: PrefetcherKind) -> Box<dyn Prefetcher> {
         PrefetcherKind::IpStride => Box::new(IpStride::new()),
         PrefetcherKind::Stream => Box::new(Stream::new()),
         PrefetcherKind::NextLine => Box::new(NextLine::new()),
+        PrefetcherKind::Composite => Box::new(Composite::new()),
         PrefetcherKind::None => panic!("PrefetcherKind::None has no implementation"),
     }
 }
 
+/// Hard ceiling on any level-scaled degree or distance. The tile prefetch
+/// queue holds 32 entries and issues two per cycle; a single engine
+/// scaled past 16 lines per trigger would monopolize it, so the clamp
+/// lives here at the trait boundary — every `set_level` implementation
+/// routes its scaling through [`degree_for_level`].
+pub(crate) const MAX_LEVEL_DEGREE: usize = 16;
+
 /// Maps an FDP-style aggressiveness level to a degree, given the
-/// prefetcher's baseline degree at level 3.
+/// prefetcher's baseline degree at level 3. Clamped to
+/// [`MAX_LEVEL_DEGREE`] so no engine can scale past the prefetch queue.
 pub(crate) fn degree_for_level(base: usize, level: u8) -> usize {
-    match level {
+    let scaled = match level {
         0 | 1 => (base / 4).max(1),
         2 => (base / 2).max(1),
         3 => base,
         4 => base * 2,
         _ => base * 4,
-    }
+    };
+    scaled.min(MAX_LEVEL_DEGREE)
 }
 
 #[cfg(test)]
@@ -145,6 +170,7 @@ mod tests {
             PrefetcherKind::IpStride,
             PrefetcherKind::Stream,
             PrefetcherKind::NextLine,
+            PrefetcherKind::Composite,
         ] {
             let mut pf = build(kind);
             let mut out = Vec::new();
@@ -209,6 +235,80 @@ mod tests {
             prev = d;
         }
         assert_eq!(degree_for_level(4, 3), 4);
+    }
+
+    #[test]
+    fn degree_for_level_clamps_at_the_queue_bound() {
+        // Regression: large bases used to scale unclamped (base * 4 at
+        // level 5), letting one engine outgrow the 32-entry prefetch
+        // queue. Every base and level must now stay within the cap while
+        // the low-level floor of 1 is preserved.
+        for base in [1usize, 2, 4, 8, 16, 32] {
+            for level in 0..=6u8 {
+                let d = degree_for_level(base, level);
+                assert!(
+                    (1..=MAX_LEVEL_DEGREE).contains(&d),
+                    "base {base} level {level}: degree {d} escapes 1..={MAX_LEVEL_DEGREE}"
+                );
+            }
+        }
+        assert_eq!(degree_for_level(8, 5), MAX_LEVEL_DEGREE);
+        assert_eq!(degree_for_level(32, 1), 8, "level 1 still quarters");
+    }
+
+    /// Every engine kind at every throttle level: drive a strong
+    /// sequential stream (the most generous trigger each engine has) and
+    /// require that no single access ever yields more candidates than the
+    /// clamped degree bound, and that the per-access worst case never
+    /// shrinks when the level rises.
+    #[test]
+    fn all_engines_respect_the_degree_clamp_at_every_level() {
+        let kinds = [
+            PrefetcherKind::Berti,
+            PrefetcherKind::Ipcp,
+            PrefetcherKind::Bingo,
+            PrefetcherKind::SppPpf,
+            PrefetcherKind::IpStride,
+            PrefetcherKind::Stream,
+            PrefetcherKind::NextLine,
+            PrefetcherKind::Composite,
+        ];
+        for kind in kinds {
+            for level in 1..=5u8 {
+                let mut pf = build(kind);
+                pf.set_level(level);
+                let mut out = Vec::new();
+                let mut peak = 0usize;
+                let mut total = 0usize;
+                for i in 0..600u64 {
+                    out.clear();
+                    pf.on_access(&access(0x400, 0x10_0000 + i * 64, i * 20), &mut out);
+                    peak = peak.max(out.len());
+                    total += out.len();
+                    for c in &out {
+                        pf.on_fill(c.line, i * 20 + 100);
+                    }
+                }
+                // Bingo emits whole spatial footprints (region-sized, not
+                // level-scaled) and IPCP fires several classifier classes
+                // per access, each individually clamped; everything else
+                // is bounded by its clamped degree or, for Composite, the
+                // shared per-access budget. All sit below the 32-entry
+                // prefetch queue.
+                let bound = match kind {
+                    PrefetcherKind::Bingo | PrefetcherKind::Ipcp => 2 * MAX_LEVEL_DEGREE,
+                    _ => MAX_LEVEL_DEGREE,
+                };
+                assert!(
+                    peak <= bound,
+                    "{kind:?} level {level}: {peak} candidates in one access (cap {bound})"
+                );
+                assert!(
+                    total > 0,
+                    "{kind:?} level {level}: clamping must not silence the engine"
+                );
+            }
+        }
     }
 
     #[test]

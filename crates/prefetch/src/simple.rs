@@ -38,6 +38,7 @@ impl Prefetcher for NextLine {
                 line: line.offset_by(d),
                 trigger_ip: info.ip,
                 fill_l1: true,
+                engine: 0,
             });
         }
     }
@@ -119,6 +120,7 @@ impl Prefetcher for IpStride {
                     line: info.addr.line().offset_by(e.stride * d),
                     trigger_ip: info.ip,
                     fill_l1: true,
+                    engine: 0,
                 });
             }
         }
@@ -197,6 +199,7 @@ impl Prefetcher for Stream {
                                 line: LineAddr::new(target as u64),
                                 trigger_ip: info.ip,
                                 fill_l1: true,
+                                engine: 0,
                             });
                         }
                     }

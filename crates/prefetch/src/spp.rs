@@ -249,6 +249,7 @@ impl Prefetcher for SppPpf {
                     line: target,
                     trigger_ip: info.ip,
                     fill_l1: false,
+                    engine: 0,
                 });
             }
             cur_sig = Self::sig_update(cur_sig, delta);

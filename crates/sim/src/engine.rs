@@ -258,6 +258,9 @@ pub(crate) enum TxnKind {
         fill_l1: bool,
         critical: bool,
         trigger_ip: Ip,
+        /// Originating engine inside a composite ensemble (0 otherwise);
+        /// carried so a cancel can release the right engine's credit.
+        engine: u8,
     },
 }
 
@@ -558,14 +561,15 @@ impl Engine {
             if !t.live {
                 continue;
             }
-            let (tag, fill, crit, tip) = match t.kind {
-                TxnKind::Demand => (1u64, false, false, 0),
-                TxnKind::Store => (2, false, false, 0),
+            let (tag, fill, crit, tip, eng) = match t.kind {
+                TxnKind::Demand => (1u64, false, false, 0, 0),
+                TxnKind::Store => (2, false, false, 0, 0),
                 TxnKind::Prefetch {
                     fill_l1,
                     critical,
                     trigger_ip,
-                } => (3, fill_l1, critical, trigger_ip.raw()),
+                    engine,
+                } => (3, fill_l1, critical, trigger_ip.raw(), engine),
             };
             h.write_usize(i)
                 .write_u64(u64::from(t.tile))
@@ -575,6 +579,7 @@ impl Engine {
                 .write_bool(fill)
                 .write_bool(crit)
                 .write_u64(tip)
+                .write_u64(u64::from(eng))
                 .write_u64(t.issue)
                 .write_u64(t.level as u64);
         }

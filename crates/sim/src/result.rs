@@ -4,7 +4,7 @@ use clip_core::ClipStats;
 use clip_crit::EvalCounts;
 use clip_stats::energy::EnergyCounts;
 use clip_stats::{Json, LatencyStat};
-use clip_types::Cycle;
+use clip_types::{Cycle, MAX_PF_ENGINES};
 
 fn lat_stat_json(s: &LatencyStat) -> Json {
     Json::object([
@@ -23,7 +23,7 @@ fn eval_counts_json(c: &EvalCounts) -> Json {
 }
 
 fn clip_report_json(c: &ClipReport) -> Json {
-    Json::object([
+    let mut fields = vec![
         (
             "stats",
             Json::object([
@@ -48,7 +48,27 @@ fn clip_report_json(c: &ClipReport) -> Json {
         ("ip_eval", eval_counts_json(&c.ip_eval)),
         ("critical_ips", Json::Float(c.critical_ips)),
         ("dynamic_ips", Json::Float(c.dynamic_ips)),
-    ])
+    ];
+    // Per-engine counters exist only for composite ensembles; the key is
+    // omitted entirely otherwise so single-engine artifacts (and their
+    // committed goldens) are byte-identical to the pre-composite schema.
+    if c.num_engines > 0 {
+        fields.push((
+            "engines",
+            Json::array(
+                c.engines[..c.num_engines.min(MAX_PF_ENGINES)]
+                    .iter()
+                    .map(|e| {
+                        Json::object([
+                            ("issued", Json::from(e.issued)),
+                            ("hits", Json::from(e.hits)),
+                            ("min_level", Json::from(u64::from(e.min_level))),
+                        ])
+                    }),
+            ),
+        ));
+    }
+    Json::object(fields)
 }
 
 /// Per-level demand latency aggregation for one run.
@@ -119,6 +139,19 @@ pub struct MissReport {
     pub llc_misses: u64,
 }
 
+/// CLIP's view of one engine of a composite ensemble, aggregated over
+/// all cores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClipEngineReport {
+    /// Prefetches CLIP let through for this engine (all cores).
+    pub issued: u64,
+    /// Demand hits the utility buffers credited to this engine.
+    pub hits: u64,
+    /// Lowest arbitration level (1..=5) any core ended the run at — the
+    /// most-starved view of the engine.
+    pub min_level: u8,
+}
+
 /// CLIP-specific outputs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ClipReport {
@@ -134,6 +167,12 @@ pub struct ClipReport {
     /// IPs that flipped predicted criticality at least once
     /// (dynamic-critical, Figure 15), averaged per core.
     pub dynamic_ips: f64,
+    /// Per-engine accuracy counters (composite ensembles only; slots past
+    /// `num_engines` stay zero).
+    pub engines: [ClipEngineReport; MAX_PF_ENGINES],
+    /// Engines CLIP arbitrated between; 0 for single-engine runs, which
+    /// also suppresses the `engines` key in the JSON artifact.
+    pub num_engines: usize,
 }
 
 /// One sample of the run's time series (taken every
@@ -355,6 +394,26 @@ impl SimResult {
                     ip_eval: eval(c.get("ip_eval")?)?,
                     critical_ips: f(c, "critical_ips")?,
                     dynamic_ips: f(c, "dynamic_ips")?,
+                    // The `engines` key is optional (absent for every
+                    // single-engine run and for artifacts written before
+                    // the composite schema existed).
+                    engines: {
+                        let mut engines = [ClipEngineReport::default(); MAX_PF_ENGINES];
+                        if let Some(arr) = c.get("engines").and_then(|e| e.as_array()) {
+                            for (slot, entry) in engines.iter_mut().zip(arr) {
+                                *slot = ClipEngineReport {
+                                    issued: u(entry, "issued")?,
+                                    hits: u(entry, "hits")?,
+                                    min_level: u8::try_from(u(entry, "min_level")?).ok()?,
+                                };
+                            }
+                        }
+                        engines
+                    },
+                    num_engines: match c.get("engines").and_then(|e| e.as_array()) {
+                        Some(arr) => arr.len().min(MAX_PF_ENGINES),
+                        None => 0,
+                    },
                 })
             }
         };
@@ -518,6 +577,21 @@ mod tests {
             dram_bw_util: 0.375,
             clip: Some(ClipReport {
                 critical_ips: 4.5,
+                engines: {
+                    let mut e = [ClipEngineReport::default(); MAX_PF_ENGINES];
+                    e[0] = ClipEngineReport {
+                        issued: 40,
+                        hits: 30,
+                        min_level: 5,
+                    };
+                    e[1] = ClipEngineReport {
+                        issued: 12,
+                        hits: 1,
+                        min_level: 2,
+                    };
+                    e
+                },
+                num_engines: 2,
                 ..ClipReport::default()
             }),
             baseline_evals: vec![(
@@ -541,6 +615,22 @@ mod tests {
         assert_eq!(back.to_json().render(), text);
         assert_eq!(back.per_core_ipc, r.per_core_ipc);
         assert_eq!(back.baseline_evals[0].0, "FVP");
+        let clip = back.clip.expect("clip present");
+        assert_eq!(clip.num_engines, 2);
+        assert_eq!(clip.engines[1].hits, 1);
+        assert_eq!(clip.engines[2], ClipEngineReport::default());
+
+        // Single-engine reports omit the key entirely, keeping the
+        // artifact byte-identical to the pre-composite schema.
+        let solo = SimResult {
+            clip: Some(ClipReport::default()),
+            ..SimResult::default()
+        };
+        let solo_text = solo.to_json().render();
+        assert!(!solo_text.contains("\"engines\""));
+        let solo_back =
+            SimResult::from_json(&Json::parse(&solo_text).expect("parses")).expect("roundtrips");
+        assert_eq!(solo_back.clip.expect("clip present").num_engines, 0);
 
         // Unknown predictor names must fail the parse, not alias.
         let bad = text.replace("\"FVP\"", "\"NOPE\"");

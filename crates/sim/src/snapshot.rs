@@ -298,6 +298,31 @@ impl System {
                 ip_eval,
                 critical_ips: crit_ips as f64 / n,
                 dynamic_ips: crit_ips as f64 * dyn_frac / n,
+                engines: {
+                    let mut engines =
+                        [crate::result::ClipEngineReport::default(); clip_types::MAX_PF_ENGINES];
+                    for t in &self.tiles {
+                        let clip = t.clip.as_ref().expect("clip present");
+                        if clip.num_engines() == 0 {
+                            continue;
+                        }
+                        for (slot, s) in engines.iter_mut().zip(clip.engine_stats()) {
+                            slot.issued += s.issued;
+                            slot.hits += s.hits;
+                            slot.min_level = if slot.min_level == 0 {
+                                s.level
+                            } else {
+                                slot.min_level.min(s.level)
+                            };
+                        }
+                    }
+                    engines
+                },
+                num_engines: self
+                    .tiles
+                    .first()
+                    .and_then(|t| t.clip.as_ref())
+                    .map_or(0, |c| c.num_engines()),
             })
         } else {
             None

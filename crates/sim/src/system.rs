@@ -88,12 +88,24 @@ impl System {
                         .then(|| clip_prefetch::build(cfg.l1_prefetcher)),
                     l2_pf: (cfg.l2_prefetcher != PrefetcherKind::None)
                         .then(|| clip_prefetch::build(cfg.l2_prefetcher)),
-                    clip: scheme.clip.clone().map(|c| match &scheme.dynamic {
-                        Some(d) => DynamicClip::new(clip_core::DynamicClipConfig {
-                            clip: c,
-                            ..d.clone()
-                        }),
-                        None => DynamicClip::pinned(c),
+                    clip: scheme.clip.clone().map(|mut c| {
+                        // CLIP arbitrates between the member engines of a
+                        // composite ensemble at its attachment level.
+                        let attached = if clip_at_l1 {
+                            cfg.l1_prefetcher
+                        } else {
+                            cfg.l2_prefetcher
+                        };
+                        if attached == PrefetcherKind::Composite {
+                            c.engines = clip_prefetch::COMPOSITE_ENGINES;
+                        }
+                        match &scheme.dynamic {
+                            Some(d) => DynamicClip::new(clip_core::DynamicClipConfig {
+                                clip: c,
+                                ..d.clone()
+                            }),
+                            None => DynamicClip::pinned(c),
+                        }
                     }),
                     clip_at_l1,
                     clip_eval: EvalCounts::default(),
@@ -123,6 +135,8 @@ impl System {
                     finish_cycle: None,
                     pf_queued: 0,
                     pf_dequeued: 0,
+                    pf_queued_eng: [0; clip_types::MAX_PF_ENGINES],
+                    pf_dequeued_eng: [0; clip_types::MAX_PF_ENGINES],
                 }
             })
             .collect();

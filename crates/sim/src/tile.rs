@@ -40,6 +40,10 @@ pub(crate) struct QueuedPrefetch {
     pub fill_l1: bool,
     /// True when the candidate came from the L1-trained prefetcher.
     pub from_l1: bool,
+    /// Originating engine inside a composite ensemble (0 for every
+    /// single-engine prefetcher); audited per engine, carried through the
+    /// transaction so CLIP's per-engine accounting follows the prefetch.
+    pub engine: u8,
 }
 
 /// Everything private to one core's tile.
@@ -87,6 +91,11 @@ pub(crate) struct Tile {
     /// evicted as oldest (audit counter: `pf_queued - pf_dequeued`
     /// must equal the queue occupancy).
     pub pf_dequeued: u64,
+    /// Per-engine split of `pf_queued` (composite ensembles; slot 0 for
+    /// single-engine prefetchers). Audited per engine.
+    pub pf_queued_eng: [u64; clip_types::MAX_PF_ENGINES],
+    /// Per-engine split of `pf_dequeued`.
+    pub pf_dequeued_eng: [u64; clip_types::MAX_PF_ENGINES],
 }
 
 impl Tile {
@@ -102,14 +111,29 @@ impl Tile {
         self.l1_mshr.late_prefetch_merges() + self.l2_mshr.late_prefetch_merges()
     }
 
+    /// Bounds an engine tag into the audited counter range.
+    fn engine_slot(engine: u8) -> usize {
+        (engine as usize).min(clip_types::MAX_PF_ENGINES - 1)
+    }
+
+    /// Pops the queue head, keeping the aggregate and per-engine balance
+    /// counters in lockstep.
+    pub(crate) fn dequeue_prefetch(&mut self) -> Option<QueuedPrefetch> {
+        let q = self.pf_queue.pop()?;
+        self.pf_dequeued += 1;
+        self.pf_dequeued_eng[Self::engine_slot(q.engine)] += 1;
+        Some(q)
+    }
+
     /// Queues a gated prefetch candidate, dropping the oldest when full
     /// (newest candidates reflect the current phase best).
     fn queue_prefetch(&mut self, q: QueuedPrefetch) {
-        if self.pf_queue.is_full() && self.pf_queue.pop().is_some() {
-            self.pf_dequeued += 1;
+        if self.pf_queue.is_full() {
+            self.dequeue_prefetch();
         }
         if self.pf_queue.try_push(q).is_ok() {
             self.pf_queued += 1;
+            self.pf_queued_eng[Self::engine_slot(q.engine)] += 1;
         }
     }
 
@@ -137,6 +161,32 @@ impl Tile {
             return Err(format!(
                 "pf queue over capacity: {} entries in a {PF_QUEUE_CAP}-entry queue",
                 self.pf_queue.len()
+            ));
+        }
+        // Per-engine conservation: the aggregate balance must decompose
+        // exactly into the engine-tagged balances (composite ensembles;
+        // single-engine tiles trivially audit slot 0 only).
+        for e in 0..clip_types::MAX_PF_ENGINES {
+            let present = self
+                .pf_queue
+                .iter()
+                .filter(|q| Self::engine_slot(q.engine) == e)
+                .count() as u64;
+            if self.pf_queued_eng[e] - self.pf_dequeued_eng[e] != present {
+                return Err(format!(
+                    "pf queue balance broken for engine {e}: queued={} \
+                     dequeued={} but {present} entries present",
+                    self.pf_queued_eng[e], self.pf_dequeued_eng[e],
+                ));
+            }
+        }
+        if self.pf_queued_eng.iter().sum::<u64>() != self.pf_queued
+            || self.pf_dequeued_eng.iter().sum::<u64>() != self.pf_dequeued
+        {
+            return Err(format!(
+                "pf queue engine split out of sync with aggregate: \
+                 queued {} vs {:?}, dequeued {} vs {:?}",
+                self.pf_queued, self.pf_queued_eng, self.pf_dequeued, self.pf_dequeued_eng,
             ));
         }
         if full {
@@ -177,7 +227,8 @@ impl Tile {
             h.write_u64(q.line.raw())
                 .write_u64(q.trigger_ip.raw())
                 .write_bool(q.fill_l1)
-                .write_bool(q.from_l1);
+                .write_bool(q.from_l1)
+                .write_u64(u64::from(q.engine));
         }
         h.write_u64(self.pf_candidates).write_u64(self.pf_issued);
     }
@@ -399,7 +450,10 @@ impl System {
 
     /// Advances CLIP's exploration window on one training-level miss; at a
     /// window boundary, feeds the APC sample of the elapsed window (the
-    /// paper averages APC over the last 16 exploration windows).
+    /// paper averages APC over the last 16 exploration windows) and, for
+    /// composite ensembles, pushes the freshly recomputed per-engine
+    /// arbitration levels into the attachment-level prefetcher so an
+    /// inaccurate engine is starved at the source, not just at the gate.
     fn clip_window_advance(tile: &mut Tile, now: Cycle) {
         let Some(clip) = tile.clip.as_mut() else {
             return;
@@ -410,6 +464,18 @@ impl System {
             let cycles = now.saturating_sub(tile.window_start).max(1);
             tile.window_start = now;
             clip.on_apc_sample(accesses, cycles);
+            let engines = clip.num_engines();
+            if engines > 0 {
+                let levels = clip.engine_levels();
+                let pf = if tile.clip_at_l1 {
+                    tile.l1_pf.as_mut()
+                } else {
+                    tile.l2_pf.as_mut()
+                };
+                if let Some(pf) = pf {
+                    pf.set_engine_levels(&levels[..engines]);
+                }
+            }
         }
     }
 
@@ -540,6 +606,7 @@ impl System {
                 trigger_ip: c.trigger_ip,
                 fill_l1: c.fill_l1,
                 from_l1: at_l1,
+                engine: c.engine,
             });
         }
     }
@@ -558,13 +625,11 @@ impl System {
                     || tile.l2_mshr.contains(q.line)
                     || (!q.fill_l1 && tile.l2.contains(q.line))
                 {
-                    self.tiles[t].pf_queue.pop();
-                    self.tiles[t].pf_dequeued += 1;
+                    self.tiles[t].dequeue_prefetch();
                     continue;
                 }
             }
-            self.tiles[t].pf_queue.pop();
-            self.tiles[t].pf_dequeued += 1;
+            self.tiles[t].dequeue_prefetch();
             // CLIP gates at the issue point so its per-IP issue accounting
             // matches prefetches that actually enter the hierarchy.
             let clip_here = self.tiles[t].clip_at_l1 == q.from_l1;
@@ -572,7 +637,7 @@ impl System {
             let mut critical = false;
             if let Some(clip) = self.tiles[t].clip.as_mut() {
                 if clip_here {
-                    match clip.filter_prefetch(q.line, q.trigger_ip) {
+                    match clip.filter_prefetch_tagged(q.line, q.trigger_ip, q.engine) {
                         Decision::AllowCritical => {
                             critical = true;
                             // CLIP fetches its survivors all the way to L1
@@ -598,6 +663,7 @@ impl System {
                     fill_l1,
                     critical,
                     trigger_ip: q.trigger_ip,
+                    engine: q.engine,
                 },
                 issue: now,
                 level: MemLevel::L1,
@@ -670,9 +736,12 @@ impl System {
                     && self.tiles[t].l2_mshr.len() + L2_MSHR_PF_RESERVE
                         >= self.tiles[t].l2_mshr.capacity()
                 {
-                    if let TxnKind::Prefetch { trigger_ip, .. } = tx.kind {
+                    if let TxnKind::Prefetch {
+                        trigger_ip, engine, ..
+                    } = tx.kind
+                    {
                         if let Some(clip) = self.tiles[t].clip.as_mut() {
-                            clip.cancel_prefetch(tx.line, trigger_ip);
+                            clip.cancel_prefetch_tagged(tx.line, trigger_ip, engine);
                         }
                     }
                     self.engine.free_txn(txn);

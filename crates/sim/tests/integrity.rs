@@ -309,6 +309,37 @@ fn every_fault_kind_is_caught_on_every_backend() {
     }
 }
 
+/// The composite ensemble under every fault kind: per-engine queue
+/// accounting adds new conservation state (engine-tagged queue entries,
+/// per-engine queued/dequeued balances), and every auditor contract the
+/// single-engine path honours must hold verbatim with three engines
+/// sharing the pf-queue. Like the rest of the matrix this runs the
+/// plain scheme: CLIP gates at the issue point and may legitimately
+/// consume a corrupted candidate there, so the legality-backstop
+/// contract (queue scan or illegal issue, whichever comes first) is
+/// defined on the ungated path.
+#[test]
+fn every_fault_kind_is_caught_under_the_composite_ensemble() {
+    for row in FAULT_TABLE {
+        let pf = if row.needs_prefetcher {
+            PrefetcherKind::Composite
+        } else {
+            PrefetcherKind::None
+        };
+        let jobs = vec![SweepJob {
+            cfg: backend_cfg(pf, DramKind::Ddr4),
+            scheme: Scheme::plain(),
+            mix: mix(4),
+        }];
+        let mut outcomes = run_jobs_localized(&jobs, &row_options(row, NocChoice::Analytic));
+        let err = match outcomes.remove(0) {
+            Err(e) => e,
+            Ok(_) => panic!("{:?} must be reported under Composite", row.kind),
+        };
+        assert_row_caught(row, &err, NocChoice::Analytic, DramKind::Ddr4);
+    }
+}
+
 #[test]
 fn fault_victims_are_deterministic_across_runs_and_threads() {
     // The same seed must pick the same victim — and report the identical

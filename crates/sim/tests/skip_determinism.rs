@@ -127,6 +127,26 @@ fn wheel_matches_step_across_scheme_families() {
     }
 }
 
+/// The composite ensemble, plain and CLIP-arbitrated: per-engine level
+/// recomputation happens at exploration-window boundaries, so a skip
+/// that misplaced a window edge would shift every later arbitration
+/// decision and diverge the streams.
+#[test]
+fn wheel_matches_step_on_the_composite_ensemble() {
+    let m = mix("605.mcf_s-1554B");
+    for (name, scheme) in [
+        ("composite", Scheme::plain()),
+        ("composite-clip", Scheme::with_clip()),
+    ] {
+        let jobs = [SweepJob {
+            cfg: cfg(PrefetcherKind::Composite),
+            scheme,
+            mix: m.clone(),
+        }];
+        assert_batch_identical(&jobs, &opts(), name);
+    }
+}
+
 /// A second workload with a different memory profile, on the mesh NoC
 /// (the scheme sweep above uses the default choice): lbm streams where
 /// mcf pointer-chases, exercising long DRAM-bound quiescent stretches.

@@ -24,6 +24,10 @@ pub enum PrefetcherKind {
     Stream,
     /// Next-line prefetcher.
     NextLine,
+    /// Ensemble of Berti + SPP-PPF + next-line running concurrently under
+    /// a shared degree budget; candidates are tagged with their engine so
+    /// CLIP can arbitrate between sources (see `clip_prefetch::composite`).
+    Composite,
 }
 
 impl PrefetcherKind {
@@ -38,6 +42,7 @@ impl PrefetcherKind {
             PrefetcherKind::IpStride => "IP-stride",
             PrefetcherKind::Stream => "Stream",
             PrefetcherKind::NextLine => "Next-line",
+            PrefetcherKind::Composite => "Composite",
         }
     }
 
@@ -51,6 +56,7 @@ impl PrefetcherKind {
                 | PrefetcherKind::IpStride
                 | PrefetcherKind::Stream
                 | PrefetcherKind::NextLine
+                | PrefetcherKind::Composite
         )
     }
 }
@@ -676,6 +682,10 @@ mod tests {
         assert!(PrefetcherKind::Berti.trains_at_l1());
         assert!(!PrefetcherKind::SppPpf.trains_at_l1());
         assert!(!PrefetcherKind::Bingo.trains_at_l1());
+        // The ensemble drives the L1 slot: its Berti/next-line members
+        // train on L1 accesses and the shared budget gates at one level.
+        assert_eq!(PrefetcherKind::Composite.name(), "Composite");
+        assert!(PrefetcherKind::Composite.trains_at_l1());
     }
 
     #[test]

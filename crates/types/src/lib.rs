@@ -48,6 +48,13 @@ pub const PAGE_SHIFT: u32 = 12;
 /// A simulation timestamp in core clock cycles (4 GHz in the baseline).
 pub type Cycle = u64;
 
+/// Upper bound on concurrently running prefetch engines inside one
+/// composite prefetcher. Engine tags on prefetch candidates, the per-engine
+/// accounting in CLIP's utility buffer, and the tile's per-engine queue
+/// balances all size their fixed arrays with this, so reports stay `Copy`.
+/// Single-engine prefetchers always use engine 0.
+pub const MAX_PF_ENGINES: usize = 4;
+
 /// A byte-granular virtual address.
 ///
 /// The simulator does not model paging faults; virtual addresses are used

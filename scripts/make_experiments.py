@@ -122,6 +122,16 @@ PAPER_NOTES = {
                 "relieves queueing. The DDR4 and HBM presets expose equal "
                 "aggregate peak bandwidth, so rows compare channel structure, "
                 "not peak.",
+    "composite": "Extension (no paper counterpart; DESIGN.md §3d): a composite "
+                 "ensemble (Berti + SPP-PPF + next-line under one shared degree "
+                 "budget) against the best single engine, with and without "
+                 "CLIP. Under CLIP the utility buffer tracks accuracy per "
+                 "engine and the filter demotes whichever member goes "
+                 "inaccurate, so the +CLIP columns measure arbitration "
+                 "*between* prefetch sources rather than gating of one "
+                 "stream. The trailing `engines@...` notes carry the "
+                 "Composite+CLIP cell's per-engine issued/hits/min_level "
+                 "counters summed over mixes.",
 }
 
 HEADER = """# EXPERIMENTS — paper vs. measured
@@ -156,9 +166,10 @@ order as a list of `{"bin", "artifacts"}` objects, where multi-set
 figures (e.g. fig05) list one artifact per set. Values are normalized
 weighted speedups unless the title says otherwise; every run is
 deterministic, so artifacts diff cleanly (CI pins fig02 at smoke scale
-against `crates/bench/tests/golden/fig02.json`, and the `backends`
+against `crates/bench/tests/golden/fig02.json`, the `backends`
 figure's two artifacts against `backends_mesh.json` /
-`backends_chiplet.json`).
+`backends_chiplet.json`, and the `composite` figure against
+`composite.json`).
 
 **Backend knobs.** `CLIP_NOC` selects the fabric model (`mesh`,
 `analytic` — the sweep default — or `chiplet`) and `CLIP_DRAM` the

@@ -47,8 +47,8 @@ OPTIONS:
   --hetero-seed <N>      random heterogeneous mix instead of a named workload
   --cores <N>            cores in the system              [default: 8]
   --channels <N>         DRAM channels (power of 2)       [default: 1]
-  --prefetcher <KIND>    none|berti|ipcp|bingo|spp-ppf|ip-stride|stream|next-line
-                                                          [default: berti]
+  --prefetcher <KIND>    none|berti|ipcp|bingo|spp-ppf|ip-stride|stream|next-line|composite
+                                                          [default: berti, or CLIP_PF]
   --clip                 attach CLIP to the prefetcher
   --dynclip              attach Dynamic CLIP (bandwidth-governed)
   --throttler <KIND>     fdp|hpac|spac|nst
